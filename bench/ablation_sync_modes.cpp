@@ -1,0 +1,54 @@
+// Extension ablation: MPI send modes on the derived-type send.
+//
+// The paper measures standard-mode MPI_Send only; this ablation isolates
+// the protocol component by comparing blocking, nonblocking, synchronous,
+// ready, and persistent variants across sizes.  Expectations from the
+// protocol model: below the eager limit ssend pays the handshake that
+// standard mode skips; above it rsend saves the handshake everyone else
+// pays; isend/persistent match blocking on an idle sender.
+#include <iomanip>
+#include <iostream>
+
+#include "figure_common.hpp"
+
+using namespace ncsend;
+
+int main(int argc, char** argv) {
+  const auto args = benchcommon::BenchArgs::parse(argc, argv);
+  SweepConfig cfg;
+  cfg.profile = &minimpi::MachineProfile::skx_impi();
+  cfg.sizes_bytes = log_sizes(1e3, 1e8, 2);
+  cfg.schemes = {"vector type", "isend(v)", "ssend(v)", "rsend(v)",
+                 "persistent(v)"};
+  cfg.harness.reps = args.reps;
+  cfg.wtime_resolution = 0.0;
+  const SweepResult r = run_sweep(cfg);
+
+  std::cout << "== Ablation: send modes for the direct derived-type send "
+               "(skx-impi) ==\n(times relative to blocking standard mode)\n\n"
+            << std::setw(12) << "bytes";
+  for (const auto& s : r.schemes) std::cout << std::setw(15) << s;
+  std::cout << "\n";
+  bool rsend_helps_large = false, isend_matches = true;
+  const std::size_t eager = cfg.profile->eager_limit_bytes;
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    std::cout << std::setw(12) << r.sizes_bytes[si];
+    const double base = r.time(si, 0);
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const double rel = r.time(si, ci) / base;
+      std::cout << std::setw(15) << std::fixed << std::setprecision(4)
+                << rel;
+      if (r.schemes[ci] == "rsend(v)" && r.sizes_bytes[si] > eager &&
+          rel < 0.999)
+        rsend_helps_large = true;
+      if (r.schemes[ci] == "isend(v)" && std::abs(rel - 1.0) > 0.01)
+        isend_matches = false;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nready mode saves the handshake above the eager limit: "
+            << (rsend_helps_large ? "yes" : "NO") << "\n"
+            << "isend+wait matches blocking send:                     "
+            << (isend_matches ? "yes" : "NO") << "\n";
+  return rsend_helps_large && isend_matches ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+// Figure 1: "Time and bandwidth on Stampede2-skx using Intel MPI".
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return benchcommon::run_figure(
+      {&minimpi::MachineProfile::skx_impi(), "fig1_skx_impi",
+       "Figure 1 - Packing on skx-i3: Stampede2 Skylake, Intel MPI"},
+      argc, argv);
+}

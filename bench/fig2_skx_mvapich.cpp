@@ -1,0 +1,9 @@
+// Figure 2: "Time and bandwidth on Stampede2-skx nodes using mvapich2".
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return benchcommon::run_figure(
+      {&minimpi::MachineProfile::skx_mvapich2(), "fig2_skx_mvapich",
+       "Figure 2 - Packing on skx-v3: Stampede2 Skylake, MVAPICH2"},
+      argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 3: "Time and bandwidth on a Cray XC40 using the native MPI".
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return benchcommon::run_figure(
+      {&minimpi::MachineProfile::ls5_cray(), "fig3_ls5_cray",
+       "Figure 3 - Packing on ls5: Lonestar5 Cray XC40, Cray MPICH"},
+      argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 4: "Time and bandwidth on Stampede2-knl using Intel MPI".
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return benchcommon::run_figure(
+      {&minimpi::MachineProfile::knl_impi(), "fig4_knl_impi",
+       "Figure 4 - Packing on knl: Stampede2 Knights Landing, Intel MPI"},
+      argc, argv);
+}

@@ -1,0 +1,88 @@
+#pragma once
+/// \file figure_common.hpp
+/// \brief Shared driver for the per-figure benchmark binaries.
+///
+/// Each `figN_*` binary reproduces one figure of the paper: the full
+/// sizes x schemes sweep on one machine profile, printed as the three
+/// panels (time / bandwidth / slowdown) plus ASCII plots, and written as
+/// CSV to `results/<id>.csv` for external plotting.
+///
+/// Flags:
+///   --quick           2 points/decade, 5 reps (CI-friendly)
+///   --per-decade N    size-grid density (default 4)
+///   --reps N          ping-pongs per measurement (default 20, as in §3.2)
+///   --no-csv          skip the results/ file
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "ncsend/ncsend.hpp"
+
+namespace benchcommon {
+
+struct FigureSpec {
+  const minimpi::MachineProfile* profile;
+  std::string id;     ///< results/<id>.csv
+  std::string title;  ///< printed header
+};
+
+struct BenchArgs {
+  int per_decade = 4;
+  int reps = 20;
+  bool csv = true;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        a.per_decade = 2;
+        a.reps = 5;
+      } else if (arg == "--per-decade" && i + 1 < argc) {
+        a.per_decade = std::stoi(argv[++i]);
+      } else if (arg == "--reps" && i + 1 < argc) {
+        a.reps = std::stoi(argv[++i]);
+      } else if (arg == "--no-csv") {
+        a.csv = false;
+      } else {
+        std::cerr << "unknown flag: " << arg << "\n";
+      }
+    }
+    return a;
+  }
+};
+
+inline void maybe_write_csv(const ncsend::SweepResult& result,
+                            const std::string& id, bool enabled) {
+  if (!enabled) return;
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string csv_path = "results/" + id + ".csv";
+  if (std::ofstream csv(csv_path); csv) {
+    ncsend::write_csv(csv, result);
+    std::cout << "\nCSV written to " << csv_path << "\n";
+  } else {
+    std::cerr << "could not open " << csv_path << " for writing\n";
+  }
+  const std::string json_path = "results/" + id + ".json";
+  if (std::ofstream json(json_path); json) {
+    ncsend::write_json(json, result);
+    std::cout << "JSON written to " << json_path << "\n";
+  }
+}
+
+inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  ncsend::SweepConfig cfg;
+  cfg.profile = spec.profile;
+  cfg.sizes_bytes = ncsend::paper_sizes(args.per_decade);
+  cfg.harness.reps = args.reps;
+  const ncsend::SweepResult result = ncsend::run_sweep(cfg);
+  ncsend::print_figure(std::cout, result, spec.title);
+  maybe_write_csv(result, spec.id, args.csv);
+  return result.all_verified() ? 0 : 1;
+}
+
+}  // namespace benchcommon

@@ -1,0 +1,140 @@
+// Host wall-clock micro-benchmarks of the datatype engine (the one part
+// of the reproduction where real hardware speed matters): is our
+// MPI_Pack as fast as a hand-written gather loop, as the paper found
+// for the vendors' implementations (§4.3)?
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "minimpi/datatype/pack.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+std::vector<double> make_source(std::size_t doubles) {
+  std::vector<double> v(doubles);
+  std::iota(v.begin(), v.end(), 0.0);
+  return v;
+}
+
+void BM_MemcpyContiguous(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const auto src = make_source(bytes / 8);
+  std::vector<double> dst(bytes / 8);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), bytes);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_ManualStridedGather(benchmark::State& state) {
+  // The paper's §2.2 user copy loop: every other double.
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto src = make_source(2 * n);
+  std::vector<double> dst(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[2 * i];
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_PackVectorType(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto src = make_source(2 * n);
+  std::vector<std::byte> dst(n * 8);
+  Datatype vec = Datatype::vector(n, 1, 2, Datatype::float64());
+  vec.commit();
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    pack(src.data(), 1, vec, dst.data(), dst.size(), pos);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_PackBlockedVectorType(benchmark::State& state) {
+  // Blocklen 8: the engine should approach memcpy speed (§4.7 item 2).
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto src = make_source(2 * n);
+  std::vector<std::byte> dst(n * 8);
+  Datatype vec = Datatype::vector(n / 8, 8, 16, Datatype::float64());
+  vec.commit();
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    pack(src.data(), 1, vec, dst.data(), dst.size(), pos);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_PackElementwise(benchmark::State& state) {
+  // packing(e): one pack call per element — the paper's worst case.
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  const auto src = make_source(2 * n);
+  std::vector<std::byte> dst(n * 8);
+  const Datatype f64 = Datatype::float64();
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      pack(&src[2 * i], 1, f64, dst.data(), dst.size(), pos);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_UnpackVectorType(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0)) / 8;
+  std::vector<std::byte> src(n * 8, std::byte{1});
+  std::vector<double> dst(2 * n);
+  Datatype vec = Datatype::vector(n, 1, 2, Datatype::float64());
+  vec.commit();
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    unpack(src.data(), src.size(), pos, dst.data(), 1, vec);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_SubarrayPack2D(benchmark::State& state) {
+  // Interior of a square 2-D array: the FEM/stencil staging pattern.
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = static_cast<std::size_t>(
+      std::max<double>(4.0, std::sqrt(static_cast<double>(bytes / 8))));
+  const std::size_t sizes[] = {dim, dim};
+  const std::size_t sub[] = {dim - 2, dim - 2};
+  const std::size_t starts[] = {1, 1};
+  Datatype t = Datatype::subarray(sizes, sub, starts, Datatype::float64());
+  t.commit();
+  const auto src = make_source(dim * dim);
+  std::vector<std::byte> dst(pack_size(1, t));
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    pack(src.data(), 1, t, dst.data(), dst.size(), pos);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dst.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MemcpyContiguous)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);
+BENCHMARK(BM_ManualStridedGather)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);
+BENCHMARK(BM_PackVectorType)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);
+BENCHMARK(BM_PackBlockedVectorType)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);
+BENCHMARK(BM_PackElementwise)->Arg(1 << 13)->Arg(1 << 17);
+BENCHMARK(BM_UnpackVectorType)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);
+BENCHMARK(BM_SubarrayPack2D)->Arg(1 << 13)->Arg(1 << 17)->Arg(1 << 21);

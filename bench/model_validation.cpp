@@ -1,0 +1,116 @@
+// Validation: the simulated runtime (mailboxes, promises, virtual-clock
+// plumbing) must reproduce the closed-form analytic composition of the
+// cost model exactly.  Any drift would mean the harness measures
+// simulator artifacts instead of the model.
+//
+// For each two-sided scheme and message size, predict one steady-state
+// ping-pong analytically and compare against the harness measurement.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "figure_common.hpp"
+
+using namespace ncsend;
+using minimpi::BlockStats;
+using minimpi::CostModel;
+using minimpi::MachineProfile;
+
+namespace {
+
+/// Closed-form steady-state ping-pong time (receiver pre-posted).
+double predict(const CostModel& m, const std::string& scheme,
+               std::size_t bytes, const BlockStats& stats) {
+  const MachineProfile& p = m.profile();
+  const bool noncontig = stats.block_count > 1;
+
+  // User-space work before the send call.
+  double local = 0.0;
+  if (scheme == "copying") {
+    local = m.user_copy_time(bytes, stats);
+  } else if (scheme == "packing(v)") {
+    local = m.call_overhead(1) + m.user_copy_time(bytes, stats);
+  } else if (scheme == "packing(e)") {
+    local = m.call_overhead(bytes / 8) + m.user_copy_time(bytes, stats);
+  }
+  // Schemes that hand MPI a contiguous buffer.
+  const bool wire_contig =
+      scheme == "reference" || scheme == "copying" ||
+      scheme == "packing(v)" || scheme == "packing(e)";
+  const BlockStats contig{1, bytes, bytes, bytes};
+  const BlockStats& wire_stats = wire_contig ? contig : stats;
+
+  double send_path;
+  if (scheme == "buffered") {
+    send_path = p.send_overhead_s + p.bsend_overhead_s +
+                static_cast<double>(bytes) / p.bsend_copy_bandwidth_Bps *
+                    m.block_factor(stats) +
+                m.internal_contiguous_copy_time(bytes) +
+                (m.is_eager(bytes) ? 0.0 : m.handshake_time()) +
+                (bytes > p.internal_buffer_bytes
+                     ? static_cast<double>(bytes - p.internal_buffer_bytes) /
+                           p.internal_copy_bandwidth_Bps * p.large_msg_penalty
+                     : 0.0) +
+                m.wire_time(bytes) + p.net_latency_s;
+  } else if (m.is_eager(bytes)) {
+    const bool nc = !wire_contig && noncontig;
+    send_path = p.send_overhead_s +
+                (nc ? m.internal_staging_time(bytes, wire_stats)
+                    : m.internal_contiguous_copy_time(bytes)) +
+                m.wire_time(bytes) + p.net_latency_s;
+  } else {
+    const bool nc = !wire_contig && noncontig;
+    send_path = p.send_overhead_s + m.handshake_time() +
+                (nc ? m.internal_staging_time(bytes, wire_stats) : 0.0) +
+                m.wire_time(bytes) + p.net_latency_s;
+  }
+  // Receive completion (expected message: no copy-out) + zero-byte pong.
+  const double recv_side = p.recv_overhead_s;
+  const double pong = p.send_overhead_s + p.net_latency_s + p.recv_overhead_s;
+  return local + send_path + recv_side + pong;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchcommon::BenchArgs::parse(argc, argv);
+  const std::vector<std::string> schemes = {
+      "reference", "copying",    "buffered",  "vector type",
+      "subarray",  "packing(e)", "packing(v)"};
+  const std::vector<std::size_t> sizes = {1'000,       100'000,    1'000'000,
+                                          10'000'000,  100'000'000,
+                                          1'000'000'000};
+  minimpi::UniverseOptions opts;
+  opts.nranks = 2;
+  opts.wtime_resolution = 0.0;  // exact clocks for the comparison
+  opts.functional_payload_limit = 1 << 20;
+  const CostModel model(minimpi::MachineProfile::skx_impi());
+
+  std::cout << "== Model validation: harness measurement vs closed-form "
+               "prediction (skx-impi) ==\n\n"
+            << std::setw(12) << "bytes" << std::setw(14) << "scheme"
+            << std::setw(15) << "measured" << std::setw(15) << "predicted"
+            << std::setw(13) << "rel. error\n";
+  double worst = 0.0;
+  HarnessConfig hc;
+  hc.reps = std::min(args.reps, 5);
+  for (const std::size_t bytes : sizes) {
+    const Layout layout = Layout::strided(bytes / 8, 1, 2);
+    for (const auto& scheme : schemes) {
+      const double measured =
+          run_experiment(opts, scheme, layout, hc).time();
+      const double predicted =
+          predict(model, scheme, layout.payload_bytes(), layout.stats());
+      const double err = std::abs(measured / predicted - 1.0);
+      worst = std::max(worst, err);
+      std::cout << std::setw(12) << bytes << std::setw(14) << scheme
+                << std::setw(15) << std::scientific << std::setprecision(4)
+                << measured << std::setw(15) << predicted << std::setw(13)
+                << std::setprecision(2) << err << "\n";
+    }
+  }
+  std::cout << "\nworst relative error: " << std::scientific << worst
+            << (worst < 1e-6 ? "  (simulator == analytic model)" : "  TOO LARGE")
+            << "\n";
+  return worst < 1e-6 ? 0 : 1;
+}

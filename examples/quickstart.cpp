@@ -1,0 +1,65 @@
+// Quickstart: send every other element of an array between two
+// simulated ranks three ways — manual copy, derived datatype, and
+// pack+send — then ask the advisor which one to use.
+//
+//   $ ./quickstart
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace minimpi;
+
+int main() {
+  UniverseOptions opts;
+  opts.nranks = 2;  // rank 0 sends, rank 1 receives
+
+  Universe::run(opts, [](Comm& comm) {
+    constexpr std::size_t n = 1024;  // elements to send
+    Datatype every_other = Datatype::vector(n, 1, 2, Datatype::float64());
+    every_other.commit();
+
+    if (comm.rank() == 0) {
+      // A host array of 2n doubles; we want elements 0, 2, 4, ...
+      std::vector<double> data(2 * n);
+      std::iota(data.begin(), data.end(), 0.0);
+
+      // 1. The friendly way: send the derived datatype directly.
+      comm.send(data.data(), 1, every_other, /*dst=*/1, /*tag=*/0);
+
+      // 2. The manual way: gather into a contiguous buffer, then send.
+      std::vector<double> sendbuf(n);
+      for (std::size_t i = 0; i < n; ++i) sendbuf[i] = data[2 * i];
+      comm.send(sendbuf.data(), n, Datatype::float64(), 1, 1);
+
+      // 3. The paper's winner for large messages: MPI_Pack the derived
+      //    type into user space and send the packed bytes.
+      std::vector<std::byte> packed(pack_size(1, every_other));
+      std::size_t pos = 0;
+      pack(data.data(), 1, every_other, packed.data(), packed.size(), pos);
+      comm.send(packed.data(), pos, Datatype::packed(), 1, 2);
+
+      std::cout << "rank 0: sent " << n << " doubles three ways; virtual "
+                << "clock now " << comm.wtime() << " s\n";
+    } else {
+      std::vector<double> a(n), b(n), c(n);
+      comm.recv(a.data(), n, Datatype::float64(), 0, 0);
+      comm.recv(b.data(), n, Datatype::float64(), 0, 1);
+      comm.recv(c.data(), n, Datatype::float64(), 0, 2);
+      bool ok = true;
+      for (std::size_t i = 0; i < n; ++i)
+        ok &= a[i] == 2.0 * i && b[i] == 2.0 * i && c[i] == 2.0 * i;
+      std::cout << "rank 1: all three receives "
+                << (ok ? "byte-identical" : "MISMATCHED") << "\n";
+    }
+  });
+
+  // What should a user do for this layout?  Ask the paper.
+  const ncsend::Layout layout = ncsend::Layout::strided(1024, 1, 2);
+  const auto rec = ncsend::advise(MachineProfile::skx_impi(),
+                                  layout.payload_bytes(), layout);
+  std::cout << "\nadvisor: use \"" << rec.scheme << "\"\n  "
+            << rec.rationale << "\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Command-line advisor: given a machine and a message size, print the
+// paper's recommendation and back it with a quick measured comparison.
+//
+//   $ ./scheme_advisor [machine] [payload_bytes]
+//   $ ./scheme_advisor knl-impi 500000000
+#include <iomanip>
+#include <iostream>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+
+int main(int argc, char** argv) {
+  const std::string machine = argc > 1 ? argv[1] : "skx-impi";
+  const std::size_t bytes =
+      argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 10'000'000;
+  const auto& profile = minimpi::MachineProfile::by_name(machine);
+  const Layout layout = Layout::strided(std::max<std::size_t>(1, bytes / 8),
+                                        1, 2);
+
+  std::cout << "machine: " << profile.description << "\n"
+            << "payload: " << bytes << " B, layout: " << layout.name()
+            << "\n\n";
+
+  const Recommendation rec = advise(profile, bytes, layout);
+  std::cout << "recommended scheme: " << rec.scheme << "\n  "
+            << rec.rationale << "\n";
+  if (!rec.avoid.empty()) {
+    std::cout << "\navoid:\n";
+    for (const auto& a : rec.avoid) std::cout << "  - " << a << "\n";
+  }
+
+  std::cout << "\nmeasured evidence (ping-pong on the simulated fabric):\n";
+  SweepConfig cfg;
+  cfg.profile = &profile;
+  cfg.sizes_bytes = {bytes};
+  cfg.harness.reps = 10;
+  const SweepResult r = run_sweep(cfg);
+  for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+    std::cout << "  " << std::setw(12) << r.schemes[ci] << "  "
+              << std::scientific << std::setprecision(3) << r.time(0, ci)
+              << " s   " << std::fixed << std::setprecision(2)
+              << std::setw(6) << r.bandwidth_GBps(0, ci) << " GB/s   "
+              << "slowdown " << r.slowdown(0, ci) << "\n";
+  }
+  std::cout << "\navailable machines:";
+  for (const auto& n : minimpi::MachineProfile::names())
+    std::cout << " " << n;
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "minimpi/base/error.hpp"
+
+namespace minimpi {
+
+std::string_view to_string(ErrorClass ec) noexcept {
+  switch (ec) {
+    case ErrorClass::internal: return "MM_ERR_INTERNAL";
+    case ErrorClass::invalid_arg: return "MM_ERR_ARG";
+    case ErrorClass::invalid_type: return "MM_ERR_TYPE";
+    case ErrorClass::invalid_rank: return "MM_ERR_RANK";
+    case ErrorClass::invalid_tag: return "MM_ERR_TAG";
+    case ErrorClass::truncate: return "MM_ERR_TRUNCATE";
+    case ErrorClass::buffer: return "MM_ERR_BUFFER";
+    case ErrorClass::rma_sync: return "MM_ERR_RMA_SYNC";
+    case ErrorClass::rma_range: return "MM_ERR_RMA_RANGE";
+    case ErrorClass::type_mismatch: return "MM_ERR_TYPE_MISMATCH";
+    case ErrorClass::not_supported: return "MM_ERR_NOT_SUPPORTED";
+  }
+  return "MM_ERR_UNKNOWN";
+}
+
+}  // namespace minimpi

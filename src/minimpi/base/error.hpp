@@ -1,0 +1,55 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error codes and exception type for the minimpi substrate.
+///
+/// minimpi mirrors the MPI error-class model: every failure carries a
+/// stable error class plus a human-readable explanation.  Unlike the MPI
+/// C API (which returns int codes), minimpi throws `minimpi::Error`,
+/// which is the idiomatic C++ surface for a library whose callers are
+/// expected to treat any MPI failure as fatal for the affected
+/// communicator (the default MPI_ERRORS_ARE_FATAL world view).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace minimpi {
+
+/// Stable error classes, modeled on the MPI_ERR_* classes the paper's
+/// harness can run into.
+enum class ErrorClass {
+  internal,        ///< bug in minimpi itself
+  invalid_arg,     ///< bad argument (count < 0, null buffer with count > 0, ...)
+  invalid_type,    ///< datatype not committed / not a valid handle
+  invalid_rank,    ///< rank outside communicator
+  invalid_tag,     ///< tag outside valid range
+  truncate,        ///< receive buffer too small for matched message
+  buffer,          ///< bsend: attached buffer absent or exhausted
+  rma_sync,        ///< one-sided call outside an access epoch
+  rma_range,       ///< put/get outside the target window
+  type_mismatch,   ///< send/recv type signatures incompatible (debug checking)
+  not_supported,   ///< feature intentionally outside the subset
+};
+
+/// \brief Convert an error class to its stable name (e.g. "MM_ERR_TRUNCATE").
+std::string_view to_string(ErrorClass ec) noexcept;
+
+/// \brief Exception thrown by every minimpi entry point on failure.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorClass ec, const std::string& what_arg)
+      : std::runtime_error(std::string(to_string(ec)) + ": " + what_arg),
+        class_(ec) {}
+
+  [[nodiscard]] ErrorClass error_class() const noexcept { return class_; }
+
+ private:
+  ErrorClass class_;
+};
+
+/// \brief Throw `Error(ec, msg)` unless `cond` holds.
+inline void require(bool cond, ErrorClass ec, const std::string& msg) {
+  if (!cond) throw Error(ec, msg);
+}
+
+}  // namespace minimpi

@@ -1,0 +1,92 @@
+#pragma once
+/// \file types.hpp
+/// \brief Fundamental identifiers and constants shared across minimpi.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace minimpi {
+
+using Rank = int;
+using Tag = int;
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr Rank any_source = -1;
+inline constexpr Tag any_tag = -1;
+
+/// Largest user tag (MPI guarantees at least 32767; we are more generous).
+inline constexpr Tag tag_ub = std::numeric_limits<int>::max() / 2;
+
+/// Basic (predefined) datatypes of the subset.  The study sends doubles,
+/// but the datatype engine is exercised with all of these in tests.
+enum class BasicType : std::uint8_t {
+  byte_,
+  char_,
+  int32,
+  int64,
+  uint32,
+  uint64,
+  float_,
+  double_,
+  packed,  ///< MPI_PACKED: raw bytes produced by the pack engine
+};
+
+/// \brief Size in bytes of a basic type (MPI_Type_size for predefined types).
+constexpr std::size_t basic_size(BasicType t) noexcept {
+  switch (t) {
+    case BasicType::byte_:
+    case BasicType::char_:
+    case BasicType::packed: return 1;
+    case BasicType::int32:
+    case BasicType::uint32:
+    case BasicType::float_: return 4;
+    case BasicType::int64:
+    case BasicType::uint64:
+    case BasicType::double_: return 8;
+  }
+  return 0;
+}
+
+/// \brief Stable name for diagnostics.
+constexpr const char* basic_name(BasicType t) noexcept {
+  switch (t) {
+    case BasicType::byte_: return "byte";
+    case BasicType::char_: return "char";
+    case BasicType::int32: return "int32";
+    case BasicType::int64: return "int64";
+    case BasicType::uint32: return "uint32";
+    case BasicType::uint64: return "uint64";
+    case BasicType::float_: return "float";
+    case BasicType::double_: return "double";
+    case BasicType::packed: return "packed";
+  }
+  return "?";
+}
+
+/// \brief Map a C++ arithmetic type to its BasicType tag at compile time.
+template <class T>
+constexpr BasicType basic_type_of() noexcept {
+  if constexpr (sizeof(T) == 1) return BasicType::byte_;
+  else if constexpr (std::is_same_v<T, float>) return BasicType::float_;
+  else if constexpr (std::is_same_v<T, double>) return BasicType::double_;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return BasicType::int32;
+  else if constexpr (std::is_same_v<T, std::uint32_t>) return BasicType::uint32;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return BasicType::int64;
+  else if constexpr (std::is_same_v<T, std::uint64_t>) return BasicType::uint64;
+  else return BasicType::byte_;
+}
+
+/// Completion information for a receive, mirroring MPI_Status.
+struct Status {
+  Rank source = any_source;
+  Tag tag = any_tag;
+  std::size_t count_bytes = 0;  ///< bytes of type data actually received
+
+  /// \brief MPI_Get_count for a given element size; returns element count.
+  [[nodiscard]] std::size_t count(std::size_t elem_size) const noexcept {
+    return elem_size == 0 ? 0 : count_bytes / elem_size;
+  }
+};
+
+}  // namespace minimpi

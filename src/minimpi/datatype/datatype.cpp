@@ -1,0 +1,572 @@
+#include "minimpi/datatype/datatype.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace minimpi {
+
+// ---------------------------------------------------------------------------
+// TypeSignature
+// ---------------------------------------------------------------------------
+
+void TypeSignature::append(BasicType t, std::size_t n) {
+  if (n == 0) return;
+  bytes_ += basic_size(t) * n;
+  per_basic_[static_cast<std::size_t>(t)] += n;
+  if (!exact_) return;
+  if (!runs_.empty() && runs_.back().first == t) {
+    runs_.back().second += n;
+  } else if (runs_.size() < max_runs) {
+    runs_.emplace_back(t, n);
+  } else {
+    exact_ = false;
+    runs_.clear();
+  }
+}
+
+void TypeSignature::append(const TypeSignature& other, std::size_t repeat) {
+  if (repeat == 0 || other.bytes_ == 0) return;
+  bytes_ += other.bytes_ * repeat;
+  for (std::size_t i = 0; i < 9; ++i)
+    per_basic_[i] += other.per_basic_[i] * repeat;
+  if (!exact_) return;
+  if (!other.exact_) {
+    exact_ = false;
+    runs_.clear();
+    return;
+  }
+  if (other.runs_.size() == 1) {
+    // Single homogeneous run: repetition collapses into one run.
+    auto [t, n] = other.runs_.front();
+    if (!runs_.empty() && runs_.back().first == t) {
+      runs_.back().second += n * repeat;
+    } else if (runs_.size() < max_runs) {
+      runs_.emplace_back(t, n * repeat);
+    } else {
+      exact_ = false;
+      runs_.clear();
+    }
+    return;
+  }
+  if (runs_.size() + other.runs_.size() * repeat > max_runs) {
+    exact_ = false;
+    runs_.clear();
+    return;
+  }
+  for (std::size_t r = 0; r < repeat; ++r) {
+    for (auto [t, n] : other.runs_) {
+      if (!runs_.empty() && runs_.back().first == t)
+        runs_.back().second += n;
+      else
+        runs_.emplace_back(t, n);
+    }
+  }
+}
+
+namespace {
+bool all_raw_bytes(const std::vector<std::pair<BasicType, std::size_t>>& runs) {
+  return std::all_of(runs.begin(), runs.end(), [](const auto& r) {
+    return r.first == BasicType::byte_ || r.first == BasicType::packed ||
+           r.first == BasicType::char_;
+  });
+}
+}  // namespace
+
+bool TypeSignature::accepts(const TypeSignature& send_sig) const {
+  if (send_sig.bytes_ == 0) return true;
+  if (bytes_ < send_sig.bytes_) return false;
+  // MPI_PACKED (and raw bytes) interoperate with any signature of the
+  // same byte length: packing erases type structure.
+  if ((exact_ && all_raw_bytes(runs_)) ||
+      (send_sig.exact_ && all_raw_bytes(send_sig.runs_))) {
+    return true;
+  }
+  if (exact_ && send_sig.exact_) {
+    // The receive signature must contain the send signature as a prefix
+    // (element-wise; a recv run may be split across send runs and vice
+    // versa).  Two-pointer walk over run-length forms.
+    std::size_t ri = 0, ravail = runs_.empty() ? 0 : runs_[0].second;
+    for (auto [st, sn] : send_sig.runs_) {
+      std::size_t need = sn;
+      while (need > 0) {
+        if (ri >= runs_.size()) return false;
+        if (ravail == 0) {
+          if (++ri >= runs_.size()) return false;
+          ravail = runs_[ri].second;
+        }
+        if (runs_[ri].first != st) return false;
+        const std::size_t take = std::min(need, ravail);
+        need -= take;
+        ravail -= take;
+      }
+    }
+    return true;
+  }
+  // Degraded mode: require element totals per basic type to fit.  Exact
+  // for homogeneous signatures; best-effort for the pathological rest.
+  for (std::size_t i = 0; i < 9; ++i)
+    if (per_basic_[i] < send_sig.per_basic_[i]) return false;
+  return true;
+}
+
+std::string TypeSignature::to_string() const {
+  std::ostringstream os;
+  if (!exact_) {
+    os << "~" << bytes_ << "B";
+    return os.str();
+  }
+  os << "[";
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (i) os << ",";
+    os << basic_name(runs_[i].first) << "x" << runs_[i].second;
+  }
+  os << "]";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Node construction helpers
+// ---------------------------------------------------------------------------
+
+namespace detail {
+namespace {
+
+/// Per-block geometry used while folding hindexed/struct nodes.
+struct BlockGeom {
+  std::ptrdiff_t displ;        // block start displacement (bytes)
+  std::size_t blocklen;        // children in the block
+  const TypeNode* child;
+};
+
+/// \brief Fold bounds, density and block statistics over a block list.
+///
+/// Shared by hindexed and struct finalization.  Detects runs of dense,
+/// address-adjacent blocks (typemap order == address order) so that e.g.
+/// an indexed type describing one contiguous range is recognized as a
+/// single block.
+void finalize_blocks(TypeNode& n, const std::vector<BlockGeom>& blocks) {
+  bool first = true;
+  bool dense_so_far = true;
+  std::ptrdiff_t expected_next = 0;  // address where the next dense byte must
+                                     // start for the whole type to stay dense
+  n.stats = {};
+  for (const auto& b : blocks) {
+    if (b.blocklen == 0 || b.child->size == 0) continue;
+    const auto& c = *b.child;
+    const std::ptrdiff_t ext = static_cast<std::ptrdiff_t>(c.extent());
+    const std::ptrdiff_t blk_lb = b.displ + c.lb;
+    const std::ptrdiff_t blk_ub =
+        b.displ + c.ub + static_cast<std::ptrdiff_t>(b.blocklen - 1) * ext;
+    const std::ptrdiff_t blk_tlb = b.displ + c.true_lb;
+    const std::ptrdiff_t blk_tub =
+        b.displ + c.true_ub + static_cast<std::ptrdiff_t>(b.blocklen - 1) * ext;
+    if (first) {
+      n.lb = blk_lb;
+      n.ub = blk_ub;
+      n.true_lb = blk_tlb;
+      n.true_ub = blk_tub;
+    } else {
+      n.lb = std::min(n.lb, blk_lb);
+      n.ub = std::max(n.ub, blk_ub);
+      n.true_lb = std::min(n.true_lb, blk_tlb);
+      n.true_ub = std::max(n.true_ub, blk_tub);
+    }
+    // Density: every child dense, children within the block adjacent,
+    // and the block starting right where the previous data ended.
+    const bool block_internally_dense =
+        c.single_block &&
+        (b.blocklen <= 1 || ext == static_cast<std::ptrdiff_t>(c.size));
+    if (dense_so_far) {
+      if (!block_internally_dense || (!first && blk_tlb != expected_next)) {
+        dense_so_far = false;
+      } else {
+        expected_next = blk_tlb + static_cast<std::ptrdiff_t>(
+                                      b.blocklen * c.size);
+      }
+    }
+    // Statistics: merged dense blocks counted exactly when the whole
+    // type stays dense; otherwise per-block accounting.
+    const std::size_t block_bytes = b.blocklen * c.size;
+    if (block_internally_dense) {
+      n.stats.block_count += 1;
+      n.stats.min_block = first ? block_bytes
+                                : std::min(n.stats.min_block, block_bytes);
+      n.stats.max_block = std::max(n.stats.max_block, block_bytes);
+    } else {
+      n.stats.block_count += b.blocklen * c.stats.block_count;
+      n.stats.min_block =
+          first ? c.stats.min_block : std::min(n.stats.min_block,
+                                               c.stats.min_block);
+      n.stats.max_block = std::max(n.stats.max_block, c.stats.max_block);
+    }
+    n.stats.total_bytes += block_bytes;
+    first = false;
+  }
+  if (first) {  // no non-empty blocks
+    n.lb = n.ub = n.true_lb = n.true_ub = 0;
+    n.single_block = true;
+    n.stats = {};
+    return;
+  }
+  n.single_block = dense_so_far;
+  if (n.single_block) {
+    n.stats.block_count = 1;
+    n.stats.min_block = n.stats.max_block = n.stats.total_bytes;
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Datatype factories
+// ---------------------------------------------------------------------------
+
+using detail::NodeKind;
+using detail::NodePtr;
+using detail::TypeNode;
+
+Datatype Datatype::basic(BasicType t) {
+  auto n = std::make_shared<TypeNode>();
+  n->kind = NodeKind::basic;
+  n->basic = t;
+  n->size = basic_size(t);
+  n->lb = n->true_lb = 0;
+  n->ub = n->true_ub = static_cast<std::ptrdiff_t>(n->size);
+  n->single_block = true;
+  n->stats = {1, n->size, n->size, n->size};
+  n->sig.append(t, 1);
+  Datatype d{NodePtr(std::move(n))};
+  d.committed_ = true;  // predefined types are pre-committed, as in MPI
+  return d;
+}
+
+Datatype Datatype::contiguous(std::size_t count, const Datatype& old) {
+  const TypeNode& c = old.node();
+  auto n = std::make_shared<TypeNode>();
+  n->kind = NodeKind::contiguous;
+  n->count = count;
+  n->child = old.node_;
+  n->depth = c.depth + 1;
+  n->size = count * c.size;
+  if (count == 0 || c.size == 0) {
+    n->lb = n->ub = n->true_lb = n->true_ub = 0;
+    n->single_block = true;
+    n->sig.append(c.sig, count);
+    return Datatype{NodePtr(std::move(n))};
+  }
+  const auto ext = static_cast<std::ptrdiff_t>(c.extent());
+  n->lb = c.lb;
+  n->ub = c.ub + static_cast<std::ptrdiff_t>(count - 1) * ext;
+  n->true_lb = c.true_lb;
+  n->true_ub = c.true_ub + static_cast<std::ptrdiff_t>(count - 1) * ext;
+  n->single_block =
+      c.single_block &&
+      (count <= 1 || ext == static_cast<std::ptrdiff_t>(c.size));
+  if (n->single_block) {
+    n->stats = {1, n->size, n->size, n->size};
+  } else {
+    n->stats = {count * c.stats.block_count, n->size, c.stats.min_block,
+                c.stats.max_block};
+  }
+  n->sig.append(c.sig, count);
+  return Datatype{NodePtr(std::move(n))};
+}
+
+Datatype Datatype::hvector(std::size_t count, std::size_t blocklen,
+                           std::ptrdiff_t stride_bytes, const Datatype& old) {
+  const TypeNode& c = old.node();
+  auto n = std::make_shared<TypeNode>();
+  n->kind = NodeKind::hvector;
+  n->count = count;
+  n->blocklen = blocklen;
+  n->stride_bytes = stride_bytes;
+  n->child = old.node_;
+  n->depth = c.depth + 1;
+  n->size = count * blocklen * c.size;
+  n->sig.append(c.sig, count * blocklen);
+  if (count == 0 || blocklen == 0 || c.size == 0) {
+    n->lb = n->ub = n->true_lb = n->true_ub = 0;
+    n->single_block = true;
+    return Datatype{NodePtr(std::move(n))};
+  }
+  const auto ext = static_cast<std::ptrdiff_t>(c.extent());
+  // Geometry of one block (blocklen children, child-extent spacing).
+  const std::ptrdiff_t blk_lb = c.lb;
+  const std::ptrdiff_t blk_ub =
+      c.ub + static_cast<std::ptrdiff_t>(blocklen - 1) * ext;
+  const std::ptrdiff_t blk_tlb = c.true_lb;
+  const std::ptrdiff_t blk_tub =
+      c.true_ub + static_cast<std::ptrdiff_t>(blocklen - 1) * ext;
+  const std::ptrdiff_t last = static_cast<std::ptrdiff_t>(count - 1) * stride_bytes;
+  n->lb = std::min(blk_lb, blk_lb + last);
+  n->ub = std::max(blk_ub, blk_ub + last);
+  n->true_lb = std::min(blk_tlb, blk_tlb + last);
+  n->true_ub = std::max(blk_tub, blk_tub + last);
+  const std::size_t blk_bytes = blocklen * c.size;
+  const bool blk_dense =
+      c.single_block &&
+      (blocklen <= 1 || ext == static_cast<std::ptrdiff_t>(c.size));
+  // Dense overall requires positive stride equal to the dense block size
+  // so typemap order coincides with ascending addresses.
+  n->single_block =
+      blk_dense && (count <= 1 ||
+                    stride_bytes == static_cast<std::ptrdiff_t>(blk_bytes));
+  if (n->single_block) {
+    n->stats = {1, n->size, n->size, n->size};
+  } else if (blk_dense) {
+    n->stats = {count, n->size, blk_bytes, blk_bytes};
+  } else {
+    n->stats = {count * blocklen * c.stats.block_count, n->size,
+                c.stats.min_block, c.stats.max_block};
+  }
+  return Datatype{NodePtr(std::move(n))};
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t blocklen,
+                          std::ptrdiff_t stride, const Datatype& old) {
+  return hvector(count, blocklen,
+                 stride * static_cast<std::ptrdiff_t>(old.extent()), old);
+}
+
+Datatype Datatype::hindexed(std::span<const std::size_t> blocklens,
+                            std::span<const std::ptrdiff_t> displs_bytes,
+                            const Datatype& old) {
+  require(blocklens.size() == displs_bytes.size(), ErrorClass::invalid_arg,
+          "hindexed: blocklens/displs length mismatch");
+  const TypeNode& c = old.node();
+  auto n = std::make_shared<TypeNode>();
+  n->kind = NodeKind::hindexed;
+  n->blocklens.assign(blocklens.begin(), blocklens.end());
+  n->displs_bytes.assign(displs_bytes.begin(), displs_bytes.end());
+  n->child = old.node_;
+  n->depth = c.depth + 1;
+  std::size_t total = std::accumulate(blocklens.begin(), blocklens.end(),
+                                      std::size_t{0});
+  n->size = total * c.size;
+  n->sig.append(c.sig, total);
+  std::vector<detail::BlockGeom> blocks;
+  blocks.reserve(blocklens.size());
+  for (std::size_t j = 0; j < blocklens.size(); ++j)
+    blocks.push_back({displs_bytes[j], blocklens[j], &c});
+  detail::finalize_blocks(*n, blocks);
+  return Datatype{NodePtr(std::move(n))};
+}
+
+Datatype Datatype::indexed(std::span<const std::size_t> blocklens,
+                           std::span<const std::ptrdiff_t> displs,
+                           const Datatype& old) {
+  const auto ext = static_cast<std::ptrdiff_t>(old.extent());
+  std::vector<std::ptrdiff_t> displs_bytes(displs.size());
+  for (std::size_t i = 0; i < displs.size(); ++i)
+    displs_bytes[i] = displs[i] * ext;
+  return hindexed(blocklens, displs_bytes, old);
+}
+
+Datatype Datatype::indexed_block(std::size_t blocklen,
+                                 std::span<const std::ptrdiff_t> displs,
+                                 const Datatype& old) {
+  std::vector<std::size_t> blocklens(displs.size(), blocklen);
+  return indexed(blocklens, displs, old);
+}
+
+Datatype Datatype::subarray(std::span<const std::size_t> sizes,
+                            std::span<const std::size_t> subsizes,
+                            std::span<const std::size_t> starts,
+                            const Datatype& old, StorageOrder order) {
+  const std::size_t ndims = sizes.size();
+  require(ndims > 0, ErrorClass::invalid_arg, "subarray: ndims == 0");
+  require(subsizes.size() == ndims && starts.size() == ndims,
+          ErrorClass::invalid_arg, "subarray: dimension count mismatch");
+  for (std::size_t d = 0; d < ndims; ++d) {
+    require(subsizes[d] >= 1 && subsizes[d] <= sizes[d] &&
+                starts[d] + subsizes[d] <= sizes[d],
+            ErrorClass::invalid_arg, "subarray: sub-block out of range");
+  }
+  // Normalize to C order (slowest dimension first).
+  std::vector<std::size_t> sz(sizes.begin(), sizes.end());
+  std::vector<std::size_t> ssz(subsizes.begin(), subsizes.end());
+  std::vector<std::size_t> st(starts.begin(), starts.end());
+  if (order == StorageOrder::fortran) {
+    std::reverse(sz.begin(), sz.end());
+    std::reverse(ssz.begin(), ssz.end());
+    std::reverse(st.begin(), st.end());
+  }
+  const auto old_ext = static_cast<std::ptrdiff_t>(old.extent());
+  // Row pitches: bytes per index step in each dimension.
+  std::vector<std::ptrdiff_t> pitch(ndims);
+  pitch[ndims - 1] = old_ext;
+  for (std::size_t d = ndims - 1; d-- > 0;)
+    pitch[d] = pitch[d + 1] * static_cast<std::ptrdiff_t>(sz[d + 1]);
+  // Build nested vectors, innermost dimension first.
+  Datatype t = contiguous(ssz[ndims - 1], old);
+  for (std::size_t d = ndims - 1; d-- > 0;)
+    t = hvector(ssz[d], 1, pitch[d], t);
+  // Fold the start offsets in, then resize to the full-array footprint so
+  // consecutive subarray elements tile the enclosing array (MPI semantics).
+  std::ptrdiff_t offset = 0;
+  for (std::size_t d = 0; d < ndims; ++d)
+    offset += static_cast<std::ptrdiff_t>(st[d]) * pitch[d];
+  const std::size_t blocklens1[] = {1};
+  const std::ptrdiff_t displs1[] = {offset};
+  t = hindexed(blocklens1, displs1, t);
+  const std::size_t full_extent =
+      static_cast<std::size_t>(pitch[0]) * sz[0];
+  return resized(t, 0, full_extent);
+}
+
+Datatype Datatype::struct_(std::span<const std::size_t> blocklens,
+                           std::span<const std::ptrdiff_t> displs_bytes,
+                           std::span<const Datatype> types) {
+  require(blocklens.size() == displs_bytes.size() &&
+              blocklens.size() == types.size(),
+          ErrorClass::invalid_arg, "struct: array length mismatch");
+  auto n = std::make_shared<TypeNode>();
+  n->kind = NodeKind::struct_;
+  n->blocklens.assign(blocklens.begin(), blocklens.end());
+  n->displs_bytes.assign(displs_bytes.begin(), displs_bytes.end());
+  n->children.reserve(types.size());
+  std::vector<detail::BlockGeom> blocks;
+  blocks.reserve(types.size());
+  n->size = 0;
+  for (std::size_t j = 0; j < types.size(); ++j) {
+    const TypeNode& c = types[j].node();
+    n->children.push_back(types[j].node_);
+    n->depth = std::max(n->depth, c.depth + 1);
+    n->size += blocklens[j] * c.size;
+    n->sig.append(c.sig, blocklens[j]);
+    blocks.push_back({displs_bytes[j], blocklens[j], &c});
+  }
+  detail::finalize_blocks(*n, blocks);
+  return Datatype{NodePtr(std::move(n))};
+}
+
+Datatype Datatype::resized(const Datatype& old, std::ptrdiff_t lb,
+                           std::size_t extent) {
+  const TypeNode& c = old.node();
+  auto n = std::make_shared<TypeNode>();
+  n->kind = NodeKind::resized;
+  n->child = old.node_;
+  n->depth = c.depth + 1;
+  n->size = c.size;
+  n->lb = lb;
+  n->ub = lb + static_cast<std::ptrdiff_t>(extent);
+  n->true_lb = c.true_lb;
+  n->true_ub = c.true_ub;
+  n->single_block = c.single_block;
+  n->stats = c.stats;
+  n->sig = c.sig;
+  return Datatype{NodePtr(std::move(n))};
+}
+
+Datatype Datatype::dup() const {
+  Datatype d{node_};
+  d.committed_ = committed_;
+  return d;
+}
+
+Datatype& Datatype::commit() {
+  require(valid(), ErrorClass::invalid_type, "commit of invalid datatype");
+  committed_ = true;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+std::size_t Datatype::size() const { return node().size; }
+std::ptrdiff_t Datatype::lb() const { return node().lb; }
+std::ptrdiff_t Datatype::ub() const { return node().ub; }
+std::size_t Datatype::extent() const { return node().extent(); }
+std::ptrdiff_t Datatype::true_lb() const { return node().true_lb; }
+std::size_t Datatype::true_extent() const { return node().true_extent(); }
+bool Datatype::is_single_block() const { return node().single_block; }
+const BlockStats& Datatype::block_stats() const { return node().stats; }
+const TypeSignature& Datatype::signature() const { return node().sig; }
+
+namespace {
+void describe_node(const TypeNode& n, std::ostringstream& os, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (n.kind) {
+    case NodeKind::basic:
+      os << basic_name(n.basic) << "\n";
+      return;
+    case NodeKind::contiguous:
+      os << "contiguous(count=" << n.count << ")\n";
+      break;
+    case NodeKind::hvector:
+      os << "hvector(count=" << n.count << ", blocklen=" << n.blocklen
+         << ", stride=" << n.stride_bytes << "B)\n";
+      break;
+    case NodeKind::hindexed:
+      os << "hindexed(blocks=" << n.blocklens.size() << ")\n";
+      break;
+    case NodeKind::struct_:
+      os << "struct(blocks=" << n.blocklens.size() << ")\n";
+      for (const auto& c : n.children) describe_node(*c, os, indent + 1);
+      return;
+    case NodeKind::resized:
+      os << "resized(lb=" << n.lb << ", extent=" << n.extent() << ")\n";
+      break;
+  }
+  if (n.child) describe_node(*n.child, os, indent + 1);
+}
+}  // namespace
+
+TypeEnvelope Datatype::envelope() const {
+  const TypeNode& n = node();
+  TypeEnvelope e;
+  e.depth = n.depth;
+  switch (n.kind) {
+    case NodeKind::basic:
+      e.combiner = TypeCombiner::named;
+      e.basic = n.basic;
+      break;
+    case NodeKind::contiguous:
+      e.combiner = TypeCombiner::contiguous;
+      e.count = n.count;
+      break;
+    case NodeKind::hvector:
+      e.combiner = TypeCombiner::hvector;
+      e.count = n.count;
+      e.blocklen = n.blocklen;
+      e.stride_bytes = n.stride_bytes;
+      break;
+    case NodeKind::hindexed:
+      e.combiner = TypeCombiner::hindexed;
+      e.nblocks = n.blocklens.size();
+      break;
+    case NodeKind::struct_:
+      e.combiner = TypeCombiner::struct_;
+      e.nblocks = n.blocklens.size();
+      break;
+    case NodeKind::resized:
+      e.combiner = TypeCombiner::resized;
+      break;
+  }
+  return e;
+}
+
+Datatype Datatype::child() const {
+  const TypeNode& n = node();
+  NodePtr c = n.child ? n.child
+                      : (n.children.empty() ? nullptr : n.children.front());
+  if (!c) return Datatype{};
+  Datatype d{std::move(c)};
+  if (d.node_->kind == NodeKind::basic) d.committed_ = true;  // predefined
+  return d;
+}
+
+std::string Datatype::describe() const {
+  std::ostringstream os;
+  const TypeNode& n = node();
+  os << "datatype{size=" << n.size << "B, extent=" << n.extent()
+     << "B, blocks=" << n.stats.block_count << "}\n";
+  describe_node(n, os, 1);
+  return os.str();
+}
+
+}  // namespace minimpi

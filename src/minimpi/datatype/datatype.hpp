@@ -1,0 +1,240 @@
+#pragma once
+/// \file datatype.hpp
+/// \brief MPI derived-datatype engine: construction and geometry.
+///
+/// A `Datatype` describes where the bytes of a (possibly non-contiguous)
+/// message live relative to a base address, exactly like MPI derived
+/// datatypes.  Types are immutable trees of `detail::TypeNode`s; the
+/// public constructors mirror the MPI type-constructor family the paper
+/// exercises (`MPI_Type_vector`, `MPI_Type_create_subarray`, ...) plus
+/// the rest of the standard family so the engine is complete enough for
+/// downstream use (indexed, hindexed, indexed_block, struct, resized).
+///
+/// Geometry vocabulary (all byte-valued, MPI semantics):
+///   * size          — number of data bytes in one element of the type
+///   * lb / ub       — lower/upper bound markers; extent = ub - lb
+///   * true_lb/ub    — bounds of the actual data, ignoring resizing
+///   * contiguous    — the data bytes form one dense range
+///
+/// Types must be `commit()`ed before use in communication, matching MPI.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "minimpi/base/error.hpp"
+#include "minimpi/base/types.hpp"
+
+namespace minimpi {
+
+/// Array storage order for subarray types (MPI_ORDER_C / MPI_ORDER_FORTRAN).
+enum class StorageOrder { c, fortran };
+
+/// \brief Aggregate block statistics of a type's flattened layout.
+///
+/// Computed analytically (no block enumeration), these drive the cost
+/// model: a layout with many short blocks packs slower than one long
+/// block of the same total size (§4.7 of the paper).
+struct BlockStats {
+  std::size_t block_count = 0;   ///< contiguous blocks after merging
+  std::size_t total_bytes = 0;   ///< sum of block lengths (== size * count)
+  std::size_t min_block = 0;     ///< shortest block, bytes
+  std::size_t max_block = 0;     ///< longest block, bytes
+};
+
+/// \brief Run-length-compressed type signature used for matching checks.
+///
+/// MPI requires send/recv *signatures* (the flattened sequence of basic
+/// types) to be compatible.  We keep an exact run-length form while it
+/// stays small and degrade to per-basic-type totals for pathological
+/// alternating signatures; the degraded check is still exact for the
+/// homogeneous types used in practice (and in this study).
+class TypeSignature {
+ public:
+  void append(BasicType t, std::size_t n);
+  void append(const TypeSignature& other, std::size_t repeat);
+
+  /// \brief True if `recv_sig` can legally receive a message with this
+  /// (send) signature: recv must start with send's sequence.
+  [[nodiscard]] bool accepts(const TypeSignature& send_sig) const;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool exact() const noexcept { return exact_; }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static constexpr std::size_t max_runs = 1024;
+  std::vector<std::pair<BasicType, std::size_t>> runs_;
+  std::size_t per_basic_[9] = {};  ///< element totals per BasicType
+  std::size_t bytes_ = 0;
+  bool exact_ = true;  ///< runs_ is the full signature (not truncated)
+};
+
+namespace detail {
+class TypeNode;
+using NodePtr = std::shared_ptr<const TypeNode>;
+}  // namespace detail
+
+/// What constructor produced a datatype (MPI_Type_get_envelope's
+/// "combiner", reduced to minimpi's normalized node kinds).
+enum class TypeCombiner : std::uint8_t {
+  named,       ///< predefined basic type
+  contiguous,
+  hvector,     ///< vector / hvector / subarray rows lower onto this
+  hindexed,    ///< indexed / indexed_block / hindexed lower onto this
+  struct_,
+  resized,
+};
+
+/// \brief Construction parameters of a datatype's top-level node
+/// (the MPI_Type_get_envelope / get_contents analogue).
+struct TypeEnvelope {
+  TypeCombiner combiner = TypeCombiner::named;
+  BasicType basic = BasicType::byte_;      ///< combiner == named
+  std::size_t count = 0;                   ///< contiguous / hvector
+  std::size_t blocklen = 0;                ///< hvector
+  std::ptrdiff_t stride_bytes = 0;         ///< hvector
+  std::size_t nblocks = 0;                 ///< hindexed / struct
+  int depth = 1;                           ///< nesting depth of the tree
+};
+
+/// \brief Handle to an immutable datatype description.
+///
+/// Cheap to copy (shared ownership of the node tree).  A default-
+/// constructed Datatype is invalid; use the factories.
+class Datatype {
+ public:
+  Datatype() = default;
+
+  // --- predefined types -------------------------------------------------
+  static Datatype basic(BasicType t);
+  static Datatype byte() { return basic(BasicType::byte_); }
+  static Datatype int32() { return basic(BasicType::int32); }
+  static Datatype int64() { return basic(BasicType::int64); }
+  static Datatype float32() { return basic(BasicType::float_); }
+  static Datatype float64() { return basic(BasicType::double_); }
+  static Datatype packed() { return basic(BasicType::packed); }
+
+  // --- constructors (MPI_Type_* family) ----------------------------------
+  /// MPI_Type_contiguous
+  static Datatype contiguous(std::size_t count, const Datatype& old);
+  /// MPI_Type_vector: stride counted in elements of `old`
+  static Datatype vector(std::size_t count, std::size_t blocklen,
+                         std::ptrdiff_t stride, const Datatype& old);
+  /// MPI_Type_create_hvector: stride counted in bytes
+  static Datatype hvector(std::size_t count, std::size_t blocklen,
+                          std::ptrdiff_t stride_bytes, const Datatype& old);
+  /// MPI_Type_indexed: displacements in elements of `old`
+  static Datatype indexed(std::span<const std::size_t> blocklens,
+                          std::span<const std::ptrdiff_t> displs,
+                          const Datatype& old);
+  /// MPI_Type_create_hindexed: displacements in bytes
+  static Datatype hindexed(std::span<const std::size_t> blocklens,
+                           std::span<const std::ptrdiff_t> displs_bytes,
+                           const Datatype& old);
+  /// MPI_Type_create_indexed_block
+  static Datatype indexed_block(std::size_t blocklen,
+                                std::span<const std::ptrdiff_t> displs,
+                                const Datatype& old);
+  /// MPI_Type_create_subarray
+  static Datatype subarray(std::span<const std::size_t> sizes,
+                           std::span<const std::size_t> subsizes,
+                           std::span<const std::size_t> starts,
+                           const Datatype& old,
+                           StorageOrder order = StorageOrder::c);
+  /// MPI_Type_create_struct
+  static Datatype struct_(std::span<const std::size_t> blocklens,
+                          std::span<const std::ptrdiff_t> displs_bytes,
+                          std::span<const Datatype> types);
+  /// MPI_Type_create_resized
+  static Datatype resized(const Datatype& old, std::ptrdiff_t lb,
+                          std::size_t extent);
+  /// MPI_Type_dup
+  [[nodiscard]] Datatype dup() const;
+
+  // --- lifecycle ----------------------------------------------------------
+  /// \brief Mark ready for communication (MPI_Type_commit).
+  Datatype& commit();
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+  [[nodiscard]] bool valid() const noexcept { return node_ != nullptr; }
+
+  // --- geometry -----------------------------------------------------------
+  [[nodiscard]] std::size_t size() const;          ///< MPI_Type_size
+  [[nodiscard]] std::ptrdiff_t lb() const;         ///< MPI_Type_get_extent
+  [[nodiscard]] std::ptrdiff_t ub() const;
+  [[nodiscard]] std::size_t extent() const;
+  [[nodiscard]] std::ptrdiff_t true_lb() const;    ///< MPI_Type_get_true_extent
+  [[nodiscard]] std::size_t true_extent() const;
+  /// \brief Data bytes form a single dense range.
+  [[nodiscard]] bool is_single_block() const;
+  [[nodiscard]] const BlockStats& block_stats() const;
+  [[nodiscard]] const TypeSignature& signature() const;
+  [[nodiscard]] std::string describe() const;      ///< human-readable tree
+  /// \brief Top-level construction parameters (introspection).
+  [[nodiscard]] TypeEnvelope envelope() const;
+  /// \brief The datatype this one was built from (invalid for basics;
+  /// the first child for structs).
+  [[nodiscard]] Datatype child() const;
+
+  [[nodiscard]] const detail::TypeNode& node() const {
+    require(valid(), ErrorClass::invalid_type, "use of invalid datatype");
+    return *node_;
+  }
+
+  friend bool operator==(const Datatype& a, const Datatype& b) noexcept {
+    return a.node_ == b.node_;
+  }
+
+ private:
+  explicit Datatype(detail::NodePtr n) : node_(std::move(n)) {}
+  detail::NodePtr node_;
+  bool committed_ = false;
+};
+
+namespace detail {
+
+/// Internal node kinds; the public sugar constructors lower onto these.
+enum class NodeKind : std::uint8_t {
+  basic,
+  contiguous,   ///< count x child at child-extent spacing
+  hvector,      ///< count blocks of blocklen children, byte stride
+  hindexed,     ///< blocks of children at byte displacements
+  struct_,      ///< heterogeneous blocks
+  resized,      ///< child with overridden lb/extent
+};
+
+/// \brief Immutable datatype tree node with eagerly computed geometry.
+class TypeNode {
+ public:
+  NodeKind kind;
+  BasicType basic = BasicType::byte_;  // kind == basic
+
+  std::size_t count = 0;      // contiguous / hvector
+  std::size_t blocklen = 0;   // hvector
+  std::ptrdiff_t stride_bytes = 0;  // hvector
+  std::vector<std::size_t> blocklens;        // hindexed / struct
+  std::vector<std::ptrdiff_t> displs_bytes;  // hindexed / struct
+  NodePtr child;                             // all but basic/struct
+  std::vector<NodePtr> children;             // struct
+
+  // cached geometry
+  std::size_t size = 0;
+  std::ptrdiff_t lb = 0, ub = 0;
+  std::ptrdiff_t true_lb = 0, true_ub = 0;
+  bool single_block = false;  ///< all data bytes dense
+  BlockStats stats;
+  TypeSignature sig;
+  int depth = 1;  ///< tree depth, for diagnostics / cost model
+
+  [[nodiscard]] std::size_t extent() const noexcept {
+    return static_cast<std::size_t>(ub - lb);
+  }
+  [[nodiscard]] std::size_t true_extent() const noexcept {
+    return static_cast<std::size_t>(true_ub - true_lb);
+  }
+};
+
+}  // namespace detail
+}  // namespace minimpi

@@ -1,0 +1,235 @@
+#include "minimpi/datatype/pack.hpp"
+
+#include <optional>
+
+namespace minimpi {
+namespace {
+
+/// memcpy with the common tiny block sizes dispatched to constant-size
+/// copies the compiler fully inlines.  A stride-1 vector of doubles
+/// produces one 8-byte block per element; without this the engine makes
+/// a libc memcpy call per element and runs several times slower than a
+/// hand-written gather loop — with it, it matches (the paper's §4.3
+/// observation for vendor pack engines, reproduced for ours by
+/// bench/micro_pack_engine).
+inline void copy_block(std::byte* dst, const std::byte* src,
+                       std::size_t n) {
+  switch (n) {
+    case 4: std::memcpy(dst, src, 4); return;
+    case 8: std::memcpy(dst, src, 8); return;
+    case 16: std::memcpy(dst, src, 16); return;
+    case 32: std::memcpy(dst, src, 32); return;
+    case 64: std::memcpy(dst, src, 64); return;
+    default: std::memcpy(dst, src, n); return;
+  }
+}
+
+/// A message expressible as `count` equally-spaced 8-byte blocks.
+struct Strided8 {
+  std::ptrdiff_t first;        ///< byte offset of block 0
+  std::ptrdiff_t step_elems;   ///< spacing in doubles
+  std::size_t count;           ///< number of blocks
+};
+
+/// \brief Detect the study's canonical pattern — a (possibly resized)
+/// hvector of dense 8-byte blocks with 8-byte-aligned stride — so the
+/// gather/scatter hot loops can use a specialized strided kernel instead
+/// of the generic per-block walker.  This is the dataloop-style
+/// optimization every serious MPI pack engine has; without it a generic
+/// engine runs several times slower than a hand-written loop (the exact
+/// deficit paper §4.3 says vendor engines do *not* have).
+std::optional<Strided8> as_strided8(const detail::TypeNode& n) {
+  const detail::TypeNode* p = &n;
+  while (p->kind == detail::NodeKind::resized) p = p->child.get();
+  if (p->kind != detail::NodeKind::hvector) return std::nullopt;
+  const detail::TypeNode& c = *p->child;
+  const bool dense_block =
+      c.single_block &&
+      (p->blocklen <= 1 ||
+       static_cast<std::ptrdiff_t>(c.extent()) ==
+           static_cast<std::ptrdiff_t>(c.size));
+  if (!dense_block || p->blocklen * c.size != 8) return std::nullopt;
+  if (p->stride_bytes % 8 != 0) return std::nullopt;
+  return Strided8{c.true_lb, p->stride_bytes / 8, p->count};
+}
+
+void strided8_gather(const std::byte* src, const Strided8& s, std::byte* dst) {
+  const auto* in = reinterpret_cast<const double*>(src + s.first);
+  auto* out = reinterpret_cast<double*>(dst);
+  const std::ptrdiff_t step = s.step_elems;
+  for (std::size_t i = 0; i < s.count; ++i)
+    out[i] = in[static_cast<std::ptrdiff_t>(i) * step];
+}
+
+void strided8_scatter(const std::byte* src, const Strided8& s, std::byte* dst) {
+  const auto* in = reinterpret_cast<const double*>(src);
+  auto* out = reinterpret_cast<double*>(dst + s.first);
+  const std::ptrdiff_t step = s.step_elems;
+  for (std::size_t i = 0; i < s.count; ++i)
+    out[static_cast<std::ptrdiff_t>(i) * step] = in[i];
+}
+
+}  // namespace
+
+void pack(const void* inbuf, std::size_t incount, const Datatype& t,
+          void* outbuf, std::size_t outsize, std::size_t& position) {
+  require(t.committed(), ErrorClass::invalid_type,
+          "pack: datatype not committed");
+  const std::size_t need = pack_size(incount, t);
+  require(position + need <= outsize, ErrorClass::truncate,
+          "pack: output buffer too small");
+  if (inbuf == nullptr || outbuf == nullptr) {  // phantom dry run
+    position += need;
+    return;
+  }
+  const auto* src = static_cast<const std::byte*>(inbuf);
+  auto* dst = static_cast<std::byte*>(outbuf) + position;
+  if (const auto s8 = as_strided8(t.node())) {
+    const auto ext = static_cast<std::ptrdiff_t>(t.extent());
+    for (std::size_t e = 0; e < incount; ++e)
+      strided8_gather(src + static_cast<std::ptrdiff_t>(e) * ext, *s8,
+                      dst + e * t.size());
+    position += need;
+    return;
+  }
+  for_each_block(t, incount, [&](std::ptrdiff_t off, std::size_t n) {
+    copy_block(dst, src + off, n);
+    dst += n;
+  });
+  position += need;
+}
+
+void unpack(const void* inbuf, std::size_t insize, std::size_t& position,
+            void* outbuf, std::size_t outcount, const Datatype& t) {
+  require(t.committed(), ErrorClass::invalid_type,
+          "unpack: datatype not committed");
+  const std::size_t need = pack_size(outcount, t);
+  require(position + need <= insize, ErrorClass::truncate,
+          "unpack: input exhausted");
+  if (inbuf == nullptr || outbuf == nullptr) {  // phantom dry run
+    position += need;
+    return;
+  }
+  const auto* src = static_cast<const std::byte*>(inbuf) + position;
+  auto* dst = static_cast<std::byte*>(outbuf);
+  if (const auto s8 = as_strided8(t.node())) {
+    const auto ext = static_cast<std::ptrdiff_t>(t.extent());
+    for (std::size_t e = 0; e < outcount; ++e)
+      strided8_scatter(src + e * t.size(), *s8,
+                       dst + static_cast<std::ptrdiff_t>(e) * ext);
+    position += need;
+    return;
+  }
+  for_each_block(t, outcount, [&](std::ptrdiff_t off, std::size_t n) {
+    copy_block(dst + off, src, n);
+    src += n;
+  });
+  position += need;
+}
+
+std::size_t pack_region(const void* inbuf, std::size_t count,
+                        const Datatype& t, std::size_t stream_offset,
+                        void* outbuf, std::size_t max_bytes) {
+  require(t.committed(), ErrorClass::invalid_type,
+          "pack_region: datatype not committed");
+  const std::size_t total = pack_size(count, t);
+  if (stream_offset >= total || max_bytes == 0) return 0;
+  const std::size_t want = std::min(max_bytes, total - stream_offset);
+  if (inbuf == nullptr || outbuf == nullptr) return want;  // dry run
+
+  const auto* src = static_cast<const std::byte*>(inbuf);
+  auto* dst = static_cast<std::byte*>(outbuf);
+  std::size_t cursor = 0;    // position in the packed stream
+  std::size_t produced = 0;  // bytes written to outbuf
+  const std::size_t region_end = stream_offset + want;
+  for_each_block(t, count, [&](std::ptrdiff_t off, std::size_t n) {
+    if (produced == want || cursor + n <= stream_offset) {
+      cursor += n;
+      return;  // block entirely before the region (or region done)
+    }
+    if (cursor >= region_end) {
+      cursor += n;
+      return;
+    }
+    // Clip the block to the region.
+    const std::size_t skip =
+        cursor < stream_offset ? stream_offset - cursor : 0;
+    const std::size_t take =
+        std::min(n - skip, region_end - std::max(cursor, stream_offset));
+    std::memcpy(dst + produced, src + off + skip, take);
+    produced += take;
+    cursor += n;
+  });
+  return produced;
+}
+
+void gather(const void* src, std::size_t count, const Datatype& t,
+            void* dst) {
+  if (src == nullptr || dst == nullptr) return;
+  auto* out = static_cast<std::byte*>(dst);
+  const auto* in = static_cast<const std::byte*>(src);
+  if (const auto s8 = as_strided8(t.node())) {
+    const auto ext = static_cast<std::ptrdiff_t>(t.extent());
+    for (std::size_t e = 0; e < count; ++e)
+      strided8_gather(in + static_cast<std::ptrdiff_t>(e) * ext, *s8,
+                      out + e * t.size());
+    return;
+  }
+  for_each_block(t, count, [&](std::ptrdiff_t off, std::size_t n) {
+    copy_block(out, in + off, n);
+    out += n;
+  });
+}
+
+void scatter(const void* src, void* dst, std::size_t count,
+             const Datatype& t) {
+  if (src == nullptr || dst == nullptr) return;
+  const auto* in = static_cast<const std::byte*>(src);
+  auto* out = static_cast<std::byte*>(dst);
+  if (const auto s8 = as_strided8(t.node())) {
+    const auto ext = static_cast<std::ptrdiff_t>(t.extent());
+    for (std::size_t e = 0; e < count; ++e)
+      strided8_scatter(in + e * t.size(), *s8,
+                       out + static_cast<std::ptrdiff_t>(e) * ext);
+    return;
+  }
+  for_each_block(t, count, [&](std::ptrdiff_t off, std::size_t n) {
+    copy_block(out + off, in, n);
+    in += n;
+  });
+}
+
+void typed_copy(void* dst, const void* src, std::size_t count,
+                const Datatype& t) {
+  if (dst == nullptr || src == nullptr) return;
+  auto* out = static_cast<std::byte*>(dst);
+  const auto* in = static_cast<const std::byte*>(src);
+  for_each_block(t, count, [&](std::ptrdiff_t off, std::size_t n) {
+    copy_block(out + off, in + off, n);
+  });
+}
+
+std::vector<FlatBlock> flatten(const Datatype& t, std::size_t count,
+                               std::size_t max_blocks) {
+  std::vector<FlatBlock> blocks;
+  for_each_block(t, count, [&](std::ptrdiff_t off, std::size_t n) {
+    require(blocks.size() < max_blocks, ErrorClass::invalid_arg,
+            "flatten: block list exceeds max_blocks");
+    blocks.push_back({off, n});
+  });
+  return blocks;
+}
+
+bool typed_equal(const void* a, const void* b, std::size_t count,
+                 const Datatype& t) {
+  if (a == nullptr || b == nullptr) return a == b;
+  const auto* pa = static_cast<const std::byte*>(a);
+  const auto* pb = static_cast<const std::byte*>(b);
+  bool equal = true;
+  for_each_block(t, count, [&](std::ptrdiff_t off, std::size_t n) {
+    if (equal && std::memcmp(pa + off, pb + off, n) != 0) equal = false;
+  });
+  return equal;
+}
+
+}  // namespace minimpi

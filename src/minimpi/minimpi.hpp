@@ -1,0 +1,20 @@
+#pragma once
+/// \file minimpi.hpp
+/// \brief Umbrella header for the minimpi substrate.
+///
+/// minimpi is a from-scratch, thread-backed implementation of the MPI
+/// subset exercised by "Performance of MPI Sends of Non-Contiguous Data"
+/// (Eijkhout): derived datatypes with pack/unpack, two-sided sends in
+/// standard/buffered/synchronous modes with an eager/rendezvous
+/// protocol, one-sided windows with fence synchronization, and a small
+/// set of collectives — all running against a simulated fabric whose
+/// timing comes from per-cluster `MachineProfile`s.
+
+#include "minimpi/base/buffer.hpp"
+#include "minimpi/base/error.hpp"
+#include "minimpi/base/types.hpp"
+#include "minimpi/datatype/datatype.hpp"
+#include "minimpi/datatype/pack.hpp"
+#include "minimpi/net/cost_model.hpp"
+#include "minimpi/net/machine_profile.hpp"
+#include "minimpi/runtime/comm.hpp"

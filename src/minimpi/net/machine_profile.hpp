@@ -1,0 +1,85 @@
+#pragma once
+/// \file machine_profile.hpp
+/// \brief Parameter sets describing the four clusters of the study.
+///
+/// The paper measures four installations (Stampede2-SKX with Intel MPI
+/// and with MVAPICH2, Lonestar5/Cray with Cray MPICH, Stampede2-KNL with
+/// Intel MPI).  Between installations the *shapes* of the curves differ
+/// only through a handful of physical and implementation parameters;
+/// a `MachineProfile` captures exactly those.  Values are calibrated to
+/// the paper's figures (peak bandwidths, minimum ping-pong time of
+/// ~6 µs, eager-limit positions, KNL's weak core) — see DESIGN.md §2 for
+/// the substitution argument and EXPERIMENTS.md for validation.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace minimpi {
+
+struct MachineProfile {
+  std::string name;
+  std::string description;
+
+  // --- network fabric (LogGP-style) --------------------------------------
+  double net_latency_s;         ///< one-way wire latency L
+  double net_bandwidth_Bps;     ///< peak per-link bandwidth (1/G)
+  double send_overhead_s;       ///< o_s: CPU cost to initiate a send
+  double recv_overhead_s;       ///< o_r: CPU cost to complete a receive
+  std::size_t packet_bytes;     ///< fabric MTU
+  double per_packet_overhead_s; ///< header/credit cost per packet
+
+  // --- protocol switchover ------------------------------------------------
+  std::size_t eager_limit_bytes;   ///< eager -> rendezvous threshold
+  double rendezvous_handshake_s;   ///< RTS/CTS round trip cost
+
+  // --- MPI-internal staging (the mechanism behind paper §4.1) -------------
+  double internal_copy_bandwidth_Bps; ///< MPI's own pack/copy engine
+  std::size_t internal_segment_bytes; ///< staging pipeline granularity
+  double per_segment_overhead_s;      ///< bookkeeping per staged segment
+  std::size_t internal_buffer_bytes;  ///< comfortable staging capacity;
+                                      ///< beyond it bookkeeping grows
+  double large_msg_penalty;           ///< strength of beyond-capacity term
+
+  // --- core/memory subsystem (user-space copy loops) ----------------------
+  /// Effective bandwidth, per *payload* byte, of a user-space strided
+  /// gather loop on one core.  The loop loads 2N and stores N bytes, so
+  /// this is roughly a third of streaming bandwidth; KNL's weak core is
+  /// expressed here (paper §4.8, figure 4).
+  double copy_bandwidth_Bps;
+  double warm_copy_factor;      ///< bandwidth multiplier when source in cache
+  std::size_t cache_bytes;      ///< per-core effective cache for warm hits
+  double per_call_overhead_s;   ///< cost of one library call (packing(e))
+  /// Block-size sensitivity of copy loops: per-byte cost scales as
+  /// (1 + c/avg_block) / (1 + c/8) with c = this value, normalized so the
+  /// study's canonical 8-byte blocks cost exactly 1/copy_bandwidth per
+  /// byte.  Longer blocks approach memcpy speed (paper §4.7 item 2).
+  double copy_block_overhead_bytes;
+
+  // --- one-sided ----------------------------------------------------------
+  double fence_cost_s;          ///< per MPI_Win_fence synchronization
+  double put_bandwidth_factor;  ///< RMA put bandwidth / net bandwidth
+  double put_overhead_s;        ///< per-put origin-side overhead
+  double rma_large_penalty;     ///< additional large-message RMA penalty
+
+  // --- buffered sends -----------------------------------------------------
+  double bsend_overhead_s;          ///< per-message accounting cost
+  double bsend_copy_bandwidth_Bps;  ///< copy into the attached buffer
+
+  // --- NIC capability -----------------------------------------------------
+  /// True if the NIC can gather non-contiguous data while injecting
+  /// (user-mode memory registration, paper ref [2]).  False on every
+  /// system the paper measured; an ablation bench flips it on.
+  bool nic_noncontig_pipelining;
+
+  // --- canned profiles ----------------------------------------------------
+  static const MachineProfile& skx_impi();      ///< Stampede2 Skylake, Intel MPI (fig 1)
+  static const MachineProfile& skx_mvapich2();  ///< Stampede2 Skylake, MVAPICH2 (fig 2)
+  static const MachineProfile& ls5_cray();      ///< Lonestar5 Cray XC40 (fig 3)
+  static const MachineProfile& knl_impi();      ///< Stampede2 KNL, Intel MPI (fig 4)
+
+  static const std::vector<std::string>& names();
+  static const MachineProfile& by_name(const std::string& name);
+};
+
+}  // namespace minimpi

@@ -1,0 +1,811 @@
+#include "minimpi/runtime/comm.hpp"
+
+#include <cmath>
+#include <thread>
+
+namespace minimpi {
+
+using detail::Envelope;
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+struct Request::State {
+  enum class Kind { send_eager, send_rdv, recv } kind;
+  Comm* comm = nullptr;
+  bool done = false;
+  Status status;
+
+  // sends
+  double completion = 0.0;          // eager: known at post time
+  std::future<double> rdv_future;   // rendezvous: resolved by receiver
+
+  // receives
+  void* buf = nullptr;
+  std::size_t count = 0;
+  Datatype type;
+  Rank src = any_source;
+  Tag tag = any_tag;
+  double post_clock = 0.0;
+};
+
+Status Request::wait() {
+  require(state_ != nullptr, ErrorClass::invalid_arg,
+          "wait on empty request");
+  auto& s = *state_;
+  if (s.done) return s.status;
+  Comm& c = *s.comm;
+  switch (s.kind) {
+    case State::Kind::send_eager:
+      c.clock_ = std::max(c.clock_, s.completion);
+      break;
+    case State::Kind::send_rdv:
+      c.clock_ = std::max(c.clock_, s.rdv_future.get());
+      break;
+    case State::Kind::recv: {
+      auto env = c.world_->mailbox(c.rank_).match(s.src, s.tag);
+      s.status = c.finish_recv(s.buf, s.count, s.type, *env, s.post_clock);
+      break;
+    }
+  }
+  s.done = true;
+  return s.status;
+}
+
+bool Request::test(Status* status) {
+  require(state_ != nullptr, ErrorClass::invalid_arg,
+          "test on empty request");
+  auto& s = *state_;
+  if (!s.done) {
+    Comm& c = *s.comm;
+    switch (s.kind) {
+      case State::Kind::send_eager:
+        c.clock_ = std::max(c.clock_, s.completion);
+        break;
+      case State::Kind::send_rdv:
+        if (s.rdv_future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+          return false;
+        c.clock_ = std::max(c.clock_, s.rdv_future.get());
+        break;
+      case State::Kind::recv: {
+        auto env = c.world_->mailbox(c.rank_).try_match(s.src, s.tag);
+        if (!env) return false;
+        s.status = c.finish_recv(s.buf, s.count, s.type, *env, s.post_clock);
+        break;
+      }
+    }
+    s.done = true;
+  }
+  if (status) *status = s.status;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Comm: time
+// ---------------------------------------------------------------------------
+
+double Comm::wtime() const noexcept {
+  const double res = world_->options.wtime_resolution;
+  if (res <= 0.0) return clock_;
+  return std::floor(clock_ / res) * res;
+}
+
+void Comm::charge(double seconds) {
+  require(seconds >= 0.0, ErrorClass::invalid_arg, "negative charge");
+  clock_ += seconds;
+}
+
+void Comm::charge_copy(std::size_t bytes, const BlockStats& stats,
+                       double warm_fraction) {
+  clock_ += world_->model.user_copy_time(bytes, stats, warm_fraction);
+}
+
+// ---------------------------------------------------------------------------
+// Comm: two-sided
+// ---------------------------------------------------------------------------
+
+void Comm::validate_p2p(std::size_t count, const Datatype& t, Rank peer,
+                        Tag tag, bool is_recv) const {
+  require(t.valid() && t.committed(), ErrorClass::invalid_type,
+          "datatype not committed");
+  (void)count;
+  if (is_recv) {
+    require(peer == any_source || (peer >= 0 && peer < size()),
+            ErrorClass::invalid_rank, "receive source out of range");
+    require(tag == any_tag || (tag >= 0 && tag <= tag_ub),
+            ErrorClass::invalid_tag, "receive tag out of range");
+  } else {
+    require(peer >= 0 && peer < size(), ErrorClass::invalid_rank,
+            "send destination out of range");
+    require(tag >= 0 && tag <= tag_ub, ErrorClass::invalid_tag,
+            "send tag out of range");
+  }
+}
+
+std::shared_ptr<Envelope> Comm::make_envelope(const void* buf,
+                                              std::size_t count,
+                                              const Datatype& t, Rank dst,
+                                              Tag tag) {
+  auto env = std::make_shared<Envelope>();
+  env->src = rank_;
+  env->dst = dst;
+  env->tag = tag;
+  env->bytes = count * t.size();
+  env->signature.append(t.signature(), count);
+  env->send_stats = message_stats(t, count);
+  if (buf != nullptr && world_->move_payload(env->bytes)) {
+    env->payload.resize(env->bytes);
+    minimpi::gather(buf, count, t, env->payload.data());
+    env->has_payload = true;
+  }
+  return env;
+}
+
+void Comm::send(const void* buf, std::size_t count, const Datatype& t,
+                Rank dst, Tag tag) {
+  validate_p2p(count, t, dst, tag, false);
+  auto env = make_envelope(buf, count, t, dst, tag);
+  const bool noncontig = env->send_stats.block_count > 1;
+  if (world_->model.is_eager(env->bytes)) {
+    const auto timing =
+        world_->model.eager_timing(clock_, env->bytes, env->send_stats);
+    env->eager = true;
+    env->sender_done = timing.sender_done;
+    env->arrival = timing.arrival;
+    world_->trace_event(clock_, rank_, dst, TraceEvent::send_eager,
+                        env->bytes, env->bytes);  // eager always stages
+    world_->mailbox(dst).push(env);
+    clock_ = timing.sender_done;
+  } else {
+    env->eager = false;
+    env->needs_rdv_ack = true;
+    env->sender_ready = clock_ + profile().send_overhead_s;
+    world_->trace_event(clock_, rank_, dst, TraceEvent::send_rendezvous,
+                        env->bytes, noncontig ? env->bytes : 0);
+    auto fut = env->rdv_promise.get_future();
+    world_->mailbox(dst).push(std::move(env));
+    clock_ = fut.get();  // blocked until the receiver matches (rendezvous)
+  }
+}
+
+void Comm::ssend(const void* buf, std::size_t count, const Datatype& t,
+                 Rank dst, Tag tag) {
+  // Synchronous mode: always handshake, regardless of size.
+  validate_p2p(count, t, dst, tag, false);
+  auto env = make_envelope(buf, count, t, dst, tag);
+  env->eager = false;
+  env->needs_rdv_ack = true;
+  env->sender_ready = clock_ + profile().send_overhead_s;
+  auto fut = env->rdv_promise.get_future();
+  world_->mailbox(dst).push(std::move(env));
+  clock_ = fut.get();
+}
+
+void Comm::rsend(const void* buf, std::size_t count, const Datatype& t,
+                 Rank dst, Tag tag) {
+  // Ready mode: the caller promises a matching receive is already
+  // posted (MPI leaves violations undefined; we deliver anyway but the
+  // timing assumes no handshake).
+  validate_p2p(count, t, dst, tag, false);
+  auto env = make_envelope(buf, count, t, dst, tag);
+  const auto timing =
+      world_->model.rsend_timing(clock_, env->bytes, env->send_stats);
+  env->eager = true;  // no rendezvous ack needed
+  env->sender_done = timing.sender_done;
+  env->arrival = timing.arrival;
+  const bool noncontig = env->send_stats.block_count > 1;
+  world_->trace_event(clock_, rank_, dst, TraceEvent::send_ready, env->bytes,
+                      noncontig ? env->bytes : 0);
+  world_->mailbox(dst).push(std::move(env));
+  clock_ = timing.sender_done;
+}
+
+void Comm::bsend(const void* buf, std::size_t count, const Datatype& t,
+                 Rank dst, Tag tag) {
+  validate_p2p(count, t, dst, tag, false);
+  auto env = make_envelope(buf, count, t, dst, tag);
+  require(bsend_pool_->reserve(env->bytes), ErrorClass::buffer,
+          "bsend: attached buffer absent or exhausted");
+  env->bsend_pool = bsend_pool_;
+  env->bsend_reserved = env->bytes;
+  const auto timing =
+      world_->model.bsend_timing(clock_, env->bytes, env->send_stats);
+  env->eager = true;  // buffered sends never block on the receiver
+  env->sender_done = timing.sender_done;
+  env->arrival = timing.arrival;
+  world_->trace_event(clock_, rank_, dst, TraceEvent::send_buffered,
+                      env->bytes, env->bytes);
+  world_->mailbox(dst).push(std::move(env));
+  clock_ = timing.sender_done;
+}
+
+Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
+                         Envelope& env, double post_clock) {
+  const std::size_t capacity = count * t.size();
+  require(env.bytes <= capacity, ErrorClass::truncate,
+          "message longer than receive buffer");
+  TypeSignature recv_sig;
+  recv_sig.append(t.signature(), count);
+  require(recv_sig.accepts(env.signature), ErrorClass::type_mismatch,
+          "send/recv type signatures incompatible: send " +
+              env.signature.to_string() + " vs recv " + recv_sig.to_string());
+
+  double arrival;
+  bool eager;
+  const double recv_ready = std::max(clock_, post_clock);
+  if (env.needs_rdv_ack) {
+    const auto timing = world_->model.rendezvous_timing(
+        env.sender_ready, recv_ready, env.bytes, env.send_stats);
+    env.rdv_promise.set_value(timing.sender_done);
+    arrival = timing.arrival;
+    eager = false;
+  } else {
+    arrival = env.arrival;
+    eager = env.eager;
+  }
+  clock_ = world_->model.recv_completion(recv_ready, arrival, env.bytes,
+                                         message_stats(t, count), eager);
+
+  if (env.has_payload && buf != nullptr) {
+    require(t.size() == 0 || env.bytes % t.size() == 0,
+            ErrorClass::not_supported,
+            "partial-element receives not supported");
+    const std::size_t nelem = t.size() ? env.bytes / t.size() : 0;
+    std::size_t pos = 0;
+    unpack(env.payload.data(), env.bytes, pos, buf, nelem, t);
+  }
+  if (env.bsend_pool) env.bsend_pool->release(env.bsend_reserved);
+  world_->trace_event(clock_, rank_, env.src, TraceEvent::recv_complete,
+                      env.bytes);
+  return Status{env.src, env.tag, env.bytes};
+}
+
+Status Comm::recv(void* buf, std::size_t count, const Datatype& t, Rank src,
+                  Tag tag) {
+  validate_p2p(count, t, src, tag, true);
+  auto env = world_->mailbox(rank_).match(src, tag);
+  return finish_recv(buf, count, t, *env, clock_);
+}
+
+Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
+                    Rank dst, Tag tag) {
+  validate_p2p(count, t, dst, tag, false);
+  auto env = make_envelope(buf, count, t, dst, tag);
+  auto state = std::make_shared<Request::State>();
+  state->comm = this;
+  if (world_->model.is_eager(env->bytes)) {
+    const auto timing =
+        world_->model.eager_timing(clock_, env->bytes, env->send_stats);
+    env->eager = true;
+    env->sender_done = timing.sender_done;
+    env->arrival = timing.arrival;
+    state->kind = Request::State::Kind::send_eager;
+    state->completion = timing.sender_done;
+    // The isend call itself only costs the initiation overhead.
+    clock_ += profile().send_overhead_s;
+    world_->mailbox(dst).push(std::move(env));
+  } else {
+    env->eager = false;
+    env->needs_rdv_ack = true;
+    env->sender_ready = clock_ + profile().send_overhead_s;
+    state->kind = Request::State::Kind::send_rdv;
+    state->rdv_future = env->rdv_promise.get_future();
+    clock_ += profile().send_overhead_s;
+    world_->mailbox(dst).push(std::move(env));
+  }
+  return Request{std::move(state)};
+}
+
+Request Comm::irecv(void* buf, std::size_t count, const Datatype& t, Rank src,
+                    Tag tag) {
+  validate_p2p(count, t, src, tag, true);
+  auto state = std::make_shared<Request::State>();
+  state->comm = this;
+  state->kind = Request::State::Kind::recv;
+  state->buf = buf;
+  state->count = count;
+  state->type = t;
+  state->src = src;
+  state->tag = tag;
+  state->post_clock = clock_;
+  return Request{std::move(state)};
+}
+
+Status Comm::sendrecv(const void* sendbuf, std::size_t sendcount,
+                      const Datatype& sendtype, Rank dst, Tag sendtag,
+                      void* recvbuf, std::size_t recvcount,
+                      const Datatype& recvtype, Rank src, Tag recvtag) {
+  // Nonblocking send + blocking receive: deadlock-free like MPI_Sendrecv.
+  Request sreq = isend(sendbuf, sendcount, sendtype, dst, sendtag);
+  Status st = recv(recvbuf, recvcount, recvtype, src, recvtag);
+  sreq.wait();
+  return st;
+}
+
+Status Comm::probe(Rank src, Tag tag) {
+  validate_p2p(0, Datatype::byte(), src, tag, true);
+  auto env = world_->mailbox(rank_).peek(src, tag);
+  // A rendezvous message is visible once its RTS arrives.
+  const double visible = env->needs_rdv_ack
+                             ? env->sender_ready + profile().net_latency_s
+                             : env->arrival;
+  clock_ = std::max(clock_, visible);
+  return Status{env->src, env->tag, env->bytes};
+}
+
+std::optional<Status> Comm::iprobe(Rank src, Tag tag) {
+  validate_p2p(0, Datatype::byte(), src, tag, true);
+  auto env = world_->mailbox(rank_).try_peek(src, tag);
+  if (!env) return std::nullopt;
+  const double visible = env->needs_rdv_ack
+                             ? env->sender_ready + profile().net_latency_s
+                             : env->arrival;
+  clock_ = std::max(clock_, visible);
+  return Status{env->src, env->tag, env->bytes};
+}
+
+// ---------------------------------------------------------------------------
+// Persistent requests and request-set helpers
+// ---------------------------------------------------------------------------
+
+PersistentRequest Comm::send_init(const void* buf, std::size_t count,
+                                  const Datatype& t, Rank dst, Tag tag) {
+  validate_p2p(count, t, dst, tag, false);
+  PersistentRequest::Params p;
+  p.is_send = true;
+  p.sendbuf = buf;
+  p.count = count;
+  p.type = t;
+  p.peer = dst;
+  p.tag = tag;
+  p.comm = this;
+  return PersistentRequest{std::move(p)};
+}
+
+PersistentRequest Comm::recv_init(void* buf, std::size_t count,
+                                  const Datatype& t, Rank src, Tag tag) {
+  validate_p2p(count, t, src, tag, true);
+  PersistentRequest::Params p;
+  p.is_send = false;
+  p.recvbuf = buf;
+  p.count = count;
+  p.type = t;
+  p.peer = src;
+  p.tag = tag;
+  p.comm = this;
+  return PersistentRequest{std::move(p)};
+}
+
+void PersistentRequest::start() {
+  require(params_.comm != nullptr, ErrorClass::invalid_arg,
+          "start on empty persistent request");
+  require(!current_.valid(), ErrorClass::invalid_arg,
+          "persistent request already active");
+  Comm& c = *params_.comm;
+  current_ = params_.is_send
+                 ? c.isend(params_.sendbuf, params_.count, params_.type,
+                           params_.peer, params_.tag)
+                 : c.irecv(params_.recvbuf, params_.count, params_.type,
+                           params_.peer, params_.tag);
+}
+
+Status PersistentRequest::wait() {
+  require(current_.valid(), ErrorClass::invalid_arg,
+          "wait on inactive persistent request (call start first)");
+  const Status st = current_.wait();
+  current_ = Request{};
+  return st;
+}
+
+void waitall(std::span<Request> requests) {
+  for (Request& r : requests) r.wait();
+}
+
+std::size_t waitany(std::span<Request> requests, Status* status) {
+  require(!requests.empty(), ErrorClass::invalid_arg,
+          "waitany on empty request set");
+  for (;;) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      if (requests[i].test(status)) return i;
+    }
+    std::this_thread::yield();
+  }
+}
+
+bool testall(std::span<Request> requests) {
+  bool all = true;
+  for (Request& r : requests) all &= r.test();
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Comm: buffered-send management
+// ---------------------------------------------------------------------------
+
+void Comm::buffer_attach(Buffer& buf) {
+  require(!bsend_pool_->attached(), ErrorClass::buffer,
+          "buffer already attached");
+  bsend_pool_->attach(buf.size());
+}
+
+void Comm::buffer_detach() {
+  require(bsend_pool_->attached(), ErrorClass::buffer, "no buffer attached");
+  bsend_pool_->detach();
+}
+
+// ---------------------------------------------------------------------------
+// Comm: collectives
+// ---------------------------------------------------------------------------
+
+double Comm::collective_cost(std::size_t bytes) const {
+  const auto& p = profile();
+  const double rounds = std::ceil(std::log2(std::max(2, size())));
+  return rounds * (p.send_overhead_s + p.net_latency_s +
+                   world_->model.wire_time(bytes));
+}
+
+void Comm::barrier() {
+  clock_ = world_->barrier().arrive(clock_) + collective_cost(0);
+  world_->trace_event(clock_, rank_, -1, TraceEvent::collective, 0);
+}
+
+void Comm::bcast(void* buf, std::size_t count, const Datatype& t, Rank root) {
+  require(t.valid() && t.committed(), ErrorClass::invalid_type,
+          "bcast: datatype not committed");
+  require(root >= 0 && root < size(), ErrorClass::invalid_rank,
+          "bcast: root out of range");
+  const std::size_t bytes = count * t.size();
+  auto& slot = world_->collective();
+  const double fused = slot.deposit(rank_, buf, clock_);
+  if (rank_ != root && buf != nullptr && world_->move_payload(bytes)) {
+    const void* src = slot.contribution(root);
+    if (src != nullptr) typed_copy(buf, src, count, t);
+  }
+  clock_ = fused + collective_cost(bytes);
+  world_->trace_event(clock_, rank_, root, TraceEvent::collective, bytes);
+  slot.release();
+}
+
+namespace {
+double apply_op(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::sum: return a + b;
+    case ReduceOp::min: return std::min(a, b);
+    case ReduceOp::max: return std::max(a, b);
+  }
+  return a;
+}
+}  // namespace
+
+double Comm::reduce(double value, ReduceOp op, Rank root) {
+  auto& slot = world_->collective();
+  const double fused = slot.deposit(rank_, &value, clock_);
+  double result = 0.0;
+  if (rank_ == root) {
+    result = *static_cast<const double*>(slot.contribution(0));
+    for (Rank r = 1; r < size(); ++r)
+      result = apply_op(op, result,
+                        *static_cast<const double*>(slot.contribution(r)));
+  }
+  clock_ = fused + collective_cost(sizeof(double));
+  slot.release();
+  return result;
+}
+
+double Comm::allreduce(double value, ReduceOp op) {
+  auto& slot = world_->collective();
+  const double fused = slot.deposit(rank_, &value, clock_);
+  double result = *static_cast<const double*>(slot.contribution(0));
+  for (Rank r = 1; r < size(); ++r)
+    result = apply_op(op, result,
+                      *static_cast<const double*>(slot.contribution(r)));
+  // Reduce + broadcast: twice the tree cost.
+  clock_ = fused + 2.0 * collective_cost(sizeof(double));
+  slot.release();
+  return result;
+}
+
+std::vector<double> Comm::gather(double value, Rank root) {
+  auto& slot = world_->collective();
+  const double fused = slot.deposit(rank_, &value, clock_);
+  std::vector<double> out;
+  if (rank_ == root) {
+    out.reserve(static_cast<std::size_t>(size()));
+    for (Rank r = 0; r < size(); ++r)
+      out.push_back(*static_cast<const double*>(slot.contribution(r)));
+  }
+  clock_ = fused + collective_cost(sizeof(double) *
+                                   static_cast<std::size_t>(size()));
+  slot.release();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Comm / Window: one-sided
+// ---------------------------------------------------------------------------
+
+Window Comm::win_create(void* base, std::size_t size_bytes) {
+  auto& slot = world_->collective();
+  std::shared_ptr<detail::WindowState> ws;
+  if (rank_ == 0) ws = world_->create_window();
+  const double fused = slot.deposit(rank_, rank_ == 0 ? &ws : nullptr, clock_);
+  if (rank_ != 0) {
+    ws = *static_cast<const std::shared_ptr<detail::WindowState>*>(
+        slot.contribution(0));
+  }
+  ws->bases[static_cast<std::size_t>(rank_)] = static_cast<std::byte*>(base);
+  ws->sizes[static_cast<std::size_t>(rank_)] = size_bytes;
+  clock_ = fused + collective_cost(0);
+  slot.release();
+  return Window{this, std::move(ws)};
+}
+
+void Window::check_epoch(Rank target) const {
+  if (fence_count_ >= 1) return;
+  if (in_pscw_access_) {
+    for (const Rank t : pscw_targets_)
+      if (t == target) return;
+    throw Error(ErrorClass::rma_sync,
+                "RMA target not in the start() access group");
+  }
+  if (locked_target_ >= 0) {
+    require(locked_target_ == target, ErrorClass::rma_sync,
+            "RMA target differs from the locked rank");
+    return;
+  }
+  throw Error(ErrorClass::rma_sync,
+              "RMA operation outside an access epoch (fence, start, or "
+              "lock first)");
+}
+
+void Window::record_op_arrival(double arrival) {
+  // Shared: fences fold every pending arrival.  Local: the epoch-closing
+  // call (complete / unlock) flushes this rank's own operations.
+  state_->pending_max = std::max(state_->pending_max, arrival);
+  access_pending_ = std::max(access_pending_, arrival);
+}
+
+void Window::fence() {
+  double pending;
+  {
+    std::lock_guard lk(state_->m);
+    pending = state_->pending_max;
+  }
+  const double fused =
+      state_->barrier.arrive(std::max(comm_->clock_, pending));
+  if (comm_->rank() == 0) {
+    std::lock_guard lk(state_->m);
+    state_->pending_max = 0.0;
+  }
+  state_->barrier.arrive(0.0);  // make the reset visible before new ops
+  comm_->clock_ = fused + comm_->model().fence_time();
+  ++fence_count_;
+  access_pending_ = 0.0;
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), -1,
+                             TraceEvent::win_fence, 0);
+}
+
+void Window::post(std::span<const Rank> origins) {
+  const auto me = static_cast<std::size_t>(comm_->rank());
+  comm_->clock_ += comm_->profile().send_overhead_s;
+  {
+    std::lock_guard lk(state_->m);
+    ++state_->post_seq[me];
+    state_->post_time[me] = comm_->clock_;
+    state_->post_origins[me].assign(origins.begin(), origins.end());
+    state_->complete_count[me] = 0;
+    state_->complete_max[me] = 0.0;
+  }
+  state_->cv.notify_all();
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), -1,
+                             TraceEvent::pscw_post, 0);
+}
+
+void Window::start(std::span<const Rank> targets) {
+  require(!in_pscw_access_, ErrorClass::rma_sync,
+          "start: access epoch already open");
+  if (consumed_post_seq_.empty())
+    consumed_post_seq_.assign(static_cast<std::size_t>(comm_->size()), 0);
+  const double latency = comm_->profile().net_latency_s;
+  std::unique_lock lk(state_->m);
+  for (const Rank t : targets) {
+    require(t >= 0 && t < comm_->size(), ErrorClass::invalid_rank,
+            "start: target out of range");
+    const auto ti = static_cast<std::size_t>(t);
+    state_->cv.wait(lk, [&] {
+      return state_->post_seq[ti] > consumed_post_seq_[ti];
+    });
+    consumed_post_seq_[ti] = state_->post_seq[ti];
+    // The post notification has to reach the origin.
+    comm_->clock_ =
+        std::max(comm_->clock_, state_->post_time[ti] + latency);
+  }
+  lk.unlock();
+  in_pscw_access_ = true;
+  pscw_targets_.assign(targets.begin(), targets.end());
+  access_pending_ = 0.0;
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), -1,
+                             TraceEvent::pscw_start, 0);
+}
+
+void Window::complete() {
+  require(in_pscw_access_, ErrorClass::rma_sync,
+          "complete: no access epoch open");
+  comm_->clock_ += comm_->profile().send_overhead_s;
+  const double done = std::max(comm_->clock_, access_pending_);
+  {
+    std::lock_guard lk(state_->m);
+    for (const Rank t : pscw_targets_) {
+      const auto ti = static_cast<std::size_t>(t);
+      ++state_->complete_count[ti];
+      state_->complete_max[ti] = std::max(state_->complete_max[ti], done);
+    }
+  }
+  state_->cv.notify_all();
+  in_pscw_access_ = false;
+  pscw_targets_.clear();
+  access_pending_ = 0.0;
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), -1,
+                             TraceEvent::pscw_complete, 0);
+}
+
+void Window::wait_post() {
+  const auto me = static_cast<std::size_t>(comm_->rank());
+  std::unique_lock lk(state_->m);
+  require(!state_->post_origins[me].empty() || state_->post_seq[me] > 0,
+          ErrorClass::rma_sync, "wait_post: no exposure epoch open");
+  const auto expected =
+      static_cast<int>(state_->post_origins[me].size());
+  state_->cv.wait(lk, [&] {
+    return state_->complete_count[me] >= expected;
+  });
+  comm_->clock_ = std::max(comm_->clock_, state_->complete_max[me]) +
+                  comm_->profile().recv_overhead_s;
+  state_->complete_count[me] = 0;
+  lk.unlock();
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), -1,
+                             TraceEvent::pscw_wait, 0);
+}
+
+void Window::lock(Rank target) {
+  require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
+          "lock: target out of range");
+  require(locked_target_ < 0, ErrorClass::rma_sync,
+          "lock: a lock is already held");
+  const auto ti = static_cast<std::size_t>(target);
+  std::unique_lock lk(state_->m);
+  state_->cv.wait(lk, [&] { return !state_->lock_held[ti]; });
+  state_->lock_held[ti] = true;
+  // Lock acquisition is a round trip to the target, serialized behind
+  // the previous holder's release.
+  comm_->clock_ =
+      std::max(comm_->clock_ + 2.0 * comm_->profile().net_latency_s,
+               state_->lock_release_time[ti]);
+  lk.unlock();
+  locked_target_ = target;
+  access_pending_ = 0.0;
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), target,
+                             TraceEvent::lock_acquire, 0);
+}
+
+void Window::unlock(Rank target) {
+  require(locked_target_ == target, ErrorClass::rma_sync,
+          "unlock: this rank does not hold that lock");
+  const auto ti = static_cast<std::size_t>(target);
+  // Unlock flushes: every operation of the epoch must have landed.
+  const double done = std::max(comm_->clock_, access_pending_);
+  {
+    std::lock_guard lk(state_->m);
+    state_->lock_held[ti] = false;
+    state_->lock_release_time[ti] = done;
+  }
+  state_->cv.notify_all();
+  comm_->clock_ = done + comm_->profile().net_latency_s;
+  locked_target_ = -1;
+  access_pending_ = 0.0;
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), target,
+                             TraceEvent::lock_release, 0);
+}
+
+void Window::put(const void* buf, std::size_t count, const Datatype& t,
+                 Rank target, std::size_t target_offset) {
+  check_epoch(target);
+  require(t.valid() && t.committed(), ErrorClass::invalid_type,
+          "put: datatype not committed");
+  require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
+          "put: target out of range");
+  const std::size_t bytes = count * t.size();
+  const auto timing =
+      comm_->model().put_timing(comm_->clock_, bytes, message_stats(t, count));
+  comm_->clock_ = timing.sender_done;
+  std::lock_guard lk(state_->m);
+  require(target_offset + bytes <= state_->sizes[static_cast<std::size_t>(target)],
+          ErrorClass::rma_range, "put: outside target window");
+  std::byte* tbase = state_->bases[static_cast<std::size_t>(target)];
+  if (tbase != nullptr && buf != nullptr &&
+      comm_->moves_payload(bytes)) {
+    // Origin layout is packed into the contiguous target region, as in
+    // the study (the receive side of every scheme is contiguous).
+    minimpi::gather(buf, count, t, tbase + target_offset);
+  }
+  record_op_arrival(timing.arrival);
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), target,
+                             TraceEvent::rma_put, bytes);
+}
+
+void Window::get(void* buf, std::size_t count, const Datatype& t, Rank target,
+                 std::size_t target_offset) {
+  check_epoch(target);
+  require(t.valid() && t.committed(), ErrorClass::invalid_type,
+          "get: datatype not committed");
+  require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
+          "get: target out of range");
+  const std::size_t bytes = count * t.size();
+  const auto timing =
+      comm_->model().get_timing(comm_->clock_, bytes, message_stats(t, count));
+  comm_->clock_ = timing.sender_done;
+  std::lock_guard lk(state_->m);
+  require(target_offset + bytes <= state_->sizes[static_cast<std::size_t>(target)],
+          ErrorClass::rma_range, "get: outside target window");
+  const std::byte* tbase = state_->bases[static_cast<std::size_t>(target)];
+  if (tbase != nullptr && buf != nullptr && comm_->moves_payload(bytes)) {
+    minimpi::scatter(tbase + target_offset, buf, count, t);
+  }
+  record_op_arrival(timing.arrival);
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), target,
+                             TraceEvent::rma_get, bytes);
+}
+
+void Window::accumulate_sum_f64(const double* buf, std::size_t count,
+                                Rank target, std::size_t target_offset) {
+  check_epoch(target);
+  require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
+          "accumulate: target out of range");
+  const std::size_t bytes = count * sizeof(double);
+  const auto timing = comm_->model().put_timing(
+      comm_->clock_, bytes, BlockStats{1, bytes, bytes, bytes});
+  comm_->clock_ = timing.sender_done;
+  std::lock_guard lk(state_->m);
+  require(target_offset + bytes <= state_->sizes[static_cast<std::size_t>(target)],
+          ErrorClass::rma_range, "accumulate: outside target window");
+  std::byte* tbase = state_->bases[static_cast<std::size_t>(target)];
+  if (tbase != nullptr && buf != nullptr && comm_->moves_payload(bytes)) {
+    auto* dst = reinterpret_cast<double*>(tbase + target_offset);
+    for (std::size_t i = 0; i < count; ++i) dst[i] += buf[i];
+  }
+  record_op_arrival(timing.arrival);
+  comm_->world_->trace_event(comm_->clock_, comm_->rank(), target,
+                             TraceEvent::rma_accumulate, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Universe
+// ---------------------------------------------------------------------------
+
+void Universe::run(const UniverseOptions& opts,
+                   const std::function<void(Comm&)>& body) {
+  require(opts.nranks >= 1, ErrorClass::invalid_arg,
+          "universe needs at least one rank");
+  detail::World world(opts);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opts.nranks));
+  std::mutex ex_mutex;
+  std::exception_ptr first_error;
+  for (Rank r = 0; r < opts.nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(world, r);
+        body(comm);
+      } catch (...) {
+        std::lock_guard lk(ex_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace minimpi

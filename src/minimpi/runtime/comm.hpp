@@ -1,0 +1,323 @@
+#pragma once
+/// \file comm.hpp
+/// \brief The per-rank communication handle (the MPI API surface).
+///
+/// `Comm` is handed to each rank's body function by `Universe::run` and
+/// exposes the MPI subset the study needs, in idiomatic C++:
+///
+///   * two-sided: send / bsend / ssend / recv, isend / irecv + Request,
+///     probe / iprobe, sendrecv — with eager/rendezvous protocol
+///     selection and full derived-datatype support;
+///   * buffered-send buffer management (buffer_attach / buffer_detach);
+///   * one-sided: win_create -> Window, put / get / accumulate inside
+///     fence epochs;
+///   * collectives: barrier, bcast, reduce, allreduce, gather;
+///   * virtual time: wtime() (quantized like MPI_Wtime), clock(),
+///     charge() / charge_copy() for user-space work the model must see.
+///
+/// Every blocking call advances this rank's *virtual clock* according to
+/// the cost model; host-thread blocking is only a synchronization
+/// vehicle.  See DESIGN.md §2 for why this substitution preserves the
+/// paper's observable behaviour.
+
+#include <functional>
+#include <future>
+
+#include "minimpi/base/buffer.hpp"
+#include "minimpi/datatype/pack.hpp"
+#include "minimpi/runtime/world.hpp"
+
+namespace minimpi {
+
+class Comm;
+
+/// \brief Layout statistics of a whole `(count, datatype)` message.
+inline BlockStats message_stats(const Datatype& t, std::size_t count) {
+  const BlockStats& s = t.block_stats();
+  if (count == 0 || t.size() == 0) return {};
+  if (count == 1) return s;
+  const std::size_t total = count * t.size();
+  if (t.is_single_block()) {
+    if (t.extent() == t.size()) return {1, total, total, total};
+    return {count, total, t.size(), t.size()};
+  }
+  return {count * s.block_count, total, s.min_block, s.max_block};
+}
+
+/// \brief Handle for a nonblocking operation (MPI_Request).
+class Request {
+ public:
+  Request() = default;
+
+  /// \brief Block until the operation completes; advances the owning
+  /// rank's clock.  Returns the receive status (empty Status for sends).
+  Status wait();
+  /// \brief Nonblocking completion check (MPI_Test).
+  bool test(Status* status = nullptr);
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class Comm;
+  struct State;
+  explicit Request(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Reusable communication operation (MPI_Send_init / Recv_init).
+///
+/// Persistent requests let a harness set up the transfer once and
+/// restart it each repetition: `start()` activates the operation,
+/// `wait()` completes it, and the pair can be repeated indefinitely.
+class PersistentRequest {
+ public:
+  PersistentRequest() = default;
+
+  /// \brief Activate the operation (MPI_Start).
+  void start();
+  /// \brief Complete the active operation; the request stays reusable.
+  Status wait();
+  [[nodiscard]] bool active() const noexcept { return current_.valid(); }
+
+ private:
+  friend class Comm;
+  struct Params {
+    bool is_send = true;
+    const void* sendbuf = nullptr;
+    void* recvbuf = nullptr;
+    std::size_t count = 0;
+    Datatype type;
+    Rank peer = 0;
+    Tag tag = 0;
+    Comm* comm = nullptr;
+  };
+  explicit PersistentRequest(Params p) : params_(std::move(p)) {}
+  Params params_;
+  Request current_;
+};
+
+/// \brief Complete every request (MPI_Waitall).
+void waitall(std::span<Request> requests);
+/// \brief Block until some request completes; returns its index
+/// (MPI_Waitany).
+std::size_t waitany(std::span<Request> requests, Status* status = nullptr);
+/// \brief True if all requests are complete (MPI_Testall); completes
+/// those that are ready either way.
+bool testall(std::span<Request> requests);
+
+/// \brief One-sided communication window (MPI_Win).
+///
+/// Created collectively by `Comm::win_create`.  Three synchronization
+/// modes, as in MPI:
+///  * fence epochs (`fence()`), used by the paper;
+///  * generalized active target (`post`/`start`/`complete`/`wait_post`),
+///    which avoids the global fence for pairwise transfers;
+///  * passive target (`lock`/`unlock`).
+/// `put`/`get`/`accumulate` require an open epoch of some kind.
+class Window {
+ public:
+  /// \brief Active-target synchronization (MPI_Win_fence).  Fuses all
+  /// ranks' clocks with every pending RMA operation's arrival time and
+  /// charges the profile's fence cost.
+  void fence();
+
+  // --- generalized active target (PSCW) ------------------------------------
+  /// \brief Expose the local window to `origins` (MPI_Win_post).
+  void post(std::span<const Rank> origins);
+  /// \brief Open an access epoch to `targets` (MPI_Win_start); blocks
+  /// until every target has posted.
+  void start(std::span<const Rank> targets);
+  /// \brief Close the access epoch (MPI_Win_complete).
+  void complete();
+  /// \brief Close the exposure epoch: blocks until every origin named in
+  /// the post has completed (MPI_Win_wait).
+  void wait_post();
+
+  // --- passive target -------------------------------------------------------
+  /// \brief Acquire an exclusive lock on `target`'s window
+  /// (MPI_Win_lock with MPI_LOCK_EXCLUSIVE).
+  void lock(Rank target);
+  /// \brief Flush pending operations and release the lock
+  /// (MPI_Win_unlock).
+  void unlock(Rank target);
+
+  /// \brief MPI_Put: write `(buf, count, t)` to `target_offset` bytes
+  /// into `target`'s window.  Completes at the next fence.
+  void put(const void* buf, std::size_t count, const Datatype& t,
+           Rank target, std::size_t target_offset);
+
+  /// \brief MPI_Get: read from the target window into `(buf, count, t)`.
+  /// The data is valid after the next fence.
+  void get(void* buf, std::size_t count, const Datatype& t, Rank target,
+           std::size_t target_offset);
+
+  /// \brief MPI_Accumulate with MPI_SUM over doubles.
+  void accumulate_sum_f64(const double* buf, std::size_t count, Rank target,
+                          std::size_t target_offset);
+
+  [[nodiscard]] std::size_t size(Rank r) const {
+    return state_->sizes[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  friend class Comm;
+  Window(Comm* comm, std::shared_ptr<detail::WindowState> s)
+      : comm_(comm), state_(std::move(s)) {}
+
+  void check_epoch(Rank target) const;
+  void record_op_arrival(double arrival);
+
+  Comm* comm_ = nullptr;
+  std::shared_ptr<detail::WindowState> state_;
+  int fence_count_ = 0;
+  bool in_pscw_access_ = false;
+  std::vector<Rank> pscw_targets_;
+  std::vector<int> consumed_post_seq_;  ///< per target, posts already used
+  Rank locked_target_ = -1;
+  double access_pending_ = 0.0;  ///< latest arrival in the open epoch
+};
+
+/// Reduction operators for the scalar collectives.
+enum class ReduceOp { sum, min, max };
+
+class Comm {
+ public:
+  Comm(detail::World& world, Rank rank)
+      : world_(&world), rank_(rank),
+        bsend_pool_(world.bsend_pool(rank)) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  // --- identity & time -----------------------------------------------------
+  [[nodiscard]] Rank rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_->options.nranks; }
+  /// MPI_Wtime: the virtual clock quantized to the configured tick.
+  [[nodiscard]] double wtime() const noexcept;
+  /// Exact virtual clock (model-facing; tests use this).
+  [[nodiscard]] double clock() const noexcept { return clock_; }
+  [[nodiscard]] double wtick() const noexcept {
+    return world_->options.wtime_resolution;
+  }
+
+  /// \brief Charge local (user-space) work to this rank's clock.
+  void charge(double seconds);
+  /// \brief Charge a user-space gather/scatter loop over a layout.
+  void charge_copy(std::size_t bytes, const BlockStats& stats,
+                   double warm_fraction = 0.0);
+
+  [[nodiscard]] const MachineProfile& profile() const noexcept {
+    return world_->model.profile();
+  }
+  [[nodiscard]] const CostModel& model() const noexcept {
+    return world_->model;
+  }
+  /// True if payloads of this size physically move (cf. phantom buffers).
+  [[nodiscard]] bool moves_payload(std::size_t bytes) const noexcept {
+    return world_->move_payload(bytes);
+  }
+
+  // --- two-sided point-to-point -------------------------------------------
+  void send(const void* buf, std::size_t count, const Datatype& t, Rank dst,
+            Tag tag);
+  void bsend(const void* buf, std::size_t count, const Datatype& t, Rank dst,
+             Tag tag);
+  void ssend(const void* buf, std::size_t count, const Datatype& t, Rank dst,
+             Tag tag);
+  /// Ready mode (MPI_Rsend): the caller guarantees the receive is
+  /// already posted, so even large messages skip the handshake.
+  void rsend(const void* buf, std::size_t count, const Datatype& t, Rank dst,
+             Tag tag);
+  Status recv(void* buf, std::size_t count, const Datatype& t, Rank src,
+              Tag tag);
+  Request isend(const void* buf, std::size_t count, const Datatype& t,
+                Rank dst, Tag tag);
+  Request irecv(void* buf, std::size_t count, const Datatype& t, Rank src,
+                Tag tag);
+  Status sendrecv(const void* sendbuf, std::size_t sendcount,
+                  const Datatype& sendtype, Rank dst, Tag sendtag,
+                  void* recvbuf, std::size_t recvcount,
+                  const Datatype& recvtype, Rank src, Tag recvtag);
+  Status probe(Rank src, Tag tag);
+  std::optional<Status> iprobe(Rank src, Tag tag);
+
+  /// Persistent operations (MPI_Send_init / MPI_Recv_init).
+  PersistentRequest send_init(const void* buf, std::size_t count,
+                              const Datatype& t, Rank dst, Tag tag);
+  PersistentRequest recv_init(void* buf, std::size_t count, const Datatype& t,
+                              Rank src, Tag tag);
+
+  /// Typed conveniences for contiguous arrays.
+  template <class T>
+  void send(std::span<const T> data, Rank dst, Tag tag) {
+    send(data.data(), data.size(), Datatype::basic(basic_type_of<T>()), dst,
+         tag);
+  }
+  template <class T>
+  Status recv(std::span<T> data, Rank src, Tag tag) {
+    return recv(data.data(), data.size(),
+                Datatype::basic(basic_type_of<T>()), src, tag);
+  }
+
+  // --- buffered-send management --------------------------------------------
+  /// MPI_Buffer_attach: hand MPI a user buffer for Bsend staging.
+  void buffer_attach(Buffer& buf);
+  /// MPI_Buffer_detach: blocks until all buffered sends drain.
+  void buffer_detach();
+  [[nodiscard]] std::size_t bsend_high_water() const {
+    return bsend_pool_->high_water();
+  }
+
+  // --- collectives -----------------------------------------------------------
+  void barrier();
+  void bcast(void* buf, std::size_t count, const Datatype& t, Rank root);
+  /// Scalar reductions over one double per rank.
+  double reduce(double value, ReduceOp op, Rank root);
+  double allreduce(double value, ReduceOp op);
+  /// Gather one double per rank to root (returns full vector at root,
+  /// empty elsewhere).
+  std::vector<double> gather(double value, Rank root);
+
+  // --- one-sided -------------------------------------------------------------
+  /// Collective window creation over `span` bytes of local memory
+  /// (null base is allowed for phantom buffers).
+  Window win_create(void* base, std::size_t size_bytes);
+
+ private:
+  friend class Window;
+  friend class Request;
+  friend class PersistentRequest;
+
+  struct PendingRecv;
+  void validate_p2p(std::size_t count, const Datatype& t, Rank peer, Tag tag,
+                    bool is_recv) const;
+  std::shared_ptr<detail::Envelope> make_envelope(const void* buf,
+                                                  std::size_t count,
+                                                  const Datatype& t, Rank dst,
+                                                  Tag tag);
+  Status finish_recv(void* buf, std::size_t count, const Datatype& t,
+                     detail::Envelope& env, double post_clock);
+  double collective_cost(std::size_t bytes) const;
+
+  detail::World* world_;
+  Rank rank_;
+  double clock_ = 0.0;
+  std::shared_ptr<detail::BsendPool> bsend_pool_;
+};
+
+/// \brief Entry point: run `body` on `opts.nranks` simulated ranks.
+///
+/// Spawns one thread per rank, constructs its `Comm`, runs `body`, joins
+/// everything, and rethrows the first exception any rank produced.
+class Universe {
+ public:
+  static void run(const UniverseOptions& opts,
+                  const std::function<void(Comm&)>& body);
+  /// Two-rank convenience with default options.
+  static void run(int nranks, const std::function<void(Comm&)>& body) {
+    UniverseOptions o;
+    o.nranks = nranks;
+    run(o, body);
+  }
+};
+
+}  // namespace minimpi

@@ -1,0 +1,194 @@
+#pragma once
+/// \file matching.hpp
+/// \brief Message envelopes and per-rank mailboxes with MPI matching rules.
+///
+/// Every send deposits an `Envelope` in the destination rank's mailbox.
+/// Receives match on `(source, tag)` with MPI wildcard semantics and the
+/// MPI non-overtaking guarantee: envelopes from the same source are
+/// matched in the order they were sent (the deque preserves per-source
+/// program order because each sender enqueues sequentially).
+///
+/// Rendezvous-protocol envelopes carry a promise through which the
+/// *receiver* — who alone knows both sides' virtual clocks — reports the
+/// computed sender-completion time back to the (blocked) sender.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/base/types.hpp"
+#include "minimpi/datatype/datatype.hpp"
+
+namespace minimpi::detail {
+
+class BsendPool;
+
+struct Envelope {
+  Rank src = 0;
+  Rank dst = 0;
+  Tag tag = 0;
+  std::size_t bytes = 0;             ///< packed payload size
+  TypeSignature signature;           ///< send-side type signature
+  BlockStats send_stats;             ///< layout stats of the send message
+  std::vector<std::byte> payload;    ///< packed bytes (empty in modeled mode)
+  bool has_payload = false;
+
+  bool eager = true;                 ///< protocol used by the sender
+  double sender_done = 0.0;          ///< eager/bsend: precomputed
+  double arrival = 0.0;              ///< eager/bsend: precomputed
+
+  bool needs_rdv_ack = false;        ///< rendezvous: receiver resolves timing
+  double sender_ready = 0.0;         ///< rendezvous: sender clock + overhead
+  std::promise<double> rdv_promise;  ///< fulfilled with sender_done
+
+  /// Buffered sends release their reservation when the transfer is
+  /// consumed; null for non-buffered sends.
+  std::shared_ptr<BsendPool> bsend_pool;
+  std::size_t bsend_reserved = 0;
+};
+
+/// \brief Per-destination queue with blocking wildcard matching.
+class Mailbox {
+ public:
+  void push(std::shared_ptr<Envelope> env) {
+    {
+      std::lock_guard lk(m_);
+      q_.push_back(std::move(env));
+    }
+    cv_.notify_all();
+  }
+
+  /// \brief Remove and return the first envelope matching (src, tag),
+  /// blocking until one exists.
+  std::shared_ptr<Envelope> match(Rank src, Tag tag) {
+    std::unique_lock lk(m_);
+    for (;;) {
+      if (auto env = take_locked(src, tag)) return env;
+      cv_.wait(lk);
+    }
+  }
+
+  /// \brief Non-blocking variant; null if nothing matches.
+  std::shared_ptr<Envelope> try_match(Rank src, Tag tag) {
+    std::lock_guard lk(m_);
+    return take_locked(src, tag);
+  }
+
+  /// \brief Blocking peek (MPI_Probe): the envelope stays queued.
+  std::shared_ptr<Envelope> peek(Rank src, Tag tag) {
+    std::unique_lock lk(m_);
+    for (;;) {
+      for (const auto& e : q_)
+        if (matches(*e, src, tag)) return e;
+      cv_.wait(lk);
+    }
+  }
+
+  /// \brief Non-blocking peek (MPI_Iprobe); null if nothing matches.
+  std::shared_ptr<Envelope> try_peek(Rank src, Tag tag) {
+    std::lock_guard lk(m_);
+    for (const auto& e : q_)
+      if (matches(*e, src, tag)) return e;
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t pending() {
+    std::lock_guard lk(m_);
+    return q_.size();
+  }
+
+ private:
+  static bool matches(const Envelope& e, Rank src, Tag tag) {
+    return (src == any_source || e.src == src) &&
+           (tag == any_tag || e.tag == tag);
+  }
+
+  std::shared_ptr<Envelope> take_locked(Rank src, Tag tag) {
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if (matches(**it, src, tag)) {
+        auto env = std::move(*it);
+        q_.erase(it);
+        return env;
+      }
+    }
+    return nullptr;
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Envelope>> q_;
+};
+
+/// \brief Accounting for the user buffer attached via buffer_attach.
+///
+/// MPI_Bsend reserves `packed size + bsend_overhead_bytes` from the
+/// attached buffer and releases it when the message is delivered; a
+/// reservation failure is MM_ERR_BUFFER, exactly like MPI's
+/// MPI_ERR_BUFFER for an exhausted attach buffer.
+class BsendPool {
+ public:
+  static constexpr std::size_t bsend_overhead_bytes = 64;
+
+  void attach(std::size_t capacity) {
+    std::lock_guard lk(m_);
+    attached_ = true;
+    capacity_ = capacity;
+    used_ = 0;
+    high_water_ = 0;
+  }
+
+  /// \brief Block until all buffered sends drain, then detach.
+  /// \return the capacity that was attached.
+  std::size_t detach() {
+    std::unique_lock lk(m_);
+    cv_.wait(lk, [&] { return used_ == 0; });
+    attached_ = false;
+    const std::size_t cap = capacity_;
+    capacity_ = 0;
+    return cap;
+  }
+
+  [[nodiscard]] bool reserve(std::size_t payload_bytes) {
+    std::lock_guard lk(m_);
+    const std::size_t need = payload_bytes + bsend_overhead_bytes;
+    if (!attached_ || used_ + need > capacity_) return false;
+    used_ += need;
+    high_water_ = std::max(high_water_, used_);
+    return true;
+  }
+
+  void release(std::size_t payload_bytes) {
+    {
+      std::lock_guard lk(m_);
+      used_ -= std::min(used_, payload_bytes + bsend_overhead_bytes);
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool attached() {
+    std::lock_guard lk(m_);
+    return attached_;
+  }
+  [[nodiscard]] std::size_t in_use() {
+    std::lock_guard lk(m_);
+    return used_;
+  }
+  [[nodiscard]] std::size_t high_water() {
+    std::lock_guard lk(m_);
+    return high_water_;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool attached_ = false;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace minimpi::detail

@@ -1,0 +1,47 @@
+#include "minimpi/runtime/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace minimpi {
+
+std::string_view to_string(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::send_eager: return "send.eager";
+    case TraceEvent::send_rendezvous: return "send.rendezvous";
+    case TraceEvent::send_buffered: return "send.buffered";
+    case TraceEvent::send_ready: return "send.ready";
+    case TraceEvent::recv_complete: return "recv.complete";
+    case TraceEvent::rma_put: return "rma.put";
+    case TraceEvent::rma_get: return "rma.get";
+    case TraceEvent::rma_accumulate: return "rma.accumulate";
+    case TraceEvent::win_fence: return "win.fence";
+    case TraceEvent::pscw_post: return "pscw.post";
+    case TraceEvent::pscw_start: return "pscw.start";
+    case TraceEvent::pscw_complete: return "pscw.complete";
+    case TraceEvent::pscw_wait: return "pscw.wait";
+    case TraceEvent::lock_acquire: return "lock.acquire";
+    case TraceEvent::lock_release: return "lock.release";
+    case TraceEvent::collective: return "collective";
+  }
+  return "?";
+}
+
+void TraceLog::dump(std::ostream& os) const {
+  auto sorted = records();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.vtime < b.vtime;
+                   });
+  for (const auto& r : sorted) {
+    os << std::scientific << std::setprecision(3) << r.vtime << "  rank "
+       << r.rank;
+    if (r.peer >= 0) os << " -> " << r.peer;
+    os << "  " << to_string(r.event);
+    if (r.bytes > 0) os << "  " << r.bytes << "B";
+    if (r.staged_bytes > 0) os << " (staged " << r.staged_bytes << "B)";
+    os << "\n";
+  }
+}
+
+}  // namespace minimpi

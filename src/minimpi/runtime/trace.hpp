@@ -1,0 +1,93 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Protocol event tracing for the simulated runtime.
+///
+/// When a `TraceLog` is attached to `UniverseOptions::trace`, every
+/// protocol decision is recorded: which path a send took (eager,
+/// rendezvous, buffered, ready), how many bytes were staged, RMA
+/// operations and synchronization events.  Tests use this to assert
+/// *mechanisms* ("this send used the rendezvous protocol") rather than
+/// inferring them from timing; users can dump a trace to understand why
+/// a transfer behaved the way it did.
+
+#include <algorithm>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "minimpi/base/types.hpp"
+
+namespace minimpi {
+
+enum class TraceEvent : std::uint8_t {
+  send_eager,
+  send_rendezvous,
+  send_buffered,
+  send_ready,
+  recv_complete,
+  rma_put,
+  rma_get,
+  rma_accumulate,
+  win_fence,
+  pscw_post,
+  pscw_start,
+  pscw_complete,
+  pscw_wait,
+  lock_acquire,
+  lock_release,
+  collective,
+};
+
+std::string_view to_string(TraceEvent e) noexcept;
+
+struct TraceRecord {
+  double vtime = 0.0;   ///< virtual time at the event
+  Rank rank = 0;        ///< acting rank
+  Rank peer = -1;       ///< destination / source / target (-1: n/a)
+  TraceEvent event = TraceEvent::send_eager;
+  std::size_t bytes = 0;
+  std::size_t staged_bytes = 0;  ///< bytes that went through MPI staging
+};
+
+/// \brief Thread-safe append-only event log shared by all ranks.
+class TraceLog {
+ public:
+  void record(const TraceRecord& r) {
+    std::lock_guard lk(m_);
+    records_.push_back(r);
+  }
+
+  /// \brief Snapshot of all records (copy; safe after the universe ends).
+  [[nodiscard]] std::vector<TraceRecord> records() const {
+    std::lock_guard lk(m_);
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t count(TraceEvent e) const {
+    std::lock_guard lk(m_);
+    return static_cast<std::size_t>(
+        std::count_if(records_.begin(), records_.end(),
+                      [&](const TraceRecord& r) { return r.event == e; }));
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lk(m_);
+    return records_.size();
+  }
+
+  void clear() {
+    std::lock_guard lk(m_);
+    records_.clear();
+  }
+
+  /// \brief Human-readable dump, one line per event, time-sorted.
+  void dump(std::ostream& os) const;
+
+ private:
+  mutable std::mutex m_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace minimpi

@@ -1,0 +1,201 @@
+#pragma once
+/// \file world.hpp
+/// \brief Process-wide shared state of a simulated MPI job.
+///
+/// One `World` backs one `Universe::run` invocation: it owns the
+/// mailboxes, the clock-fusing barrier used by collectives and RMA
+/// fences, the collective data-exchange slot, and the RMA window
+/// registry.  Ranks are OS threads; all cross-rank communication flows
+/// through this object under conventional locking, while *virtual* time
+/// is computed from the cost model so results are independent of host
+/// scheduling.
+
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "minimpi/net/cost_model.hpp"
+#include "minimpi/runtime/matching.hpp"
+#include "minimpi/runtime/trace.hpp"
+
+namespace minimpi {
+
+/// User-facing configuration of a simulated job.
+struct UniverseOptions {
+  int nranks = 2;
+  /// Machine profile to simulate; see MachineProfile::names().
+  const MachineProfile* profile = &MachineProfile::skx_impi();
+  /// Move payload bytes (functional mode) or metadata only (modeled
+  /// mode).  Virtual timing is identical either way — a tested invariant.
+  bool functional = true;
+  /// Even in functional mode, payloads larger than this travel as
+  /// metadata only (lets sweeps reach 1e9 bytes without 1e9-byte copies).
+  std::size_t functional_payload_limit = std::numeric_limits<std::size_t>::max();
+  /// Override the profile's eager limit (paper §4.5 experiment).
+  std::optional<std::size_t> eager_limit_override;
+  /// MPI_Wtime tick (paper: 1e-6 s); 0 means exact clocks.
+  double wtime_resolution = 1e-6;
+  /// Optional protocol trace; events from all ranks are appended here.
+  std::shared_ptr<TraceLog> trace;
+};
+
+namespace detail {
+
+/// \brief Reusable N-party barrier that also fuses virtual clocks.
+///
+/// Each participant contributes a value; everyone receives the maximum.
+/// Generation counting makes it safely reusable, relying on the fact
+/// that every rank participates in every round.
+class ClockBarrier {
+ public:
+  explicit ClockBarrier(int parties) : parties_(parties) {}
+
+  double arrive(double value) {
+    std::unique_lock lk(m_);
+    const std::uint64_t gen = generation_;
+    pending_max_ = std::max(pending_max_, value);
+    if (++arrived_ == parties_) {
+      result_ = pending_max_;
+      pending_max_ = -std::numeric_limits<double>::infinity();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return result_;
+    }
+    cv_.wait(lk, [&] { return generation_ != gen; });
+    return result_;
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  double pending_max_ = -std::numeric_limits<double>::infinity();
+  double result_ = 0.0;
+};
+
+/// \brief Rendezvous slot for collective data movement.
+///
+/// Phase 1: every rank deposits a pointer to its contribution and fuses
+/// clocks; a designated rank (root / reducer) then works on the gathered
+/// pointers.  Phase 2 releases the buffers.  Data movement is host-level;
+/// timing comes from the fused clocks plus a model-derived cost added by
+/// the caller.
+class CollectiveSlot {
+ public:
+  explicit CollectiveSlot(int parties)
+      : parties_(parties), contribs_(parties), barrier_a_(parties),
+        barrier_b_(parties) {}
+
+  /// Deposit a contribution pointer, returning the fused (max) clock.
+  double deposit(Rank r, const void* ptr, double clock) {
+    contribs_[static_cast<std::size_t>(r)] = ptr;
+    return barrier_a_.arrive(clock);
+  }
+
+  [[nodiscard]] const void* contribution(Rank r) const {
+    return contribs_[static_cast<std::size_t>(r)];
+  }
+
+  /// Release the slot; every rank must call this once per collective.
+  void release() { barrier_b_.arrive(0.0); }
+
+ private:
+  const int parties_;
+  std::vector<const void*> contribs_;
+  ClockBarrier barrier_a_;
+  ClockBarrier barrier_b_;
+};
+
+/// \brief Shared state of one RMA window (MPI_Win).
+struct WindowState {
+  explicit WindowState(int parties)
+      : bases(parties, nullptr), sizes(parties, 0), in_epoch(parties, false),
+        post_seq(parties, 0), post_time(parties, 0.0),
+        post_origins(parties), complete_count(parties, 0),
+        complete_max(parties, 0.0), lock_held(parties, false),
+        lock_release_time(parties, 0.0), barrier(parties) {}
+
+  std::vector<std::byte*> bases;   ///< per-rank exposed memory (may be null)
+  std::vector<std::size_t> sizes;  ///< per-rank exposed bytes
+  std::vector<bool> in_epoch;      ///< per-rank epoch flag (fence toggled)
+
+  std::mutex m;                    ///< guards target memory + all state below
+  std::condition_variable cv;      ///< PSCW / lock wakeups
+  double pending_max = 0.0;        ///< latest arrival among epoch's RMA ops
+
+  // Generalized active target (post/start/complete/wait) state.
+  std::vector<int> post_seq;                 ///< per rank: posts issued
+  std::vector<double> post_time;             ///< per rank: last post's clock
+  std::vector<std::vector<Rank>> post_origins;  ///< last post's origin group
+  std::vector<int> complete_count;           ///< completes received this epoch
+  std::vector<double> complete_max;          ///< latest completion time
+
+  // Passive target state.
+  std::vector<bool> lock_held;
+  std::vector<double> lock_release_time;
+
+  ClockBarrier barrier;
+};
+
+class World {
+ public:
+  explicit World(const UniverseOptions& opts)
+      : options(opts),
+        model(*opts.profile, opts.eager_limit_override),
+        barrier_(opts.nranks),
+        coll_(opts.nranks) {
+    mailboxes_.reserve(static_cast<std::size_t>(opts.nranks));
+    bsend_pools_.reserve(static_cast<std::size_t>(opts.nranks));
+    for (int i = 0; i < opts.nranks; ++i) {
+      mailboxes_.push_back(std::make_unique<Mailbox>());
+      bsend_pools_.push_back(std::make_shared<BsendPool>());
+    }
+  }
+
+  UniverseOptions options;
+  CostModel model;
+
+  Mailbox& mailbox(Rank r) { return *mailboxes_[static_cast<std::size_t>(r)]; }
+  std::shared_ptr<BsendPool> bsend_pool(Rank r) {
+    return bsend_pools_[static_cast<std::size_t>(r)];
+  }
+  ClockBarrier& barrier() { return barrier_; }
+  CollectiveSlot& collective() { return coll_; }
+
+  std::shared_ptr<WindowState> create_window() {
+    std::lock_guard lk(wm_);
+    auto w = std::make_shared<WindowState>(options.nranks);
+    windows_.push_back(w);
+    return w;
+  }
+
+  /// True if a payload of `bytes` should physically move.
+  [[nodiscard]] bool move_payload(std::size_t bytes) const noexcept {
+    return options.functional && bytes <= options.functional_payload_limit;
+  }
+
+  void trace_event(double vtime, Rank rank, Rank peer, TraceEvent event,
+                   std::size_t bytes, std::size_t staged = 0) const {
+    if (options.trace)
+      options.trace->record({vtime, rank, peer, event, bytes, staged});
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::shared_ptr<BsendPool>> bsend_pools_;
+  ClockBarrier barrier_;
+  CollectiveSlot coll_;
+  std::mutex wm_;
+  std::vector<std::shared_ptr<WindowState>> windows_;
+};
+
+}  // namespace detail
+}  // namespace minimpi

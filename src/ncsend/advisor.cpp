@@ -1,0 +1,61 @@
+#include "ncsend/advisor.hpp"
+
+namespace ncsend {
+
+namespace {
+/// The paper's "large" threshold: beyond ~1e8 bytes the schemes diverge
+/// (§5: "For any but large (over 10^8 bytes) messages the various
+/// schemes perform fairly similarly").
+constexpr std::size_t large_message_bytes = 100'000'000;
+}  // namespace
+
+Recommendation advise(const minimpi::MachineProfile& profile,
+                      std::size_t payload_bytes, const Layout& layout) {
+  Recommendation rec;
+
+  if (layout.is_contiguous()) {
+    rec.scheme = "reference";
+    rec.rationale =
+        "The layout is contiguous: a plain send already attains the "
+        "hardware rate; no gather or derived type is needed.";
+    return rec;
+  }
+
+  rec.avoid.push_back(
+      "buffered: MPI_Bsend pays an extra staging copy and still goes "
+      "through MPI's internal machinery; it is at a disadvantage even at "
+      "intermediate sizes (paper §4.2, §5).");
+  rec.avoid.push_back(
+      "packing(e): one MPI_Pack call per element is dominated by call "
+      "overhead (paper §4.3: 'performs predictably very badly').");
+  if (profile.put_bandwidth_factor < 0.5) {
+    rec.avoid.push_back(
+        "onesided: this installation's RMA puts run at " +
+        std::to_string(static_cast<int>(profile.put_bandwidth_factor * 100)) +
+        "% of the fabric rate (cf. MVAPICH2 in paper §4.4).");
+  }
+
+  if (payload_bytes >= large_message_bytes) {
+    rec.scheme = "packing(v)";
+    rec.rationale =
+        "Large message: a single MPI_Pack of the derived type into a "
+        "user-space buffer followed by a contiguous send avoids MPI's "
+        "internal buffer bookkeeping, which degrades direct derived-type "
+        "sends beyond a few tens of MB (paper §4.1, §5: 'the scheme that "
+        "consistently performs best').";
+    rec.avoid.push_back(
+        "vector type / subarray sent directly: MPI-internal buffering "
+        "degrades beyond ~3e7 bytes (paper §4.1).");
+  } else {
+    rec.scheme = layout.regular() ? "vector type" : "vector type";
+    rec.rationale =
+        "Below ~1e8 bytes all reasonable schemes track manual copying "
+        "within noise, so use the most user-friendly one: send the "
+        "derived datatype directly (paper §5: 'there should be no reason "
+        "not to use derived datatypes').  packing(v) performs identically "
+        "if you prefer explicit buffer control.";
+  }
+  return rec;
+}
+
+}  // namespace ncsend

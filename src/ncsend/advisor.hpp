@@ -1,0 +1,28 @@
+#pragma once
+/// \file advisor.hpp
+/// \brief The paper's conclusion (§5), executable.
+
+#include <string>
+#include <vector>
+
+#include "ncsend/layout.hpp"
+#include "minimpi/net/machine_profile.hpp"
+
+namespace ncsend {
+
+struct Recommendation {
+  std::string scheme;               ///< legend name of the recommended scheme
+  std::string rationale;            ///< why, in the paper's terms
+  std::vector<std::string> avoid;   ///< schemes to stay away from, with reasons
+};
+
+/// \brief Recommend a send scheme for a message, encoding the paper's
+/// findings: derived datatypes are fine (and friendliest) below ~1e8
+/// bytes; `packing(v)` — MPI_Pack on a derived type, then a contiguous
+/// send from user space — is the consistent winner and the safe default
+/// for large messages; buffered sends are always at a disadvantage;
+/// one-sided depends on the installation.
+Recommendation advise(const minimpi::MachineProfile& profile,
+                      std::size_t payload_bytes, const Layout& layout);
+
+}  // namespace ncsend

@@ -1,0 +1,99 @@
+#include "ncsend/harness.hpp"
+
+#include <vector>
+
+namespace ncsend {
+
+using minimpi::Buffer;
+using minimpi::Comm;
+
+void run_pingpong_rank(Comm& comm, SendScheme& scheme, const Layout& layout,
+                       const HarnessConfig& cfg, RunResult* out) {
+  minimpi::require(comm.size() >= 2, minimpi::ErrorClass::invalid_arg,
+                   "ping-pong harness needs at least 2 ranks");
+  const bool is_sender = comm.rank() == 0;
+  const bool is_receiver = comm.rank() == 1;
+
+  // --- buffers, outside the timing loop (§3.2) ---------------------------
+  const std::size_t footprint_bytes =
+      layout.footprint_elems() * sizeof(double);
+  Buffer user_data;
+  Buffer recv_buf;
+  if (is_sender) {
+    user_data =
+        Buffer::allocate(footprint_bytes, comm.moves_payload(footprint_bytes));
+    if (!user_data.is_phantom() && footprint_bytes > 0) {
+      auto elems = user_data.as<double>();
+      for (std::size_t i = 0; i < elems.size(); ++i)
+        elems[i] = fill_value(i);
+    }
+  }
+  if (is_receiver) {
+    recv_buf = Buffer::allocate(layout.payload_bytes(),
+                                comm.moves_payload(layout.payload_bytes()));
+  }
+
+  memsim::CacheModel cache(comm.profile().cache_bytes);
+  memsim::CacheFlusher flusher(cache, cfg.flush, cfg.flush_bytes);
+  SchemeContext ctx{comm, layout, cache, user_data, recv_buf};
+
+  scheme.setup(ctx);
+  comm.barrier();
+
+  // --- timed repetitions ---------------------------------------------------
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(cfg.reps));
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    const double t0 = comm.wtime();
+    scheme.run_rep(ctx);
+    const double dt = comm.wtime() - t0;
+    if (is_sender) samples.push_back(dt);
+    // Between every two ping-pongs a 50 MB array is rewritten (§3.2).
+    flusher.flush(comm);
+  }
+
+  // --- verification (functional runs only) --------------------------------
+  bool checked = false;
+  bool ok = true;
+  if (cfg.verify && is_receiver && !recv_buf.is_phantom() &&
+      recv_buf.size() > 0 && comm.moves_payload(footprint_bytes)) {
+    checked = true;
+    const auto got = recv_buf.as<const double>();
+    layout.for_each_element([&](std::size_t k, std::size_t src) {
+      if (got[k] != fill_value(src)) ok = false;
+    });
+  }
+  // Share the verdict: min over (checked ? ok : 1) tells everyone whether
+  // any checker failed; max over checked tells whether anyone checked.
+  const double all_ok =
+      comm.allreduce(checked && !ok ? 0.0 : 1.0, minimpi::ReduceOp::min);
+  const double any_checked =
+      comm.allreduce(checked ? 1.0 : 0.0, minimpi::ReduceOp::max);
+
+  scheme.teardown(ctx);
+  comm.barrier();
+
+  if (is_sender && out != nullptr) {
+    out->scheme = std::string(scheme.name());
+    out->layout = layout.name();
+    out->payload_bytes = layout.payload_bytes();
+    out->timing = summarize(samples);
+    out->data_checked = any_checked > 0.5;
+    out->verified = all_ok > 0.5;
+  }
+}
+
+RunResult run_experiment(const minimpi::UniverseOptions& opts,
+                         std::string_view scheme_name, const Layout& layout,
+                         const HarnessConfig& cfg) {
+  RunResult result;
+  minimpi::Universe::run(opts, [&](Comm& comm) {
+    // Each rank owns its own scheme instance (schemes hold rank-local
+    // buffers and windows).
+    auto scheme = make_scheme(scheme_name);
+    run_pingpong_rank(comm, *scheme, layout, cfg, &result);
+  });
+  return result;
+}
+
+}  // namespace ncsend

@@ -1,0 +1,62 @@
+#pragma once
+/// \file harness.hpp
+/// \brief The timed ping-pong harness (paper §3.2).
+///
+/// Reproduces the paper's measurement procedure: buffers allocated
+/// 64-byte aligned outside the timing loop and zeroed (page
+/// instantiation), 20 individually-timed ping-pongs with MPI_Wtime, a
+/// 50 MB cache-flushing rewrite between repetitions, 1-sigma outlier
+/// rejection, and — because this substrate is functional — an optional
+/// end-to-end data verification after the timed loop.
+
+#include <string>
+
+#include "memsim/flusher.hpp"
+#include "ncsend/scheme.hpp"
+#include "ncsend/stats.hpp"
+
+namespace ncsend {
+
+struct HarnessConfig {
+  int reps = 20;                    ///< ping-pongs per measurement (paper: 20)
+  bool flush = true;                ///< rewrite 50 MB between reps (§3.2)
+  std::size_t flush_bytes = memsim::CacheFlusher::default_flush_bytes;
+  bool verify = true;               ///< check delivered bytes (functional runs)
+};
+
+struct RunResult {
+  std::string scheme;
+  std::string layout;
+  std::size_t payload_bytes = 0;
+  TimingStats timing;        ///< per-ping-pong times, rank 0
+  bool data_checked = false; ///< verification actually ran (real buffers)
+  bool verified = true;      ///< bytes matched (true when not checked)
+
+  [[nodiscard]] double time() const { return timing.mean; }
+  [[nodiscard]] double bandwidth_Bps() const {
+    return timing.mean > 0.0
+               ? static_cast<double>(payload_bytes) / timing.mean
+               : 0.0;
+  }
+};
+
+/// \brief Deterministic fill pattern for the sender's host array; the
+/// receiver recomputes it for verification.
+inline double fill_value(std::size_t elem_index) {
+  return static_cast<double>((elem_index * 2654435761ULL) % 100003) * 0.125;
+}
+
+/// \brief Per-rank body of one measurement: run inside `Universe::run`.
+/// Rank 0 writes the result to `*out` (if non-null); other ranks leave
+/// it untouched.  `scheme` must be a per-rank instance.
+void run_pingpong_rank(minimpi::Comm& comm, SendScheme& scheme,
+                       const Layout& layout, const HarnessConfig& cfg,
+                       RunResult* out);
+
+/// \brief Convenience: spin up a 2-rank universe and measure one
+/// (scheme, layout) pair.
+RunResult run_experiment(const minimpi::UniverseOptions& opts,
+                         std::string_view scheme_name, const Layout& layout,
+                         const HarnessConfig& cfg = {});
+
+}  // namespace ncsend

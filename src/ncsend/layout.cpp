@@ -1,0 +1,205 @@
+#include "ncsend/layout.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "minimpi/base/error.hpp"
+
+namespace ncsend {
+
+using minimpi::Datatype;
+using minimpi::Error;
+using minimpi::ErrorClass;
+
+Layout Layout::contiguous(std::size_t count) {
+  Layout l;
+  l.kind_ = Kind::contiguous;
+  l.name_ = "contiguous";
+  l.elems_ = count;
+  l.footprint_ = count;
+  l.regular_ = true;
+  return l;
+}
+
+Layout Layout::strided(std::size_t nblocks, std::size_t blocklen,
+                       std::size_t stride) {
+  minimpi::require(blocklen >= 1 && stride >= blocklen,
+                   ErrorClass::invalid_arg,
+                   "strided layout: need stride >= blocklen >= 1");
+  Layout l;
+  l.kind_ = Kind::strided;
+  l.name_ = "strided(b=" + std::to_string(blocklen) +
+            ",s=" + std::to_string(stride) + ")";
+  l.nblocks_ = nblocks;
+  l.blocklen_ = blocklen;
+  l.stride_ = stride;
+  l.elems_ = nblocks * blocklen;
+  l.footprint_ = nblocks == 0 ? 0 : (nblocks - 1) * stride + blocklen;
+  l.regular_ = true;
+  return l;
+}
+
+Layout Layout::multigrid(std::size_t coarse_points, int level) {
+  minimpi::require(level >= 1 && level < 30, ErrorClass::invalid_arg,
+                   "multigrid level out of range");
+  Layout l = strided(coarse_points, 1, std::size_t{1} << level);
+  l.name_ = "multigrid(level=" + std::to_string(level) + ")";
+  return l;
+}
+
+Layout Layout::fem_boundary(std::size_t count, std::size_t footprint,
+                            std::uint64_t seed) {
+  minimpi::require(count <= footprint, ErrorClass::invalid_arg,
+                   "fem_boundary: more boundary nodes than mesh points");
+  // Deterministic distinct positions via an LCG, then sorted: an
+  // irregular but reproducible "boundary node" set.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(count * 2);
+  std::uint64_t x = seed * 2654435761u + 1;
+  while (chosen.size() < count) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    chosen.insert(static_cast<std::size_t>((x >> 17) % footprint));
+  }
+  std::vector<std::size_t> starts(chosen.begin(), chosen.end());
+  std::sort(starts.begin(), starts.end());
+  Layout l = indexed(std::move(starts), 1);
+  l.name_ = "fem-boundary(n=" + std::to_string(count) + ")";
+  l.footprint_ = footprint;
+  return l;
+}
+
+Layout Layout::indexed(std::vector<std::size_t> block_starts,
+                       std::size_t blocklen) {
+  minimpi::require(blocklen >= 1, ErrorClass::invalid_arg,
+                   "indexed layout: blocklen must be >= 1");
+  for (std::size_t i = 1; i < block_starts.size(); ++i)
+    minimpi::require(block_starts[i] >= block_starts[i - 1] + blocklen,
+                     ErrorClass::invalid_arg,
+                     "indexed layout: blocks must be sorted, non-overlapping");
+  Layout l;
+  l.kind_ = Kind::indexed;
+  l.name_ = "indexed(blocks=" + std::to_string(block_starts.size()) + ")";
+  l.blocklen_ = blocklen;
+  l.elems_ = block_starts.size() * blocklen;
+  l.footprint_ =
+      block_starts.empty() ? 0 : block_starts.back() + blocklen;
+  l.regular_ = false;
+  l.block_starts_ = std::move(block_starts);
+  return l;
+}
+
+Layout Layout::subarray2d(std::size_t rows, std::size_t cols,
+                          std::size_t subrows, std::size_t subcols,
+                          std::size_t row0, std::size_t col0) {
+  minimpi::require(row0 + subrows <= rows && col0 + subcols <= cols,
+                   ErrorClass::invalid_arg, "subarray2d: face out of range");
+  Layout l;
+  l.kind_ = Kind::subarray2d;
+  l.name_ = "subarray2d(" + std::to_string(subrows) + "x" +
+            std::to_string(subcols) + ")";
+  l.rows_ = rows;
+  l.cols_ = cols;
+  l.subrows_ = subrows;
+  l.subcols_ = subcols;
+  l.row0_ = row0;
+  l.col0_ = col0;
+  l.elems_ = subrows * subcols;
+  l.footprint_ = rows * cols;
+  l.regular_ = true;  // fixed row pitch
+  return l;
+}
+
+bool Layout::is_contiguous() const noexcept {
+  switch (kind_) {
+    case Kind::contiguous: return true;
+    case Kind::strided: return stride_ == blocklen_ || nblocks_ <= 1;
+    case Kind::indexed: return block_starts_.size() <= 1;
+    case Kind::subarray2d: return subcols_ == cols_ || subrows_ <= 1;
+  }
+  return false;
+}
+
+minimpi::Datatype Layout::datatype(TypeStyle style) const {
+  const Datatype f64 = Datatype::float64();
+  Datatype t;
+  switch (kind_) {
+    case Kind::contiguous: {
+      minimpi::require(style != TypeStyle::subarray, ErrorClass::invalid_arg,
+                       "contiguous layout has no subarray description");
+      t = Datatype::contiguous(elems_, f64);
+      break;
+    }
+    case Kind::strided: {
+      switch (style) {
+        case TypeStyle::best:
+        case TypeStyle::vector:
+          t = Datatype::vector(nblocks_, blocklen_,
+                               static_cast<std::ptrdiff_t>(stride_), f64);
+          break;
+        case TypeStyle::subarray: {
+          // The same bytes described as the leading columns of an
+          // (nblocks x stride) row-major array of doubles.
+          const std::size_t sizes[] = {nblocks_, stride_};
+          const std::size_t subsizes[] = {nblocks_, blocklen_};
+          const std::size_t starts[] = {0, 0};
+          t = Datatype::subarray(sizes, subsizes, starts, f64);
+          break;
+        }
+        case TypeStyle::indexed: {
+          std::vector<std::ptrdiff_t> displs(nblocks_);
+          for (std::size_t i = 0; i < nblocks_; ++i)
+            displs[i] = static_cast<std::ptrdiff_t>(i * stride_);
+          t = Datatype::indexed_block(blocklen_, displs, f64);
+          break;
+        }
+      }
+      break;
+    }
+    case Kind::indexed: {
+      minimpi::require(
+          style == TypeStyle::best || style == TypeStyle::indexed,
+          ErrorClass::invalid_arg,
+          "irregular layout is only expressible as an indexed type");
+      std::vector<std::ptrdiff_t> displs(block_starts_.size());
+      for (std::size_t i = 0; i < block_starts_.size(); ++i)
+        displs[i] = static_cast<std::ptrdiff_t>(block_starts_[i]);
+      t = Datatype::indexed_block(blocklen_, displs, f64);
+      break;
+    }
+    case Kind::subarray2d: {
+      switch (style) {
+        case TypeStyle::best:
+        case TypeStyle::subarray: {
+          const std::size_t sizes[] = {rows_, cols_};
+          const std::size_t subsizes[] = {subrows_, subcols_};
+          const std::size_t starts[] = {row0_, col0_};
+          t = Datatype::subarray(sizes, subsizes, starts, f64);
+          break;
+        }
+        case TypeStyle::vector: {
+          // vector over rows, shifted to the anchor via hindexed.
+          Datatype v = Datatype::vector(
+              subrows_, subcols_, static_cast<std::ptrdiff_t>(cols_), f64);
+          const std::size_t bl[] = {1};
+          const std::ptrdiff_t d[] = {static_cast<std::ptrdiff_t>(
+              (row0_ * cols_ + col0_) * sizeof(double))};
+          t = Datatype::hindexed(bl, d, v);
+          break;
+        }
+        case TypeStyle::indexed: {
+          std::vector<std::ptrdiff_t> displs(subrows_);
+          for (std::size_t r = 0; r < subrows_; ++r)
+            displs[r] = static_cast<std::ptrdiff_t>((row0_ + r) * cols_ +
+                                                    col0_);
+          t = Datatype::indexed_block(subcols_, displs, f64);
+          break;
+        }
+      }
+      break;
+    }
+  }
+  t.commit();
+  return t;
+}
+
+}  // namespace ncsend

@@ -1,0 +1,21 @@
+#pragma once
+/// \file ncsend.hpp
+/// \brief Umbrella header for the non-contiguous-send study library.
+///
+/// `ncsend` packages the paper's contribution for downstream use:
+///   * `Layout` — the non-contiguous data patterns of interest;
+///   * `SendScheme` + `make_scheme` — the eight §2 send schemes;
+///   * `run_pingpong_rank` / `run_experiment` — the §3.2 measurement
+///     harness (20 timed ping-pongs, cache flushing, outlier rejection,
+///     data verification);
+///   * `run_sweep` + reporting — regenerate any of the paper's figures;
+///   * `advise` — the §5 conclusion as a queryable recommendation.
+
+#include "ncsend/advisor.hpp"
+#include "ncsend/harness.hpp"
+#include "ncsend/layout.hpp"
+#include "ncsend/report.hpp"
+#include "ncsend/scheme.hpp"
+#include "ncsend/schemes/schemes.hpp"
+#include "ncsend/stats.hpp"
+#include "ncsend/sweep.hpp"

@@ -1,0 +1,179 @@
+#include "ncsend/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+namespace ncsend {
+namespace {
+
+double metric_value(const SweepResult& r, Metric m, std::size_t si,
+                    std::size_t ci) {
+  switch (m) {
+    case Metric::time: return r.time(si, ci);
+    case Metric::bandwidth: return r.bandwidth_GBps(si, ci);
+    case Metric::slowdown: return r.slowdown(si, ci);
+  }
+  return 0.0;
+}
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::time: return "time (s)";
+    case Metric::bandwidth: return "bandwidth (GB/s)";
+    case Metric::slowdown: return "slowdown vs reference";
+  }
+  return "?";
+}
+
+constexpr const char* plot_symbols = "rcbvsoEP";  // one per paper scheme
+
+char symbol_for(const std::string& scheme) {
+  const auto& names = all_scheme_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == scheme)
+      return plot_symbols[i % 8];
+  return '*';
+}
+
+}  // namespace
+
+void print_tables(std::ostream& os, const SweepResult& r) {
+  const auto old_flags = os.flags();
+  for (const Metric m :
+       {Metric::time, Metric::bandwidth, Metric::slowdown}) {
+    os << "\n== " << metric_name(m) << " ==\n";
+    os << std::setw(12) << "bytes";
+    for (const auto& s : r.schemes) os << std::setw(13) << s;
+    os << "\n";
+    for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+      os << std::setw(12) << r.sizes_bytes[si];
+      for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+        os << std::setw(13) << std::scientific << std::setprecision(3)
+           << metric_value(r, m, si, ci);
+      }
+      os << "\n";
+    }
+  }
+  os.flags(old_flags);
+}
+
+void write_csv(std::ostream& os, const SweepResult& r) {
+  os << "profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,"
+        "verified\n";
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const auto& cell = r.cells[si][ci];
+      os << r.profile_name << "," << r.layout_name << ","
+         << r.sizes_bytes[si] << "," << r.schemes[ci] << ","
+         << std::scientific << std::setprecision(6) << cell.time() << ","
+         << cell.bandwidth_Bps() / 1e9 << "," << r.slowdown(si, ci) << ","
+         << (cell.verified ? 1 : 0) << "\n";
+    }
+  }
+}
+
+void write_json(std::ostream& os, const SweepResult& r) {
+  os << "{\n  \"profile\": \"" << r.profile_name << "\",\n  \"layout\": \""
+     << r.layout_name << "\",\n  \"sizes_bytes\": [";
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+    os << (si ? ", " : "") << r.sizes_bytes[si];
+  os << "],\n  \"schemes\": [";
+  for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+    os << (ci ? ", " : "") << "\"" << r.schemes[ci] << "\"";
+  os << "],\n  \"cells\": [\n";
+  bool first = true;
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const auto& cell = r.cells[si][ci];
+      os << (first ? "" : ",\n") << "    {\"size_bytes\": "
+         << r.sizes_bytes[si] << ", \"scheme\": \"" << r.schemes[ci]
+         << "\", \"time_s\": " << std::scientific << std::setprecision(9)
+         << cell.time() << ", \"bandwidth_GBps\": "
+         << cell.bandwidth_Bps() / 1e9 << ", \"slowdown\": "
+         << r.slowdown(si, ci) << ", \"stddev_s\": " << cell.timing.stddev
+         << ", \"reps\": " << cell.timing.samples << ", \"verified\": "
+         << (cell.verified ? "true" : "false") << "}";
+      first = false;
+    }
+  }
+  os << "\n  ]\n}\n";
+}
+
+void ascii_plot(std::ostream& os, const SweepResult& r, Metric metric,
+                int width, int height) {
+  if (r.sizes_bytes.empty() || r.schemes.empty()) return;
+  // Collect log-transformed points.
+  double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    const double x = std::log10(static_cast<double>(r.sizes_bytes[si]));
+    xmin = std::min(xmin, x);
+    xmax = std::max(xmax, x);
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const double v = metric_value(r, metric, si, ci);
+      if (v <= 0.0) continue;
+      const double y =
+          metric == Metric::bandwidth ? v : std::log10(v);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (ymin > ymax) return;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    const double x = std::log10(static_cast<double>(r.sizes_bytes[si]));
+    const int col = static_cast<int>(std::lround(
+        (x - xmin) / (xmax - xmin) * (width - 1)));
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const double v = metric_value(r, metric, si, ci);
+      if (v <= 0.0) continue;
+      const double y = metric == Metric::bandwidth ? v : std::log10(v);
+      const int row = static_cast<int>(std::lround(
+          (ymax - y) / (ymax - ymin) * (height - 1)));
+      auto& cell = grid[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+      const char sym = symbol_for(r.schemes[ci]);
+      if (cell == ' ') cell = sym;
+      else if (cell != sym) cell = '#';  // overlapping schemes
+    }
+  }
+
+  os << "\n-- " << metric_name(r.schemes.empty() ? Metric::time : metric)
+     << " (x: log10 bytes " << std::fixed << std::setprecision(1) << xmin
+     << ".." << xmax << ", y: "
+     << (metric == Metric::bandwidth ? "GB/s " : "log10 ") << std::setprecision(2)
+     << ymin << ".." << ymax << ") --\n";
+  for (const auto& line : grid) os << "|" << line << "|\n";
+  os << "legend: ";
+  for (const auto& s : r.schemes)
+    os << symbol_for(s) << "=" << s << "  ";
+  os << "#=overlap\n";
+  os.unsetf(std::ios::fixed);
+}
+
+void print_figure(std::ostream& os, const SweepResult& r,
+                  const std::string& title) {
+  os << "==============================================================\n";
+  os << title << "\n";
+  os << "profile: " << r.profile_name << "   layout: " << r.layout_name
+     << "   sizes: " << r.sizes_bytes.size() << "   schemes: "
+     << r.schemes.size() << "\n";
+  os << "==============================================================\n";
+  ascii_plot(os, r, Metric::time);
+  ascii_plot(os, r, Metric::bandwidth);
+  ascii_plot(os, r, Metric::slowdown);
+  print_tables(os, r);
+  os << "\ndata verification: "
+     << (r.all_verified() ? "all functional transfers byte-exact"
+                          : "FAILED — see CSV")
+     << "\n";
+}
+
+}  // namespace ncsend

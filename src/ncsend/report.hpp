@@ -1,0 +1,37 @@
+#pragma once
+/// \file report.hpp
+/// \brief Emit a sweep as the paper's three panels, CSV, or ASCII plots.
+
+#include <iosfwd>
+#include <string>
+
+#include "ncsend/sweep.hpp"
+
+namespace ncsend {
+
+enum class Metric { time, bandwidth, slowdown };
+
+/// \brief The three panels of each figure (time / bandwidth / slowdown)
+/// as aligned text tables: rows = sizes, columns = schemes.
+void print_tables(std::ostream& os, const SweepResult& r);
+
+/// \brief Machine-readable rows:
+/// `profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,verified`.
+void write_csv(std::ostream& os, const SweepResult& r);
+
+/// \brief The same data as a self-describing JSON document:
+/// `{profile, layout, sizes, schemes, cells: [{...}]}` — convenient for
+/// plotting scripts (matplotlib/pandas can regenerate the paper's
+/// figures directly from it).
+void write_json(std::ostream& os, const SweepResult& r);
+
+/// \brief Log-log ASCII rendering of one panel, one symbol per scheme
+/// (the closest a terminal gets to the paper's matplotlib figures).
+void ascii_plot(std::ostream& os, const SweepResult& r, Metric metric,
+                int width = 72, int height = 24);
+
+/// \brief Full figure output: header, plots, tables, verification note.
+void print_figure(std::ostream& os, const SweepResult& r,
+                  const std::string& title);
+
+}  // namespace ncsend

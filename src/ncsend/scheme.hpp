@@ -1,0 +1,107 @@
+#pragma once
+/// \file scheme.hpp
+/// \brief The send-scheme interface: the paper's §2 as a class hierarchy.
+///
+/// A `SendScheme` implements one way of moving a non-contiguous message
+/// from rank 0's host array to a contiguous buffer on rank 1.  The
+/// harness calls `setup` once per experiment (buffers live outside the
+/// timing loop, as in the paper), then times `run_rep` — one complete
+/// ping-pong — on rank 0.  Two-sided schemes inherit the
+/// recv-then-zero-byte-pong serving loop from `TwoSidedScheme`; the
+/// one-sided scheme overrides `run_rep` entirely so the timers surround
+/// its fences (paper §3.2).
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "memsim/cache_model.hpp"
+#include "minimpi/minimpi.hpp"
+#include "ncsend/layout.hpp"
+
+namespace ncsend {
+
+/// Everything a scheme needs for one experiment on one rank.
+struct SchemeContext {
+  minimpi::Comm& comm;
+  const Layout& layout;
+  memsim::CacheModel& cache;
+
+  /// Rank 0: the host array the layout lives in (may be phantom).
+  minimpi::Buffer& user_data;
+  /// Rank 1: the contiguous receive buffer (may be phantom).
+  minimpi::Buffer& recv_buf;
+
+  /// Stable region ids for the cache model.
+  static constexpr std::uint64_t user_region = 1;
+  static constexpr std::uint64_t staging_region = 2;
+
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return layout.payload_bytes();
+  }
+  [[nodiscard]] bool sender() const { return comm.rank() == 0; }
+
+  /// \brief Allocate a scheme-owned buffer obeying the phantom policy.
+  [[nodiscard]] minimpi::Buffer allocate(std::size_t bytes) const {
+    return minimpi::Buffer::allocate(bytes, comm.moves_payload(bytes));
+  }
+
+  /// \brief Model a user-space gather of the layout into a contiguous
+  /// buffer: consults the cache model for warmth, charges the clock.
+  /// Returns the warm fraction used (tests inspect it).
+  double charge_user_gather(const minimpi::BlockStats& stats) {
+    const std::size_t fp = layout.footprint_elems() * sizeof(double);
+    const double warm = cache.touch(user_region, fp);
+    comm.charge_copy(stats.total_bytes, stats, warm);
+    return warm;
+  }
+};
+
+/// Tag used by every data ping; the pong uses tag + 1.
+inline constexpr minimpi::Tag ping_tag = 17;
+
+class SendScheme {
+ public:
+  virtual ~SendScheme() = default;
+
+  /// Legend name, matching the paper's figures ("vector type", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called on both ranks before the timing loop (allocate staging,
+  /// attach buffers, create windows, ...).
+  virtual void setup(SchemeContext&) {}
+  /// Called on both ranks after the timing loop.
+  virtual void teardown(SchemeContext&) {}
+
+  /// One complete, timed ping-pong; called on *both* ranks.
+  virtual void run_rep(SchemeContext& ctx) = 0;
+};
+
+/// \brief Base for the seven two-sided schemes: receiver does a
+/// contiguous recv followed by a zero-byte pong (paper §3.2).
+class TwoSidedScheme : public SendScheme {
+ public:
+  void run_rep(SchemeContext& ctx) final;
+
+ protected:
+  /// The non-contiguous "ping" on rank 0.
+  virtual void ping(SchemeContext& ctx) = 0;
+};
+
+/// \brief Instantiate a scheme by legend name.
+std::unique_ptr<SendScheme> make_scheme(std::string_view name);
+
+/// \brief All legend names, in the paper's order.
+const std::vector<std::string>& all_scheme_names();
+
+/// Which derived-type style the direct-send schemes use.
+std::unique_ptr<SendScheme> make_reference();
+std::unique_ptr<SendScheme> make_copying();
+std::unique_ptr<SendScheme> make_buffered();
+std::unique_ptr<SendScheme> make_vector_type();
+std::unique_ptr<SendScheme> make_subarray();
+std::unique_ptr<SendScheme> make_onesided();
+std::unique_ptr<SendScheme> make_packing_element();
+std::unique_ptr<SendScheme> make_packing_vector();
+
+}  // namespace ncsend

@@ -1,0 +1,26 @@
+#include "minimpi/runtime/matching.hpp"
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+
+void BufferedScheme::setup(SchemeContext& ctx) {
+  if (!ctx.sender()) return;
+  dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
+  // Attach room for one in-flight message plus MPI's per-message
+  // overhead (paper §2.4: MPI_Buffer_attach + MPI_Bsend).
+  const std::size_t need =
+      ctx.payload_bytes() + minimpi::detail::BsendPool::bsend_overhead_bytes;
+  attach_buf_ = ctx.allocate(need);
+  ctx.comm.buffer_attach(attach_buf_);
+}
+
+void BufferedScheme::teardown(SchemeContext& ctx) {
+  if (!ctx.sender()) return;
+  ctx.comm.buffer_detach();
+}
+
+void BufferedScheme::ping(SchemeContext& ctx) {
+  ctx.comm.bsend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+}
+
+}  // namespace ncsend

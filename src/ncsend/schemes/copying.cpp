@@ -1,0 +1,25 @@
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+
+void CopyingScheme::setup(SchemeContext& ctx) {
+  if (!ctx.sender()) return;
+  // Paper §2.2: "We allocate the send buffer outside the timing loop,
+  // and reuse it."
+  sendbuf_ = ctx.allocate(ctx.payload_bytes());
+  dtype_ = ctx.layout.datatype();
+  stats_ = dtype_.block_stats();
+}
+
+void CopyingScheme::ping(SchemeContext& ctx) {
+  // The user-space gather loop: 2N loads + N stores, charged through
+  // the machine profile's copy bandwidth (and the cache model's warmth).
+  ctx.charge_user_gather(stats_);
+  if (!sendbuf_.is_phantom() && !ctx.user_data.is_phantom())
+    minimpi::gather(ctx.user_data.data(), 1, dtype_, sendbuf_.data());
+  ctx.cache.touch(SchemeContext::staging_region, sendbuf_.size());
+  ctx.comm.send(sendbuf_.data(), ctx.layout.element_count(),
+                minimpi::Datatype::float64(), 1, ping_tag);
+}
+
+}  // namespace ncsend

@@ -1,0 +1,16 @@
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+
+void DerivedTypeScheme::setup(SchemeContext& ctx) {
+  if (!ctx.sender()) return;
+  // Type construction and commit happen outside the timing loop, as in
+  // the paper; only the send itself is measured.
+  dtype_ = styled_or_best(ctx.layout, style_);
+}
+
+void DerivedTypeScheme::ping(SchemeContext& ctx) {
+  ctx.comm.send(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+}
+
+}  // namespace ncsend

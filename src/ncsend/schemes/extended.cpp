@@ -1,0 +1,159 @@
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+
+// ---------------------------------------------------------------------------
+// Send-mode variants of the direct derived-type send
+// ---------------------------------------------------------------------------
+
+void SendModeScheme::setup(SchemeContext& ctx) {
+  if (!ctx.sender()) return;
+  dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
+  if (mode_ == Mode::persistent) {
+    preq_ = ctx.comm.send_init(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+  }
+}
+
+void SendModeScheme::ping(SchemeContext& ctx) {
+  switch (mode_) {
+    case Mode::isend: {
+      minimpi::Request r =
+          ctx.comm.isend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+      r.wait();
+      break;
+    }
+    case Mode::ssend:
+      ctx.comm.ssend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+      break;
+    case Mode::rsend:
+      // The ping-pong structure guarantees the receiver has served the
+      // previous rep and is blocked in its next receive: ready mode is
+      // legal here and skips the handshake entirely.
+      ctx.comm.rsend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+      break;
+    case Mode::persistent:
+      preq_.start();
+      preq_.wait();
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// One-sided with generalized active target synchronization
+// ---------------------------------------------------------------------------
+
+void OneSidedPscwScheme::setup(SchemeContext& ctx) {
+  dtype_ = ctx.sender() ? ctx.layout.datatype() : minimpi::Datatype::float64();
+  if (ctx.sender()) {
+    win_.emplace(ctx.comm.win_create(nullptr, 0));
+  } else {
+    win_.emplace(
+        ctx.comm.win_create(ctx.recv_buf.data(), ctx.recv_buf.size()));
+  }
+}
+
+void OneSidedPscwScheme::teardown(SchemeContext&) { win_.reset(); }
+
+void OneSidedPscwScheme::run_rep(SchemeContext& ctx) {
+  // Pairwise epochs: the target exposes to rank 0 only; rank 0 accesses
+  // rank 1 only.  No global fence is involved.
+  if (ctx.sender()) {
+    const minimpi::Rank targets[] = {1};
+    win_->start(targets);
+    win_->put(ctx.user_data.data(), 1, dtype_, 1, 0);
+    win_->complete();
+    // Completion notification closes the timed transfer; a zero-byte
+    // ack from the target keeps the timing symmetric with run_rep on
+    // the target side.
+    ctx.comm.recv(nullptr, 0, minimpi::Datatype::byte(), 1, ping_tag + 1);
+  } else {
+    const minimpi::Rank origins[] = {0};
+    win_->post(origins);
+    win_->wait_post();
+    ctx.comm.send(nullptr, 0, minimpi::Datatype::byte(), 0, ping_tag + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined packing
+// ---------------------------------------------------------------------------
+
+void PackingPipelinedScheme::setup(SchemeContext& ctx) {
+  if (!ctx.sender()) return;
+  dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
+  stats_ = dtype_.block_stats();
+  const std::size_t cb = std::min(chunk_bytes, ctx.payload_bytes());
+  // The chunk buffers follow the *whole message's* functional/phantom
+  // mode: when a 1 GB sweep point runs modeled, individually-small
+  // chunks must not smuggle gigabytes of real copies back in.
+  const bool functional = ctx.comm.moves_payload(ctx.payload_bytes());
+  chunk_[0] = minimpi::Buffer::allocate(cb, functional);
+  chunk_[1] = minimpi::Buffer::allocate(cb, functional);
+}
+
+void PackingPipelinedScheme::run_rep(SchemeContext& ctx) {
+  const std::size_t total = ctx.payload_bytes();
+  const std::size_t nchunks = (total + chunk_bytes - 1) / chunk_bytes;
+  const minimpi::Datatype f64 = minimpi::Datatype::float64();
+  const minimpi::Datatype packed = minimpi::Datatype::packed();
+  const minimpi::Datatype byte = minimpi::Datatype::byte();
+  const auto& model = ctx.comm.model();
+
+  if (ctx.sender()) {
+    // Pack chunk k into buffer k%2 and isend it; wait for chunk k-1's
+    // send before reusing its buffer (double buffering).
+    minimpi::Request in_flight[2];
+    std::size_t offset = 0;
+    const double warm =
+        ctx.cache.touch(SchemeContext::user_region,
+                        ctx.layout.footprint_elems() * sizeof(double));
+    for (std::size_t k = 0; k < nchunks; ++k) {
+      const std::size_t len = std::min(chunk_bytes, total - offset);
+      // One pack call per chunk, chunk's share of the gather cost.
+      ctx.comm.charge(model.call_overhead(1));
+      minimpi::BlockStats chunk_stats = stats_;
+      chunk_stats.total_bytes = len;
+      chunk_stats.block_count =
+          std::max<std::size_t>(1, stats_.block_count * len / total);
+      ctx.comm.charge(model.user_copy_time(len, chunk_stats, warm));
+      auto& buf = chunk_[k % 2];
+      if (in_flight[k % 2].valid()) in_flight[k % 2].wait();
+      if (!buf.is_phantom() && !ctx.user_data.is_phantom()) {
+        minimpi::pack_region(ctx.user_data.data(), 1, dtype_, offset,
+                             buf.data(), len);
+      }
+      in_flight[k % 2] =
+          ctx.comm.isend(buf.data(), len, packed, 1, ping_tag);
+      offset += len;
+    }
+    for (auto& r : in_flight)
+      if (r.valid()) r.wait();
+    ctx.comm.recv(nullptr, 0, byte, 1, ping_tag + 1);
+  } else {
+    const std::size_t elems = ctx.layout.element_count();
+    std::size_t offset = 0;
+    for (std::size_t k = 0; k < nchunks; ++k) {
+      const std::size_t len = std::min(chunk_bytes, total - offset);
+      std::byte* dst = ctx.recv_buf.is_phantom()
+                           ? nullptr
+                           : ctx.recv_buf.data() + offset;
+      ctx.comm.recv(dst, len / sizeof(double), f64, 0, ping_tag);
+      offset += len;
+    }
+    (void)elems;
+    ctx.comm.send(nullptr, 0, byte, 0, ping_tag + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry additions
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& extended_scheme_names() {
+  static const std::vector<std::string> names = {
+      "isend(v)",      "ssend(v)",      "rsend(v)",
+      "persistent(v)", "onesided-pscw", "packing(p)"};
+  return names;
+}
+
+}  // namespace ncsend

@@ -1,0 +1,191 @@
+#pragma once
+/// \file schemes.hpp
+/// \brief Concrete send schemes (paper §2).  Tests instantiate these
+/// directly; everything else goes through `make_scheme`.
+
+#include <optional>
+
+#include "ncsend/scheme.hpp"
+
+namespace ncsend {
+
+/// §2.1 — contiguous send of the same byte count: the attainable rate.
+class ReferenceScheme final : public TwoSidedScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "reference"; }
+  void setup(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  minimpi::Buffer sendbuf_;
+};
+
+/// §2.2 — user gather loop into a reused contiguous buffer, then send.
+class CopyingScheme final : public TwoSidedScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "copying"; }
+  void setup(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  minimpi::Buffer sendbuf_;
+  minimpi::Datatype dtype_;
+  minimpi::BlockStats stats_;
+};
+
+/// §2.4 — MPI_Buffer_attach + MPI_Bsend of the derived type.
+class BufferedScheme final : public TwoSidedScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "buffered"; }
+  void setup(SchemeContext& ctx) override;
+  void teardown(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  minimpi::Buffer attach_buf_;
+  minimpi::Datatype dtype_;
+};
+
+/// §2.3 — direct send of a derived datatype (vector or subarray flavor).
+class DerivedTypeScheme final : public TwoSidedScheme {
+ public:
+  explicit DerivedTypeScheme(TypeStyle style) : style_(style) {}
+  [[nodiscard]] std::string_view name() const override {
+    return style_ == TypeStyle::subarray ? "subarray" : "vector type";
+  }
+  void setup(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  TypeStyle style_;
+  minimpi::Datatype dtype_;
+};
+
+/// §2.5 — MPI_Put of the derived type inside MPI_Win_fence epochs.
+class OneSidedScheme final : public SendScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "onesided"; }
+  void setup(SchemeContext& ctx) override;
+  void teardown(SchemeContext& ctx) override;
+  void run_rep(SchemeContext& ctx) override;
+
+ private:
+  std::optional<minimpi::Window> win_;
+  minimpi::Datatype dtype_;
+};
+
+/// §2.6 — one MPI_Pack call per element, send MPI_PACKED.
+class PackingElementScheme final : public TwoSidedScheme {
+ public:
+  /// Above this element count the functional path uses one engine
+  /// gather instead of N literal pack calls (identical bytes; the model
+  /// still charges N call overheads).
+  static constexpr std::size_t element_loop_limit = 65536;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "packing(e)";
+  }
+  void setup(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  minimpi::Buffer packbuf_;
+  minimpi::Datatype dtype_;
+  minimpi::BlockStats stats_;
+  std::vector<std::size_t> element_offsets_;  // element offsets, if looping
+};
+
+/// §2.6 — one MPI_Pack call on the whole derived type, send MPI_PACKED.
+class PackingVectorScheme final : public TwoSidedScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "packing(v)";
+  }
+  void setup(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  minimpi::Buffer packbuf_;
+  minimpi::Datatype dtype_;
+  minimpi::BlockStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Extension schemes (beyond the paper's eight; §4.7 "further tests")
+// ---------------------------------------------------------------------------
+
+/// Send-mode variants of the direct derived-type send: nonblocking
+/// (isend+wait), synchronous (ssend), ready (rsend, receiver guaranteed
+/// posted by the ping-pong structure), and persistent
+/// (send_init/start/wait).  Useful for isolating protocol costs.
+class SendModeScheme final : public TwoSidedScheme {
+ public:
+  enum class Mode { isend, ssend, rsend, persistent };
+
+  explicit SendModeScheme(Mode mode) : mode_(mode) {}
+  [[nodiscard]] std::string_view name() const override {
+    switch (mode_) {
+      case Mode::isend: return "isend(v)";
+      case Mode::ssend: return "ssend(v)";
+      case Mode::rsend: return "rsend(v)";
+      case Mode::persistent: return "persistent(v)";
+    }
+    return "?";
+  }
+  void setup(SchemeContext& ctx) override;
+  void ping(SchemeContext& ctx) override;
+
+ private:
+  Mode mode_;
+  minimpi::Datatype dtype_;
+  minimpi::PersistentRequest preq_;
+};
+
+/// One-sided put synchronized with post/start/complete/wait instead of
+/// fences: pairwise sync, so the small-message fence overhead (paper
+/// §4.4 item 1) largely disappears.
+class OneSidedPscwScheme final : public SendScheme {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "onesided-pscw";
+  }
+  void setup(SchemeContext& ctx) override;
+  void teardown(SchemeContext& ctx) override;
+  void run_rep(SchemeContext& ctx) override;
+
+ private:
+  std::optional<minimpi::Window> win_;
+  minimpi::Datatype dtype_;
+};
+
+/// Pipelined packing — the "beat packing(v)" follow-up the paper's
+/// conclusion invites: pack the derived type into user-space chunks and
+/// isend each chunk while packing the next, double-buffered.  The pack
+/// loop overlaps the wire instead of preceding it, so the large-message
+/// time is bounded by max(pack, wire) instead of their sum.
+class PackingPipelinedScheme final : public SendScheme {
+ public:
+  /// Chunk granularity; two chunk buffers are kept in flight.
+  static constexpr std::size_t chunk_bytes = 512 * 1024;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "packing(p)";
+  }
+  void setup(SchemeContext& ctx) override;
+  void run_rep(SchemeContext& ctx) override;
+
+ private:
+  minimpi::Buffer chunk_[2];
+  minimpi::Datatype dtype_;
+  minimpi::BlockStats stats_;
+};
+
+/// \brief Extension scheme names (not part of the paper's legend).
+const std::vector<std::string>& extended_scheme_names();
+
+/// \brief `layout.datatype(style)`, falling back to the layout's natural
+/// constructor when the requested style cannot express it (e.g. a
+/// "vector type" run over an irregular FEM boundary).
+minimpi::Datatype styled_or_best(const Layout& layout, TypeStyle style);
+
+}  // namespace ncsend

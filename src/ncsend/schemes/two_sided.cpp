@@ -1,0 +1,85 @@
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+
+void TwoSidedScheme::run_rep(SchemeContext& ctx) {
+  const minimpi::Datatype f64 = minimpi::Datatype::float64();
+  const minimpi::Datatype byte = minimpi::Datatype::byte();
+  if (ctx.sender()) {
+    ping(ctx);
+    // Zero-byte pong closes the ping-pong (paper §3.2).
+    ctx.comm.recv(nullptr, 0, byte, 1, ping_tag + 1);
+  } else {
+    ctx.comm.recv(ctx.recv_buf.data(), ctx.layout.element_count(), f64, 0,
+                  ping_tag);
+    ctx.comm.send(nullptr, 0, byte, 0, ping_tag + 1);
+  }
+}
+
+minimpi::Datatype styled_or_best(const Layout& layout, TypeStyle style) {
+  try {
+    return layout.datatype(style);
+  } catch (const minimpi::Error&) {
+    return layout.datatype();
+  }
+}
+
+std::unique_ptr<SendScheme> make_reference() {
+  return std::make_unique<ReferenceScheme>();
+}
+std::unique_ptr<SendScheme> make_copying() {
+  return std::make_unique<CopyingScheme>();
+}
+std::unique_ptr<SendScheme> make_buffered() {
+  return std::make_unique<BufferedScheme>();
+}
+std::unique_ptr<SendScheme> make_vector_type() {
+  return std::make_unique<DerivedTypeScheme>(TypeStyle::vector);
+}
+std::unique_ptr<SendScheme> make_subarray() {
+  return std::make_unique<DerivedTypeScheme>(TypeStyle::subarray);
+}
+std::unique_ptr<SendScheme> make_onesided() {
+  return std::make_unique<OneSidedScheme>();
+}
+std::unique_ptr<SendScheme> make_packing_element() {
+  return std::make_unique<PackingElementScheme>();
+}
+std::unique_ptr<SendScheme> make_packing_vector() {
+  return std::make_unique<PackingVectorScheme>();
+}
+
+const std::vector<std::string>& all_scheme_names() {
+  static const std::vector<std::string> names = {
+      "reference",  "copying",    "buffered",   "vector type",
+      "subarray",   "onesided",   "packing(e)", "packing(v)"};
+  return names;
+}
+
+std::unique_ptr<SendScheme> make_scheme(std::string_view name) {
+  if (name == "reference") return make_reference();
+  if (name == "copying") return make_copying();
+  if (name == "buffered") return make_buffered();
+  if (name == "vector type") return make_vector_type();
+  if (name == "subarray") return make_subarray();
+  if (name == "onesided") return make_onesided();
+  if (name == "packing(e)") return make_packing_element();
+  if (name == "packing(v)") return make_packing_vector();
+  // Extension schemes (not in the paper's legend).
+  if (name == "isend(v)")
+    return std::make_unique<SendModeScheme>(SendModeScheme::Mode::isend);
+  if (name == "ssend(v)")
+    return std::make_unique<SendModeScheme>(SendModeScheme::Mode::ssend);
+  if (name == "rsend(v)")
+    return std::make_unique<SendModeScheme>(SendModeScheme::Mode::rsend);
+  if (name == "persistent(v)")
+    return std::make_unique<SendModeScheme>(SendModeScheme::Mode::persistent);
+  if (name == "onesided-pscw")
+    return std::make_unique<OneSidedPscwScheme>();
+  if (name == "packing(p)")
+    return std::make_unique<PackingPipelinedScheme>();
+  throw minimpi::Error(minimpi::ErrorClass::invalid_arg,
+                       "unknown send scheme: " + std::string(name));
+}
+
+}  // namespace ncsend

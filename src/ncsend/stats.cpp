@@ -1,0 +1,44 @@
+#include "ncsend/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ncsend {
+
+TimingStats summarize(std::span<const double> samples) {
+  TimingStats s;
+  s.samples = static_cast<int>(samples.size());
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (const double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  const double mean_all = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (const double x : samples) var += (x - mean_all) * (x - mean_all);
+  var /= static_cast<double>(samples.size());
+  s.stddev = std::sqrt(var);
+
+  // Floor sigma at the timer's relative precision: virtual clocks carry
+  // ~1-ulp noise from subtracting nearby doubles, and real MPI_Wtime has
+  // finite resolution; neither should count as "more than one standard
+  // deviation from the average".
+  const double sigma_floor = std::abs(mean_all) * 1e-9 + 1e-15;
+  double kept_sum = 0.0;
+  int kept = 0;
+  for (const double x : samples) {
+    if (std::abs(x - mean_all) <= s.stddev + sigma_floor) {
+      kept_sum += x;
+      ++kept;
+    }
+  }
+  s.rejected = s.samples - kept;
+  s.mean = kept > 0 ? kept_sum / kept : mean_all;
+  return s;
+}
+
+}  // namespace ncsend

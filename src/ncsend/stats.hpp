@@ -1,0 +1,29 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Repetition statistics with the paper's outlier policy.
+
+#include <cstddef>
+#include <span>
+
+namespace ncsend {
+
+struct TimingStats {
+  double mean = 0.0;    ///< mean of kept samples
+  double stddev = 0.0;  ///< stddev of all samples
+  double min = 0.0;
+  double max = 0.0;
+  int samples = 0;      ///< total repetitions
+  int rejected = 0;     ///< dropped by the 1-sigma rule
+};
+
+/// \brief Summarize per-repetition times.
+///
+/// Paper §3.2: "Our code is set up to dismiss measurements that are more
+/// than one standard deviation from the average" — we compute mean and
+/// stddev over all samples, drop samples beyond one stddev from the
+/// mean, and report the mean of the survivors.  (The paper notes the
+/// rule in practice never fires; with deterministic virtual time it
+/// fires exactly never, which a test asserts.)
+TimingStats summarize(std::span<const double> samples);
+
+}  // namespace ncsend

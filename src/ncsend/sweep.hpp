@@ -1,0 +1,60 @@
+#pragma once
+/// \file sweep.hpp
+/// \brief Parameter sweeps: one figure = one sweep over sizes x schemes.
+
+#include <functional>
+#include <optional>
+
+#include "ncsend/harness.hpp"
+
+namespace ncsend {
+
+struct SweepConfig {
+  const minimpi::MachineProfile* profile = &minimpi::MachineProfile::skx_impi();
+  std::vector<std::string> schemes = all_scheme_names();
+  /// Payload sizes in bytes (rounded down to whole doubles).
+  std::vector<std::size_t> sizes_bytes;
+  /// Layout for a given element count; default: the paper's stride-2
+  /// vector ("the real parts of a complex array").
+  std::function<Layout(std::size_t elems)> layout_factory =
+      [](std::size_t elems) { return Layout::strided(elems, 1, 2); };
+  HarnessConfig harness;
+  /// §4.5 experiment: force the eager limit.
+  std::optional<std::size_t> eager_limit_override;
+  /// Payloads up to this size move physically (and get verified).
+  std::size_t functional_payload_limit = 1u << 20;
+  /// MPI_Wtime tick (paper: 1e-6 s); 0 for exact clocks.
+  double wtime_resolution = 1e-6;
+};
+
+struct SweepResult {
+  std::string profile_name;
+  std::string layout_name;
+  std::vector<std::size_t> sizes_bytes;
+  std::vector<std::string> schemes;
+  /// cells[size_index][scheme_index]
+  std::vector<std::vector<RunResult>> cells;
+
+  [[nodiscard]] double time(std::size_t si, std::size_t ci) const {
+    return cells[si][ci].time();
+  }
+  [[nodiscard]] double bandwidth_GBps(std::size_t si, std::size_t ci) const {
+    return cells[si][ci].bandwidth_Bps() / 1e9;
+  }
+  /// Slowdown vs the "reference" column (paper's third panel); 0 when no
+  /// reference scheme is in the sweep.
+  [[nodiscard]] double slowdown(std::size_t si, std::size_t ci) const;
+  [[nodiscard]] bool all_verified() const;
+};
+
+/// \brief Log-spaced sizes from `lo` to `hi` (inclusive-ish) with
+/// `per_decade` points per decade, each rounded to a multiple of 8.
+std::vector<std::size_t> log_sizes(double lo, double hi, int per_decade);
+
+/// \brief The paper's sweep range: 1e3 .. 1e9 bytes.
+std::vector<std::size_t> paper_sizes(int per_decade = 4);
+
+/// \brief Run the full sweep; one fresh 2-rank universe per cell.
+SweepResult run_sweep(const SweepConfig& cfg);
+
+}  // namespace ncsend

@@ -1,0 +1,68 @@
+// The scheme advisor: paper §5 encoded and queryable.
+#include <gtest/gtest.h>
+
+#include "ncsend/advisor.hpp"
+
+using namespace ncsend;
+using minimpi::MachineProfile;
+
+namespace {
+
+TEST(Advisor, ContiguousNeedsNothing) {
+  const auto rec =
+      advise(MachineProfile::skx_impi(), 1 << 20, Layout::contiguous(1 << 17));
+  EXPECT_EQ(rec.scheme, "reference");
+}
+
+TEST(Advisor, SmallAndIntermediateUseDerivedTypes) {
+  for (const std::size_t bytes :
+       {std::size_t{1} << 10, std::size_t{1} << 20, std::size_t{50'000'000}}) {
+    const auto rec = advise(MachineProfile::skx_impi(), bytes,
+                            Layout::strided(bytes / 8, 1, 2));
+    EXPECT_EQ(rec.scheme, "vector type") << bytes;
+    EXPECT_NE(rec.rationale.find("derived"), std::string::npos);
+  }
+}
+
+TEST(Advisor, LargeMessagesUsePackingVector) {
+  const std::size_t bytes = 200'000'000;
+  const auto rec = advise(MachineProfile::skx_impi(), bytes,
+                          Layout::strided(bytes / 8, 1, 2));
+  EXPECT_EQ(rec.scheme, "packing(v)");
+  EXPECT_NE(rec.rationale.find("internal buffer"), std::string::npos);
+}
+
+TEST(Advisor, AlwaysWarnsAgainstBufferedAndElementPacking) {
+  const auto rec = advise(MachineProfile::ls5_cray(), 1 << 20,
+                          Layout::strided(1 << 17, 1, 2));
+  bool warned_bsend = false, warned_packe = false;
+  for (const auto& a : rec.avoid) {
+    if (a.find("buffered") != std::string::npos) warned_bsend = true;
+    if (a.find("packing(e)") != std::string::npos) warned_packe = true;
+  }
+  EXPECT_TRUE(warned_bsend);
+  EXPECT_TRUE(warned_packe);
+}
+
+TEST(Advisor, WarnsAgainstRmaOnMvapichOnly) {
+  const auto mva = advise(MachineProfile::skx_mvapich2(), 1 << 20,
+                          Layout::strided(1 << 17, 1, 2));
+  const auto impi = advise(MachineProfile::skx_impi(), 1 << 20,
+                           Layout::strided(1 << 17, 1, 2));
+  auto warns_rma = [](const Recommendation& r) {
+    for (const auto& a : r.avoid)
+      if (a.find("onesided") != std::string::npos) return true;
+    return false;
+  };
+  EXPECT_TRUE(warns_rma(mva));
+  EXPECT_FALSE(warns_rma(impi));
+}
+
+TEST(Advisor, IrregularLayoutsStillAdvised) {
+  const auto rec = advise(MachineProfile::knl_impi(), 1 << 16,
+                          Layout::fem_boundary(1 << 13, 1 << 16));
+  EXPECT_FALSE(rec.scheme.empty());
+  EXPECT_FALSE(rec.rationale.empty());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Remaining API corners: error-class names, probe on rendezvous
+// messages, status accessors, dup semantics, advisor/report edges.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "minimpi/minimpi.hpp"
+#include "ncsend/ncsend.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(ErrorClasses, AllHaveStableNames) {
+  for (const ErrorClass ec :
+       {ErrorClass::internal, ErrorClass::invalid_arg, ErrorClass::invalid_type,
+        ErrorClass::invalid_rank, ErrorClass::invalid_tag, ErrorClass::truncate,
+        ErrorClass::buffer, ErrorClass::rma_sync, ErrorClass::rma_range,
+        ErrorClass::type_mismatch, ErrorClass::not_supported}) {
+    const auto name = to_string(ec);
+    EXPECT_TRUE(name.starts_with("MM_ERR_")) << name;
+  }
+  const Error e(ErrorClass::truncate, "too big");
+  EXPECT_NE(std::string(e.what()).find("MM_ERR_TRUNCATE"), std::string::npos);
+  EXPECT_NE(std::string(e.what()).find("too big"), std::string::npos);
+}
+
+TEST(TraceEvents, AllHaveNames) {
+  for (int i = 0; i <= static_cast<int>(TraceEvent::collective); ++i) {
+    const auto n = to_string(static_cast<TraceEvent>(i));
+    EXPECT_NE(n, "?") << i;
+    EXPECT_NE(n.find('.') == std::string_view::npos &&
+                  n != "collective",
+              true)
+        << n;
+  }
+}
+
+TEST(Status, CountConvertsBytes) {
+  const Status st{2, 7, 96};
+  EXPECT_EQ(st.count(sizeof(double)), 12u);
+  EXPECT_EQ(st.count(sizeof(float)), 24u);
+  EXPECT_EQ(st.count(0), 0u);  // guarded division
+}
+
+TEST(Probe, SeesRendezvousRtsBeforeTransfer) {
+  UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  Universe::run(o, [](Comm& c) {
+    const std::size_t n = 1 << 15;  // above the eager limit
+    if (c.rank() == 0) {
+      std::vector<double> buf(n, 1.0);
+      c.send(buf.data(), n, Datatype::float64(), 1, 3);
+    } else {
+      const Status st = c.probe(0, 3);
+      EXPECT_EQ(st.count_bytes, n * 8);
+      // Probing must not complete the transfer: the sender is still
+      // blocked until our matching receive.
+      std::vector<double> in(n);
+      c.recv(in.data(), n, Datatype::float64(), 0, 3);
+      EXPECT_EQ(in[0], 1.0);
+    }
+  });
+}
+
+TEST(Datatype, DupSharesStructure) {
+  Datatype v = Datatype::vector(8, 1, 2, Datatype::float64());
+  const Datatype before_commit = v.dup();
+  EXPECT_FALSE(before_commit.committed());
+  v.commit();
+  const Datatype after_commit = v.dup();
+  EXPECT_TRUE(after_commit.committed());
+  EXPECT_EQ(after_commit.size(), v.size());
+  EXPECT_TRUE(after_commit == v);       // same node tree
+  EXPECT_FALSE(before_commit == Datatype::float64());
+}
+
+TEST(Wtick, ReportsResolution) {
+  UniverseOptions o;
+  o.nranks = 1;
+  o.wtime_resolution = 2.5e-7;
+  Universe::run(o, [](Comm& c) { EXPECT_DOUBLE_EQ(c.wtick(), 2.5e-7); });
+}
+
+TEST(ChargeNegative, Throws) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    EXPECT_THROW(c.charge(-1.0), Error);
+  });
+}
+
+TEST(Universe, ZeroRanksRejected) {
+  UniverseOptions o;
+  o.nranks = 0;
+  EXPECT_THROW(Universe::run(o, [](Comm&) {}), Error);
+}
+
+TEST(Universe, ExceptionsPropagateToCaller) {
+  UniverseOptions o;
+  o.nranks = 1;
+  EXPECT_THROW(Universe::run(o,
+                             [](Comm&) {
+                               throw Error(ErrorClass::internal, "boom");
+                             }),
+               Error);
+}
+
+TEST(Layout, ContiguityEdgeCases) {
+  using ncsend::Layout;
+  EXPECT_TRUE(Layout::contiguous(10).is_contiguous());
+  EXPECT_TRUE(Layout::strided(1, 4, 9).is_contiguous());   // one block
+  EXPECT_TRUE(Layout::strided(10, 3, 3).is_contiguous());  // dense stride
+  EXPECT_FALSE(Layout::strided(10, 3, 4).is_contiguous());
+  EXPECT_TRUE(Layout::subarray2d(4, 6, 2, 6, 1, 0).is_contiguous());
+  EXPECT_FALSE(Layout::subarray2d(4, 6, 2, 3, 1, 0).is_contiguous());
+}
+
+TEST(Report, EmptySweepDoesNotCrash) {
+  ncsend::SweepResult empty;
+  std::ostringstream os;
+  ncsend::ascii_plot(os, empty, ncsend::Metric::time);
+  ncsend::write_csv(os, empty);
+  ncsend::write_json(os, empty);
+  SUCCEED();
+}
+
+TEST(Advisor, KnlStillRecommendsPackingForLarge) {
+  const auto rec =
+      ncsend::advise(MachineProfile::knl_impi(), 500'000'000,
+                     ncsend::Layout::strided(62'500'000, 1, 2));
+  EXPECT_EQ(rec.scheme, "packing(v)");
+}
+
+TEST(BsendPool, HighWaterTracksPeak) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    auto attach = Buffer::allocate(4096);
+    c.buffer_attach(attach);
+    std::vector<double> data(32);
+    c.bsend(data.data(), 32, Datatype::float64(), 0, 0);
+    c.bsend(data.data(), 32, Datatype::float64(), 0, 1);
+    const std::size_t peak = c.bsend_high_water();
+    EXPECT_GE(peak, 2 * (256 + 64));  // two messages + per-message overhead
+    std::vector<double> in(32);
+    c.recv(in.data(), 32, Datatype::float64(), 0, 0);
+    c.recv(in.data(), 32, Datatype::float64(), 0, 1);
+    c.buffer_detach();
+    EXPECT_EQ(c.bsend_high_water(), peak);  // high water survives drain
+  });
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Aligned/phantom buffer semantics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "minimpi/base/buffer.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(Buffer, RealAllocationIsAlignedAndZeroed) {
+  auto b = Buffer::allocate(1000);
+  ASSERT_NE(b.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % buffer_alignment,
+            0u);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_FALSE(b.is_phantom());
+  for (const double d : b.as<double>()) EXPECT_EQ(d, 0.0);
+}
+
+TEST(Buffer, PhantomRecordsSizeOnly) {
+  auto b = Buffer::allocate(std::size_t{1} << 40, /*real=*/false);
+  EXPECT_EQ(b.data(), nullptr);
+  EXPECT_EQ(b.size(), std::size_t{1} << 40);
+  EXPECT_TRUE(b.is_phantom());
+  EXPECT_THROW((void)b.as<double>(), Error);
+  b.zero();  // no-op, must not crash
+}
+
+TEST(Buffer, EmptyIsNeitherRealNorPhantom) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.is_phantom());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(Buffer, TypedViewCoversWholeBuffer) {
+  auto b = Buffer::allocate(64);
+  auto d = b.as<double>();
+  EXPECT_EQ(d.size(), 8u);
+  d[7] = 3.5;
+  EXPECT_EQ(b.as<double>()[7], 3.5);
+  b.zero();
+  EXPECT_EQ(b.as<double>()[7], 0.0);
+}
+
+TEST(Buffer, MoveTransfersOwnership) {
+  auto a = Buffer::allocate(64);
+  a.as<double>()[0] = 1.0;
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.as<double>()[0], 1.0);
+  EXPECT_EQ(b.size(), 64u);
+}
+
+TEST(Buffer, OddSizesRoundUpAllocationNotSize) {
+  auto b = Buffer::allocate(13);
+  EXPECT_EQ(b.size(), 13u);
+  ASSERT_NE(b.data(), nullptr);
+}
+
+}  // namespace

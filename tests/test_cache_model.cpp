@@ -1,0 +1,90 @@
+// Cache occupancy model and the 50 MB flusher.
+#include <gtest/gtest.h>
+
+#include "memsim/cache_model.hpp"
+#include "memsim/flusher.hpp"
+
+using memsim::CacheModel;
+
+namespace {
+
+TEST(CacheModel, ColdThenWarm) {
+  CacheModel c(1 << 20);
+  EXPECT_EQ(c.touch(1, 4096), 0.0);      // first touch: cold
+  EXPECT_EQ(c.touch(1, 4096), 1.0);      // second: fully warm
+  EXPECT_EQ(c.warm_fraction(1, 4096), 1.0);
+  EXPECT_EQ(c.warm_fraction(2, 4096), 0.0);
+}
+
+TEST(CacheModel, FlushEvictsEverything) {
+  CacheModel c(1 << 20);
+  c.touch(1, 4096);
+  c.touch(2, 8192);
+  EXPECT_GT(c.resident_bytes(), 0u);
+  c.flush();
+  EXPECT_EQ(c.resident_bytes(), 0u);
+  EXPECT_EQ(c.warm_fraction(1, 4096), 0.0);
+}
+
+TEST(CacheModel, OversizedRegionOnlyPartiallyWarm) {
+  CacheModel c(1000);
+  c.touch(1, 4000);
+  // Only `capacity` bytes can be resident.
+  EXPECT_NEAR(c.warm_fraction(1, 4000), 0.25, 1e-12);
+  EXPECT_EQ(c.warm_fraction(1, 1000), 1.0);
+}
+
+TEST(CacheModel, LruEviction) {
+  CacheModel c(1000);
+  c.touch(1, 600);
+  c.touch(2, 600);  // evicts region 1
+  EXPECT_EQ(c.warm_fraction(1, 600), 0.0);
+  EXPECT_EQ(c.warm_fraction(2, 600), 1.0);
+}
+
+TEST(CacheModel, TouchRefreshesRecency) {
+  CacheModel c(1200);
+  c.touch(1, 500);
+  c.touch(2, 500);
+  c.touch(1, 500);  // refresh region 1
+  c.touch(3, 500);  // evicts region 2 (least recent), not 1
+  EXPECT_EQ(c.warm_fraction(1, 500), 1.0);
+  EXPECT_EQ(c.warm_fraction(2, 500), 0.0);
+  EXPECT_EQ(c.warm_fraction(3, 500), 1.0);
+}
+
+TEST(CacheModel, ZeroByteTouchIsNeutral) {
+  CacheModel c(1000);
+  EXPECT_EQ(c.touch(1, 0), 0.0);
+  EXPECT_EQ(c.resident_bytes(), 0u);
+}
+
+TEST(Flusher, ChargesTimeAndClearsCache) {
+  memsim::CacheModel cache(1 << 20);
+  cache.touch(1, 4096);
+  minimpi::UniverseOptions opts;
+  opts.nranks = 1;
+  minimpi::Universe::run(opts, [&](minimpi::Comm& comm) {
+    memsim::CacheFlusher f(cache, /*enabled=*/true, 50'000'000);
+    const double t0 = comm.clock();
+    f.flush(comm);
+    EXPECT_GT(comm.clock(), t0);  // the 50 MB rewrite costs time
+  });
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+TEST(Flusher, DisabledIsNoop) {
+  memsim::CacheModel cache(1 << 20);
+  cache.touch(1, 4096);
+  minimpi::UniverseOptions opts;
+  opts.nranks = 1;
+  minimpi::Universe::run(opts, [&](minimpi::Comm& comm) {
+    memsim::CacheFlusher f(cache, /*enabled=*/false);
+    const double t0 = comm.clock();
+    f.flush(comm);
+    EXPECT_EQ(comm.clock(), t0);
+  });
+  EXPECT_GT(cache.resident_bytes(), 0u);
+}
+
+}  // namespace

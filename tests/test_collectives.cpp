@@ -1,0 +1,128 @@
+// Collectives: barrier clock fusion, bcast data movement, reductions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/minimpi.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(Barrier, FusesClocksToMax) {
+  UniverseOptions o;
+  o.nranks = 4;
+  o.wtime_resolution = 0.0;
+  Universe::run(o, [](Comm& c) {
+    c.charge(static_cast<double>(c.rank()));  // rank r arrives at time r
+    c.barrier();
+    EXPECT_GE(c.clock(), 3.0);  // everyone leaves at >= the max
+    const double after = c.clock();
+    // All ranks have the same clock after a barrier: verify via a
+    // reduction of the clock value itself.
+    const double maxc = c.allreduce(after, ReduceOp::max);
+    const double minc = c.allreduce(after, ReduceOp::min);
+    EXPECT_EQ(maxc, minc);
+  });
+}
+
+TEST(Barrier, CostsTime) {
+  UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  Universe::run(o, [](Comm& c) {
+    const double t0 = c.clock();
+    c.barrier();
+    EXPECT_GT(c.clock(), t0);
+  });
+}
+
+TEST(Bcast, RootDataReachesEveryone) {
+  UniverseOptions o;
+  o.nranks = 4;
+  Universe::run(o, [](Comm& c) {
+    std::vector<double> data(32, c.rank() == 2 ? 7.5 : 0.0);
+    c.bcast(data.data(), data.size(), Datatype::float64(), 2);
+    for (const double v : data) EXPECT_EQ(v, 7.5);
+  });
+}
+
+TEST(Bcast, WorksWithDerivedTypes) {
+  UniverseOptions o;
+  o.nranks = 3;
+  Universe::run(o, [](Comm& c) {
+    Datatype vec = Datatype::vector(4, 1, 2, Datatype::float64());
+    vec.commit();
+    std::vector<double> data(8, 0.0);
+    if (c.rank() == 0)
+      for (int i = 0; i < 8; i += 2) data[i] = i + 1.0;
+    c.bcast(data.data(), 1, vec, 0);
+    for (int i = 0; i < 8; ++i)
+      EXPECT_EQ(data[i], i % 2 == 0 ? i + 1.0 : 0.0);
+  });
+}
+
+TEST(Reduce, SumAtRootOnly) {
+  UniverseOptions o;
+  o.nranks = 4;
+  Universe::run(o, [](Comm& c) {
+    const double r = c.reduce(c.rank() + 1.0, ReduceOp::sum, 0);
+    if (c.rank() == 0) EXPECT_EQ(r, 10.0);
+  });
+}
+
+TEST(Allreduce, MinMaxSumEverywhere) {
+  UniverseOptions o;
+  o.nranks = 4;
+  Universe::run(o, [](Comm& c) {
+    EXPECT_EQ(c.allreduce(c.rank() + 1.0, ReduceOp::sum), 10.0);
+    EXPECT_EQ(c.allreduce(c.rank() + 1.0, ReduceOp::min), 1.0);
+    EXPECT_EQ(c.allreduce(c.rank() + 1.0, ReduceOp::max), 4.0);
+  });
+}
+
+TEST(Gather, RootCollectsInRankOrder) {
+  UniverseOptions o;
+  o.nranks = 4;
+  Universe::run(o, [](Comm& c) {
+    auto v = c.gather(c.rank() * 2.0, 1);
+    if (c.rank() == 1) {
+      ASSERT_EQ(v.size(), 4u);
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(v[static_cast<std::size_t>(r)], 2.0 * r);
+    } else {
+      EXPECT_TRUE(v.empty());
+    }
+  });
+}
+
+TEST(Collectives, RepeatedUseIsSafe) {
+  UniverseOptions o;
+  o.nranks = 3;
+  Universe::run(o, [](Comm& c) {
+    double total = 0.0;
+    for (int i = 0; i < 50; ++i)
+      total += c.allreduce(1.0, ReduceOp::sum);
+    EXPECT_EQ(total, 150.0);
+  });
+}
+
+TEST(Collectives, MixWithP2P) {
+  UniverseOptions o;
+  o.nranks = 2;
+  Universe::run(o, [](Comm& c) {
+    for (int i = 0; i < 5; ++i) {
+      double v = 0.0;
+      if (c.rank() == 0) {
+        v = i;
+        c.send(&v, 1, Datatype::float64(), 1, 0);
+      } else {
+        c.recv(&v, 1, Datatype::float64(), 0, 0);
+      }
+      const double s = c.allreduce(v, ReduceOp::sum);
+      EXPECT_EQ(s, 2.0 * i);
+      c.barrier();
+    }
+  });
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+// Cost-model unit tests: each term behaves per its mechanistic story.
+#include <gtest/gtest.h>
+
+#include "minimpi/net/cost_model.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+const MachineProfile& skx() { return MachineProfile::skx_impi(); }
+
+BlockStats strided_stats(std::size_t bytes, std::size_t block = 8) {
+  return {bytes / block, bytes, block, block};
+}
+BlockStats contig_stats(std::size_t bytes) {
+  return {1, bytes, bytes, bytes};
+}
+
+TEST(WireTime, LinearInBytesPlusPackets) {
+  CostModel m(skx());
+  EXPECT_EQ(m.wire_time(0), 0.0);
+  const double t1 = m.wire_time(1'000'000);
+  const double t2 = m.wire_time(2'000'000);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+  // At least the serialization term.
+  EXPECT_GE(t1, 1e6 / skx().net_bandwidth_Bps);
+}
+
+TEST(BlockFactor, NormalizedToEightByteBlocks) {
+  CostModel m(skx());
+  EXPECT_NEAR(m.block_factor(strided_stats(1 << 20, 8)), 1.0, 1e-12);
+  // Longer blocks are cheaper per byte; contiguous cheapest.
+  const double f64b = m.block_factor(strided_stats(1 << 20, 64));
+  const double fc = m.block_factor_contiguous();
+  EXPECT_LT(f64b, 1.0);
+  EXPECT_LT(fc, f64b);
+  // 4-byte blocks are *more* expensive than the canonical case.
+  EXPECT_GT(m.block_factor(strided_stats(1 << 20, 4)), 1.0);
+}
+
+TEST(UserCopyTime, MatchesBandwidthForCanonicalBlocks) {
+  CostModel m(skx());
+  const std::size_t n = 1 << 20;
+  EXPECT_NEAR(m.user_copy_time(n, strided_stats(n)),
+              static_cast<double>(n) / skx().copy_bandwidth_Bps, 1e-9);
+}
+
+TEST(UserCopyTime, WarmthSpeedsUp) {
+  CostModel m(skx());
+  const std::size_t n = 1 << 20;
+  const double cold = m.user_copy_time(n, strided_stats(n), 0.0);
+  const double warm = m.user_copy_time(n, strided_stats(n), 1.0);
+  EXPECT_NEAR(cold / warm, skx().warm_copy_factor, 1e-9);
+  const double half = m.user_copy_time(n, strided_stats(n), 0.5);
+  EXPECT_GT(half, warm);
+  EXPECT_LT(half, cold);
+}
+
+TEST(CallOverhead, Linear) {
+  CostModel m(skx());
+  EXPECT_EQ(m.call_overhead(0), 0.0);
+  EXPECT_NEAR(m.call_overhead(1000), 1000 * skx().per_call_overhead_s, 1e-15);
+}
+
+TEST(InternalStaging, CapacityPenaltyKicksInBeyondBuffer) {
+  CostModel m(skx());
+  const std::size_t cap = skx().internal_buffer_bytes;
+  const auto below = m.internal_staging_time(cap / 2, strided_stats(cap / 2));
+  const auto above = m.internal_staging_time(cap * 4, strided_stats(cap * 4));
+  // Below capacity the per-byte cost is flat; above it grows.
+  const double per_byte_below = below / (cap / 2.0);
+  const double per_byte_above = above / (cap * 4.0);
+  EXPECT_GT(per_byte_above, per_byte_below * 1.5);
+}
+
+TEST(InternalStaging, SegmentOverheadCountsSegments) {
+  CostModel m(skx());
+  const std::size_t seg = skx().internal_segment_bytes;
+  const double one = m.internal_staging_time(seg, strided_stats(seg));
+  const double two = m.internal_staging_time(2 * seg, strided_stats(2 * seg));
+  // Doubling bytes doubles both terms below capacity.
+  EXPECT_NEAR(two / one, 2.0, 0.01);
+}
+
+TEST(EagerLimit, DefaultsAndOverride) {
+  CostModel def(skx());
+  EXPECT_EQ(def.eager_limit(), skx().eager_limit_bytes);
+  EXPECT_TRUE(def.is_eager(skx().eager_limit_bytes));
+  EXPECT_FALSE(def.is_eager(skx().eager_limit_bytes + 1));
+
+  // Raising the limit is capped by the internal buffer capacity: the
+  // paper's §4.5 "no change for large messages" mechanism.
+  CostModel big(skx(), std::size_t{1} << 40);
+  EXPECT_EQ(big.eager_limit(), skx().internal_buffer_bytes);
+
+  CostModel tiny(skx(), std::size_t{1024});
+  EXPECT_EQ(tiny.eager_limit(), 1024u);
+}
+
+TEST(EagerTiming, SenderReturnsBeforeArrival) {
+  CostModel m(skx());
+  const auto t = m.eager_timing(1.0, 1024, contig_stats(1024));
+  EXPECT_TRUE(t.eager);
+  EXPECT_GT(t.sender_done, 1.0);
+  EXPECT_GT(t.arrival, t.sender_done);
+}
+
+TEST(EagerTiming, NoncontigPaysStaging) {
+  CostModel m(skx());
+  const std::size_t n = 32 * 1024;
+  const auto c = m.eager_timing(0.0, n, contig_stats(n));
+  const auto nc = m.eager_timing(0.0, n, strided_stats(n));
+  EXPECT_GT(nc.sender_done, c.sender_done);
+}
+
+TEST(RendezvousTiming, GatedOnBothSides) {
+  CostModel m(skx());
+  const std::size_t n = 1 << 20;
+  const auto early_recv =
+      m.rendezvous_timing(1.0, 0.0, n, contig_stats(n));
+  const auto late_recv = m.rendezvous_timing(1.0, 2.0, n, contig_stats(n));
+  EXPECT_GT(late_recv.arrival, early_recv.arrival);
+  EXPECT_NEAR(late_recv.arrival - early_recv.arrival, 1.0, 1e-9);
+  EXPECT_FALSE(early_recv.eager);
+}
+
+TEST(RendezvousTiming, ContiguousIsZeroCopy) {
+  CostModel m(skx());
+  const std::size_t n = 1 << 24;
+  const auto c = m.rendezvous_timing(0.0, 0.0, n, contig_stats(n));
+  // Sender busy = handshake + wire only.
+  EXPECT_NEAR(c.sender_done, m.handshake_time() + m.wire_time(n), 1e-9);
+}
+
+TEST(RendezvousTiming, PipeliningOverlapsPackAndWire) {
+  MachineProfile p = skx();
+  const std::size_t n = 1 << 24;
+  CostModel serial(p);
+  p.nic_noncontig_pipelining = true;
+  CostModel overlap(p);
+  const auto ts = serial.rendezvous_timing(0.0, 0.0, n, strided_stats(n));
+  const auto to = overlap.rendezvous_timing(0.0, 0.0, n, strided_stats(n));
+  EXPECT_LT(to.arrival, ts.arrival);
+}
+
+TEST(BsendTiming, WorseThanPlainEager) {
+  CostModel m(skx());
+  const std::size_t n = 32 * 1024;
+  const auto plain = m.eager_timing(0.0, n, strided_stats(n));
+  const auto buffered = m.bsend_timing(0.0, n, strided_stats(n));
+  EXPECT_GT(buffered.arrival, plain.arrival);
+}
+
+TEST(RecvCompletion, WaitsForArrival) {
+  CostModel m(skx());
+  const double done_waiting =
+      m.recv_completion(0.0, 5.0, 1024, contig_stats(1024), true);
+  EXPECT_GT(done_waiting, 5.0);
+  const double done_late =
+      m.recv_completion(9.0, 5.0, 1024, contig_stats(1024), true);
+  EXPECT_GT(done_late, 9.0);
+}
+
+TEST(RecvCompletion, NoncontigRecvPaysScatter) {
+  CostModel m(skx());
+  const std::size_t n = 1 << 20;
+  const double c = m.recv_completion(0.0, 0.0, n, contig_stats(n), false);
+  const double nc = m.recv_completion(0.0, 0.0, n, strided_stats(n), false);
+  EXPECT_GT(nc, c);
+}
+
+TEST(PutTiming, FenceAndFactors) {
+  const MachineProfile& impi = skx();
+  const MachineProfile& mva = MachineProfile::skx_mvapich2();
+  CostModel mi(impi), mm(mva);
+  const std::size_t n = 1 << 20;
+  const auto pi = mi.put_timing(0.0, n, strided_stats(n));
+  const auto pm = mm.put_timing(0.0, n, strided_stats(n));
+  // MVAPICH2's puts are several factors slower (paper §4.4).
+  EXPECT_GT(pm.arrival, pi.arrival * 1.5);
+}
+
+TEST(GetTiming, RoundTripLatency) {
+  CostModel m(skx());
+  const auto g = m.get_timing(0.0, 4096, contig_stats(4096));
+  const auto p = m.put_timing(0.0, 4096, contig_stats(4096));
+  EXPECT_GT(g.arrival, p.arrival);  // get pays a request leg
+}
+
+TEST(ZeroBytes, AllTermsVanish) {
+  CostModel m(skx());
+  EXPECT_EQ(m.wire_time(0), 0.0);
+  EXPECT_EQ(m.internal_staging_time(0, {}), 0.0);
+  EXPECT_EQ(m.internal_contiguous_copy_time(0), 0.0);
+  EXPECT_EQ(m.user_copy_time(0, {}), 0.0);
+  const auto t = m.eager_timing(3.0, 0, {});
+  EXPECT_NEAR(t.sender_done, 3.0 + skx().send_overhead_s, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Extension schemes: send-mode variants and PSCW one-sided.
+#include <gtest/gtest.h>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+
+namespace {
+
+minimpi::UniverseOptions exact_opts() {
+  minimpi::UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  return o;
+}
+
+TEST(ExtendedRegistry, SixExtensionSchemes) {
+  const auto& names = extended_scheme_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const auto& n : names) {
+    auto s = make_scheme(n);
+    ASSERT_NE(s, nullptr) << n;
+    EXPECT_EQ(s->name(), n);
+  }
+}
+
+TEST(ExtendedRegistry, NotInPaperLegend) {
+  const auto& paper = all_scheme_names();
+  for (const auto& n : extended_scheme_names())
+    EXPECT_EQ(std::find(paper.begin(), paper.end(), n), paper.end()) << n;
+}
+
+class ExtendedDelivery : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ExtendedDelivery,
+    ::testing::ValuesIn(extended_scheme_names()), [](const auto& info) {
+      std::string out;
+      for (const char c : info.param)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      return out;
+    });
+
+TEST_P(ExtendedDelivery, DeliversExactBytes) {
+  const Layout layout = Layout::strided(512, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 4;
+  const RunResult r = run_experiment(exact_opts(), GetParam(), layout, cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST_P(ExtendedDelivery, WorksAtRendezvousSizes) {
+  const Layout layout = Layout::strided(1 << 15, 1, 2);  // 256 KB
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  const RunResult r = run_experiment(exact_opts(), GetParam(), layout, cfg);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.time(), 0.0);
+}
+
+TEST(ExtendedBehaviour, IsendMatchesBlockingSend) {
+  // A lone isend+wait has the same critical path as a blocking send.
+  const Layout layout = Layout::strided(1 << 14, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double blocking =
+      run_experiment(exact_opts(), "vector type", layout, cfg).time();
+  const double nonblocking =
+      run_experiment(exact_opts(), "isend(v)", layout, cfg).time();
+  EXPECT_NEAR(nonblocking / blocking, 1.0, 0.02);
+}
+
+TEST(ExtendedBehaviour, RsendSavesTheHandshake) {
+  const Layout layout = Layout::strided(1 << 15, 1, 2);  // rendezvous size
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double standard =
+      run_experiment(exact_opts(), "vector type", layout, cfg).time();
+  const double ready =
+      run_experiment(exact_opts(), "rsend(v)", layout, cfg).time();
+  EXPECT_LT(ready, standard);
+}
+
+TEST(ExtendedBehaviour, PscwBeatsFenceForSmallMessages) {
+  const Layout layout = Layout::strided(128, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double fence =
+      run_experiment(exact_opts(), "onesided", layout, cfg).time();
+  const double pscw =
+      run_experiment(exact_opts(), "onesided-pscw", layout, cfg).time();
+  EXPECT_LT(pscw, fence);
+}
+
+TEST(ExtendedBehaviour, PersistentMatchesIsend) {
+  const Layout layout = Layout::strided(4096, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double isend =
+      run_experiment(exact_opts(), "isend(v)", layout, cfg).time();
+  const double persistent =
+      run_experiment(exact_opts(), "persistent(v)", layout, cfg).time();
+  EXPECT_NEAR(persistent / isend, 1.0, 0.02);
+}
+
+TEST(ExtendedBehaviour, PipelinedPackingBeatsPackingVAtLargeSizes) {
+  // Overlapping the pack loop with the wire bounds the time by
+  // max(pack, wire) instead of pack + wire.
+  minimpi::UniverseOptions opts = exact_opts();
+  opts.functional_payload_limit = 1 << 16;  // modeled payloads
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  cfg.verify = false;
+  const Layout large = Layout::strided(100'000'000 / 8, 1, 2);
+  const double pv = run_experiment(opts, "packing(v)", large, cfg).time();
+  const double pp = run_experiment(opts, "packing(p)", large, cfg).time();
+  EXPECT_LT(pp, 0.9 * pv);
+  // Still bounded below by the pure wire time of the reference scheme.
+  const double ref = run_experiment(opts, "reference", large, cfg).time();
+  EXPECT_GT(pp, ref);
+}
+
+TEST(ExtendedBehaviour, PipelinedPackingMatchesPackingVWhenOneChunk) {
+  // Below one chunk there is nothing to overlap.
+  const Layout small = Layout::strided(4096, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double pv =
+      run_experiment(exact_opts(), "packing(v)", small, cfg).time();
+  const double pp =
+      run_experiment(exact_opts(), "packing(p)", small, cfg).time();
+  EXPECT_NEAR(pp / pv, 1.0, 0.05);
+}
+
+TEST(ExtendedBehaviour, SsendNoSlowerThanNeededAtLargeSizes) {
+  // Above the eager limit a standard send already handshakes, so the
+  // synchronous mode costs the same there.
+  const Layout layout = Layout::strided(1 << 15, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double standard =
+      run_experiment(exact_opts(), "vector type", layout, cfg).time();
+  const double ssend =
+      run_experiment(exact_opts(), "ssend(v)", layout, cfg).time();
+  EXPECT_NEAR(ssend / standard, 1.0, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Ping-pong harness: repetition counts, flushing, verification wiring.
+#include <gtest/gtest.h>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+
+namespace {
+
+minimpi::UniverseOptions opts() {
+  minimpi::UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  return o;
+}
+
+TEST(Harness, TwentyRepsByDefault) {
+  const HarnessConfig cfg;
+  EXPECT_EQ(cfg.reps, 20);  // paper §3.2
+  EXPECT_TRUE(cfg.flush);
+  EXPECT_EQ(cfg.flush_bytes, 50'000'000u);
+  const RunResult r =
+      run_experiment(opts(), "copying", Layout::strided(512, 1, 2), cfg);
+  EXPECT_EQ(r.timing.samples, 20);
+}
+
+TEST(Harness, OutlierRuleNeverFiresOnDeterministicClocks) {
+  // Paper: "in practice this test is never needed" — with virtual time
+  // it must never fire.
+  for (const auto& s : all_scheme_names()) {
+    const RunResult r =
+        run_experiment(opts(), s, Layout::strided(1024, 1, 2));
+    EXPECT_EQ(r.timing.rejected, 0) << s;
+  }
+}
+
+TEST(Harness, ResultMetadata) {
+  const Layout l = Layout::strided(256, 1, 2);
+  const RunResult r = run_experiment(opts(), "vector type", l);
+  EXPECT_EQ(r.scheme, "vector type");
+  EXPECT_EQ(r.layout, l.name());
+  EXPECT_EQ(r.payload_bytes, 2048u);
+  EXPECT_GT(r.bandwidth_Bps(), 0.0);
+}
+
+TEST(Harness, FlushingSlowsIntermediateSizes) {
+  // Paper §4.6: no cache flushing has "a clear positive effect on
+  // intermediate size messages".
+  const Layout l = Layout::strided(1 << 16, 1, 2);  // 512 KB payload
+  HarnessConfig flushed, warm;
+  flushed.reps = warm.reps = 10;
+  warm.flush = false;
+  const double t_flushed =
+      run_experiment(opts(), "copying", l, flushed).time();
+  const double t_warm = run_experiment(opts(), "copying", l, warm).time();
+  EXPECT_LT(t_warm, t_flushed);
+}
+
+TEST(Harness, FlushingIrrelevantForReference) {
+  // The reference scheme has no user-space copy loop, so cache warmth
+  // must not change it.
+  const Layout l = Layout::strided(1 << 14, 1, 2);
+  HarnessConfig flushed, warm;
+  flushed.reps = warm.reps = 6;
+  warm.flush = false;
+  const double tf = run_experiment(opts(), "reference", l, flushed).time();
+  const double tw = run_experiment(opts(), "reference", l, warm).time();
+  // Equal up to clock-subtraction noise (the samples are taken at
+  // different absolute virtual times).
+  EXPECT_NEAR(tw / tf, 1.0, 1e-9);
+}
+
+TEST(Harness, VerificationCatchesCorruption) {
+  // A scheme that sends the wrong bytes must be flagged.  Run a custom
+  // broken scheme through the harness.
+  class BrokenScheme final : public TwoSidedScheme {
+   public:
+    std::string_view name() const override { return "broken"; }
+    void setup(SchemeContext& ctx) override {
+      if (ctx.sender()) buf_ = ctx.allocate(ctx.payload_bytes());
+      // never fills buf_: receiver gets zeros instead of the layout data
+    }
+    void ping(SchemeContext& ctx) override {
+      ctx.comm.send(buf_.data(), ctx.layout.element_count(),
+                    minimpi::Datatype::float64(), 1, ping_tag);
+    }
+
+   private:
+    minimpi::Buffer buf_;
+  };
+
+  RunResult result;
+  minimpi::Universe::run(opts(), [&](minimpi::Comm& comm) {
+    BrokenScheme scheme;
+    HarnessConfig cfg;
+    cfg.reps = 2;
+    run_pingpong_rank(comm, scheme, Layout::strided(64, 1, 2), cfg, &result);
+  });
+  EXPECT_TRUE(result.data_checked);
+  EXPECT_FALSE(result.verified);
+}
+
+TEST(Harness, PhantomRunsSkipVerification) {
+  minimpi::UniverseOptions o = opts();
+  o.functional_payload_limit = 16;  // everything phantom
+  const RunResult r =
+      run_experiment(o, "copying", Layout::strided(4096, 1, 2));
+  EXPECT_FALSE(r.data_checked);
+  EXPECT_TRUE(r.verified);  // vacuously
+}
+
+TEST(Harness, FillValueIsDeterministic) {
+  EXPECT_EQ(fill_value(123), fill_value(123));
+  EXPECT_NE(fill_value(1), fill_value(2));
+}
+
+TEST(Harness, NeedsTwoRanks) {
+  minimpi::UniverseOptions o;
+  o.nranks = 1;
+  EXPECT_THROW(
+      run_experiment(o, "reference", Layout::strided(16, 1, 2)),
+      minimpi::Error);
+}
+
+}  // namespace

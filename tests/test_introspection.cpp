@@ -1,0 +1,110 @@
+// Datatype introspection (envelope/child), public flattening, and the
+// JSON report writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "minimpi/minimpi.hpp"
+#include "ncsend/ncsend.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(Envelope, NamedType) {
+  const TypeEnvelope e = Datatype::float64().envelope();
+  EXPECT_EQ(e.combiner, TypeCombiner::named);
+  EXPECT_EQ(e.basic, BasicType::double_);
+  EXPECT_EQ(e.depth, 1);
+  EXPECT_FALSE(Datatype::float64().child().valid());
+}
+
+TEST(Envelope, VectorLowersToHvector) {
+  const Datatype v = Datatype::vector(10, 2, 5, Datatype::float64());
+  const TypeEnvelope e = v.envelope();
+  EXPECT_EQ(e.combiner, TypeCombiner::hvector);
+  EXPECT_EQ(e.count, 10u);
+  EXPECT_EQ(e.blocklen, 2u);
+  EXPECT_EQ(e.stride_bytes, 40);
+  EXPECT_EQ(e.depth, 2);
+  const Datatype c = v.child();
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.envelope().combiner, TypeCombiner::named);
+  EXPECT_TRUE(c.committed());  // predefined children stay committed
+}
+
+TEST(Envelope, IndexedAndStruct) {
+  const std::size_t bl[] = {1, 2};
+  const std::ptrdiff_t dis[] = {0, 4};
+  const Datatype idx = Datatype::indexed(bl, dis, Datatype::float64());
+  EXPECT_EQ(idx.envelope().combiner, TypeCombiner::hindexed);
+  EXPECT_EQ(idx.envelope().nblocks, 2u);
+
+  const std::ptrdiff_t sdis[] = {0, 8};
+  const Datatype kinds[] = {Datatype::int32(), Datatype::float64()};
+  const Datatype st = Datatype::struct_(bl, sdis, kinds);
+  EXPECT_EQ(st.envelope().combiner, TypeCombiner::struct_);
+  EXPECT_EQ(st.child().envelope().basic, BasicType::int32);
+}
+
+TEST(Envelope, ResizedWrapsChild) {
+  const Datatype r =
+      Datatype::resized(Datatype::vector(4, 1, 2, Datatype::float64()), 0, 256);
+  EXPECT_EQ(r.envelope().combiner, TypeCombiner::resized);
+  EXPECT_EQ(r.child().envelope().combiner, TypeCombiner::hvector);
+  EXPECT_EQ(r.envelope().depth, 3);
+}
+
+TEST(Flatten, MatchesWalkerOrder) {
+  Datatype v = Datatype::vector(5, 1, 3, Datatype::float64());
+  v.commit();
+  const auto blocks = flatten(v, 2);
+  ASSERT_EQ(blocks.size(), 10u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(blocks[i].offset, static_cast<std::ptrdiff_t>(i * 24));
+    EXPECT_EQ(blocks[i].length, 8u);
+  }
+  // Second element starts at one extent (13 doubles = 104 bytes).
+  EXPECT_EQ(blocks[5].offset, static_cast<std::ptrdiff_t>(v.extent()));
+}
+
+TEST(Flatten, ContiguousIsOneBlock) {
+  Datatype c = Datatype::contiguous(1000, Datatype::float64());
+  c.commit();
+  const auto blocks = flatten(c, 1);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].length, 8000u);
+}
+
+TEST(Flatten, GuardsAgainstExplosion) {
+  Datatype v = Datatype::vector(1 << 20, 1, 2, Datatype::float64());
+  v.commit();
+  EXPECT_THROW((void)flatten(v, 1, /*max_blocks=*/1024), Error);
+}
+
+TEST(JsonReport, WellFormedAndComplete) {
+  ncsend::SweepConfig cfg;
+  cfg.sizes_bytes = {1024, 8192};
+  cfg.schemes = {"reference", "packing(v)"};
+  cfg.harness.reps = 3;
+  const auto r = ncsend::run_sweep(cfg);
+  std::ostringstream os;
+  ncsend::write_json(os, r);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"profile\": \"skx-impi\""), std::string::npos);
+  EXPECT_NE(out.find("\"scheme\": \"packing(v)\""), std::string::npos);
+  EXPECT_NE(out.find("\"verified\": true"), std::string::npos);
+  // Four cells -> four time_s entries.
+  std::size_t hits = 0;
+  for (std::size_t p = out.find("time_s"); p != std::string::npos;
+       p = out.find("time_s", p + 1))
+    ++hits;
+  EXPECT_EQ(hits, 4u);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Layout generators: geometry, datatype styles, element enumeration.
+#include <gtest/gtest.h>
+
+#include "ncsend/layout.hpp"
+
+using namespace ncsend;
+
+namespace {
+
+TEST(StridedLayout, CanonicalPaperCase) {
+  const Layout l = Layout::strided(100, 1, 2);
+  EXPECT_EQ(l.element_count(), 100u);
+  EXPECT_EQ(l.payload_bytes(), 800u);
+  EXPECT_EQ(l.footprint_elems(), 199u);
+  EXPECT_TRUE(l.regular());
+  EXPECT_FALSE(l.is_contiguous());
+}
+
+TEST(StridedLayout, AllStylesDescribeSameBytes) {
+  const Layout l = Layout::strided(16, 2, 5);
+  for (const TypeStyle s :
+       {TypeStyle::vector, TypeStyle::subarray, TypeStyle::indexed}) {
+    const auto t = l.datatype(s);
+    EXPECT_EQ(t.size(), l.payload_bytes()) << static_cast<int>(s);
+    EXPECT_TRUE(t.committed());
+    // Same flattened offsets in the same order for every style.
+    std::vector<std::ptrdiff_t> offsets;
+    minimpi::for_each_block(t, 1, [&](std::ptrdiff_t off, std::size_t n) {
+      offsets.push_back(off);
+      EXPECT_EQ(n, 16u);  // blocklen 2 doubles
+    });
+    ASSERT_EQ(offsets.size(), 16u);
+    for (std::size_t i = 0; i < 16; ++i)
+      EXPECT_EQ(offsets[i], static_cast<std::ptrdiff_t>(i * 5 * 8));
+  }
+}
+
+TEST(StridedLayout, BlockStatsMatchParameters) {
+  const Layout l = Layout::strided(64, 4, 10);
+  const auto s = l.stats();
+  EXPECT_EQ(s.block_count, 64u);
+  EXPECT_EQ(s.min_block, 32u);
+  EXPECT_EQ(s.total_bytes, 64u * 32);
+}
+
+TEST(StridedLayout, InvalidParamsThrow) {
+  EXPECT_THROW((void)Layout::strided(10, 4, 2), minimpi::Error);
+  EXPECT_THROW((void)Layout::strided(10, 0, 2), minimpi::Error);
+}
+
+TEST(ContiguousLayout, SingleBlock) {
+  const Layout l = Layout::contiguous(50);
+  EXPECT_TRUE(l.is_contiguous());
+  EXPECT_EQ(l.stats().block_count, 1u);
+  EXPECT_EQ(l.footprint_elems(), 50u);
+}
+
+TEST(MultigridLayout, PowerOfTwoStride) {
+  const Layout l = Layout::multigrid(32, 3);
+  EXPECT_EQ(l.element_count(), 32u);
+  EXPECT_EQ(l.footprint_elems(), 31u * 8 + 1);
+  std::size_t k = 0;
+  l.for_each_element([&](std::size_t idx, std::size_t src) {
+    EXPECT_EQ(idx, k);
+    EXPECT_EQ(src, k * 8);
+    ++k;
+  });
+  EXPECT_EQ(k, 32u);
+}
+
+TEST(FemBoundaryLayout, DeterministicSortedDistinct) {
+  const Layout a = Layout::fem_boundary(128, 10000, 7);
+  const Layout b = Layout::fem_boundary(128, 10000, 7);
+  EXPECT_EQ(a.element_count(), 128u);
+  EXPECT_FALSE(a.regular());
+  std::vector<std::size_t> sa, sb;
+  a.for_each_element([&](std::size_t, std::size_t s) { sa.push_back(s); });
+  b.for_each_element([&](std::size_t, std::size_t s) { sb.push_back(s); });
+  EXPECT_EQ(sa, sb);  // same seed, same boundary
+  for (std::size_t i = 1; i < sa.size(); ++i) EXPECT_GT(sa[i], sa[i - 1]);
+  const Layout c = Layout::fem_boundary(128, 10000, 8);
+  std::vector<std::size_t> sc;
+  c.for_each_element([&](std::size_t, std::size_t s) { sc.push_back(s); });
+  EXPECT_NE(sa, sc);  // different seed, different boundary
+}
+
+TEST(FemBoundaryLayout, VectorStyleRejected) {
+  const Layout l = Layout::fem_boundary(16, 100);
+  EXPECT_THROW((void)l.datatype(TypeStyle::vector), minimpi::Error);
+  EXPECT_EQ(l.datatype(TypeStyle::indexed).size(), 16u * 8);
+}
+
+TEST(Subarray2dLayout, FaceGeometry) {
+  const Layout l = Layout::subarray2d(8, 10, 3, 4, 2, 5);
+  EXPECT_EQ(l.element_count(), 12u);
+  EXPECT_EQ(l.footprint_elems(), 80u);
+  std::vector<std::size_t> srcs;
+  l.for_each_element([&](std::size_t, std::size_t s) { srcs.push_back(s); });
+  ASSERT_EQ(srcs.size(), 12u);
+  EXPECT_EQ(srcs[0], 2u * 10 + 5);
+  EXPECT_EQ(srcs[4], 3u * 10 + 5);  // next row
+}
+
+TEST(Subarray2dLayout, StylesAgree) {
+  const Layout l = Layout::subarray2d(6, 8, 2, 3, 1, 2);
+  std::vector<std::ptrdiff_t> ref, alt;
+  minimpi::for_each_block(l.datatype(TypeStyle::subarray), 1,
+                          [&](std::ptrdiff_t o, std::size_t) {
+                            ref.push_back(o);
+                          });
+  for (const TypeStyle s : {TypeStyle::vector, TypeStyle::indexed}) {
+    alt.clear();
+    minimpi::for_each_block(l.datatype(s), 1,
+                            [&](std::ptrdiff_t o, std::size_t) {
+                              alt.push_back(o);
+                            });
+    EXPECT_EQ(ref, alt) << static_cast<int>(s);
+  }
+}
+
+TEST(IndexedLayout, OverlapRejected) {
+  EXPECT_THROW((void)Layout::indexed({0, 1}, 2), minimpi::Error);
+  EXPECT_NO_THROW((void)Layout::indexed({0, 2}, 2));
+}
+
+TEST(Layout, NamesAreDescriptive) {
+  EXPECT_NE(Layout::strided(4, 1, 2).name().find("strided"),
+            std::string::npos);
+  EXPECT_NE(Layout::multigrid(4, 2).name().find("multigrid"),
+            std::string::npos);
+  EXPECT_NE(Layout::fem_boundary(4, 100).name().find("fem"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// Shape tests: the paper's qualitative findings (F1..F7 in DESIGN.md)
+// asserted against small simulated sweeps on every machine profile.
+// These are the "does the reproduction reproduce" tests.
+#include <gtest/gtest.h>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+using minimpi::MachineProfile;
+
+namespace {
+
+SweepConfig sweep_for(const MachineProfile& p,
+                      std::vector<std::size_t> sizes,
+                      std::vector<std::string> schemes) {
+  SweepConfig cfg;
+  cfg.profile = &p;
+  cfg.sizes_bytes = std::move(sizes);
+  cfg.schemes = std::move(schemes);
+  cfg.harness.reps = 5;
+  cfg.functional_payload_limit = 1 << 16;  // mostly modeled: fast
+  return cfg;
+}
+
+class Shapes : public ::testing::TestWithParam<std::string> {
+ protected:
+  const MachineProfile& profile() const {
+    return MachineProfile::by_name(GetParam());
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Clusters, Shapes,
+                         ::testing::ValuesIn(MachineProfile::names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(Shapes, F1_IntermediateSchemesTrackCopyingWithinFactorTwo) {
+  // Paper §5: below ~1e8 bytes the reasonable schemes (copying, derived
+  // types, packing(v)) perform fairly similarly.
+  const auto r = run_sweep(sweep_for(
+      profile(), {100'000, 1'000'000, 10'000'000},
+      {"copying", "vector type", "subarray", "packing(v)"}));
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    const double copying = r.time(si, 0);
+    for (std::size_t ci = 1; ci < r.schemes.size(); ++ci) {
+      EXPECT_LT(r.time(si, ci) / copying, 2.0)
+          << r.schemes[ci] << " at " << r.sizes_bytes[si];
+      EXPECT_GT(r.time(si, ci) / copying, 0.5);
+    }
+  }
+}
+
+TEST_P(Shapes, F1_CopyingSlowdownAboutThreeOrMore) {
+  // The factor-3 argument of §2.2 (higher on KNL's weak core).
+  const auto r = run_sweep(
+      sweep_for(profile(), {10'000'000}, {"reference", "copying"}));
+  const double slowdown = r.slowdown(0, 1);
+  EXPECT_GT(slowdown, 2.0);
+  EXPECT_LT(slowdown, 12.0);
+  if (GetParam() == "knl-impi") EXPECT_GT(slowdown, 5.0);
+}
+
+TEST_P(Shapes, F2_DerivedTypesDegradeBeyondTensOfMB) {
+  // vector type ~= copying at 10 MB, but clearly worse at 1 GB...
+  const auto r = run_sweep(sweep_for(profile(), {10'000'000, 1'000'000'000},
+                                     {"copying", "vector type",
+                                      "packing(v)"}));
+  EXPECT_LT(r.time(0, 1) / r.time(0, 0), 1.5);
+  EXPECT_GT(r.time(1, 1) / r.time(1, 0), 1.8);
+  // ...while packing(v) stays with copying at 1 GB (the winner).
+  EXPECT_LT(r.time(1, 2) / r.time(1, 0), 1.2);
+}
+
+TEST_P(Shapes, F3_PackingByElementIsMuchWorse) {
+  const auto r = run_sweep(
+      sweep_for(profile(), {1'000'000}, {"copying", "packing(e)"}));
+  EXPECT_GT(r.time(0, 1) / r.time(0, 0), 3.0);
+}
+
+TEST_P(Shapes, F3_PackingVectorEqualsCopying) {
+  // Paper §4.3: "packing a derived type gives essentially the same
+  // performance as manual copying" — everywhere.
+  const auto r =
+      run_sweep(sweep_for(profile(), {10'000, 1'000'000, 100'000'000},
+                          {"copying", "packing(v)"}));
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+    EXPECT_NEAR(r.time(si, 1) / r.time(si, 0), 1.0, 0.15)
+        << r.sizes_bytes[si];
+}
+
+TEST_P(Shapes, F4_BufferedNeverHelps) {
+  const auto r = run_sweep(sweep_for(
+      profile(), {100'000, 10'000'000, 1'000'000'000},
+      {"copying", "buffered"}));
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+    EXPECT_GT(r.time(si, 1), r.time(si, 0)) << r.sizes_bytes[si];
+}
+
+TEST_P(Shapes, F5_OneSidedSlowForSmall) {
+  const auto r =
+      run_sweep(sweep_for(profile(), {1'000}, {"reference", "onesided"}));
+  EXPECT_GT(r.slowdown(0, 1), 2.0);
+}
+
+TEST_P(Shapes, F6_EagerLimitDipOnReference) {
+  const auto& p = profile();
+  const std::size_t limit = p.eager_limit_bytes;
+  const auto r = run_sweep(
+      sweep_for(profile(), {limit, limit + 8}, {"reference"}));
+  // Per-byte time jumps just above the limit.
+  const double per_byte_under = r.time(0, 0) / static_cast<double>(limit);
+  const double per_byte_over = r.time(1, 0) / static_cast<double>(limit + 8);
+  EXPECT_GT(per_byte_over, per_byte_under * 1.05);
+}
+
+TEST_P(Shapes, PeakBandwidthApproachesProfile) {
+  // The reference curve must saturate near the profile's fabric rate
+  // (the figures' bandwidth panel plateau).
+  const auto r =
+      run_sweep(sweep_for(profile(), {100'000'000}, {"reference"}));
+  const double gbps = r.bandwidth_GBps(0, 0) * 1e9;
+  EXPECT_GT(gbps, 0.75 * profile().net_bandwidth_Bps);
+  EXPECT_LT(gbps, 1.01 * profile().net_bandwidth_Bps);
+}
+
+TEST(ShapesCross, F5_MvapichOneSidedSlowerThanImpi) {
+  // Paper §4.4: intermediate one-sided is competitive except MVAPICH2.
+  auto run_one = [](const MachineProfile& p) {
+    return run_sweep(sweep_for(p, {1'000'000}, {"copying", "onesided"}));
+  };
+  const auto impi = run_one(MachineProfile::skx_impi());
+  const auto mva = run_one(MachineProfile::skx_mvapich2());
+  const double impi_ratio = impi.time(0, 1) / impi.time(0, 0);
+  const double mva_ratio = mva.time(0, 1) / mva.time(0, 0);
+  EXPECT_GT(mva_ratio, impi_ratio * 1.5);
+}
+
+TEST(ShapesCross, F5_CrayOneSidedOnParWithDerivedAtLarge) {
+  const auto cray = run_sweep(sweep_for(MachineProfile::ls5_cray(),
+                                        {1'000'000'000},
+                                        {"vector type", "onesided"}));
+  EXPECT_NEAR(cray.time(0, 1) / cray.time(0, 0), 1.0, 0.35);
+  // ...whereas on Stampede2 one-sided shows a relative degradation.
+  const auto impi = run_sweep(sweep_for(MachineProfile::skx_impi(),
+                                        {1'000'000'000},
+                                        {"vector type", "onesided"}));
+  EXPECT_GT(impi.time(0, 1) / impi.time(0, 0),
+            cray.time(0, 1) / cray.time(0, 0));
+}
+
+TEST(ShapesCross, F7_KnlNoncontigHampered) {
+  // Same fabric, weaker core: KNL's copying slowdown far exceeds SKX's.
+  auto slowdown_of = [](const MachineProfile& p) {
+    const auto r =
+        run_sweep(sweep_for(p, {10'000'000}, {"reference", "copying"}));
+    return r.slowdown(0, 1);
+  };
+  EXPECT_GT(slowdown_of(MachineProfile::knl_impi()),
+            1.8 * slowdown_of(MachineProfile::skx_impi()));
+}
+
+TEST(ShapesCross, EagerOverrideDoesNotChangeLargeMessages) {
+  // Paper §4.5: raising the eager limit above the message size "did not
+  // appreciably change the results for large messages".
+  SweepConfig cfg = sweep_for(MachineProfile::skx_impi(), {1'000'000'000},
+                              {"reference", "vector type"});
+  const auto normal = run_sweep(cfg);
+  cfg.eager_limit_override = std::size_t{4} << 30;
+  const auto raised = run_sweep(cfg);
+  for (std::size_t ci = 0; ci < 2; ++ci)
+    EXPECT_NEAR(raised.time(0, ci) / normal.time(0, ci), 1.0, 0.02);
+}
+
+TEST(ShapesCross, NicPipeliningWouldHelpLargeDerivedSends) {
+  // Paper §2.3 / ref [2]: with NIC gather support, derived-type sends
+  // could pipeline pack and injection.  Flip the capability on.
+  MachineProfile umr = MachineProfile::skx_impi();
+  umr.nic_noncontig_pipelining = true;
+  umr.name = "skx-umr";
+  SweepConfig base = sweep_for(MachineProfile::skx_impi(),
+                               {100'000'000}, {"vector type"});
+  SweepConfig piped = sweep_for(umr, {100'000'000}, {"vector type"});
+  EXPECT_LT(run_sweep(piped).time(0, 0), run_sweep(base).time(0, 0));
+}
+
+}  // namespace

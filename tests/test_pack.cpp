@@ -1,0 +1,232 @@
+// Pack/unpack engine tests: walker order, round trips, cursor
+// semantics, dry runs, and the gather/scatter staging helpers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "minimpi/datatype/pack.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+std::vector<double> iota_doubles(std::size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);
+  return v;
+}
+
+TEST(Walker, ContiguousMergesToOneBlock) {
+  const Datatype t = Datatype::contiguous(16, Datatype::float64());
+  int calls = 0;
+  std::size_t bytes = 0;
+  for_each_block(t, 1, [&](std::ptrdiff_t off, std::size_t n) {
+    EXPECT_EQ(off, 0);
+    bytes += n;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(bytes, 128u);
+}
+
+TEST(Walker, VectorBlocksInTypemapOrder) {
+  const Datatype t = Datatype::vector(4, 1, 3, Datatype::float64());
+  std::vector<std::ptrdiff_t> offsets;
+  for_each_block(t, 1, [&](std::ptrdiff_t off, std::size_t n) {
+    EXPECT_EQ(n, 8u);
+    offsets.push_back(off);
+  });
+  EXPECT_EQ(offsets, (std::vector<std::ptrdiff_t>{0, 24, 48, 72}));
+}
+
+TEST(Walker, CountReplicationUsesExtent) {
+  const Datatype t = Datatype::vector(2, 1, 2, Datatype::float64());
+  // extent = 3 doubles = 24 bytes; second element starts there.
+  std::vector<std::ptrdiff_t> offsets;
+  for_each_block(t, 2, [&](std::ptrdiff_t off, std::size_t) {
+    offsets.push_back(off);
+  });
+  EXPECT_EQ(offsets, (std::vector<std::ptrdiff_t>{0, 16, 24, 40}));
+}
+
+TEST(Walker, NegativeStrideDescends) {
+  const Datatype t = Datatype::vector(3, 1, -2, Datatype::float64());
+  std::vector<std::ptrdiff_t> offsets;
+  for_each_block(t, 1, [&](std::ptrdiff_t off, std::size_t) {
+    offsets.push_back(off);
+  });
+  EXPECT_EQ(offsets, (std::vector<std::ptrdiff_t>{0, -16, -32}));
+}
+
+TEST(PackSize, IsCountTimesSize) {
+  const Datatype t = Datatype::vector(10, 2, 4, Datatype::float64());
+  EXPECT_EQ(pack_size(3, t), 3u * 20 * 8);
+}
+
+TEST(PackUnpack, VectorRoundTrip) {
+  Datatype t = Datatype::vector(8, 1, 2, Datatype::float64());
+  t.commit();
+  const auto src = iota_doubles(16);
+  std::vector<std::byte> packed(pack_size(1, t));
+  std::size_t pos = 0;
+  pack(src.data(), 1, t, packed.data(), packed.size(), pos);
+  EXPECT_EQ(pos, 64u);
+  // Packed data should be elements 0,2,4,...
+  const auto* packed_d = reinterpret_cast<const double*>(packed.data());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(packed_d[i], 2.0 * i);
+
+  std::vector<double> dst(16, -1.0);
+  pos = 0;
+  unpack(packed.data(), packed.size(), pos, dst.data(), 1, t);
+  for (int i = 0; i < 16; ++i) {
+    if (i % 2 == 0) EXPECT_EQ(dst[i], static_cast<double>(i));
+    else EXPECT_EQ(dst[i], -1.0);
+  }
+}
+
+TEST(PackUnpack, PositionCursorAppends) {
+  Datatype t = Datatype::float64();
+  const double a = 1.5, b = 2.5;
+  std::vector<std::byte> buf(16);
+  std::size_t pos = 0;
+  pack(&a, 1, t, buf.data(), buf.size(), pos);
+  EXPECT_EQ(pos, 8u);
+  pack(&b, 1, t, buf.data(), buf.size(), pos);
+  EXPECT_EQ(pos, 16u);
+  double out[2] = {};
+  pos = 0;
+  unpack(buf.data(), buf.size(), pos, &out[0], 1, t);
+  unpack(buf.data(), buf.size(), pos, &out[1], 1, t);
+  EXPECT_EQ(out[0], 1.5);
+  EXPECT_EQ(out[1], 2.5);
+}
+
+TEST(PackUnpack, OverflowThrows) {
+  Datatype t = Datatype::float64();
+  std::vector<std::byte> buf(8);
+  std::size_t pos = 8;
+  const double x = 1.0;
+  EXPECT_THROW(pack(&x, 1, t, buf.data(), buf.size(), pos), Error);
+  pos = 8;
+  double y;
+  EXPECT_THROW(unpack(buf.data(), buf.size(), pos, &y, 1, t), Error);
+}
+
+TEST(PackUnpack, UncommittedThrows) {
+  Datatype t = Datatype::vector(2, 1, 2, Datatype::float64());  // no commit
+  std::vector<std::byte> buf(64);
+  std::size_t pos = 0;
+  const auto src = iota_doubles(4);
+  EXPECT_THROW(pack(src.data(), 1, t, buf.data(), buf.size(), pos), Error);
+}
+
+TEST(PackUnpack, DryRunAdvancesCursorOnly) {
+  Datatype t = Datatype::vector(8, 1, 2, Datatype::float64());
+  t.commit();
+  std::size_t pos = 0;
+  pack(nullptr, 1, t, nullptr, 1 << 20, pos);
+  EXPECT_EQ(pos, 64u);
+  pos = 0;
+  unpack(nullptr, 1 << 20, pos, nullptr, 1, t);
+  EXPECT_EQ(pos, 64u);
+}
+
+TEST(PackUnpack, SubarrayRoundTrip) {
+  const std::size_t sizes[] = {5, 7};
+  const std::size_t sub[] = {3, 2};
+  const std::size_t starts[] = {1, 4};
+  Datatype t = Datatype::subarray(sizes, sub, starts, Datatype::float64());
+  t.commit();
+  const auto src = iota_doubles(35);
+  std::vector<std::byte> packed(pack_size(1, t));
+  std::size_t pos = 0;
+  pack(src.data(), 1, t, packed.data(), packed.size(), pos);
+  const auto* pd = reinterpret_cast<const double*>(packed.data());
+  // Rows 1..3, cols 4..5 of the 5x7 array.
+  std::size_t k = 0;
+  for (std::size_t r = 1; r <= 3; ++r)
+    for (std::size_t c = 4; c <= 5; ++c)
+      EXPECT_EQ(pd[k++], static_cast<double>(r * 7 + c));
+
+  std::vector<double> dst(35, 0.0);
+  pos = 0;
+  unpack(packed.data(), packed.size(), pos, dst.data(), 1, t);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 7; ++c) {
+      const bool inside = r >= 1 && r <= 3 && c >= 4 && c <= 5;
+      EXPECT_EQ(dst[r * 7 + c], inside ? static_cast<double>(r * 7 + c) : 0.0);
+    }
+}
+
+TEST(PackUnpack, StructRoundTrip) {
+  struct Particle {
+    std::int32_t id;
+    std::int32_t kind;
+    double x, y;
+  };
+  const std::size_t bl[] = {2, 2};
+  const std::ptrdiff_t dis[] = {0, 8};
+  const Datatype fields[] = {Datatype::int32(), Datatype::float64()};
+  Datatype t = Datatype::struct_(bl, dis, fields);
+  t = Datatype::resized(t, 0, sizeof(Particle));
+  t.commit();
+  EXPECT_EQ(t.size(), sizeof(Particle));
+
+  std::vector<Particle> ps(4);
+  for (int i = 0; i < 4; ++i)
+    ps[static_cast<std::size_t>(i)] = {i, 10 + i, i * 1.5, i * 2.5};
+  std::vector<std::byte> packed(pack_size(4, t));
+  std::size_t pos = 0;
+  pack(ps.data(), 4, t, packed.data(), packed.size(), pos);
+
+  std::vector<Particle> out(4);
+  pos = 0;
+  unpack(packed.data(), packed.size(), pos, out.data(), 4, t);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].id, i);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].kind, 10 + i);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].x, i * 1.5);
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].y, i * 2.5);
+  }
+}
+
+TEST(GatherScatter, InverseOfEachOther) {
+  Datatype t = Datatype::vector(6, 2, 5, Datatype::float64());
+  t.commit();
+  const auto src = iota_doubles(30);
+  std::vector<double> staged(12);
+  gather(src.data(), 1, t, staged.data());
+  std::vector<double> back(30, -7.0);
+  scatter(staged.data(), back.data(), 1, t);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const bool in_layout = (i % 5) < 2 && i / 5 < 6;
+    EXPECT_EQ(back[i], in_layout ? src[i] : -7.0) << "i=" << i;
+  }
+}
+
+TEST(TypedEqualAndCopy, RespectLayoutOnly) {
+  Datatype t = Datatype::vector(4, 1, 2, Datatype::float64());
+  t.commit();
+  auto a = iota_doubles(8);
+  auto b = iota_doubles(8);
+  b[1] = 99.0;  // a gap element: not part of the layout
+  EXPECT_TRUE(typed_equal(a.data(), b.data(), 1, t));
+  b[2] = -1.0;  // a layout element
+  EXPECT_FALSE(typed_equal(a.data(), b.data(), 1, t));
+  typed_copy(b.data(), a.data(), 1, t);
+  EXPECT_TRUE(typed_equal(a.data(), b.data(), 1, t));
+  EXPECT_EQ(b[1], 99.0);  // gaps untouched by typed_copy
+}
+
+TEST(GatherScatter, NullPointersAreNoops) {
+  Datatype t = Datatype::float64();
+  gather(nullptr, 1, t, nullptr);
+  scatter(nullptr, nullptr, 1, t);
+  typed_copy(nullptr, nullptr, 1, t);
+  EXPECT_TRUE(typed_equal(nullptr, nullptr, 1, t));
+  double x = 0;
+  EXPECT_FALSE(typed_equal(&x, nullptr, 1, t));
+}
+
+}  // namespace

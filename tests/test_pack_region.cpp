@@ -1,0 +1,103 @@
+// The resumable partial-pack primitive behind pipelined packing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/datatype/pack.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+Datatype stride2(std::size_t n) {
+  Datatype t = Datatype::vector(n, 1, 2, Datatype::float64());
+  t.commit();
+  return t;
+}
+
+TEST(PackRegion, WholeMessageEqualsPack) {
+  const Datatype t = stride2(64);
+  std::vector<double> src(128);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<std::byte> whole(512), region(512);
+  std::size_t pos = 0;
+  pack(src.data(), 1, t, whole.data(), whole.size(), pos);
+  const std::size_t n =
+      pack_region(src.data(), 1, t, 0, region.data(), 512);
+  EXPECT_EQ(n, 512u);
+  EXPECT_EQ(std::memcmp(whole.data(), region.data(), 512), 0);
+}
+
+TEST(PackRegion, ChunksReassembleExactly) {
+  const Datatype t = stride2(100);
+  std::vector<double> src(200);
+  std::iota(src.begin(), src.end(), 1.0);
+  std::vector<std::byte> whole(800);
+  std::size_t pos = 0;
+  pack(src.data(), 1, t, whole.data(), whole.size(), pos);
+
+  // Reassemble from odd-sized chunks that split blocks mid-element.
+  for (const std::size_t chunk : {1u, 3u, 7u, 13u, 64u, 799u}) {
+    std::vector<std::byte> out(800, std::byte{0xee});
+    std::size_t off = 0;
+    while (off < 800) {
+      const std::size_t n =
+          pack_region(src.data(), 1, t, off, out.data() + off, chunk);
+      ASSERT_GT(n, 0u) << "chunk=" << chunk << " off=" << off;
+      off += n;
+    }
+    EXPECT_EQ(std::memcmp(whole.data(), out.data(), 800), 0)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(PackRegion, MidStreamRegion) {
+  const Datatype t = stride2(16);
+  std::vector<double> src(32);
+  std::iota(src.begin(), src.end(), 0.0);
+  // Bytes [24, 56) of the stream are elements 3..6 of the packed data.
+  std::vector<std::byte> out(32);
+  const std::size_t n = pack_region(src.data(), 1, t, 24, out.data(), 32);
+  EXPECT_EQ(n, 32u);
+  const auto* d = reinterpret_cast<const double*>(out.data());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(d[i], 2.0 * (3 + i));
+}
+
+TEST(PackRegion, ClampsAtEndOfMessage) {
+  const Datatype t = stride2(4);
+  std::vector<double> src(8, 1.0);
+  std::vector<std::byte> out(64);
+  EXPECT_EQ(pack_region(src.data(), 1, t, 24, out.data(), 1000), 8u);
+  EXPECT_EQ(pack_region(src.data(), 1, t, 32, out.data(), 1000), 0u);
+  EXPECT_EQ(pack_region(src.data(), 1, t, 0, out.data(), 0), 0u);
+}
+
+TEST(PackRegion, DryRunReportsSizeOnly) {
+  const Datatype t = stride2(16);
+  EXPECT_EQ(pack_region(nullptr, 1, t, 0, nullptr, 64), 64u);
+  EXPECT_EQ(pack_region(nullptr, 1, t, 100, nullptr, 1000), 28u);
+}
+
+TEST(PackRegion, MultiCountMessages) {
+  Datatype t = Datatype::vector(4, 2, 3, Datatype::float64());
+  t.commit();  // 8 doubles per element, extent 11 doubles
+  std::vector<double> src(50);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<std::byte> whole(2 * 64);
+  std::size_t pos = 0;
+  pack(src.data(), 2, t, whole.data(), whole.size(), pos);
+  std::vector<std::byte> out(2 * 64);
+  std::size_t off = 0;
+  while (off < out.size())
+    off += pack_region(src.data(), 2, t, off, out.data() + off, 24);
+  EXPECT_EQ(std::memcmp(whole.data(), out.data(), out.size()), 0);
+}
+
+TEST(PackRegion, UncommittedThrows) {
+  Datatype t = Datatype::vector(4, 1, 2, Datatype::float64());
+  std::vector<double> src(8);
+  std::byte out[32];
+  EXPECT_THROW((void)pack_region(src.data(), 1, t, 0, out, 32), Error);
+}
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Machine-profile sanity: registry behaviour and the qualitative
+// relations between the four clusters that the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include "minimpi/base/error.hpp"
+#include "minimpi/net/machine_profile.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(ProfileRegistry, ByNameRoundTrips) {
+  for (const auto& name : MachineProfile::names()) {
+    EXPECT_EQ(MachineProfile::by_name(name).name, name);
+  }
+  EXPECT_THROW((void)MachineProfile::by_name("bluegene"), Error);
+}
+
+TEST(ProfileRegistry, FourClusters) {
+  EXPECT_EQ(MachineProfile::names().size(), 4u);
+}
+
+class AllProfiles : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Clusters, AllProfiles,
+                         ::testing::ValuesIn(MachineProfile::names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(AllProfiles, PhysicallyPlausible) {
+  const MachineProfile& p = MachineProfile::by_name(GetParam());
+  EXPECT_GT(p.net_bandwidth_Bps, 1e9);
+  EXPECT_GT(p.net_latency_s, 0.0);
+  EXPECT_LT(p.net_latency_s, 1e-4);
+  EXPECT_GT(p.copy_bandwidth_Bps, 1e8);
+  EXPECT_GT(p.eager_limit_bytes, 0u);
+  EXPECT_LT(p.eager_limit_bytes, p.internal_buffer_bytes);
+  EXPECT_GT(p.internal_buffer_bytes, std::size_t{1} << 20);
+  EXPECT_GT(p.fence_cost_s, p.net_latency_s);  // fences are expensive
+  EXPECT_GT(p.put_bandwidth_factor, 0.0);
+  EXPECT_LE(p.put_bandwidth_factor, 1.0);
+  EXPECT_GE(p.warm_copy_factor, 1.0);
+  // No measured system pipelines non-contiguous injection (paper §2.3).
+  EXPECT_FALSE(p.nic_noncontig_pipelining);
+}
+
+TEST_P(AllProfiles, CopySlowdownIsAtLeastThree) {
+  // Paper §5: the non-contiguous slowdown is "at least a factor of
+  // three": 1 (wire) + net_bw/copy_bw (gather) >= 3.
+  const MachineProfile& p = MachineProfile::by_name(GetParam());
+  EXPECT_GE(1.0 + p.net_bandwidth_Bps / p.copy_bandwidth_Bps, 2.9);
+}
+
+TEST(ProfileRelations, KnlHasWeakCoreSameFabric) {
+  const auto& skx = MachineProfile::skx_impi();
+  const auto& knl = MachineProfile::knl_impi();
+  EXPECT_EQ(knl.net_bandwidth_Bps, skx.net_bandwidth_Bps);  // same Omni-Path
+  EXPECT_LT(knl.copy_bandwidth_Bps, skx.copy_bandwidth_Bps / 2.0);
+  EXPECT_GT(knl.per_call_overhead_s, skx.per_call_overhead_s);
+}
+
+TEST(ProfileRelations, MvapichRmaIsSlow) {
+  EXPECT_LT(MachineProfile::skx_mvapich2().put_bandwidth_factor,
+            MachineProfile::skx_impi().put_bandwidth_factor / 2.0);
+}
+
+TEST(ProfileRelations, CrayRmaStaysCompetitiveAtLarge) {
+  EXPECT_EQ(MachineProfile::ls5_cray().rma_large_penalty, 0.0);
+  EXPECT_GT(MachineProfile::skx_impi().rma_large_penalty, 0.0);
+}
+
+TEST(ProfileRelations, CrayHasLowerPeak) {
+  EXPECT_LT(MachineProfile::ls5_cray().net_bandwidth_Bps,
+            MachineProfile::skx_impi().net_bandwidth_Bps);
+}
+
+}  // namespace

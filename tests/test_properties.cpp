@@ -1,0 +1,228 @@
+// Property-style tests: randomized datatype round trips, cost-model
+// monotonicity sweeps, and cross-cutting invariants, all via
+// parameterized gtest suites.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "minimpi/minimpi.hpp"
+#include "ncsend/layout.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Randomized nested datatypes: pack -> unpack must be the identity on
+// the layout's bytes, and the walker must agree with the cached stats.
+// ---------------------------------------------------------------------------
+
+Datatype random_type(std::mt19937_64& rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth > 1 ? 4 : 0);
+  const Datatype base = Datatype::float64();
+  switch (kind(rng)) {
+    default:
+    case 0: {
+      std::uniform_int_distribution<std::size_t> c(1, 8);
+      return Datatype::contiguous(c(rng), base);
+    }
+    case 1: {
+      std::uniform_int_distribution<std::size_t> c(1, 6), b(1, 3);
+      const std::size_t bl = b(rng);
+      std::uniform_int_distribution<std::ptrdiff_t> s(
+          static_cast<std::ptrdiff_t>(bl), static_cast<std::ptrdiff_t>(bl) + 4);
+      return Datatype::vector(c(rng), bl, s(rng), random_type(rng, depth - 1));
+    }
+    case 2: {
+      const Datatype child = random_type(rng, depth - 1);
+      std::uniform_int_distribution<std::size_t> nb(1, 4), b(1, 3);
+      const std::size_t nblocks = nb(rng);
+      std::vector<std::size_t> bl(nblocks);
+      std::vector<std::ptrdiff_t> dis(nblocks);
+      std::ptrdiff_t cursor = 0;
+      for (std::size_t i = 0; i < nblocks; ++i) {
+        bl[i] = b(rng);
+        dis[i] = cursor;
+        cursor += static_cast<std::ptrdiff_t>(
+            (bl[i] + 1) * std::max<std::size_t>(child.extent(), 1));
+      }
+      return Datatype::hindexed(bl, dis, child);
+    }
+    case 3: {
+      std::uniform_int_distribution<std::size_t> dim(2, 5);
+      const std::size_t rows = dim(rng) + 2, cols = dim(rng) + 2;
+      std::uniform_int_distribution<std::size_t> sr(1, rows - 1),
+          sc(1, cols - 1);
+      const std::size_t subr = sr(rng), subc = sc(rng);
+      std::uniform_int_distribution<std::size_t> r0(0, rows - subr),
+          c0(0, cols - subc);
+      const std::size_t sizes[] = {rows, cols};
+      const std::size_t sub[] = {subr, subc};
+      const std::size_t starts[] = {r0(rng), c0(rng)};
+      return Datatype::subarray(sizes, sub, starts, base);
+    }
+    case 4: {
+      const Datatype child = random_type(rng, depth - 1);
+      std::uniform_int_distribution<std::size_t> extra(0, 32);
+      return Datatype::resized(
+          child, child.lb(), child.extent() + extra(rng) * 8);
+    }
+  }
+}
+
+class RandomTypeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTypeRoundTrip,
+                         ::testing::Range(0u, 24u));
+
+TEST_P(RandomTypeRoundTrip, PackUnpackIdentity) {
+  std::mt19937_64 rng(GetParam() * 7919 + 13);
+  Datatype t = random_type(rng, 3);
+  t.commit();
+  ASSERT_GT(t.size(), 0u);
+
+  // Walker sanity against cached geometry.
+  std::size_t walked_bytes = 0, blocks = 0;
+  std::ptrdiff_t min_off = PTRDIFF_MAX, max_end = PTRDIFF_MIN;
+  for_each_block(t, 2, [&](std::ptrdiff_t off, std::size_t n) {
+    walked_bytes += n;
+    ++blocks;
+    min_off = std::min(min_off, off);
+    max_end = std::max(max_end, off + static_cast<std::ptrdiff_t>(n));
+  });
+  EXPECT_EQ(walked_bytes, 2 * t.size());
+  EXPECT_LE(blocks, 2 * t.block_stats().block_count);
+  EXPECT_GE(min_off, t.true_lb());
+
+  // Round trip on real data: host array covering both elements.
+  const std::size_t span =
+      static_cast<std::size_t>(max_end - std::min<std::ptrdiff_t>(0, min_off)) +
+      t.extent() + 64;
+  std::vector<double> src(span / 8 + 2);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<double>(i) * 0.75 + 1.0;
+  const std::size_t base_off =
+      min_off < 0 ? static_cast<std::size_t>(-min_off) / 8 + 1 : 0;
+
+  std::vector<std::byte> packed(pack_size(2, t));
+  std::size_t pos = 0;
+  pack(src.data() + base_off, 2, t, packed.data(), packed.size(), pos);
+  EXPECT_EQ(pos, packed.size());
+
+  std::vector<double> dst(src.size(), -5.0);
+  pos = 0;
+  unpack(packed.data(), packed.size(), pos, dst.data() + base_off, 2, t);
+  EXPECT_TRUE(
+      typed_equal(src.data() + base_off, dst.data() + base_off, 2, t));
+  // And bytes outside the layout are untouched.
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < dst.size(); ++i)
+    if (dst[i] != -5.0) ++touched;
+  EXPECT_EQ(touched, 2 * t.size() / 8);
+}
+
+TEST_P(RandomTypeRoundTrip, SignatureByteTotalMatchesSize) {
+  std::mt19937_64 rng(GetParam() * 104729 + 7);
+  const Datatype t = random_type(rng, 3);
+  EXPECT_EQ(t.signature().total_bytes(), t.size());
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model monotonicity across all profiles.
+// ---------------------------------------------------------------------------
+
+class CostMonotonic : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Profiles, CostMonotonic,
+                         ::testing::ValuesIn(MachineProfile::names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(CostMonotonic, AllTermsNondecreasingInBytes) {
+  const CostModel m(MachineProfile::by_name(GetParam()));
+  double prev_wire = -1, prev_stage = -1, prev_copy = -1;
+  for (std::size_t bytes = 8; bytes <= (std::size_t{1} << 30); bytes *= 4) {
+    const BlockStats strided{bytes / 8, bytes, 8, 8};
+    const double w = m.wire_time(bytes);
+    const double s = m.internal_staging_time(bytes, strided);
+    const double c = m.user_copy_time(bytes, strided);
+    EXPECT_GT(w, prev_wire);
+    EXPECT_GT(s, prev_stage);
+    EXPECT_GT(c, prev_copy);
+    prev_wire = w;
+    prev_stage = s;
+    prev_copy = c;
+  }
+}
+
+TEST_P(CostMonotonic, EagerArrivalBeforeRendezvousNearLimit) {
+  const auto& p = MachineProfile::by_name(GetParam());
+  const CostModel m(p);
+  const std::size_t n = p.eager_limit_bytes;
+  const BlockStats contig{1, n, n, n};
+  // With both sides ready at 0, eager (just under) beats rendezvous
+  // (just over) on arrival: the eager-limit dip.
+  const auto e = m.eager_timing(0.0, n, contig);
+  const auto r = m.rendezvous_timing(0.0, 0.0, n + 8, contig);
+  EXPECT_LT(e.arrival, r.arrival);
+}
+
+TEST_P(CostMonotonic, BlockFactorDecreasesWithBlockLength) {
+  const CostModel m(MachineProfile::by_name(GetParam()));
+  double prev = 1e9;
+  for (std::size_t block = 4; block <= 4096; block *= 2) {
+    const BlockStats s{1024, 1024 * block, block, block};
+    const double f = m.block_factor(s);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+  EXPECT_LT(m.block_factor_contiguous(), prev);
+}
+
+// ---------------------------------------------------------------------------
+// Layout <-> datatype consistency over a parameter grid.
+// ---------------------------------------------------------------------------
+
+struct StrideCase {
+  std::size_t nblocks, blocklen, stride;
+};
+
+class StrideGrid : public ::testing::TestWithParam<StrideCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StrideGrid,
+    ::testing::Values(StrideCase{1, 1, 2}, StrideCase{7, 1, 2},
+                      StrideCase{16, 1, 3}, StrideCase{9, 2, 2},
+                      StrideCase{33, 2, 7}, StrideCase{5, 8, 8},
+                      StrideCase{128, 4, 5}, StrideCase{64, 16, 64}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.nblocks) + "b" +
+             std::to_string(info.param.blocklen) + "s" +
+             std::to_string(info.param.stride);
+    });
+
+TEST_P(StrideGrid, EnumerationMatchesDatatype) {
+  const auto [n, b, s] = GetParam();
+  const ncsend::Layout l = ncsend::Layout::strided(n, b, s);
+  EXPECT_EQ(l.element_count(), n * b);
+  std::size_t count = 0;
+  l.for_each_element([&](std::size_t k, std::size_t src) {
+    EXPECT_EQ(src, (k / b) * s + (k % b));
+    ++count;
+  });
+  EXPECT_EQ(count, n * b);
+  EXPECT_EQ(l.datatype().size(), l.payload_bytes());
+  EXPECT_LE(l.stats().block_count, n);
+}
+
+TEST_P(StrideGrid, DenseWhenStrideEqualsBlocklen) {
+  const auto [n, b, s] = GetParam();
+  const ncsend::Layout l = ncsend::Layout::strided(n, b, s);
+  EXPECT_EQ(l.datatype().is_single_block(), s == b || n <= 1);
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Generalized active target (post/start/complete/wait) and passive
+// target (lock/unlock) synchronization.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/minimpi.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+UniverseOptions two_ranks() {
+  UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  return o;
+}
+
+TEST(Pscw, PutDeliversAtWait) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> local(16, 0.0);
+    Window win = c.win_create(local.data(), local.size() * 8);
+    if (c.rank() == 0) {
+      std::vector<double> src(16);
+      std::iota(src.begin(), src.end(), 1.0);
+      const Rank targets[] = {1};
+      win.start(targets);
+      win.put(src.data(), 16, Datatype::float64(), 1, 0);
+      win.complete();
+    } else {
+      const Rank origins[] = {0};
+      win.post(origins);
+      win.wait_post();
+      for (int i = 0; i < 16; ++i) EXPECT_EQ(local[i], 1.0 + i);
+    }
+  });
+}
+
+TEST(Pscw, StartBlocksUntilPost) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> local(1, 0.0);
+    Window win = c.win_create(local.data(), 8);
+    if (c.rank() == 0) {
+      const Rank targets[] = {1};
+      win.start(targets);  // must not proceed before the (late) post
+      EXPECT_GE(c.clock(), 0.5);  // the post happened at >= 0.5
+      const double x = 2.0;
+      win.put(&x, 1, Datatype::float64(), 1, 0);
+      win.complete();
+    } else {
+      c.charge(0.5);  // target posts late
+      const Rank origins[] = {0};
+      win.post(origins);
+      win.wait_post();
+      EXPECT_EQ(local[0], 2.0);
+    }
+  });
+}
+
+TEST(Pscw, RepeatedEpochs) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> local(1, 0.0);
+    Window win = c.win_create(local.data(), 8);
+    for (int i = 1; i <= 4; ++i) {
+      if (c.rank() == 0) {
+        const Rank targets[] = {1};
+        win.start(targets);
+        const double v = i;
+        win.put(&v, 1, Datatype::float64(), 1, 0);
+        win.complete();
+      } else {
+        const Rank origins[] = {0};
+        win.post(origins);
+        win.wait_post();
+        EXPECT_EQ(local[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Pscw, PutOutsideAccessGroupThrows) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    std::vector<double> local(1);
+    Window win = c.win_create(local.data(), 8);
+    const Rank origins[] = {0};
+    win.post(origins);
+    const Rank targets[] = {0};
+    win.start(targets);
+    // Target 0 is in the group; that works...
+    const double x = 1.0;
+    win.put(&x, 1, Datatype::float64(), 0, 0);
+    win.complete();
+    win.wait_post();
+    // ...but an op with no epoch open must throw.
+    try {
+      win.put(&x, 1, Datatype::float64(), 0, 0);
+      FAIL() << "expected rma_sync error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::rma_sync);
+    }
+  });
+}
+
+TEST(Pscw, CheaperThanFenceForSmallMessages) {
+  // The fence's global synchronization cost is the paper's explanation
+  // for slow small one-sided transfers; PSCW avoids it.
+  auto elapsed = [](bool use_fence) {
+    double dt = 0.0;
+    Universe::run(UniverseOptions{.nranks = 2, .wtime_resolution = 0.0},
+                  [&](Comm& c) {
+      std::vector<double> local(8, 0.0);
+      Window win = c.win_create(local.data(), 64);
+      if (use_fence) win.fence();
+      c.barrier();
+      const double t0 = c.clock();
+      for (int i = 0; i < 4; ++i) {
+        if (use_fence) {
+          if (c.rank() == 0) {
+            const double x = i;
+            win.put(&x, 1, Datatype::float64(), 1, 0);
+          }
+          win.fence();
+        } else {
+          if (c.rank() == 0) {
+            const Rank targets[] = {1};
+            win.start(targets);
+            const double x = i;
+            win.put(&x, 1, Datatype::float64(), 1, 0);
+            win.complete();
+          } else {
+            const Rank origins[] = {0};
+            win.post(origins);
+            win.wait_post();
+          }
+        }
+      }
+      c.barrier();
+      if (c.rank() == 0) dt = c.clock() - t0;
+    });
+    return dt;
+  };
+  EXPECT_LT(elapsed(false), elapsed(true));
+}
+
+TEST(PassiveTarget, LockPutUnlockDelivers) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> local(4, 0.0);
+    Window win = c.win_create(local.data(), 32);
+    if (c.rank() == 0) {
+      win.lock(1);
+      const double vals[2] = {4.0, 5.0};
+      win.put(vals, 2, Datatype::float64(), 1, 8);
+      win.unlock(1);
+      c.send(nullptr, 0, Datatype::byte(), 1, 0);  // "done"
+    } else {
+      c.recv(nullptr, 0, Datatype::byte(), 0, 0);
+      EXPECT_EQ(local[0], 0.0);
+      EXPECT_EQ(local[1], 4.0);
+      EXPECT_EQ(local[2], 5.0);
+    }
+  });
+}
+
+TEST(PassiveTarget, LocksAreExclusive) {
+  UniverseOptions o;
+  o.nranks = 3;
+  o.wtime_resolution = 0.0;
+  Universe::run(o, [](Comm& c) {
+    std::vector<double> local(1, 0.0);
+    Window win = c.win_create(local.data(), 8);
+    if (c.rank() != 2) {
+      // Two origins accumulate under the same exclusive lock.
+      for (int i = 0; i < 10; ++i) {
+        win.lock(2);
+        win.accumulate_sum_f64(std::array<double, 1>{1.0}.data(), 1, 2, 0);
+        win.unlock(2);
+      }
+    }
+    c.barrier();
+    if (c.rank() == 2) EXPECT_EQ(local[0], 20.0);
+  });
+}
+
+TEST(PassiveTarget, MisuseThrows) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    std::vector<double> local(1);
+    Window win = c.win_create(local.data(), 8);
+    EXPECT_THROW(win.unlock(0), Error);  // not locked
+    win.lock(0);
+    EXPECT_THROW(win.lock(0), Error);  // double lock by same rank
+    const double x = 1.0;
+    win.put(&x, 1, Datatype::float64(), 0, 0);
+    win.unlock(0);
+  });
+}
+
+TEST(PassiveTarget, LockSerializationAdvancesClock) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> local(1, 0.0);
+    Window win = c.win_create(local.data(), 8);
+    // Rank 1 holds the lock busily; rank 0 must serialize behind it.
+    if (c.rank() == 1) {
+      win.lock(0);
+      c.charge(1.0);  // long epoch
+      win.unlock(0);
+    } else {
+      c.charge(1e-6);  // make sure rank 1 wins the race occasionally not
+      win.lock(0);
+      // Acquisition time must reflect the previous holder's release.
+      // (Host scheduling decides who wins; if rank 0 got it first this
+      // assertion is vacuous, so only check when serialized.)
+      if (c.clock() > 0.5) EXPECT_GE(c.clock(), 1.0);
+      win.unlock(0);
+    }
+  });
+}
+
+}  // namespace

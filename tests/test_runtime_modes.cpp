@@ -1,0 +1,264 @@
+// Send modes (bsend/ssend/isend/irecv/probe) and the functional-vs-
+// modeled payload invariant.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/minimpi.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+UniverseOptions two_ranks() {
+  UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  return o;
+}
+
+TEST(Bsend, RequiresAttachedBuffer) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    const double x = 1.0;
+    try {
+      c.bsend(&x, 1, Datatype::float64(), 0, 0);
+      FAIL() << "expected buffer error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::buffer);
+    }
+  });
+}
+
+TEST(Bsend, DeliversThroughAttachedBuffer) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      auto attach = Buffer::allocate(4096);
+      c.buffer_attach(attach);
+      std::vector<double> data(16);
+      std::iota(data.begin(), data.end(), 0.0);
+      c.bsend(data.data(), 16, Datatype::float64(), 1, 3);
+      c.buffer_detach();  // blocks until drained
+      EXPECT_GT(c.bsend_high_water(), 16u * 8);
+    } else {
+      std::vector<double> in(16);
+      c.recv(in.data(), 16, Datatype::float64(), 0, 3);
+      EXPECT_EQ(in[15], 15.0);
+    }
+  });
+}
+
+TEST(Bsend, ExhaustionThrows) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    auto attach = Buffer::allocate(128);  // one small message only
+    c.buffer_attach(attach);
+    std::vector<double> data(8);
+    c.bsend(data.data(), 8, Datatype::float64(), 0, 0);
+    try {
+      c.bsend(data.data(), 8, Datatype::float64(), 0, 0);
+      FAIL() << "expected exhaustion";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::buffer);
+    }
+    // Draining the first message frees space again.
+    std::vector<double> in(8);
+    c.recv(in.data(), 8, Datatype::float64(), 0, 0);
+    c.bsend(data.data(), 8, Datatype::float64(), 0, 0);
+    c.recv(in.data(), 8, Datatype::float64(), 0, 0);
+    c.buffer_detach();
+  });
+}
+
+TEST(Bsend, DoubleAttachThrows) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    auto b1 = Buffer::allocate(1024);
+    c.buffer_attach(b1);
+    auto b2 = Buffer::allocate(1024);
+    EXPECT_THROW(c.buffer_attach(b2), Error);
+    c.buffer_detach();
+    EXPECT_THROW(c.buffer_detach(), Error);
+  });
+}
+
+TEST(Bsend, SlowerThanStandardSend) {
+  // The modeled reason buffered sends never help (paper §4.2).
+  auto elapsed = [](bool buffered) {
+    double dt = 0.0;
+    UniverseOptions o;
+    o.nranks = 2;
+    o.wtime_resolution = 0.0;
+    Universe::run(o, [&](Comm& c) {
+      std::vector<double> buf(512);
+      if (c.rank() == 0) {
+        auto attach = Buffer::allocate(1 << 16);
+        if (buffered) c.buffer_attach(attach);
+        const double t0 = c.clock();
+        if (buffered)
+          c.bsend(buf.data(), buf.size(), Datatype::float64(), 1, 0);
+        else
+          c.send(buf.data(), buf.size(), Datatype::float64(), 1, 0);
+        c.recv(nullptr, 0, Datatype::byte(), 1, 1);
+        dt = c.clock() - t0;
+        if (buffered) c.buffer_detach();
+      } else {
+        c.recv(buf.data(), buf.size(), Datatype::float64(), 0, 0);
+        c.send(nullptr, 0, Datatype::byte(), 0, 1);
+      }
+    });
+    return dt;
+  };
+  EXPECT_GT(elapsed(true), elapsed(false));
+}
+
+TEST(Ssend, CompletesOnlyAfterMatch) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      const double x = 42.0;
+      c.ssend(&x, 1, Datatype::float64(), 1, 0);
+      // Receiver posted at virtual time >= 1.0; synchronous completion
+      // cannot happen before that.
+      EXPECT_GT(c.clock(), 1.0);
+    } else {
+      c.charge(1.0);  // receiver arrives late
+      double x = 0.0;
+      c.recv(&x, 1, Datatype::float64(), 0, 0);
+      EXPECT_EQ(x, 42.0);
+    }
+  });
+}
+
+TEST(IsendIrecv, OverlapAndCompletion) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> out(256, c.rank() + 0.5);
+    std::vector<double> in(256);
+    const Rank peer = 1 - c.rank();
+    Request r = c.irecv(in.data(), in.size(), Datatype::float64(), peer, 0);
+    Request s = c.isend(out.data(), out.size(), Datatype::float64(), peer, 0);
+    Status st = r.wait();
+    s.wait();
+    EXPECT_EQ(st.source, peer);
+    EXPECT_EQ(in[0], peer + 0.5);
+  });
+}
+
+TEST(IsendIrecv, TestPollsWithoutBlocking) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      double x = 7.0;
+      c.send(&x, 1, Datatype::float64(), 1, 0);
+      c.recv(nullptr, 0, Datatype::byte(), 1, 1);  // ack
+    } else {
+      double x = 0.0;
+      Request r = c.irecv(&x, 1, Datatype::float64(), 0, 0);
+      Status st;
+      while (!r.test(&st)) {
+      }
+      EXPECT_EQ(x, 7.0);
+      EXPECT_EQ(st.count_bytes, 8u);
+      c.send(nullptr, 0, Datatype::byte(), 0, 1);
+    }
+  });
+}
+
+TEST(IsendIrecv, WaitIsIdempotent) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      double x = 1.0;
+      Request s = c.isend(&x, 1, Datatype::float64(), 1, 0);
+      s.wait();
+      s.wait();  // second wait must be a no-op
+    } else {
+      double x = 0.0;
+      Request r = c.irecv(&x, 1, Datatype::float64(), 0, 0);
+      EXPECT_EQ(r.wait().count_bytes, 8u);
+      EXPECT_EQ(r.wait().count_bytes, 8u);
+    }
+  });
+}
+
+TEST(Probe, ReportsSizeWithoutConsuming) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> data(32, 1.0);
+      c.send(data.data(), 32, Datatype::float64(), 1, 9);
+    } else {
+      Status st = c.probe(0, 9);
+      EXPECT_EQ(st.count_bytes, 32u * 8);
+      // Message still there: allocate exactly and receive.
+      std::vector<double> in(st.count(sizeof(double)));
+      c.recv(in.data(), in.size(), Datatype::float64(), 0, 9);
+      EXPECT_EQ(in[31], 1.0);
+    }
+  });
+}
+
+TEST(Iprobe, NullWhenNothingPending) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    EXPECT_FALSE(c.iprobe(any_source, any_tag).has_value());
+    const double x = 2.0;
+    c.send(&x, 1, Datatype::float64(), 0, 4);
+    auto st = c.iprobe(0, 4);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->count_bytes, 8u);
+    double y = 0.0;
+    c.recv(&y, 1, Datatype::float64(), 0, 4);
+  });
+}
+
+TEST(ModeledMode, TimingIdenticalToFunctional) {
+  // The central phantom-buffer invariant: virtual time must not depend
+  // on whether payload bytes physically move.
+  auto measure = [](bool functional) {
+    double dt = 0.0;
+    UniverseOptions o;
+    o.nranks = 2;
+    o.functional = functional;
+    o.wtime_resolution = 0.0;
+    Universe::run(o, [&](Comm& c) {
+      Datatype vec = Datatype::vector(4096, 1, 2, Datatype::float64());
+      vec.commit();
+      const std::size_t fp = 8192;
+      Buffer src = Buffer::allocate(fp * 8, functional);
+      Buffer dst = Buffer::allocate(4096 * 8, functional);
+      if (c.rank() == 0) {
+        const double t0 = c.clock();
+        c.send(src.data(), 1, vec, 1, 0);
+        c.recv(nullptr, 0, Datatype::byte(), 1, 1);
+        dt = c.clock() - t0;
+      } else {
+        c.recv(dst.data(), 4096, Datatype::float64(), 0, 0);
+        c.send(nullptr, 0, Datatype::byte(), 0, 1);
+      }
+    });
+    return dt;
+  };
+  EXPECT_EQ(measure(true), measure(false));
+}
+
+TEST(ModeledMode, PayloadLimitCutsLargeTransfersOnly) {
+  UniverseOptions o;
+  o.nranks = 2;
+  o.functional_payload_limit = 1024;
+  Universe::run(o, [](Comm& c) {
+    std::vector<double> small_in(8), big_in(1024, -1.0);
+    if (c.rank() == 0) {
+      std::vector<double> small(8, 3.0), big(1024, 3.0);
+      c.send(small.data(), 8, Datatype::float64(), 1, 0);
+      c.send(big.data(), 1024, Datatype::float64(), 1, 1);
+    } else {
+      c.recv(small_in.data(), 8, Datatype::float64(), 0, 0);
+      c.recv(big_in.data(), 1024, Datatype::float64(), 0, 1);
+      EXPECT_EQ(small_in[0], 3.0);       // moved: under the limit
+      EXPECT_EQ(big_in[0], -1.0);        // metadata only: over the limit
+    }
+  });
+}
+
+}  // namespace

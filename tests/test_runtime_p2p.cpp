@@ -1,0 +1,277 @@
+// Two-sided point-to-point: delivery, matching rules, datatypes on the
+// wire, protocol timing, wildcards, errors.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/minimpi.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+UniverseOptions two_ranks() {
+  UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;  // exact clocks for assertions
+  return o;
+}
+
+TEST(P2P, ContiguousDoublesDelivered) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> data(64);
+    if (c.rank() == 0) {
+      std::iota(data.begin(), data.end(), 100.0);
+      c.send(std::span<const double>(data), 1, 5);
+    } else {
+      Status st = c.recv(std::span<double>(data), 0, 5);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 5);
+      EXPECT_EQ(st.count_bytes, 64u * 8);
+      EXPECT_EQ(st.count(sizeof(double)), 64u);
+      for (int i = 0; i < 64; ++i) EXPECT_EQ(data[i], 100.0 + i);
+    }
+  });
+}
+
+TEST(P2P, StridedDatatypeGathersOnTheWire) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    Datatype vec = Datatype::vector(8, 1, 2, Datatype::float64());
+    vec.commit();
+    if (c.rank() == 0) {
+      std::vector<double> src(16);
+      std::iota(src.begin(), src.end(), 0.0);
+      c.send(src.data(), 1, vec, 1, 0);
+    } else {
+      std::vector<double> dst(8, -1.0);
+      c.recv(dst.data(), 8, Datatype::float64(), 0, 0);
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(dst[i], 2.0 * i);
+    }
+  });
+}
+
+TEST(P2P, StridedReceiveScatters) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    Datatype vec = Datatype::vector(8, 1, 3, Datatype::float64());
+    vec.commit();
+    if (c.rank() == 0) {
+      std::vector<double> src(8);
+      std::iota(src.begin(), src.end(), 1.0);
+      c.send(src.data(), 8, Datatype::float64(), 1, 0);
+    } else {
+      std::vector<double> dst(24, 0.0);
+      c.recv(dst.data(), 1, vec, 0, 0);
+      for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(dst[i], i % 3 == 0 ? 1.0 + i / 3 : 0.0);
+    }
+  });
+}
+
+TEST(P2P, NonOvertakingSameSource) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      const double a = 1.0, b = 2.0;
+      c.send(&a, 1, Datatype::float64(), 1, 7);
+      c.send(&b, 1, Datatype::float64(), 1, 7);
+    } else {
+      double x = 0.0, y = 0.0;
+      c.recv(&x, 1, Datatype::float64(), 0, 7);
+      c.recv(&y, 1, Datatype::float64(), 0, 7);
+      EXPECT_EQ(x, 1.0);
+      EXPECT_EQ(y, 2.0);
+    }
+  });
+}
+
+TEST(P2P, TagSelectionSkipsNonMatching) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      const double a = 1.0, b = 2.0;
+      c.send(&a, 1, Datatype::float64(), 1, 10);
+      c.send(&b, 1, Datatype::float64(), 1, 20);
+    } else {
+      double x = 0.0;
+      c.recv(&x, 1, Datatype::float64(), 0, 20);
+      EXPECT_EQ(x, 2.0);
+      c.recv(&x, 1, Datatype::float64(), 0, 10);
+      EXPECT_EQ(x, 1.0);
+    }
+  });
+}
+
+TEST(P2P, Wildcards) {
+  UniverseOptions o;
+  o.nranks = 3;
+  Universe::run(o, [](Comm& c) {
+    if (c.rank() != 0) {
+      const double v = c.rank() * 10.0;
+      c.send(&v, 1, Datatype::float64(), 0, c.rank());
+    } else {
+      double sum = 0.0;
+      for (int i = 0; i < 2; ++i) {
+        double v = 0.0;
+        Status st = c.recv(&v, 1, Datatype::float64(), any_source, any_tag);
+        EXPECT_EQ(st.tag, st.source);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 30.0);
+    }
+  });
+}
+
+TEST(P2P, TruncationThrows) {
+  // Single-rank self-send so the throw happens on the only thread.
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    std::vector<double> big(16, 1.0);
+    c.send(big.data(), 16, Datatype::float64(), 0, 0);
+    std::vector<double> small(8);
+    try {
+      c.recv(small.data(), 8, Datatype::float64(), 0, 0);
+      FAIL() << "expected truncation error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::truncate);
+    }
+  });
+}
+
+TEST(P2P, TypeMismatchDetected) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    const double x = 1.0;
+    c.send(&x, 1, Datatype::float64(), 0, 0);
+    std::int32_t out[2];
+    try {
+      c.recv(out, 2, Datatype::int32(), 0, 0);
+      FAIL() << "expected type mismatch";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::type_mismatch);
+    }
+  });
+}
+
+TEST(P2P, PackedBytesMatchTypedReceive) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    if (c.rank() == 0) {
+      Datatype vec = Datatype::vector(4, 1, 2, Datatype::float64());
+      vec.commit();
+      std::vector<double> src{0, 9, 1, 9, 2, 9, 3, 9};
+      std::vector<std::byte> packed(32);
+      std::size_t pos = 0;
+      pack(src.data(), 1, vec, packed.data(), packed.size(), pos);
+      c.send(packed.data(), pos, Datatype::packed(), 1, 0);
+    } else {
+      std::vector<double> dst(4);
+      c.recv(dst.data(), 4, Datatype::float64(), 0, 0);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(dst[i], i);
+    }
+  });
+}
+
+TEST(P2P, InvalidArgumentsThrow) {
+  UniverseOptions o;
+  o.nranks = 1;
+  Universe::run(o, [](Comm& c) {
+    const double x = 0.0;
+    EXPECT_THROW(c.send(&x, 1, Datatype::float64(), 5, 0), Error);
+    EXPECT_THROW(c.send(&x, 1, Datatype::float64(), 0, -3), Error);
+    Datatype uncommitted = Datatype::vector(2, 1, 2, Datatype::float64());
+    EXPECT_THROW(c.send(&x, 1, uncommitted, 0, 0), Error);
+  });
+}
+
+TEST(P2P, ClockAdvancesMonotonically) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    std::vector<double> buf(128);
+    const double t0 = c.clock();
+    for (int i = 0; i < 5; ++i) {
+      if (c.rank() == 0) {
+        c.send(buf.data(), buf.size(), Datatype::float64(), 1, 0);
+        c.recv(buf.data(), buf.size(), Datatype::float64(), 1, 1);
+      } else {
+        c.recv(buf.data(), buf.size(), Datatype::float64(), 0, 0);
+        c.send(buf.data(), buf.size(), Datatype::float64(), 0, 1);
+      }
+    }
+    EXPECT_GT(c.clock(), t0);
+  });
+}
+
+TEST(P2P, PingPongTimeIsDeterministic) {
+  // The same experiment must produce bit-identical virtual times: the
+  // whole point of the simulated clock.
+  auto measure = [] {
+    double elapsed = 0.0;
+    Universe::run(two_ranks(), [&](Comm& c) {
+      std::vector<double> buf(1024);
+      if (c.rank() == 0) {
+        const double t0 = c.clock();
+        c.send(buf.data(), buf.size(), Datatype::float64(), 1, 0);
+        c.recv(nullptr, 0, Datatype::byte(), 1, 1);
+        elapsed = c.clock() - t0;
+      } else {
+        c.recv(buf.data(), buf.size(), Datatype::float64(), 0, 0);
+        c.send(nullptr, 0, Datatype::byte(), 0, 1);
+      }
+    });
+    return elapsed;
+  };
+  const double a = measure();
+  const double b = measure();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(P2P, RendezvousSlowerJustAboveEagerLimit) {
+  const auto& p = MachineProfile::skx_impi();
+  auto pingpong_time = [&](std::size_t bytes) {
+    double elapsed = 0.0;
+    UniverseOptions o = two_ranks();
+    Universe::run(o, [&](Comm& c) {
+      std::vector<double> buf(bytes / 8);
+      if (c.rank() == 0) {
+        const double t0 = c.clock();
+        c.send(buf.data(), buf.size(), Datatype::float64(), 1, 0);
+        c.recv(nullptr, 0, Datatype::byte(), 1, 1);
+        elapsed = c.clock() - t0;
+      } else {
+        c.recv(buf.data(), buf.size(), Datatype::float64(), 0, 0);
+        c.send(nullptr, 0, Datatype::byte(), 0, 1);
+      }
+    });
+    return elapsed;
+  };
+  const double just_under = pingpong_time(p.eager_limit_bytes);
+  const double just_over = pingpong_time(p.eager_limit_bytes + 8);
+  // Per-byte time dips right above the limit (the handshake).
+  EXPECT_GT(just_over, just_under);
+}
+
+TEST(P2P, SendrecvDoesNotDeadlock) {
+  Universe::run(two_ranks(), [](Comm& c) {
+    // Rendezvous-sized messages in both directions simultaneously.
+    std::vector<double> out(1 << 15, c.rank() + 1.0);
+    std::vector<double> in(1 << 15);
+    const Rank peer = 1 - c.rank();
+    c.sendrecv(out.data(), out.size(), Datatype::float64(), peer, 0,
+               in.data(), in.size(), Datatype::float64(), peer, 0);
+    EXPECT_EQ(in[0], peer + 1.0);
+    EXPECT_EQ(in.back(), peer + 1.0);
+  });
+}
+
+TEST(P2P, WtimeQuantization) {
+  UniverseOptions o;
+  o.nranks = 1;
+  o.wtime_resolution = 1e-6;
+  Universe::run(o, [](Comm& c) {
+    c.charge(3.7e-6);
+    EXPECT_DOUBLE_EQ(c.wtime(), 3e-6);
+    EXPECT_DOUBLE_EQ(c.clock(), 3.7e-6);
+    EXPECT_DOUBLE_EQ(c.wtick(), 1e-6);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// The eight send schemes: registry, end-to-end delivery for every
+// scheme x layout combination, and per-scheme behavioural checks.
+#include <gtest/gtest.h>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+
+namespace {
+
+minimpi::UniverseOptions exact_opts() {
+  minimpi::UniverseOptions o;
+  o.nranks = 2;
+  o.wtime_resolution = 0.0;
+  return o;
+}
+
+TEST(SchemeRegistry, AllEightNames) {
+  const auto& names = all_scheme_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "reference");
+  EXPECT_EQ(names.back(), "packing(v)");
+  for (const auto& n : names) {
+    auto s = make_scheme(n);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), n);
+  }
+  EXPECT_THROW((void)make_scheme("carrier pigeon"), minimpi::Error);
+}
+
+struct Combo {
+  std::string scheme;
+  std::string layout;
+};
+
+class AllCombos : public ::testing::TestWithParam<Combo> {};
+
+Layout layout_by_name(const std::string& name, std::size_t elems) {
+  if (name == "strided") return Layout::strided(elems, 1, 2);
+  if (name == "blocked") return Layout::strided(elems / 4, 4, 9);
+  if (name == "multigrid") return Layout::multigrid(elems, 2);
+  if (name == "fem") return Layout::fem_boundary(elems, elems * 7);
+  if (name == "subarray2d")
+    return Layout::subarray2d(64, 64, elems / 32, 32, 8, 16);
+  throw std::runtime_error("bad layout name");
+}
+
+std::vector<Combo> all_combos() {
+  std::vector<Combo> combos;
+  for (const auto& s : all_scheme_names())
+    for (const auto& l :
+         {"strided", "blocked", "multigrid", "fem", "subarray2d"})
+      combos.push_back({s, l});
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeliveryMatrix, AllCombos, ::testing::ValuesIn(all_combos()),
+    [](const auto& info) {
+      std::string n = info.param.scheme + "_" + info.param.layout;
+      std::string out;
+      for (const char c : n)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+      return out;
+    });
+
+TEST_P(AllCombos, DeliversExactBytes) {
+  // Every scheme must deliver byte-identical data for every layout; this
+  // is the integration backbone of the whole study.
+  const Layout layout = layout_by_name(GetParam().layout, 256);
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  const RunResult r =
+      run_experiment(exact_opts(), GetParam().scheme, layout, cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.payload_bytes, layout.payload_bytes());
+  EXPECT_GT(r.time(), 0.0);
+}
+
+TEST(SchemeBehaviour, ReferenceIsFastest) {
+  const Layout layout = Layout::strided(4096, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double ref =
+      run_experiment(exact_opts(), "reference", layout, cfg).time();
+  for (const auto& s : all_scheme_names()) {
+    if (s == "reference") continue;
+    const double t = run_experiment(exact_opts(), s, layout, cfg).time();
+    EXPECT_GE(t, ref) << s;
+  }
+}
+
+TEST(SchemeBehaviour, PackingVectorTracksCopying) {
+  // Paper §4.3: packing a derived type == manual copying.
+  const Layout layout = Layout::strided(1 << 15, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double copying =
+      run_experiment(exact_opts(), "copying", layout, cfg).time();
+  const double packing =
+      run_experiment(exact_opts(), "packing(v)", layout, cfg).time();
+  EXPECT_NEAR(packing / copying, 1.0, 0.05);
+}
+
+TEST(SchemeBehaviour, PackingElementIsWorst) {
+  const Layout layout = Layout::strided(1 << 14, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  double worst_other = 0.0;
+  for (const auto& s : all_scheme_names()) {
+    if (s == "packing(e)") continue;
+    worst_other = std::max(
+        worst_other, run_experiment(exact_opts(), s, layout, cfg).time());
+  }
+  const double pe =
+      run_experiment(exact_opts(), "packing(e)", layout, cfg).time();
+  EXPECT_GT(pe, worst_other);
+}
+
+TEST(SchemeBehaviour, BufferedSlowerThanCopying) {
+  // Paper §4.2: Bsend is at a disadvantage even at intermediate sizes.
+  const Layout layout = Layout::strided(1 << 16, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double copying =
+      run_experiment(exact_opts(), "copying", layout, cfg).time();
+  const double buffered =
+      run_experiment(exact_opts(), "buffered", layout, cfg).time();
+  EXPECT_GT(buffered, copying);
+}
+
+TEST(SchemeBehaviour, OneSidedSlowForSmallMessages) {
+  // Paper §4.4: fence overhead dominates small transfers.
+  const Layout layout = Layout::strided(128, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double ref =
+      run_experiment(exact_opts(), "reference", layout, cfg).time();
+  const double os =
+      run_experiment(exact_opts(), "onesided", layout, cfg).time();
+  EXPECT_GT(os, 2.0 * ref);
+}
+
+TEST(SchemeBehaviour, VectorAndSubarrayEquivalent) {
+  // Two descriptions of the same bytes ride the same engine.
+  const Layout layout = Layout::strided(1 << 14, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const double v =
+      run_experiment(exact_opts(), "vector type", layout, cfg).time();
+  const double s =
+      run_experiment(exact_opts(), "subarray", layout, cfg).time();
+  EXPECT_NEAR(v / s, 1.0, 0.02);
+}
+
+TEST(SchemeBehaviour, TimesAreDeterministic) {
+  const Layout layout = Layout::strided(2048, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  for (const auto& s : all_scheme_names()) {
+    const double a = run_experiment(exact_opts(), s, layout, cfg).time();
+    const double b = run_experiment(exact_opts(), s, layout, cfg).time();
+    EXPECT_EQ(a, b) << s;
+  }
+}
+
+TEST(SchemeBehaviour, ModeledModeTimingMatchesFunctional) {
+  // Phantom sweep runs must report the same virtual times as functional
+  // runs — the invariant that makes the 1e9-byte sweeps trustworthy.
+  const Layout layout = Layout::strided(1 << 14, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 4;
+  cfg.verify = false;
+  for (const auto& s : all_scheme_names()) {
+    minimpi::UniverseOptions functional = exact_opts();
+    minimpi::UniverseOptions modeled = exact_opts();
+    modeled.functional = false;
+    const double tf = run_experiment(functional, s, layout, cfg).time();
+    const double tm = run_experiment(modeled, s, layout, cfg).time();
+    EXPECT_EQ(tf, tm) << s;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Type-signature construction and send/recv compatibility rules.
+#include <gtest/gtest.h>
+
+#include "minimpi/datatype/datatype.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(Signature, HomogeneousRunsCollapse) {
+  TypeSignature s;
+  s.append(BasicType::double_, 3);
+  s.append(BasicType::double_, 5);
+  EXPECT_EQ(s.total_bytes(), 64u);
+  EXPECT_TRUE(s.exact());
+  EXPECT_EQ(s.to_string(), "[doublex8]");
+}
+
+TEST(Signature, MixedRunsKeepOrder) {
+  TypeSignature s;
+  s.append(BasicType::int32, 2);
+  s.append(BasicType::double_, 1);
+  EXPECT_EQ(s.to_string(), "[int32x2,doublex1]");
+}
+
+TEST(Signature, RepeatOfSingleRunStaysExact) {
+  TypeSignature inner;
+  inner.append(BasicType::double_, 4);
+  TypeSignature s;
+  s.append(inner, 1'000'000'000);  // a billion doubles: still one run
+  EXPECT_TRUE(s.exact());
+  EXPECT_EQ(s.total_bytes(), 32'000'000'000u);
+}
+
+TEST(Signature, PathologicalAlternationDegrades) {
+  TypeSignature inner;
+  inner.append(BasicType::int32, 1);
+  inner.append(BasicType::double_, 1);
+  TypeSignature s;
+  s.append(inner, 100'000);  // 200k runs: beyond the exact cap
+  EXPECT_FALSE(s.exact());
+  EXPECT_EQ(s.total_bytes(), 100'000u * 12);
+}
+
+TEST(Accepts, IdenticalSignatures) {
+  TypeSignature a, b;
+  a.append(BasicType::double_, 10);
+  b.append(BasicType::double_, 10);
+  EXPECT_TRUE(a.accepts(b));
+}
+
+TEST(Accepts, LongerReceiveIsFine) {
+  TypeSignature recv, send;
+  recv.append(BasicType::double_, 20);
+  send.append(BasicType::double_, 10);
+  EXPECT_TRUE(recv.accepts(send));
+  EXPECT_FALSE(send.accepts(recv));  // shorter recv truncates
+}
+
+TEST(Accepts, MismatchedBasicsRejected) {
+  TypeSignature recv, send;
+  recv.append(BasicType::float_, 16);
+  send.append(BasicType::double_, 8);  // same bytes, wrong types
+  EXPECT_FALSE(recv.accepts(send));
+}
+
+TEST(Accepts, RunsMaySplitAcrossBoundaries) {
+  // recv = [i32 x4], send = [i32 x2][i32 x2] built via separate appends
+  // must match (run-length form is irrelevant to the flattened sequence).
+  TypeSignature recv, send;
+  recv.append(BasicType::int32, 4);
+  send.append(BasicType::int32, 2);
+  send.append(BasicType::int32, 2);
+  EXPECT_TRUE(recv.accepts(send));
+}
+
+TEST(Accepts, OrderMatters) {
+  TypeSignature recv, send;
+  recv.append(BasicType::int32, 1);
+  recv.append(BasicType::double_, 1);
+  send.append(BasicType::double_, 1);
+  send.append(BasicType::int32, 1);
+  EXPECT_FALSE(recv.accepts(send));
+}
+
+TEST(Accepts, PackedInteroperatesWithAnything) {
+  TypeSignature packed, doubles;
+  packed.append(BasicType::packed, 80);
+  doubles.append(BasicType::double_, 10);
+  EXPECT_TRUE(doubles.accepts(packed));  // recv doubles from packed send
+  EXPECT_TRUE(packed.accepts(doubles));  // recv packed from typed send
+  TypeSignature small;
+  small.append(BasicType::packed, 72);
+  EXPECT_FALSE(small.accepts(doubles));  // still must fit
+}
+
+TEST(Accepts, EmptySendAlwaysAccepted) {
+  TypeSignature recv, send;
+  recv.append(BasicType::double_, 1);
+  EXPECT_TRUE(recv.accepts(send));
+  TypeSignature empty_recv;
+  EXPECT_TRUE(empty_recv.accepts(send));
+}
+
+TEST(Accepts, DegradedModeUsesTotals) {
+  TypeSignature inner;
+  inner.append(BasicType::int32, 1);
+  inner.append(BasicType::double_, 1);
+  TypeSignature big_send;
+  big_send.append(inner, 100'000);
+  ASSERT_FALSE(big_send.exact());
+  TypeSignature big_recv;
+  big_recv.append(inner, 100'000);
+  EXPECT_TRUE(big_recv.accepts(big_send));
+  TypeSignature short_recv;
+  short_recv.append(inner, 50'000);
+  EXPECT_FALSE(short_recv.accepts(big_send));
+}
+
+TEST(DatatypeSignature, ReflectsLeafSequence) {
+  const Datatype v = Datatype::vector(5, 2, 4, Datatype::float64());
+  EXPECT_EQ(v.signature().to_string(), "[doublex10]");
+  const std::size_t bl[] = {1, 1};
+  const std::ptrdiff_t dis[] = {0, 8};
+  const Datatype kinds[] = {Datatype::int32(), Datatype::float64()};
+  const Datatype st = Datatype::struct_(bl, dis, kinds);
+  EXPECT_EQ(st.signature().to_string(), "[int32x1,doublex1]");
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Timing statistics and the paper's 1-sigma outlier rule.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ncsend/stats.hpp"
+
+using ncsend::summarize;
+
+namespace {
+
+TEST(Stats, EmptyIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.samples, 0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const std::vector<double> v{3.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 3.0);
+  EXPECT_EQ(s.max, 3.0);
+  EXPECT_EQ(s.rejected, 0);
+}
+
+TEST(Stats, IdenticalSamplesKeepAll) {
+  const std::vector<double> v(20, 1.5);
+  const auto s = summarize(v);
+  EXPECT_EQ(s.mean, 1.5);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.rejected, 0);
+  EXPECT_EQ(s.samples, 20);
+}
+
+TEST(Stats, OutlierBeyondOneSigmaDropped) {
+  // 19 samples at 1.0 and one at 100: the spike is > 1 sigma away.
+  std::vector<double> v(19, 1.0);
+  v.push_back(100.0);
+  const auto s = summarize(v);
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_NEAR(s.mean, 1.0, 1e-12);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(Stats, SymmetricSpreadKeepsCore) {
+  // mean 2, sigma ~0.8: 1.0 and 3.0 are beyond 1 sigma.
+  const std::vector<double> v{1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 3.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.rejected, 2);
+  EXPECT_NEAR(s.mean, 2.0, 1e-12);
+}
+
+TEST(Stats, MinMaxOverAllSamples) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.samples, 3);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Differential tests for the strided8 fast path in the pack engine:
+// the specialized kernel must be byte-identical to the generic walker
+// (reached here via an hindexed type describing the same bytes, which
+// the fast path cannot match).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "minimpi/datatype/pack.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+struct StrideCase {
+  std::size_t count;
+  std::ptrdiff_t stride;  // doubles
+};
+
+class StridedKernel : public ::testing::TestWithParam<StrideCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Strides, StridedKernel,
+    ::testing::Values(StrideCase{1, 2}, StrideCase{7, 2}, StrideCase{64, 2},
+                      StrideCase{33, 3}, StrideCase{16, 7},
+                      StrideCase{100, 1}, StrideCase{9, -2},
+                      StrideCase{21, -5}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "n" + std::to_string(p.count) +
+             (p.stride < 0 ? "m" + std::to_string(-p.stride)
+                           : "s" + std::to_string(p.stride));
+    });
+
+TEST_P(StridedKernel, PackMatchesGenericWalker) {
+  const auto [count, stride] = GetParam();
+  // Fast-path type: a vector (lowered to hvector of 8-byte blocks).
+  Datatype vec = Datatype::vector(count, 1, stride, Datatype::float64());
+  vec.commit();
+  // Generic-path type with the same typemap: hindexed, one block per
+  // element (as_strided8 rejects hindexed, so this takes the walker).
+  std::vector<std::size_t> bl(count, 1);
+  std::vector<std::ptrdiff_t> dis(count);
+  for (std::size_t i = 0; i < count; ++i)
+    dis[i] = static_cast<std::ptrdiff_t>(i) * stride * 8;
+  Datatype idx = Datatype::hindexed(bl, dis, Datatype::float64());
+  idx.commit();
+  ASSERT_EQ(vec.size(), idx.size());
+
+  // Host array large enough in both directions for negative strides.
+  const std::size_t span = count * static_cast<std::size_t>(
+                               stride < 0 ? -stride : stride) + 4;
+  std::vector<double> host(2 * span);
+  std::iota(host.begin(), host.end(), 100.0);
+  const double* base = host.data() + span;  // midpoint: room both ways
+
+  std::vector<std::byte> via_fast(vec.size());
+  std::vector<std::byte> via_walker(vec.size());
+  std::size_t pos = 0;
+  pack(base, 1, vec, via_fast.data(), via_fast.size(), pos);
+  pos = 0;
+  pack(base, 1, idx, via_walker.data(), via_walker.size(), pos);
+  EXPECT_EQ(std::memcmp(via_fast.data(), via_walker.data(), vec.size()), 0);
+
+  // And the scatter direction.
+  std::vector<double> out_fast(2 * span, -1.0), out_walker(2 * span, -1.0);
+  pos = 0;
+  unpack(via_fast.data(), via_fast.size(), pos,
+         out_fast.data() + span, 1, vec);
+  pos = 0;
+  unpack(via_walker.data(), via_walker.size(), pos,
+         out_walker.data() + span, 1, idx);
+  EXPECT_EQ(out_fast, out_walker);
+}
+
+TEST(StridedKernel, MultiCountReplication) {
+  Datatype vec = Datatype::vector(8, 1, 2, Datatype::float64());
+  vec.commit();
+  std::vector<double> host(64);
+  std::iota(host.begin(), host.end(), 0.0);
+  std::vector<std::byte> packed(3 * 64);
+  std::size_t pos = 0;
+  pack(host.data(), 3, vec, packed.data(), packed.size(), pos);
+  const auto* d = reinterpret_cast<const double*>(packed.data());
+  // Element e starts at e * extent (15 doubles); block i at +2i.
+  for (std::size_t e = 0; e < 3; ++e)
+    for (std::size_t i = 0; i < 8; ++i)
+      EXPECT_EQ(d[e * 8 + i], static_cast<double>(e * 15 + 2 * i));
+}
+
+TEST(StridedKernel, BlockLengthTwoNotEligibleStillCorrect) {
+  // blocklen 2 (16-byte blocks) must take the generic path and still
+  // round-trip (guards the fast-path eligibility check).
+  Datatype vec = Datatype::vector(10, 2, 5, Datatype::float64());
+  vec.commit();
+  std::vector<double> host(64);
+  std::iota(host.begin(), host.end(), 0.0);
+  std::vector<std::byte> packed(20 * 8);
+  std::size_t pos = 0;
+  pack(host.data(), 1, vec, packed.data(), packed.size(), pos);
+  std::vector<double> back(64, -1.0);
+  pos = 0;
+  unpack(packed.data(), packed.size(), pos, back.data(), 1, vec);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const bool in_layout = i % 5 < 2;
+    EXPECT_EQ(back[i], in_layout ? host[i] : -1.0) << i;
+  }
+}
+
+TEST(StridedKernel, ResizedWrapperStillEligible) {
+  // resized(vector) unwraps to the same pattern; geometry must follow
+  // the resized extent for count > 1.
+  Datatype vec = Datatype::vector(4, 1, 2, Datatype::float64());
+  Datatype rs = Datatype::resized(vec, 0, 10 * 8);
+  rs.commit();
+  std::vector<double> host(40);
+  std::iota(host.begin(), host.end(), 0.0);
+  std::vector<std::byte> packed(2 * 32);
+  std::size_t pos = 0;
+  pack(host.data(), 2, rs, packed.data(), packed.size(), pos);
+  const auto* d = reinterpret_cast<const double*>(packed.data());
+  for (std::size_t e = 0; e < 2; ++e)
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(d[e * 4 + i], static_cast<double>(e * 10 + 2 * i));
+}
+
+}  // namespace

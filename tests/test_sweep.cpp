@@ -1,0 +1,129 @@
+// Sweep driver and report generation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+
+namespace {
+
+SweepConfig small_sweep() {
+  SweepConfig cfg;
+  cfg.sizes_bytes = {1024, 8192, 65536};
+  cfg.schemes = {"reference", "copying", "packing(v)"};
+  cfg.harness.reps = 3;
+  return cfg;
+}
+
+TEST(LogSizes, CoverRangeWithWholeDoubles) {
+  const auto sizes = log_sizes(1e3, 1e6, 3);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_GE(sizes.front(), 990u);
+  EXPECT_LE(sizes.back(), 1'000'008u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i] % 8, 0u);
+    if (i) EXPECT_GT(sizes[i], sizes[i - 1]);
+  }
+  // Roughly 3 per decade over 3 decades.
+  EXPECT_NEAR(static_cast<double>(sizes.size()), 10.0, 2.0);
+}
+
+TEST(PaperSizes, SpanThePaperRange) {
+  const auto sizes = paper_sizes(4);
+  EXPECT_NEAR(static_cast<double>(sizes.front()), 1e3, 10.0);
+  EXPECT_NEAR(static_cast<double>(sizes.back()) / 1e9, 1.0, 0.01);
+}
+
+TEST(Sweep, ShapeAndMetadata) {
+  const SweepResult r = run_sweep(small_sweep());
+  EXPECT_EQ(r.profile_name, "skx-impi");
+  EXPECT_EQ(r.sizes_bytes.size(), 3u);
+  EXPECT_EQ(r.schemes.size(), 3u);
+  ASSERT_EQ(r.cells.size(), 3u);
+  ASSERT_EQ(r.cells[0].size(), 3u);
+  EXPECT_TRUE(r.all_verified());
+  EXPECT_NE(r.layout_name.find("strided"), std::string::npos);
+}
+
+TEST(Sweep, SlowdownRelativeToReference) {
+  const SweepResult r = run_sweep(small_sweep());
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    EXPECT_NEAR(r.slowdown(si, 0), 1.0, 1e-9);   // reference vs itself
+    // Copying can tie at latency-dominated sizes (quantized wtime) but
+    // never wins; at the largest size the gather cost must show.
+    EXPECT_GE(r.slowdown(si, 1), 1.0);
+  }
+  EXPECT_GT(r.slowdown(r.sizes_bytes.size() - 1, 1), 1.0);
+}
+
+TEST(Sweep, BandwidthConsistentWithTime) {
+  const SweepResult r = run_sweep(small_sweep());
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+      EXPECT_NEAR(r.bandwidth_GBps(si, ci) * r.time(si, ci) * 1e9,
+                  static_cast<double>(r.sizes_bytes[si]),
+                  static_cast<double>(r.sizes_bytes[si]) * 1e-6);
+}
+
+TEST(Sweep, CustomLayoutFactory) {
+  SweepConfig cfg = small_sweep();
+  cfg.sizes_bytes = {4096};
+  cfg.layout_factory = [](std::size_t elems) {
+    return Layout::strided(elems / 4, 4, 8);
+  };
+  const SweepResult r = run_sweep(cfg);
+  EXPECT_NE(r.layout_name.find("b=4"), std::string::npos);
+}
+
+TEST(Sweep, EagerOverridePropagates) {
+  SweepConfig cfg = small_sweep();
+  cfg.schemes = {"reference"};
+  cfg.sizes_bytes = {65544};  // just above skx-impi's 64 KiB eager limit
+  const double with_rdv = run_sweep(cfg).time(0, 0);
+  cfg.eager_limit_override = std::size_t{1} << 30;
+  const double all_eager = run_sweep(cfg).time(0, 0);
+  EXPECT_NE(with_rdv, all_eager);
+}
+
+TEST(Report, TablesContainAllSchemes) {
+  const SweepResult r = run_sweep(small_sweep());
+  std::ostringstream os;
+  print_tables(os, r);
+  const std::string out = os.str();
+  for (const auto& s : r.schemes) EXPECT_NE(out.find(s), std::string::npos);
+  EXPECT_NE(out.find("slowdown"), std::string::npos);
+}
+
+TEST(Report, CsvRowPerCell) {
+  const SweepResult r = run_sweep(small_sweep());
+  std::ostringstream os;
+  write_csv(os, r);
+  const std::string out = os.str();
+  std::size_t rows = 0;
+  for (const char ch : out)
+    if (ch == '\n') ++rows;
+  EXPECT_EQ(rows, 1 + r.sizes_bytes.size() * r.schemes.size());
+  EXPECT_NE(out.find("skx-impi"), std::string::npos);
+}
+
+TEST(Report, AsciiPlotRenders) {
+  const SweepResult r = run_sweep(small_sweep());
+  std::ostringstream os;
+  ascii_plot(os, r, Metric::time);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_GT(out.size(), 500u);
+}
+
+TEST(Report, FigureCombinesEverything) {
+  const SweepResult r = run_sweep(small_sweep());
+  std::ostringstream os;
+  print_figure(os, r, "Test figure");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Test figure"), std::string::npos);
+  EXPECT_NE(out.find("byte-exact"), std::string::npos);
+}
+
+}  // namespace

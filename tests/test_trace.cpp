@@ -1,0 +1,152 @@
+// Protocol tracing: tests assert the *mechanism* a transfer used.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "minimpi/minimpi.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+std::shared_ptr<TraceLog> traced_pingpong(std::size_t bytes,
+                                          bool noncontig = false) {
+  auto log = std::make_shared<TraceLog>();
+  UniverseOptions o;
+  o.nranks = 2;
+  o.trace = log;
+  Universe::run(o, [&](Comm& c) {
+    const std::size_t elems = bytes / 8;
+    Datatype t = noncontig
+                     ? Datatype::vector(elems, 1, 2, Datatype::float64())
+                     : Datatype::contiguous(elems, Datatype::float64());
+    t.commit();
+    if (c.rank() == 0) {
+      Buffer src = Buffer::allocate((noncontig ? 2 : 1) * bytes,
+                                    c.moves_payload(bytes));
+      c.send(src.data(), 1, t, 1, 0);
+      c.recv(nullptr, 0, Datatype::byte(), 1, 1);
+    } else {
+      Buffer dst = Buffer::allocate(bytes, c.moves_payload(bytes));
+      c.recv(dst.data(), elems, Datatype::float64(), 0, 0);
+      c.send(nullptr, 0, Datatype::byte(), 0, 1);
+    }
+  });
+  return log;
+}
+
+TEST(Trace, SmallMessagesGoEager) {
+  auto log = traced_pingpong(1024);
+  EXPECT_EQ(log->count(TraceEvent::send_rendezvous), 0u);
+  EXPECT_EQ(log->count(TraceEvent::send_eager), 2u);  // ping + pong
+  EXPECT_EQ(log->count(TraceEvent::recv_complete), 2u);
+}
+
+TEST(Trace, LargeMessagesGoRendezvous) {
+  auto log = traced_pingpong(1 << 20);
+  EXPECT_EQ(log->count(TraceEvent::send_rendezvous), 1u);  // the ping
+  EXPECT_EQ(log->count(TraceEvent::send_eager), 1u);       // 0-byte pong
+}
+
+TEST(Trace, NoncontigRendezvousRecordsStagedBytes) {
+  auto log = traced_pingpong(1 << 20, /*noncontig=*/true);
+  bool found = false;
+  for (const auto& r : log->records()) {
+    if (r.event == TraceEvent::send_rendezvous) {
+      EXPECT_EQ(r.staged_bytes, std::size_t{1} << 20);
+      EXPECT_EQ(r.rank, 0);
+      EXPECT_EQ(r.peer, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, ContiguousRendezvousStagesNothing) {
+  auto log = traced_pingpong(1 << 20, /*noncontig=*/false);
+  for (const auto& r : log->records())
+    if (r.event == TraceEvent::send_rendezvous)
+      EXPECT_EQ(r.staged_bytes, 0u);  // zero-copy path
+}
+
+TEST(Trace, BufferedAndReadyModesRecorded) {
+  auto log = std::make_shared<TraceLog>();
+  UniverseOptions o;
+  o.nranks = 2;
+  o.trace = log;
+  Universe::run(o, [&](Comm& c) {
+    std::vector<double> buf(16);
+    if (c.rank() == 0) {
+      auto attach = Buffer::allocate(4096);
+      c.buffer_attach(attach);
+      c.bsend(buf.data(), 16, Datatype::float64(), 1, 0);
+      c.rsend(buf.data(), 16, Datatype::float64(), 1, 1);
+      c.buffer_detach();
+    } else {
+      c.recv(buf.data(), 16, Datatype::float64(), 0, 0);
+      c.recv(buf.data(), 16, Datatype::float64(), 0, 1);
+    }
+  });
+  EXPECT_EQ(log->count(TraceEvent::send_buffered), 1u);
+  EXPECT_EQ(log->count(TraceEvent::send_ready), 1u);
+}
+
+TEST(Trace, RmaEventsRecorded) {
+  auto log = std::make_shared<TraceLog>();
+  UniverseOptions o;
+  o.nranks = 2;
+  o.trace = log;
+  Universe::run(o, [&](Comm& c) {
+    std::vector<double> local(8, 0.0);
+    Window win = c.win_create(local.data(), 64);
+    win.fence();
+    if (c.rank() == 0) {
+      const double x = 1.0;
+      win.put(&x, 1, Datatype::float64(), 1, 0);
+      win.get(local.data(), 1, Datatype::float64(), 1, 0);
+    }
+    win.fence();
+  });
+  EXPECT_EQ(log->count(TraceEvent::rma_put), 1u);
+  EXPECT_EQ(log->count(TraceEvent::rma_get), 1u);
+  EXPECT_EQ(log->count(TraceEvent::win_fence), 4u);  // 2 fences x 2 ranks
+}
+
+TEST(Trace, DumpIsHumanReadableAndSorted) {
+  auto log = traced_pingpong(1 << 20, true);
+  std::ostringstream os;
+  log->dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("send.rendezvous"), std::string::npos);
+  EXPECT_NE(out.find("recv.complete"), std::string::npos);
+  EXPECT_NE(out.find("staged"), std::string::npos);
+  // Times are nondecreasing line by line.
+  auto records = log->records();
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.vtime < b.vtime;
+                   });
+  for (std::size_t i = 1; i < records.size(); ++i)
+    EXPECT_LE(records[i - 1].vtime, records[i].vtime);
+}
+
+TEST(Trace, DisabledByDefault) {
+  // No trace sink attached: nothing crashes, nothing recorded anywhere.
+  UniverseOptions o;
+  o.nranks = 2;
+  EXPECT_FALSE(o.trace);
+  Universe::run(o, [](Comm& c) {
+    double x = 1.0;
+    if (c.rank() == 0) c.send(&x, 1, Datatype::float64(), 1, 0);
+    else c.recv(&x, 1, Datatype::float64(), 0, 0);
+  });
+}
+
+TEST(Trace, ClearResets) {
+  auto log = traced_pingpong(1024);
+  EXPECT_GT(log->size(), 0u);
+  log->clear();
+  EXPECT_EQ(log->size(), 0u);
+}
+
+}  // namespace
