@@ -1,5 +1,6 @@
 #include "minimpi/datatype/pack.hpp"
 
+#include <cstring>
 #include <optional>
 
 namespace minimpi {

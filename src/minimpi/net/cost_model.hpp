@@ -12,6 +12,7 @@
 /// All times are seconds of virtual time; all sizes are payload bytes.
 
 #include <cstddef>
+#include <cstring>
 #include <optional>
 
 #include "minimpi/datatype/datatype.hpp"

@@ -12,6 +12,7 @@
 /// the substitution argument and EXPERIMENTS.md for validation.
 
 #include <cstddef>
+#include <cstring>
 #include <string>
 #include <vector>
 

@@ -67,7 +67,9 @@ TEST(Reduce, SumAtRootOnly) {
   o.nranks = 4;
   Universe::run(o, [](Comm& c) {
     const double r = c.reduce(c.rank() + 1.0, ReduceOp::sum, 0);
-    if (c.rank() == 0) EXPECT_EQ(r, 10.0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(r, 10.0);
+    }
   });
 }
 

@@ -61,7 +61,9 @@ TEST_P(Shapes, F1_CopyingSlowdownAboutThreeOrMore) {
   const double slowdown = r.slowdown(0, 1);
   EXPECT_GT(slowdown, 2.0);
   EXPECT_LT(slowdown, 12.0);
-  if (GetParam() == "knl-impi") EXPECT_GT(slowdown, 5.0);
+  if (GetParam() == "knl-impi") {
+    EXPECT_GT(slowdown, 5.0);
+  }
 }
 
 TEST_P(Shapes, F2_DerivedTypesDegradeBeyondTensOfMB) {

@@ -1,6 +1,7 @@
 // The resumable partial-pack primitive behind pipelined packing.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 
 #include "minimpi/datatype/pack.hpp"

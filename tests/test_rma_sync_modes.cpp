@@ -180,7 +180,9 @@ TEST(PassiveTarget, LocksAreExclusive) {
       }
     }
     c.barrier();
-    if (c.rank() == 2) EXPECT_EQ(local[0], 20.0);
+    if (c.rank() == 2) {
+      EXPECT_EQ(local[0], 20.0);
+    }
   });
 }
 
@@ -214,7 +216,9 @@ TEST(PassiveTarget, LockSerializationAdvancesClock) {
       // Acquisition time must reflect the previous holder's release.
       // (Host scheduling decides who wins; if rank 0 got it first this
       // assertion is vacuous, so only check when serialized.)
-      if (c.clock() > 0.5) EXPECT_GE(c.clock(), 1.0);
+      if (c.clock() > 0.5) {
+        EXPECT_GE(c.clock(), 1.0);
+      }
       win.unlock(0);
     }
   });

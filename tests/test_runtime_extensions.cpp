@@ -125,9 +125,11 @@ TEST(Waitall, CompletesEverything) {
       }
     }
     waitall(reqs);
-    if (c.rank() == 1)
-      for (int i = 0; i < n; ++i)
+    if (c.rank() == 1) {
+      for (int i = 0; i < n; ++i) {
         EXPECT_EQ(bufs[i][0], static_cast<double>(i));
+      }
+    }
   });
 }
 

@@ -61,8 +61,11 @@ TEST(Rma, GetReadsRemoteWindow) {
     if (c.rank() == 0)
       win.get(fetched.data(), 8, Datatype::float64(), 1, 0);
     win.fence();
-    if (c.rank() == 0)
-      for (const double v : fetched) EXPECT_EQ(v, 5.0);
+    if (c.rank() == 0) {
+      for (const double v : fetched) {
+        EXPECT_EQ(v, 5.0);
+      }
+    }
   });
 }
 
@@ -155,7 +158,9 @@ TEST(Rma, EpochsAreRepeatable) {
         win.put(&v, 1, Datatype::float64(), 1, 0);
       }
       win.fence();
-      if (c.rank() == 1) EXPECT_EQ(local[0], static_cast<double>(i));
+      if (c.rank() == 1) {
+        EXPECT_EQ(local[0], static_cast<double>(i));
+      }
       // Quiet epoch for the local read: the next iteration's put must
       // not overlap it (reading a put target within the same epoch is
       // erroneous in MPI too).

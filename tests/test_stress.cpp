@@ -2,6 +2,7 @@
 // independent implementations checked against each other.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 
 #include "minimpi/minimpi.hpp"

@@ -4,6 +4,7 @@
 // the fast path cannot match).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <numeric>
 
 #include "minimpi/datatype/pack.hpp"

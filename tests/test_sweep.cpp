@@ -24,7 +24,9 @@ TEST(LogSizes, CoverRangeWithWholeDoubles) {
   EXPECT_LE(sizes.back(), 1'000'008u);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     EXPECT_EQ(sizes[i] % 8, 0u);
-    if (i) EXPECT_GT(sizes[i], sizes[i - 1]);
+    if (i) {
+      EXPECT_GT(sizes[i], sizes[i - 1]);
+    }
   }
   // Roughly 3 per decade over 3 decades.
   EXPECT_NEAR(static_cast<double>(sizes.size()), 10.0, 2.0);

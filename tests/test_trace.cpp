@@ -65,8 +65,9 @@ TEST(Trace, NoncontigRendezvousRecordsStagedBytes) {
 TEST(Trace, ContiguousRendezvousStagesNothing) {
   auto log = traced_pingpong(1 << 20, /*noncontig=*/false);
   for (const auto& r : log->records())
-    if (r.event == TraceEvent::send_rendezvous)
+    if (r.event == TraceEvent::send_rendezvous) {
       EXPECT_EQ(r.staged_bytes, 0u);  // zero-copy path
+    }
 }
 
 TEST(Trace, BufferedAndReadyModesRecorded) {
