@@ -3,9 +3,10 @@
 //    decreased use of prefetch streams"; "Types with larger block sizes
 //    may perform better due to higher cache line utilization".
 //
-// Fixes the payload at 8 MB and varies (a) the block length of a regular
-// strided layout and (b) regular vs irregular (FEM-boundary) spacing,
-// reporting copying / vector-type / packing(v) times.
+// One plan: the payload fixed at 8 MB, the layout axis swept over (a)
+// regular strided layouts of growing block length and (b) irregular
+// (FEM-boundary) spacing, reporting copying / vector-type / packing(v)
+// times per axis value.
 #include <iomanip>
 #include <iostream>
 
@@ -14,44 +15,49 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
+  const BenchCli cli = BenchCli::parse(argc, argv);
   constexpr std::size_t payload = 8'000'000;
-  constexpr std::size_t elems = payload / 8;
-  const std::vector<std::string> schemes = {"copying", "vector type",
-                                            "packing(v)"};
-  minimpi::UniverseOptions opts;
-  opts.nranks = 2;
-  opts.functional_payload_limit = 1 << 20;
-  HarnessConfig hc;
-  hc.reps = args.reps;
+
+  ExperimentPlan plan;
+  plan.name = "ablation_block_size";
+  plan.schemes = {"copying", "vector type", "packing(v)"};
+  plan.sizes_bytes = {payload};
+  plan.harness.reps = cli.effective_reps();
+  plan.layouts.clear();
+  for (const std::size_t blocklen : {1, 2, 4, 8, 16, 64}) {
+    plan.layouts.push_back(
+        {"", [blocklen](std::size_t n) {
+           return Layout::strided(n / blocklen, blocklen, 2 * blocklen);
+         }});
+  }
+  plan.layouts.push_back({"", [](std::size_t n) {
+                            return Layout::fem_boundary(n, n * 2);
+                          }});
+
+  const PlanResult result = run_plan(plan, ExecutorOptions{cli.jobs});
 
   std::cout << "== Ablation: block size and spacing regularity (paper 4.7) "
                "==\npayload fixed at 8 MB, skx-impi\n\n"
             << std::setw(22) << "layout";
-  for (const auto& s : schemes) std::cout << std::setw(14) << s;
+  for (const auto& s : plan.schemes) std::cout << std::setw(14) << s;
   std::cout << "\n";
 
-  auto run_row = [&](const Layout& layout) {
-    std::cout << std::setw(22) << layout.name();
+  std::vector<std::vector<double>> rows;
+  for (std::size_t li = 0; li < plan.layouts.size(); ++li) {
+    const SweepResult& r = result.sweep(0, li);
+    std::cout << std::setw(22) << r.layout_name;
     std::vector<double> times;
-    for (const auto& s : schemes) {
-      const RunResult r = run_experiment(opts, s, layout, hc);
-      times.push_back(r.time());
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      times.push_back(r.time(0, ci));
       std::cout << std::setw(14) << std::scientific << std::setprecision(3)
-                << r.time();
+                << r.time(0, ci);
     }
     std::cout << "\n";
-    return times;
-  };
-
-  std::vector<double> blocklen1, blocklen64;
-  for (const std::size_t blocklen : {1, 2, 4, 8, 16, 64}) {
-    const auto t =
-        run_row(Layout::strided(elems / blocklen, blocklen, 2 * blocklen));
-    if (blocklen == 1) blocklen1 = t;
-    if (blocklen == 64) blocklen64 = t;
+    rows.push_back(std::move(times));
   }
-  const auto irregular = run_row(Layout::fem_boundary(elems, elems * 2));
+  const std::vector<double>& blocklen1 = rows.front();
+  const std::vector<double>& blocklen64 = rows[5];
+  const std::vector<double>& irregular = rows.back();
 
   // Larger blocks must speed up every copy-bound scheme (the gather is
   // ~4x faster, diluted by the size-invariant wire time); irregular

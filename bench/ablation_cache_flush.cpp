@@ -2,9 +2,9 @@
 // with flushing the cache in between sends.  This had a clear positive
 // effect on intermediate size messages."
 //
-// Runs the copy-bound schemes with and without the 50 MB inter-ping
-// flush and prints the warm/flushed speedup per size.  The effect must
-// appear for intermediate sizes (layout fits in cache), vanish for
+// Two registrations of the same plan — with and without the 50 MB
+// inter-ping flush — and the warm/flushed speedup per size.  The effect
+// must appear for intermediate sizes (layout fits in cache), vanish for
 // large ones (does not fit), and leave the reference scheme untouched.
 #include <iomanip>
 #include <iostream>
@@ -14,17 +14,19 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
-  SweepConfig cfg;
-  cfg.profile = &minimpi::MachineProfile::skx_impi();
-  cfg.sizes_bytes = log_sizes(1e4, 1e9, 2);
-  cfg.schemes = {"reference", "copying", "packing(v)"};
-  cfg.harness.reps = args.reps;
-  cfg.wtime_resolution = 0.0;  // exact clocks: isolate the cache effect
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "ablation_cache_flush";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.sizes_bytes = log_sizes(1e4, 1e9, 2);
+  plan.schemes = {"reference", "copying", "packing(v)"};
+  plan.harness.reps = cli.effective_reps();
+  plan.wtime_resolution = 0.0;  // exact clocks: isolate the cache effect
 
-  const SweepResult flushed = run_sweep(cfg);
-  cfg.harness.flush = false;
-  const SweepResult warm = run_sweep(cfg);
+  const ExecutorOptions exec{cli.jobs};
+  const SweepResult flushed = run_plan(plan, exec).sweep(0, 0);
+  plan.harness.flush = false;
+  const SweepResult warm = run_plan(plan, exec).sweep(0, 0);
 
   std::cout << "== Ablation: cache flushing between ping-pongs (paper 4.6) "
                "==\nspeedup = flushed time / warm time (>1 means skipping "

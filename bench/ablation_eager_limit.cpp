@@ -2,11 +2,11 @@
 // the maximum message size, but this did not appreciably change the
 // results for large messages."
 //
-// Runs the skx-impi sweep with the default eager limit and with the
-// limit raised to 4 GiB, then reports the per-size relative change.
-// The mechanism that makes large messages insensitive is that no MPI
-// can eagerly buffer beyond its internal staging capacity, so the
-// effective limit saturates there.
+// The same plan registered twice — default eager limit, then the limit
+// raised to 4 GiB — and the per-size relative change.  The mechanism
+// that makes large messages insensitive is that no MPI can eagerly
+// buffer beyond its internal staging capacity, so the effective limit
+// saturates there.
 #include <iomanip>
 #include <iostream>
 
@@ -15,21 +15,23 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
-  SweepConfig cfg;
-  cfg.profile = &minimpi::MachineProfile::skx_impi();
-  cfg.sizes_bytes = paper_sizes(std::max(2, args.per_decade / 2));
-  cfg.schemes = {"reference", "copying", "vector type", "packing(v)"};
-  cfg.harness.reps = args.reps;
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "ablation_eager_limit";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.sizes_bytes = paper_sizes(std::max(2, cli.effective_per_decade() / 2));
+  plan.schemes = {"reference", "copying", "vector type", "packing(v)"};
+  plan.harness.reps = cli.effective_reps();
 
-  const SweepResult base = run_sweep(cfg);
-  cfg.eager_limit_override = std::size_t{4} << 30;
-  const SweepResult raised = run_sweep(cfg);
+  const ExecutorOptions exec{cli.jobs};
+  const SweepResult base = run_plan(plan, exec).sweep(0, 0);
+  plan.eager_limit_override = std::size_t{4} << 30;
+  const SweepResult raised = run_plan(plan, exec).sweep(0, 0);
 
   std::cout << "== Ablation: eager limit raised above max message size "
                "(paper 4.5) ==\n"
             << "profile skx-impi; default limit "
-            << cfg.profile->eager_limit_bytes << " B -> override 4 GiB\n\n"
+            << plan.profiles[0]->eager_limit_bytes << " B -> override 4 GiB\n\n"
             << std::setw(12) << "bytes";
   for (const auto& s : base.schemes)
     std::cout << std::setw(14) << (s + " d%");

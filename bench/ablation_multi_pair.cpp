@@ -7,7 +7,10 @@
 // The simulated fabric models per-pair links without contention, which
 // encodes exactly the paper's observation; this bench demonstrates that
 // the multi-rank runtime reproduces it end to end (matching, clocks and
-// collectives included).
+// collectives included).  The cells here are multi-rank universes, not
+// 2-rank sweep cells, so this is the one bench that drives Universe::run
+// directly instead of registering a plan; flags still come from the
+// engine's shared CLI.
 #include <iomanip>
 #include <iostream>
 #include <vector>
@@ -56,7 +59,8 @@ double pair_time(int pairs, std::size_t elems, int reps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
+  const ncsend::BenchCli cli = ncsend::BenchCli::parse(argc, argv);
+  const int reps = cli.effective_reps();
   const std::vector<std::size_t> sizes = {1'000, 100'000, 10'000'000};
   const std::vector<int> pair_counts = {1, 2, 4, 8};
 
@@ -73,7 +77,7 @@ int main(int argc, char** argv) {
     std::cout << std::setw(12) << bytes;
     double base = 0.0, worst = 0.0;
     for (const int p : pair_counts) {
-      const double t = pair_time(p, elems, args.reps);
+      const double t = pair_time(p, elems, reps);
       if (p == 1) base = t;
       worst = std::max(worst, t);
       std::cout << std::setw(12) << std::scientific << std::setprecision(3)

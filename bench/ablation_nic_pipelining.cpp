@@ -2,10 +2,11 @@
 // registration): "Attaining such overlap for non-contiguous data
 // depends on advanced functionality of the network interface."
 //
-// Flips `nic_noncontig_pipelining` on a copy of the skx-impi profile so
-// the rendezvous path overlaps the internal pack with wire injection,
-// and reports how much of the derived-type penalty that recovers.
-// This is the paper's future-work scenario, runnable.
+// The same plan registered twice — plain skx-impi, then a copy of the
+// profile with `nic_noncontig_pipelining` flipped on so the rendezvous
+// path overlaps the internal pack with wire injection — and how much of
+// the derived-type penalty that recovers.  This is the paper's
+// future-work scenario, runnable.
 #include <iomanip>
 #include <iostream>
 
@@ -14,19 +15,22 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
-  SweepConfig cfg;
-  cfg.profile = &minimpi::MachineProfile::skx_impi();
-  cfg.sizes_bytes = log_sizes(1e6, 1e9, 2);
-  cfg.schemes = {"reference", "vector type"};
-  cfg.harness.reps = args.reps;
-  const SweepResult plain = run_sweep(cfg);
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "ablation_nic_pipelining";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.sizes_bytes = log_sizes(1e6, 1e9, 2);
+  plan.schemes = {"reference", "vector type"};
+  plan.harness.reps = cli.effective_reps();
+
+  const ExecutorOptions exec{cli.jobs};
+  const SweepResult plain = run_plan(plan, exec).sweep(0, 0);
 
   minimpi::MachineProfile umr = minimpi::MachineProfile::skx_impi();
   umr.name = "skx-impi+umr";
   umr.nic_noncontig_pipelining = true;
-  cfg.profile = &umr;
-  const SweepResult piped = run_sweep(cfg);
+  plan.profiles = {&umr};
+  const SweepResult piped = run_plan(plan, exec).sweep(0, 0);
 
   std::cout << "== Ablation: NIC gather/pipelining for derived types "
                "(paper ref [2]) ==\n\n"

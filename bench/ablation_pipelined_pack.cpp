@@ -5,7 +5,8 @@
 // is still pack + wire, serialized.  This ablation runs the natural next
 // step — chunked, double-buffered packing with in-flight isends — and
 // quantifies how much of the serialization it recovers, as a function of
-// message size, on all four machine profiles.
+// message size, on all four machine profiles: one plan over the full
+// profile axis, executed in parallel by the engine.
 #include <iomanip>
 #include <iostream>
 
@@ -14,23 +15,29 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "ablation_pipelined_pack";
+  plan.profiles.clear();
+  for (const auto& name : minimpi::MachineProfile::names())
+    plan.profiles.push_back(&minimpi::MachineProfile::by_name(name));
+  plan.sizes_bytes = log_sizes(1e5, 1e9, 1);
+  plan.schemes = {"reference", "packing(v)", "packing(p)"};
+  // Virtual times are deterministic and the chunked scheme costs real
+  // host work per chunk (a 1 GB message is ~2000 rendezvous chunks),
+  // so a handful of repetitions suffices.
+  plan.harness.reps = std::min(cli.effective_reps(), 5);
+  plan.wtime_resolution = 0.0;
+
+  const PlanResult result = run_plan(plan, ExecutorOptions{cli.jobs});
+
   bool overlap_wins_large = true;
   std::cout << "== Ablation: pipelined packing(p) vs packing(v) ==\n"
             << "chunk size " << PackingPipelinedScheme::chunk_bytes
             << " B, double-buffered isends\n";
-  for (const auto& name : minimpi::MachineProfile::names()) {
-    SweepConfig cfg;
-    cfg.profile = &minimpi::MachineProfile::by_name(name);
-    cfg.sizes_bytes = log_sizes(1e5, 1e9, 1);
-    cfg.schemes = {"reference", "packing(v)", "packing(p)"};
-    // Virtual times are deterministic and the chunked scheme costs real
-    // host work per chunk (a 1 GB message is ~2000 rendezvous chunks),
-    // so a handful of repetitions suffices.
-    cfg.harness.reps = std::min(args.reps, 5);
-    cfg.wtime_resolution = 0.0;
-    const SweepResult r = run_sweep(cfg);
-    std::cout << "\n-- " << name << " --\n"
+  for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi) {
+    const SweepResult& r = result.sweep(pi, 0);
+    std::cout << "\n-- " << r.profile_name << " --\n"
               << std::setw(12) << "bytes" << std::setw(14) << "packing(v)"
               << std::setw(14) << "packing(p)" << std::setw(12)
               << "speedup\n";

@@ -15,14 +15,15 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
-  SweepConfig cfg;
-  cfg.profile = &minimpi::MachineProfile::skx_impi();
-  cfg.sizes_bytes = log_sizes(1e3, 1e9, 2);
-  cfg.schemes = {"reference", "onesided", "onesided-pscw"};
-  cfg.harness.reps = args.reps;
-  cfg.wtime_resolution = 0.0;
-  const SweepResult r = run_sweep(cfg);
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "ablation_rma_sync";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.sizes_bytes = log_sizes(1e3, 1e9, 2);
+  plan.schemes = {"reference", "onesided", "onesided-pscw"};
+  plan.harness.reps = cli.effective_reps();
+  plan.wtime_resolution = 0.0;
+  const SweepResult r = run_plan(plan, ExecutorOptions{cli.jobs}).sweep(0, 0);
 
   std::cout << "== Ablation: one-sided sync — fence vs post/start/"
                "complete/wait (skx-impi) ==\n\n"

@@ -14,15 +14,16 @@
 using namespace ncsend;
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
-  SweepConfig cfg;
-  cfg.profile = &minimpi::MachineProfile::skx_impi();
-  cfg.sizes_bytes = log_sizes(1e3, 1e8, 2);
-  cfg.schemes = {"vector type", "isend(v)", "ssend(v)", "rsend(v)",
-                 "persistent(v)"};
-  cfg.harness.reps = args.reps;
-  cfg.wtime_resolution = 0.0;
-  const SweepResult r = run_sweep(cfg);
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "ablation_sync_modes";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.sizes_bytes = log_sizes(1e3, 1e8, 2);
+  plan.schemes = {"vector type", "isend(v)", "ssend(v)", "rsend(v)",
+                  "persistent(v)"};
+  plan.harness.reps = cli.effective_reps();
+  plan.wtime_resolution = 0.0;
+  const SweepResult r = run_plan(plan, ExecutorOptions{cli.jobs}).sweep(0, 0);
 
   std::cout << "== Ablation: send modes for the direct derived-type send "
                "(skx-impi) ==\n(times relative to blocking standard mode)\n\n"
@@ -30,7 +31,7 @@ int main(int argc, char** argv) {
   for (const auto& s : r.schemes) std::cout << std::setw(15) << s;
   std::cout << "\n";
   bool rsend_helps_large = false, isend_matches = true;
-  const std::size_t eager = cfg.profile->eager_limit_bytes;
+  const std::size_t eager = plan.profiles[0]->eager_limit_bytes;
   for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
     std::cout << std::setw(12) << r.sizes_bytes[si];
     const double base = r.time(si, 0);

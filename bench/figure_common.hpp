@@ -2,16 +2,14 @@
 /// \file figure_common.hpp
 /// \brief Shared driver for the per-figure benchmark binaries.
 ///
-/// Each `figN_*` binary reproduces one figure of the paper: the full
-/// sizes x schemes sweep on one machine profile, printed as the three
-/// panels (time / bandwidth / slowdown) plus ASCII plots, and written as
-/// CSV to `results/<id>.csv` for external plotting.
-///
-/// Flags:
-///   --quick           2 points/decade, 5 reps (CI-friendly)
-///   --per-decade N    size-grid density (default 4)
-///   --reps N          ping-pongs per measurement (default 20, as in §3.2)
-///   --no-csv          skip the results/ file
+/// Each `figN_*` binary reproduces one figure of the paper as a thin
+/// plan registration against the experiment engine: the full
+/// sizes x schemes sweep on one machine profile, executed over the
+/// engine's worker pool, printed as the three panels (time / bandwidth /
+/// slowdown) plus ASCII plots, and written as CSV + JSON to
+/// `<out-dir>/<id>.{csv,json}` through the unified `ResultStore`
+/// writers.  Flags are the engine's shared set (`--help` lists them);
+/// unknown flags exit with status 2.
 
 #include <filesystem>
 #include <fstream>
@@ -24,64 +22,53 @@ namespace benchcommon {
 
 struct FigureSpec {
   const minimpi::MachineProfile* profile;
-  std::string id;     ///< results/<id>.csv
+  std::string id;     ///< <out-dir>/<id>.{csv,json}
   std::string title;  ///< printed header
 };
 
-struct BenchArgs {
-  int per_decade = 4;
-  int reps = 20;
-  bool csv = true;
-
-  static BenchArgs parse(int argc, char** argv) {
-    BenchArgs a;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--quick") {
-        a.per_decade = 2;
-        a.reps = 5;
-      } else if (arg == "--per-decade" && i + 1 < argc) {
-        a.per_decade = std::stoi(argv[++i]);
-      } else if (arg == "--reps" && i + 1 < argc) {
-        a.reps = std::stoi(argv[++i]);
-      } else if (arg == "--no-csv") {
-        a.csv = false;
-      } else {
-        std::cerr << "unknown flag: " << arg << "\n";
-      }
-    }
-    return a;
-  }
-};
-
-inline void maybe_write_csv(const ncsend::SweepResult& result,
-                            const std::string& id, bool enabled) {
-  if (!enabled) return;
+/// \brief Write one store through a writer member into `<dir>/<name>`,
+/// creating the directory; reports the path (or a warning) on `std::cout`
+/// / `std::cerr`.  Returns false if the file could not be opened.
+template <class WriteFn>
+inline bool write_store_file(const std::string& dir, const std::string& name,
+                             WriteFn&& write) {
   std::error_code ec;
-  std::filesystem::create_directories("results", ec);
-  const std::string csv_path = "results/" + id + ".csv";
-  if (std::ofstream csv(csv_path); csv) {
-    ncsend::write_csv(csv, result);
-    std::cout << "\nCSV written to " << csv_path << "\n";
-  } else {
-    std::cerr << "could not open " << csv_path << " for writing\n";
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + name;
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "could not open " << path << " for writing\n";
+    return false;
   }
-  const std::string json_path = "results/" + id + ".json";
-  if (std::ofstream json(json_path); json) {
-    ncsend::write_json(json, result);
-    std::cout << "JSON written to " << json_path << "\n";
-  }
+  write(os);
+  std::cout << "wrote " << path << "\n";
+  return true;
 }
 
+inline void maybe_write_outputs(const ncsend::PlanResult& result,
+                                const ncsend::BenchCli& cli,
+                                const std::string& id) {
+  if (!cli.csv) return;
+  ncsend::ResultStore store;
+  store.add_plan(result);
+  write_store_file(cli.out_dir, id + ".csv",
+                   [&](std::ostream& os) { store.write_csv(os); });
+  write_store_file(cli.out_dir, id + ".json",
+                   [&](std::ostream& os) { store.write_sweep_json(os); });
+}
+
+/// \brief The figure driver: register the plan, run it, report it.
 inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
-  const BenchArgs args = BenchArgs::parse(argc, argv);
-  ncsend::SweepConfig cfg;
-  cfg.profile = spec.profile;
-  cfg.sizes_bytes = ncsend::paper_sizes(args.per_decade);
-  cfg.harness.reps = args.reps;
-  const ncsend::SweepResult result = ncsend::run_sweep(cfg);
-  ncsend::print_figure(std::cout, result, spec.title);
-  maybe_write_csv(result, spec.id, args.csv);
+  const ncsend::BenchCli cli = ncsend::BenchCli::parse(argc, argv);
+  ncsend::ExperimentPlan plan;
+  plan.name = spec.id;
+  plan.profiles = {spec.profile};
+  plan.sizes_bytes = ncsend::paper_sizes(cli.effective_per_decade());
+  plan.harness.reps = cli.effective_reps();
+  const ncsend::PlanResult result =
+      ncsend::run_plan(plan, ncsend::ExecutorOptions{cli.jobs});
+  ncsend::print_figure(std::cout, result.sweep(0, 0), spec.title);
+  maybe_write_outputs(result, cli, spec.id);
   return result.all_verified() ? 0 : 1;
 }
 

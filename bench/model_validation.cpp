@@ -3,8 +3,8 @@
 // cost model exactly.  Any drift would mean the harness measures
 // simulator artifacts instead of the model.
 //
-// For each two-sided scheme and message size, predict one steady-state
-// ping-pong analytically and compare against the harness measurement.
+// One plan over schemes x sizes; each measured cell is compared against
+// the analytic prediction of one steady-state ping-pong.
 #include <cmath>
 #include <iomanip>
 #include <iostream>
@@ -73,18 +73,18 @@ double predict(const CostModel& m, const std::string& scheme,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = benchcommon::BenchArgs::parse(argc, argv);
-  const std::vector<std::string> schemes = {
-      "reference", "copying",    "buffered",  "vector type",
-      "subarray",  "packing(e)", "packing(v)"};
-  const std::vector<std::size_t> sizes = {1'000,       100'000,    1'000'000,
-                                          10'000'000,  100'000'000,
-                                          1'000'000'000};
-  minimpi::UniverseOptions opts;
-  opts.nranks = 2;
-  opts.wtime_resolution = 0.0;  // exact clocks for the comparison
-  opts.functional_payload_limit = 1 << 20;
-  const CostModel model(minimpi::MachineProfile::skx_impi());
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  ExperimentPlan plan;
+  plan.name = "model_validation";
+  plan.profiles = {&MachineProfile::skx_impi()};
+  plan.schemes = {"reference", "copying",    "buffered",  "vector type",
+                  "subarray",  "packing(e)", "packing(v)"};
+  plan.sizes_bytes = {1'000,      100'000,     1'000'000,
+                      10'000'000, 100'000'000, 1'000'000'000};
+  plan.harness.reps = std::min(cli.effective_reps(), 5);
+  plan.wtime_resolution = 0.0;  // exact clocks for the comparison
+  const SweepResult r = run_plan(plan, ExecutorOptions{cli.jobs}).sweep(0, 0);
+  const CostModel model(MachineProfile::skx_impi());
 
   std::cout << "== Model validation: harness measurement vs closed-form "
                "prediction (skx-impi) ==\n\n"
@@ -92,18 +92,17 @@ int main(int argc, char** argv) {
             << std::setw(15) << "measured" << std::setw(15) << "predicted"
             << std::setw(13) << "rel. error\n";
   double worst = 0.0;
-  HarnessConfig hc;
-  hc.reps = std::min(args.reps, 5);
-  for (const std::size_t bytes : sizes) {
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    const std::size_t bytes = r.sizes_bytes[si];
     const Layout layout = Layout::strided(bytes / 8, 1, 2);
-    for (const auto& scheme : schemes) {
-      const double measured =
-          run_experiment(opts, scheme, layout, hc).time();
-      const double predicted =
-          predict(model, scheme, layout.payload_bytes(), layout.stats());
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const double measured = r.time(si, ci);
+      const double predicted = predict(model, r.schemes[ci],
+                                       layout.payload_bytes(),
+                                       layout.stats());
       const double err = std::abs(measured / predicted - 1.0);
       worst = std::max(worst, err);
-      std::cout << std::setw(12) << bytes << std::setw(14) << scheme
+      std::cout << std::setw(12) << bytes << std::setw(14) << r.schemes[ci]
                 << std::setw(15) << std::scientific << std::setprecision(4)
                 << measured << std::setw(15) << predicted << std::setw(13)
                 << std::setprecision(2) << err << "\n";

@@ -1,62 +1,35 @@
-// Benchmark driver: runs the ablation set in-process and emits
-// machine-readable BENCH_*.json files, one per benchmark family.
+// Benchmark driver: runs the benchmark families in-process and emits
+// machine-readable BENCH_*.json files through the unified ResultStore
+// writers (the schemas live in src/ncsend/experiment/result_store.cpp,
+// and only there):
 //
 //   BENCH_pack_engine.json   wall-clock pack-engine kernels (GB/s) —
 //                            the one place real hardware speed matters
-//   BENCH_scheme_sweep.json  modeled sizes x schemes sweep, all profiles
+//   BENCH_scheme_sweep.json  modeled sizes x schemes sweep: every
+//                            machine profile x {stride2, indexed-blocks}
+//                            layout axis, one plan, executed in parallel
 //   BENCH_eager_limit.json   paper 4.5 ablation: raised eager limit
 //
-// The JSON is flat and self-describing so CI can diff successive runs
-// and a plotting script can ingest it without bespoke parsing.
-//
-// Flags:
-//   --quick        smaller grids (CI default cadence is fine either way)
-//   --out-dir D    directory for the BENCH_*.json files (default ".")
+// Flags are the engine's shared set (see --help): --quick picks the
+// small CI grids, --per-decade shapes the full-mode sweep grid, --reps
+// sets the per-cell repetition count (virtual clocks are deterministic,
+// so extra reps cost time without changing the emitted values),
+// --no-csv dry-runs everything without writing files.  The sweep cells
+// are independent simulated universes, so --jobs N > 1 changes
+// wall-clock only: the JSON is byte-identical at any job count.
 #include <chrono>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "figure_common.hpp"
 #include "minimpi/datatype/pack.hpp"
-#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
 
 namespace {
-
-struct DriverArgs {
-  bool quick = false;
-  std::string out_dir = ".";
-  bool ok = true;
-};
-
-DriverArgs parse_args(int argc, char** argv) {
-  DriverArgs a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick") {
-      a.quick = true;
-    } else if (arg == "--out-dir" && i + 1 < argc) {
-      a.out_dir = argv[++i];
-    } else {
-      std::cerr << "unknown flag: " << arg
-                << "\nusage: run_all [--quick] [--out-dir DIR]\n";
-      a.ok = false;
-    }
-  }
-  return a;
-}
-
-std::ofstream open_out(const DriverArgs& args, const std::string& name) {
-  std::error_code ec;
-  std::filesystem::create_directories(args.out_dir, ec);
-  const std::string path = args.out_dir + "/" + name;
-  std::ofstream os(path);
-  if (!os) std::cerr << "cannot open " << path << " for writing\n";
-  return os;
-}
 
 /// Best-of-N wall time of `fn` in seconds (min filters scheduler noise).
 template <class Fn>
@@ -74,15 +47,8 @@ double best_seconds(int iters, Fn&& fn) {
 
 // --- BENCH_pack_engine: wall-clock kernels ------------------------------
 
-struct KernelResult {
-  std::string kernel;
-  std::size_t payload_bytes;
-  double gbps;
-};
-
-std::vector<KernelResult> run_pack_engine(bool quick) {
+void run_pack_engine(ResultStore& store, bool quick) {
   using minimpi::Datatype;
-  std::vector<KernelResult> out;
   const std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{1u << 17}
             : std::vector<std::size_t>{1u << 13, 1u << 17, 1u << 21};
@@ -96,12 +62,13 @@ std::vector<KernelResult> run_pack_engine(bool quick) {
     const double t_memcpy = best_seconds(iters, [&] {
       std::memcpy(dst.data(), src.data(), bytes);
     });
-    out.push_back({"memcpy_contiguous", bytes, bytes / t_memcpy / 1e9});
+    store.add_kernel({"memcpy_contiguous", bytes, bytes / t_memcpy / 1e9});
 
     const double t_manual = best_seconds(iters, [&] {
       for (std::size_t i = 0; i < n; ++i) dst[i] = src[2 * i];
     });
-    out.push_back({"manual_strided_gather", bytes, bytes / t_manual / 1e9});
+    store.add_kernel(
+        {"manual_strided_gather", bytes, bytes / t_manual / 1e9});
 
     Datatype vec = Datatype::vector(n, 1, 2, Datatype::float64());
     vec.commit();
@@ -110,7 +77,7 @@ std::vector<KernelResult> run_pack_engine(bool quick) {
       std::size_t pos = 0;
       minimpi::pack(src.data(), 1, vec, packed, bytes, pos);
     });
-    out.push_back({"pack_vector_type", bytes, bytes / t_pack / 1e9});
+    store.add_kernel({"pack_vector_type", bytes, bytes / t_pack / 1e9});
 
     Datatype blocked = Datatype::vector(n / 8, 8, 16, Datatype::float64());
     blocked.commit();
@@ -118,115 +85,85 @@ std::vector<KernelResult> run_pack_engine(bool quick) {
       std::size_t pos = 0;
       minimpi::pack(src.data(), 1, blocked, packed, bytes, pos);
     });
-    out.push_back({"pack_blocked_vector", bytes, bytes / t_blocked / 1e9});
+    store.add_kernel({"pack_blocked_vector", bytes, bytes / t_blocked / 1e9});
   }
-  return out;
 }
 
-void write_pack_engine(std::ostream& os, const std::vector<KernelResult>& rs) {
-  os << "{\n  \"benchmark\": \"pack_engine\",\n  \"unit\": \"GB/s\",\n"
-     << "  \"results\": [\n";
-  for (std::size_t i = 0; i < rs.size(); ++i)
-    os << "    {\"kernel\": \"" << rs[i].kernel << "\", \"payload_bytes\": "
-       << rs[i].payload_bytes << ", \"gbps\": " << rs[i].gbps << "}"
-       << (i + 1 < rs.size() ? "," : "") << "\n";
-  os << "  ]\n}\n";
-}
+// --- BENCH_scheme_sweep: one plan over every profile and layout axis ----
 
-// --- BENCH_scheme_sweep: modeled sweep on every profile -----------------
-
-void emit_sweep_object(std::ostream& os, const ncsend::SweepResult& r) {
-  os << "    {\"profile\": \"" << r.profile_name << "\", \"sizes_bytes\": [";
-  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
-    os << (si ? ", " : "") << r.sizes_bytes[si];
-  os << "], \"schemes\": [";
-  for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
-    os << (ci ? ", " : "") << "\"" << r.schemes[ci] << "\"";
-  os << "],\n     \"time_s\": [";
-  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
-    os << (si ? ", " : "") << "[";
-    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
-      os << (ci ? ", " : "") << r.time(si, ci);
-    os << "]";
-  }
-  os << "]}";
-}
-
-void run_scheme_sweep(std::ostream& os, bool quick) {
-  os << "{\n  \"benchmark\": \"scheme_sweep\",\n  \"unit\": \"s\",\n"
-     << "  \"profiles\": [\n";
-  const auto& names = minimpi::MachineProfile::names();
-  for (std::size_t pi = 0; pi < names.size(); ++pi) {
-    ncsend::SweepConfig cfg;
-    cfg.profile = &minimpi::MachineProfile::by_name(names[pi]);
-    cfg.sizes_bytes = quick
-                          ? std::vector<std::size_t>{100'000, 10'000'000}
-                          : std::vector<std::size_t>{10'000, 100'000,
-                                                     1'000'000, 10'000'000,
-                                                     100'000'000};
-    cfg.harness.reps = 5;
-    cfg.functional_payload_limit = 1 << 16;  // mostly modeled: fast
-    emit_sweep_object(os, ncsend::run_sweep(cfg));
-    os << (pi + 1 < names.size() ? "," : "") << "\n";
-  }
-  os << "  ]\n}\n";
+ExperimentPlan scheme_sweep_plan(const BenchCli& cli) {
+  ExperimentPlan plan;
+  plan.name = "scheme_sweep";
+  plan.profiles.clear();
+  for (const auto& name : minimpi::MachineProfile::names())
+    plan.profiles.push_back(&minimpi::MachineProfile::by_name(name));
+  plan.layouts = {LayoutAxis::stride2(), LayoutAxis::indexed_blocks()};
+  plan.sizes_bytes =
+      cli.quick ? std::vector<std::size_t>{100'000, 10'000'000}
+                : log_sizes(1e4, 1e8, cli.effective_per_decade());
+  plan.harness.reps = cli.effective_reps();
+  plan.functional_payload_limit = 1 << 16;  // mostly modeled: fast
+  return plan;
 }
 
 // --- BENCH_eager_limit: paper 4.5 ablation ------------------------------
 
-void run_eager_limit(std::ostream& os, bool quick) {
-  ncsend::SweepConfig cfg;
-  cfg.profile = &minimpi::MachineProfile::skx_impi();
-  cfg.sizes_bytes = quick ? std::vector<std::size_t>{1'000'000'000}
-                          : std::vector<std::size_t>{10'000'000,
-                                                     1'000'000'000};
-  cfg.schemes = {"reference", "vector type"};
-  cfg.harness.reps = 5;
-  cfg.functional_payload_limit = 1 << 16;
-  const auto base = ncsend::run_sweep(cfg);
-  cfg.eager_limit_override = std::size_t{4} << 30;
-  const auto raised = ncsend::run_sweep(cfg);
-
-  os << "{\n  \"benchmark\": \"eager_limit\",\n"
-     << "  \"profile\": \"skx-impi\",\n  \"override_bytes\": "
-     << (std::size_t{4} << 30) << ",\n  \"results\": [\n";
-  bool first = true;
-  for (std::size_t si = 0; si < base.sizes_bytes.size(); ++si)
-    for (std::size_t ci = 0; ci < base.schemes.size(); ++ci) {
-      if (!first) os << ",\n";
-      first = false;
-      os << "    {\"scheme\": \"" << base.schemes[ci]
-         << "\", \"size_bytes\": " << base.sizes_bytes[si]
-         << ", \"time_s\": " << base.time(si, ci)
-         << ", \"time_raised_s\": " << raised.time(si, ci) << "}";
-    }
-  os << "\n  ]\n}\n";
+ExperimentPlan eager_limit_plan(const BenchCli& cli) {
+  ExperimentPlan plan;
+  plan.name = "eager_limit";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.sizes_bytes = cli.quick ? std::vector<std::size_t>{1'000'000'000}
+                               : std::vector<std::size_t>{10'000'000,
+                                                          1'000'000'000};
+  plan.schemes = {"reference", "vector type"};
+  plan.harness.reps = cli.effective_reps();
+  plan.functional_payload_limit = 1 << 16;
+  return plan;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const DriverArgs args = parse_args(argc, argv);
-  if (!args.ok) return 2;
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  const ExecutorOptions exec{cli.jobs};
+  const int expected = cli.csv ? 3 : 0;
   int written = 0;
 
-  if (auto os = open_out(args, "BENCH_pack_engine.json")) {
-    write_pack_engine(os, run_pack_engine(args.quick));
-    std::cout << "wrote BENCH_pack_engine.json\n";
-    ++written;
+  const auto maybe_write = [&](const std::string& name, auto&& writer) {
+    if (!cli.csv) return;
+    if (benchcommon::write_store_file(cli.out_dir, name, writer)) ++written;
+  };
+
+  {
+    ResultStore store;
+    run_pack_engine(store, cli.quick);
+    maybe_write("BENCH_pack_engine.json", [&](std::ostream& os) {
+      store.write_bench_pack_engine_json(os);
+    });
   }
-  if (auto os = open_out(args, "BENCH_scheme_sweep.json")) {
-    run_scheme_sweep(os, args.quick);
-    std::cout << "wrote BENCH_scheme_sweep.json\n";
-    ++written;
+  {
+    ResultStore store;
+    store.add_plan(run_plan(scheme_sweep_plan(cli), exec));
+    maybe_write("BENCH_scheme_sweep.json", [&](std::ostream& os) {
+      store.write_bench_sweep_json(os);
+    });
   }
-  if (auto os = open_out(args, "BENCH_eager_limit.json")) {
-    run_eager_limit(os, args.quick);
-    std::cout << "wrote BENCH_eager_limit.json\n";
-    ++written;
+  {
+    constexpr std::size_t override_bytes = std::size_t{4} << 30;
+    ExperimentPlan plan = eager_limit_plan(cli);
+    const PlanResult base = run_plan(plan, exec);
+    plan.eager_limit_override = override_bytes;
+    const PlanResult raised = run_plan(plan, exec);
+    maybe_write("BENCH_eager_limit.json", [&](std::ostream& os) {
+      ResultStore::write_bench_eager_limit_json(
+          os, base.sweep(0, 0), raised.sweep(0, 0), override_bytes);
+    });
   }
 
-  std::cout << written << "/3 benchmark files written to " << args.out_dir
-            << "\n";
-  return written == 3 ? 0 : 1;
+  if (cli.csv)
+    std::cout << written << "/3 benchmark files written to " << cli.out_dir
+              << "\n";
+  else
+    std::cout << "dry run (--no-csv): benchmarks executed, nothing written\n";
+  return written == expected ? 0 : 1;
 }

@@ -1,0 +1,92 @@
+#include "ncsend/experiment/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ncsend {
+namespace {
+
+/// Parse a positive integer flag value; false on junk.
+bool parse_positive(const std::string& text, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 1 || v > 1'000'000)
+    return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+std::string basename_of(const char* argv0) {
+  std::string p = argv0 != nullptr ? argv0 : "bench";
+  const auto slash = p.find_last_of('/');
+  return slash == std::string::npos ? p : p.substr(slash + 1);
+}
+
+}  // namespace
+
+std::string BenchCli::usage(const std::string& program) {
+  return "usage: " + program +
+         " [--quick] [--per-decade N] [--reps N] [--jobs N]"
+         " [--out-dir DIR] [--no-csv] [--help]\n"
+         "  --quick        CI-friendly grids (2 points/decade, 5 reps)\n"
+         "  --per-decade N size-grid density (default 4)\n"
+         "  --reps N       ping-pongs per measurement (default 20)\n"
+         "  --jobs N       worker threads for independent sweep cells\n"
+         "                 (default: NCSEND_JOBS env, else hardware "
+         "concurrency)\n"
+         "  --out-dir DIR  output directory (default \"results\")\n"
+         "  --no-csv       skip CSV/JSON output files\n";
+}
+
+std::optional<BenchCli> BenchCli::try_parse(int argc, char** argv,
+                                            std::string* error) {
+  BenchCli cli;
+  const auto value_of = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      cli.quick = true;
+    } else if (arg == "--no-csv") {
+      cli.csv = false;
+    } else if (arg == "--per-decade" || arg == "--reps" || arg == "--jobs") {
+      const char* v = value_of(i);
+      int* target = arg == "--per-decade" ? &cli.per_decade
+                    : arg == "--reps"     ? &cli.reps
+                                          : &cli.jobs;
+      if (v == nullptr || !parse_positive(v, target)) {
+        if (error)
+          *error = arg + " needs a positive integer argument";
+        return std::nullopt;
+      }
+    } else if (arg == "--out-dir") {
+      const char* v = value_of(i);
+      if (v == nullptr) {
+        if (error) *error = "--out-dir needs a directory argument";
+        return std::nullopt;
+      }
+      cli.out_dir = v;
+    } else {
+      if (error) *error = "unknown flag: " + arg;
+      return std::nullopt;
+    }
+  }
+  return cli;
+}
+
+BenchCli BenchCli::parse(int argc, char** argv) {
+  const std::string program = basename_of(argc > 0 ? argv[0] : nullptr);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      std::cout << usage(program);
+      std::exit(0);
+    }
+  }
+  std::string error;
+  if (auto cli = try_parse(argc, argv, &error)) return *cli;
+  std::cerr << program << ": " << error << "\n" << usage(program);
+  std::exit(2);
+}
+
+}  // namespace ncsend

@@ -1,0 +1,59 @@
+#pragma once
+/// \file cli.hpp
+/// \brief The engine's shared command-line parser for bench drivers.
+///
+/// Every bench executable (figures, ablations, run_all) accepts the
+/// same flag set, parsed here.  Unknown flags and malformed values are
+/// hard errors: `parse` prints usage to stderr and exits with status 2
+/// (the old per-bench parsers silently kept going).
+///
+/// Flags:
+///   --quick           CI-friendly grids (2 points/decade, 5 reps)
+///   --per-decade N    size-grid density (default 4)
+///   --reps N          ping-pongs per measurement (default 20, §3.2)
+///   --jobs N          worker threads for independent cells
+///                     (default: NCSEND_JOBS, else hardware concurrency;
+///                     results are byte-identical at any job count)
+///   --out-dir DIR     output directory (default "results")
+///   --no-csv          skip CSV/JSON output files
+///   --help            print usage and exit 0
+
+#include <algorithm>
+#include <optional>
+#include <string>
+
+namespace ncsend {
+
+struct BenchCli {
+  bool quick = false;
+  int per_decade = 4;
+  int reps = 20;
+  int jobs = 0;  ///< 0 = default_jobs()
+  std::string out_dir = "results";
+  bool csv = true;
+
+  /// Grid density with `--quick` applied.
+  [[nodiscard]] int effective_per_decade() const {
+    return quick ? 2 : per_decade;
+  }
+  /// Repetitions with `--quick` applied (never raises an explicit
+  /// `--reps` below the default cap).
+  [[nodiscard]] int effective_reps() const {
+    return quick ? std::min(reps, 5) : reps;
+  }
+
+  /// \brief Parse or die: on any unknown flag or malformed value,
+  /// prints the error and usage to stderr and exits with status 2.
+  /// `--help` prints usage to stdout and exits 0.
+  static BenchCli parse(int argc, char** argv);
+
+  /// \brief Testable core: returns the parsed flags, or `nullopt` with
+  /// the offending diagnostic in `*error`.
+  static std::optional<BenchCli> try_parse(int argc, char** argv,
+                                           std::string* error);
+
+  /// The usage text `parse` prints.
+  static std::string usage(const std::string& program);
+};
+
+}  // namespace ncsend

@@ -1,0 +1,134 @@
+#include "ncsend/experiment/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ncsend {
+namespace {
+
+/// One unit of work: a (profile, layout, size, scheme) coordinate.
+struct Cell {
+  std::size_t pi, li, si, ci;
+};
+
+}  // namespace
+
+int default_jobs() {
+  if (const char* env = std::getenv("NCSEND_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1'000'000)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+PlanResult run_plan(const ExperimentPlan& plan, const ExecutorOptions& exec) {
+  const std::vector<std::size_t> sizes = plan.effective_sizes();
+
+  // Materialize the layout axis up front (factories need not be
+  // thread-safe) and the per-profile universe options.
+  std::vector<std::vector<Layout>> layouts;  // [li][si]
+  layouts.reserve(plan.layouts.size());
+  for (const auto& axis : plan.layouts) {
+    std::vector<Layout> per_size;
+    per_size.reserve(sizes.size());
+    for (const std::size_t bytes : sizes) {
+      const std::size_t elems =
+          std::max<std::size_t>(1, bytes / sizeof(double));
+      per_size.push_back(axis.factory(elems));
+    }
+    layouts.push_back(std::move(per_size));
+  }
+  std::vector<minimpi::UniverseOptions> opts;
+  opts.reserve(plan.profiles.size());
+  for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi)
+    opts.push_back(plan.universe_options(pi));
+
+  // Preallocate every result slot so workers write disjoint memory.
+  PlanResult result;
+  result.plan_name = plan.name;
+  result.profile_count = plan.profiles.size();
+  result.layout_count = plan.layouts.size();
+  result.sweeps.resize(plan.profiles.size() * plan.layouts.size());
+  for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi) {
+    for (std::size_t li = 0; li < plan.layouts.size(); ++li) {
+      SweepResult& s = result.sweeps[pi * plan.layouts.size() + li];
+      s.profile_name = plan.profiles[pi]->name;
+      s.layout_name = layouts[li].empty() ? std::string()
+                                          : layouts[li].front().name();
+      s.layout_axis =
+          plan.layouts[li].name.empty() ? s.layout_name
+                                        : plan.layouts[li].name;
+      // Label rows with what the layout actually sends: factories may
+      // round a grid size down (e.g. to whole blocks), and a label that
+      // overstates the payload would skew bandwidth/slowdown readings.
+      s.sizes_bytes.reserve(sizes.size());
+      for (const Layout& l : layouts[li])
+        s.sizes_bytes.push_back(l.payload_bytes());
+      s.schemes = plan.schemes;
+      s.cells.assign(sizes.size(),
+                     std::vector<RunResult>(plan.schemes.size()));
+    }
+  }
+
+  std::vector<Cell> cells;
+  cells.reserve(plan.cell_count());
+  for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi)
+    for (std::size_t li = 0; li < plan.layouts.size(); ++li)
+      for (std::size_t si = 0; si < sizes.size(); ++si)
+        for (std::size_t ci = 0; ci < plan.schemes.size(); ++ci)
+          cells.push_back({pi, li, si, ci});
+
+  const auto run_cell = [&](const Cell& c) {
+    RunResult& slot =
+        result.sweeps[c.pi * plan.layouts.size() + c.li].cells[c.si][c.ci];
+    slot = run_experiment(opts[c.pi], plan.schemes[c.ci], layouts[c.li][c.si],
+                          plan.harness);
+  };
+
+  int jobs = exec.jobs > 0 ? exec.jobs : default_jobs();
+  jobs = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(jobs), cells.size()));
+
+  if (jobs <= 1) {
+    for (const Cell& c : cells) run_cell(c);
+    return result;
+  }
+
+  // Worker pool over an atomic cursor.  Cells land in preallocated
+  // slots, so completion order cannot affect the assembled result; a
+  // failing cell stops the dispatch and its exception is rethrown once
+  // the pool has drained.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    pool.emplace_back([&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells.size()) return;
+        try {
+          run_cell(cells[i]);
+        } catch (...) {
+          std::lock_guard lk(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace ncsend

@@ -1,0 +1,34 @@
+#pragma once
+/// \file executor.hpp
+/// \brief Parallel plan execution over a worker pool.
+///
+/// Every cell of an `ExperimentPlan` is one independent 2-rank
+/// simulated Universe: its timing is *virtual*, computed from the cost
+/// model, and completely insensitive to host scheduling (DESIGN.md §2).
+/// The executor therefore dispatches cells across `jobs` worker threads
+/// and is required — and tested — to produce byte-identical results to
+/// the serial walk.  `jobs <= 1` falls back to a plain loop on the
+/// calling thread.
+
+#include "ncsend/experiment/plan.hpp"
+#include "ncsend/experiment/result.hpp"
+
+namespace ncsend {
+
+struct ExecutorOptions {
+  /// Worker threads for independent cells; 0 = `default_jobs()`,
+  /// 1 = serial on the calling thread.
+  int jobs = 0;
+};
+
+/// \brief Default worker count: the `NCSEND_JOBS` environment variable
+/// if set to a positive integer, else the hardware concurrency (>= 1).
+int default_jobs();
+
+/// \brief Run every cell of the plan and assemble the per-(profile,
+/// layout) sweeps.  Rethrows the first cell failure after the pool
+/// drains.  Parallel and serial execution produce identical results.
+PlanResult run_plan(const ExperimentPlan& plan,
+                    const ExecutorOptions& exec = {});
+
+}  // namespace ncsend

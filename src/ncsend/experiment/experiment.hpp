@@ -1,0 +1,20 @@
+#pragma once
+/// \file experiment.hpp
+/// \brief Umbrella header for the experiment engine.
+///
+/// The engine turns the paper's deliverable — a grid of experiments
+/// over machine profiles x layouts x sizes x send schemes — into a
+/// subsystem:
+///   * `ExperimentPlan` (plan.hpp) — the declarative grid;
+///   * `run_plan` (executor.hpp) — parallel, deterministic execution
+///     of independent cells over a worker pool;
+///   * `SweepResult` / `PlanResult` (result.hpp) — the result grids;
+///   * `ResultStore` (result_store.hpp) — the one writer layer for
+///     CSV, sweep JSON, and the `BENCH_*.json` families;
+///   * `BenchCli` (cli.hpp) — the shared bench command line.
+
+#include "ncsend/experiment/cli.hpp"
+#include "ncsend/experiment/executor.hpp"
+#include "ncsend/experiment/plan.hpp"
+#include "ncsend/experiment/result.hpp"
+#include "ncsend/experiment/result_store.hpp"

@@ -1,0 +1,111 @@
+#include "ncsend/experiment/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "minimpi/base/error.hpp"
+
+namespace ncsend {
+
+LayoutAxis LayoutAxis::stride2() {
+  return {"stride2",
+          [](std::size_t elems) { return Layout::strided(elems, 1, 2); }};
+}
+
+LayoutAxis LayoutAxis::indexed_blocks(std::size_t blocklen,
+                                      std::uint64_t seed) {
+  minimpi::require(blocklen >= 1, minimpi::ErrorClass::invalid_arg,
+                   "indexed_blocks axis: blocklen must be >= 1");
+  return {"indexed-blocks(b=" + std::to_string(blocklen) + ")",
+          [blocklen, seed](std::size_t elems) {
+            // `nblocks` fixed-length blocks scattered over a host array
+            // twice the payload, only expressible as an indexed type.
+            // The payload is rounded down to whole blocks (the executor
+            // labels rows with the actual bytes sent).  Block starts
+            // come from a deterministic LCG, snapped to non-overlapping
+            // slots of 2*blocklen so the footprint matches stride2's.
+            const std::size_t nblocks =
+                std::max<std::size_t>(1, elems / blocklen);
+            const std::size_t slots = 2 * nblocks;
+            std::vector<std::size_t> chosen;
+            chosen.reserve(nblocks);
+            std::vector<bool> used(slots, false);
+            std::uint64_t x = seed * 2654435761ULL + 1;
+            while (chosen.size() < nblocks) {
+              x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+              const std::size_t slot =
+                  static_cast<std::size_t>((x >> 17) % slots);
+              if (!used[slot]) {
+                used[slot] = true;
+                chosen.push_back(slot * blocklen);
+              }
+            }
+            std::sort(chosen.begin(), chosen.end());
+            return Layout::indexed(std::move(chosen), blocklen);
+          }};
+}
+
+LayoutAxis LayoutAxis::by_name(std::string_view name) {
+  if (name == "stride2") return stride2();
+  if (name == "indexed-blocks") return indexed_blocks();
+  // Round-trip the parameterized ids the engine records in results:
+  // "indexed-blocks(b=N)".
+  constexpr std::string_view prefix = "indexed-blocks(b=";
+  if (name.size() > prefix.size() + 1 && name.starts_with(prefix) &&
+      name.back() == ')') {
+    const std::string digits(
+        name.substr(prefix.size(), name.size() - prefix.size() - 1));
+    char* end = nullptr;
+    const unsigned long b = std::strtoul(digits.c_str(), &end, 10);
+    if (end != digits.c_str() && *end == '\0' && b >= 1)
+      return indexed_blocks(b);
+  }
+  minimpi::require(false, minimpi::ErrorClass::invalid_arg,
+                   "unknown layout axis: " + std::string(name));
+  return {};
+}
+
+const std::vector<std::string>& LayoutAxis::names() {
+  static const std::vector<std::string> v = {"stride2", "indexed-blocks"};
+  return v;
+}
+
+std::vector<std::size_t> ExperimentPlan::effective_sizes() const {
+  return sizes_bytes.empty() ? paper_sizes() : sizes_bytes;
+}
+
+std::size_t ExperimentPlan::cell_count() const {
+  return profiles.size() * layouts.size() * effective_sizes().size() *
+         schemes.size();
+}
+
+minimpi::UniverseOptions ExperimentPlan::universe_options(
+    std::size_t profile_index) const {
+  minimpi::UniverseOptions opts;
+  opts.nranks = 2;
+  opts.profile = profiles.at(profile_index);
+  opts.functional = true;
+  opts.functional_payload_limit = functional_payload_limit;
+  opts.eager_limit_override = eager_limit_override;
+  opts.wtime_resolution = wtime_resolution;
+  return opts;
+}
+
+std::vector<std::size_t> log_sizes(double lo, double hi, int per_decade) {
+  std::vector<std::size_t> sizes;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  for (double s = lo; s <= hi * 1.0001; s *= step) {
+    auto bytes = static_cast<std::size_t>(std::llround(s));
+    bytes -= bytes % 8;  // whole doubles
+    if (bytes >= 8 && (sizes.empty() || bytes != sizes.back()))
+      sizes.push_back(bytes);
+  }
+  return sizes;
+}
+
+std::vector<std::size_t> paper_sizes(int per_decade) {
+  return log_sizes(1e3, 1e9, per_decade);
+}
+
+}  // namespace ncsend

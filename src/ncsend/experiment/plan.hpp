@@ -1,0 +1,84 @@
+#pragma once
+/// \file plan.hpp
+/// \brief Declarative experiment plans: the full grid a study runs.
+///
+/// An `ExperimentPlan` names every axis of the paper's deliverable —
+/// machine profiles x layouts x message sizes x send schemes — plus the
+/// harness options shared by all cells.  A plan is pure data: nothing
+/// runs until the executor (executor.hpp) walks the grid.  Each cell is
+/// one independent 2-rank simulated Universe with a deterministic
+/// virtual clock, which is what makes the grid embarrassingly parallel
+/// (DESIGN.md §2.5).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/net/machine_profile.hpp"
+#include "minimpi/runtime/comm.hpp"
+#include "ncsend/harness.hpp"
+#include "ncsend/layout.hpp"
+
+namespace ncsend {
+
+/// \brief One value of the layout axis: a named factory mapping an
+/// element count to the `Layout` to send at that size.
+struct LayoutAxis {
+  std::string name;  ///< stable axis id ("" = use the layout's own name)
+  std::function<Layout(std::size_t elems)> factory;
+
+  /// The paper's canonical case: stride-2 vector ("the real parts of a
+  /// complex array").
+  static LayoutAxis stride2();
+  /// Irregularly spaced fixed-length blocks (deterministic seed): the
+  /// indexed-type workload the introduction motivates but the paper
+  /// never sweeps.  `blocklen` doubles per block, blocks placed
+  /// pseudo-randomly in a host array ~2x the payload; element counts
+  /// round down to whole blocks (result rows are labeled with the
+  /// actual payload).
+  static LayoutAxis indexed_blocks(std::size_t blocklen = 4,
+                                   std::uint64_t seed = 42);
+  /// Registry lookup by axis name; throws MM_ERR_ARG for unknown names.
+  static LayoutAxis by_name(std::string_view name);
+  /// All registered axis names.
+  static const std::vector<std::string>& names();
+};
+
+/// \brief The declarative grid; subsumes the old per-figure SweepConfig.
+struct ExperimentPlan {
+  /// Plan id, used for output file stems (`results/<name>.csv`).
+  std::string name = "plan";
+  std::vector<const minimpi::MachineProfile*> profiles = {
+      &minimpi::MachineProfile::skx_impi()};
+  std::vector<std::string> schemes = all_scheme_names();
+  /// Payload sizes in bytes; empty means `paper_sizes()`.
+  std::vector<std::size_t> sizes_bytes;
+  std::vector<LayoutAxis> layouts = {LayoutAxis::stride2()};
+  HarnessConfig harness;
+  /// §4.5 experiment: force the eager limit.
+  std::optional<std::size_t> eager_limit_override;
+  /// Payloads up to this size move physically (and get verified).
+  std::size_t functional_payload_limit = 1u << 20;
+  /// MPI_Wtime tick (paper: 1e-6 s); 0 for exact clocks.
+  double wtime_resolution = 1e-6;
+
+  /// Sizes with the empty-means-paper default applied.
+  [[nodiscard]] std::vector<std::size_t> effective_sizes() const;
+  /// Total number of grid cells (universes the executor will run).
+  [[nodiscard]] std::size_t cell_count() const;
+  /// Universe options for one profile of the plan.
+  [[nodiscard]] minimpi::UniverseOptions universe_options(
+      std::size_t profile_index) const;
+};
+
+/// \brief Log-spaced sizes from `lo` to `hi` (inclusive-ish) with
+/// `per_decade` points per decade, each rounded down to a multiple of 8
+/// (whole doubles); duplicates after rounding are dropped.
+std::vector<std::size_t> log_sizes(double lo, double hi, int per_decade);
+
+/// \brief The paper's sweep range: 1e3 .. 1e9 bytes.
+std::vector<std::size_t> paper_sizes(int per_decade = 4);
+
+}  // namespace ncsend

@@ -1,0 +1,22 @@
+#include "ncsend/experiment/result.hpp"
+
+namespace ncsend {
+
+double SweepResult::slowdown(std::size_t si, std::size_t ci) const {
+  for (std::size_t r = 0; r < schemes.size(); ++r) {
+    if (schemes[r] == "reference") {
+      const double ref = time(si, r);
+      return ref > 0.0 ? time(si, ci) / ref : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+bool SweepResult::all_verified() const {
+  for (const auto& row : cells)
+    for (const auto& cell : row)
+      if (!cell.verified) return false;
+  return true;
+}
+
+}  // namespace ncsend

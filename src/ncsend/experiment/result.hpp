@@ -1,0 +1,62 @@
+#pragma once
+/// \file result.hpp
+/// \brief Result containers for the experiment engine.
+///
+/// A `SweepResult` is one (profile, layout) slice of a plan: the
+/// sizes x schemes grid of `RunResult` cells the paper prints as one
+/// figure.  A `PlanResult` is everything a plan produced — one
+/// `SweepResult` per (profile, layout) pair, profiles-major — and is
+/// what the unified writers (result_store.hpp) consume.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ncsend/harness.hpp"
+
+namespace ncsend {
+
+struct SweepResult {
+  std::string profile_name;
+  /// Concrete layout name at the first size (e.g. "strided(b=1,s=2)").
+  std::string layout_name;
+  /// Stable layout-axis id ("stride2", "indexed-blocks(b=4)", ...);
+  /// equals `layout_name` when the plan did not name the axis.
+  std::string layout_axis;
+  std::vector<std::size_t> sizes_bytes;
+  std::vector<std::string> schemes;
+  /// cells[size_index][scheme_index]
+  std::vector<std::vector<RunResult>> cells;
+
+  [[nodiscard]] double time(std::size_t si, std::size_t ci) const {
+    return cells[si][ci].time();
+  }
+  [[nodiscard]] double bandwidth_GBps(std::size_t si, std::size_t ci) const {
+    return cells[si][ci].bandwidth_Bps() / 1e9;
+  }
+  /// Slowdown vs the "reference" column (paper's third panel); 0 when no
+  /// reference scheme is in the sweep.
+  [[nodiscard]] double slowdown(std::size_t si, std::size_t ci) const;
+  [[nodiscard]] bool all_verified() const;
+};
+
+/// \brief All sweeps one plan produced, ordered profiles-major,
+/// layouts-minor: `sweeps[pi * layout_count + li]`.
+struct PlanResult {
+  std::string plan_name;
+  std::size_t profile_count = 0;
+  std::size_t layout_count = 0;
+  std::vector<SweepResult> sweeps;
+
+  [[nodiscard]] const SweepResult& sweep(std::size_t profile_index,
+                                         std::size_t layout_index) const {
+    return sweeps.at(profile_index * layout_count + layout_index);
+  }
+  [[nodiscard]] bool all_verified() const {
+    for (const auto& s : sweeps)
+      if (!s.all_verified()) return false;
+    return true;
+  }
+};
+
+}  // namespace ncsend

@@ -1,0 +1,181 @@
+#include "ncsend/experiment/result_store.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+
+namespace ncsend {
+namespace {
+
+/// Emit one sweep as the flat self-describing JSON object (the schema
+/// plotting scripts ingest; matplotlib/pandas can regenerate the
+/// paper's figures directly from it).
+void emit_sweep_document(std::ostream& os, const SweepResult& r,
+                         const char* indent) {
+  const std::string in(indent);
+  os << "{\n" << in << "  \"profile\": \"" << json_escape(r.profile_name)
+     << "\",\n" << in << "  \"layout\": \"" << json_escape(r.layout_name)
+     << "\",\n" << in << "  \"sizes_bytes\": [";
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+    os << (si ? ", " : "") << r.sizes_bytes[si];
+  os << "],\n" << in << "  \"schemes\": [";
+  for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+    os << (ci ? ", " : "") << "\"" << json_escape(r.schemes[ci]) << "\"";
+  os << "],\n" << in << "  \"cells\": [\n";
+  bool first = true;
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+      const auto& cell = r.cells[si][ci];
+      os << (first ? "" : ",\n") << in << "    {\"size_bytes\": "
+         << r.sizes_bytes[si] << ", \"scheme\": \""
+         << json_escape(r.schemes[ci]) << "\", \"time_s\": "
+         << std::scientific << std::setprecision(9) << cell.time()
+         << ", \"bandwidth_GBps\": " << cell.bandwidth_Bps() / 1e9
+         << ", \"slowdown\": " << r.slowdown(si, ci) << ", \"stddev_s\": "
+         << cell.timing.stddev << ", \"reps\": " << cell.timing.samples
+         << ", \"verified\": " << (cell.verified ? "true" : "false") << "}";
+      first = false;
+    }
+  }
+  os << "\n" << in << "  ]\n" << in << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ResultStore::write_csv(std::ostream& os) const {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << "profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,"
+        "verified\n";
+  for (const auto& r : sweeps_) {
+    for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+      for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
+        const auto& cell = r.cells[si][ci];
+        os << r.profile_name << "," << r.layout_name << ","
+           << r.sizes_bytes[si] << "," << r.schemes[ci] << ","
+           << std::scientific << std::setprecision(6) << cell.time() << ","
+           << cell.bandwidth_Bps() / 1e9 << "," << r.slowdown(si, ci) << ","
+           << (cell.verified ? 1 : 0) << "\n";
+      }
+    }
+  }
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+void ResultStore::write_sweep_json(std::ostream& os) const {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  if (sweeps_.size() == 1) {
+    emit_sweep_document(os, sweeps_.front(), "");
+    os << "\n";
+  } else {
+    os << "{\n  \"sweeps\": [\n";
+    for (std::size_t i = 0; i < sweeps_.size(); ++i) {
+      os << "    ";
+      emit_sweep_document(os, sweeps_[i], "    ");
+      os << (i + 1 < sweeps_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+void ResultStore::write_bench_sweep_json(std::ostream& os) const {
+  // Pin the number format so the emitted bytes do not depend on the
+  // caller's ambient stream state (CI byte-compares these files).
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"scheme_sweep\",\n  \"unit\": \"s\",\n"
+     << "  \"profiles\": [\n";
+  for (std::size_t i = 0; i < sweeps_.size(); ++i) {
+    const SweepResult& r = sweeps_[i];
+    os << "    {\"profile\": \"" << json_escape(r.profile_name)
+       << "\", \"layout\": \"" << json_escape(r.layout_axis)
+       << "\", \"sizes_bytes\": [";
+    for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+      os << (si ? ", " : "") << r.sizes_bytes[si];
+    os << "], \"schemes\": [";
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+      os << (ci ? ", " : "") << "\"" << json_escape(r.schemes[ci]) << "\"";
+    os << "],\n     \"time_s\": [";
+    for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+      os << (si ? ", " : "") << "[";
+      for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+        os << (ci ? ", " : "") << r.time(si, ci);
+      os << "]";
+    }
+    os << "]}" << (i + 1 < sweeps_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+void ResultStore::write_bench_pack_engine_json(std::ostream& os) const {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"pack_engine\",\n  \"unit\": \"GB/s\",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < kernels_.size(); ++i)
+    os << "    {\"kernel\": \"" << json_escape(kernels_[i].kernel)
+       << "\", \"payload_bytes\": " << kernels_[i].payload_bytes
+       << ", \"gbps\": " << kernels_[i].gbps << "}"
+       << (i + 1 < kernels_.size() ? "," : "") << "\n";
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+void ResultStore::write_bench_eager_limit_json(std::ostream& os,
+                                               const SweepResult& base,
+                                               const SweepResult& raised,
+                                               std::size_t override_bytes) {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"eager_limit\",\n"
+     << "  \"profile\": \"" << json_escape(base.profile_name)
+     << "\",\n  \"override_bytes\": " << override_bytes
+     << ",\n  \"results\": [\n";
+  bool first = true;
+  for (std::size_t si = 0; si < base.sizes_bytes.size(); ++si)
+    for (std::size_t ci = 0; ci < base.schemes.size(); ++ci) {
+      if (!first) os << ",\n";
+      first = false;
+      os << "    {\"scheme\": \"" << json_escape(base.schemes[ci])
+         << "\", \"size_bytes\": " << base.sizes_bytes[si]
+         << ", \"time_s\": " << base.time(si, ci)
+         << ", \"time_raised_s\": " << raised.time(si, ci) << "}";
+    }
+  os << "\n  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+}  // namespace ncsend

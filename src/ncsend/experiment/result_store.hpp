@@ -1,0 +1,74 @@
+#pragma once
+/// \file result_store.hpp
+/// \brief The unified result pipeline: one store, one writer per format.
+///
+/// Every machine-readable artifact the repo produces — per-figure CSV,
+/// the per-sweep JSON documents, and the three `BENCH_*.json` families
+/// CI tracks — is emitted from here, so each schema lives in exactly
+/// one place.  Benches fill a store (sweeps from the executor, kernel
+/// records from wall-clock micro-benchmarks) and pick a writer.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ncsend/experiment/result.hpp"
+
+namespace ncsend {
+
+/// One wall-clock kernel measurement (the `BENCH_pack_engine` family:
+/// the single place real hardware speed matters).
+struct KernelRecord {
+  std::string kernel;
+  std::size_t payload_bytes = 0;
+  double gbps = 0.0;
+};
+
+/// \brief JSON string escaping for every writer below.
+std::string json_escape(std::string_view s);
+
+class ResultStore {
+ public:
+  void add_sweep(SweepResult r) { sweeps_.push_back(std::move(r)); }
+  void add_plan(const PlanResult& r) {
+    for (const auto& s : r.sweeps) sweeps_.push_back(s);
+  }
+  void add_kernel(KernelRecord k) { kernels_.push_back(std::move(k)); }
+
+  [[nodiscard]] const std::vector<SweepResult>& sweeps() const {
+    return sweeps_;
+  }
+  [[nodiscard]] const std::vector<KernelRecord>& kernels() const {
+    return kernels_;
+  }
+
+  /// Machine-readable rows over every stored sweep:
+  /// `profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,verified`.
+  void write_csv(std::ostream& os) const;
+
+  /// Self-describing JSON: a single sweep emits the flat
+  /// `{profile, layout, sizes_bytes, schemes, cells: [...]}` document;
+  /// several sweeps are wrapped as `{"sweeps": [...]}`.
+  void write_sweep_json(std::ostream& os) const;
+
+  /// The `BENCH_scheme_sweep.json` schema: per-(profile, layout) time
+  /// grids, flat enough for CI to diff successive runs.
+  void write_bench_sweep_json(std::ostream& os) const;
+
+  /// The `BENCH_pack_engine.json` schema over the stored kernel records.
+  void write_bench_pack_engine_json(std::ostream& os) const;
+
+  /// The `BENCH_eager_limit.json` schema: paired base/raised times from
+  /// two runs of the same plan (paper §4.5).
+  static void write_bench_eager_limit_json(std::ostream& os,
+                                           const SweepResult& base,
+                                           const SweepResult& raised,
+                                           std::size_t override_bytes);
+
+ private:
+  std::vector<SweepResult> sweeps_;
+  std::vector<KernelRecord> kernels_;
+};
+
+}  // namespace ncsend

@@ -8,10 +8,14 @@
 ///   * `run_pingpong_rank` / `run_experiment` — the §3.2 measurement
 ///     harness (20 timed ping-pongs, cache flushing, outlier rejection,
 ///     data verification);
+///   * the experiment engine (`experiment/`) — declarative
+///     `ExperimentPlan` grids, parallel deterministic execution via
+///     `run_plan`, and the unified `ResultStore` writers;
 ///   * `run_sweep` + reporting — regenerate any of the paper's figures;
 ///   * `advise` — the §5 conclusion as a queryable recommendation.
 
 #include "ncsend/advisor.hpp"
+#include "ncsend/experiment/experiment.hpp"
 #include "ncsend/harness.hpp"
 #include "ncsend/layout.hpp"
 #include "ncsend/report.hpp"

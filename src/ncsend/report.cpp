@@ -6,6 +6,9 @@
 #include <ostream>
 #include <vector>
 
+#include "ncsend/experiment/result_store.hpp"
+#include "ncsend/scheme.hpp"
+
 namespace ncsend {
 namespace {
 
@@ -61,45 +64,15 @@ void print_tables(std::ostream& os, const SweepResult& r) {
 }
 
 void write_csv(std::ostream& os, const SweepResult& r) {
-  os << "profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,"
-        "verified\n";
-  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
-    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
-      const auto& cell = r.cells[si][ci];
-      os << r.profile_name << "," << r.layout_name << ","
-         << r.sizes_bytes[si] << "," << r.schemes[ci] << ","
-         << std::scientific << std::setprecision(6) << cell.time() << ","
-         << cell.bandwidth_Bps() / 1e9 << "," << r.slowdown(si, ci) << ","
-         << (cell.verified ? 1 : 0) << "\n";
-    }
-  }
+  ResultStore store;
+  store.add_sweep(r);
+  store.write_csv(os);
 }
 
 void write_json(std::ostream& os, const SweepResult& r) {
-  os << "{\n  \"profile\": \"" << r.profile_name << "\",\n  \"layout\": \""
-     << r.layout_name << "\",\n  \"sizes_bytes\": [";
-  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
-    os << (si ? ", " : "") << r.sizes_bytes[si];
-  os << "],\n  \"schemes\": [";
-  for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
-    os << (ci ? ", " : "") << "\"" << r.schemes[ci] << "\"";
-  os << "],\n  \"cells\": [\n";
-  bool first = true;
-  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
-    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
-      const auto& cell = r.cells[si][ci];
-      os << (first ? "" : ",\n") << "    {\"size_bytes\": "
-         << r.sizes_bytes[si] << ", \"scheme\": \"" << r.schemes[ci]
-         << "\", \"time_s\": " << std::scientific << std::setprecision(9)
-         << cell.time() << ", \"bandwidth_GBps\": "
-         << cell.bandwidth_Bps() / 1e9 << ", \"slowdown\": "
-         << r.slowdown(si, ci) << ", \"stddev_s\": " << cell.timing.stddev
-         << ", \"reps\": " << cell.timing.samples << ", \"verified\": "
-         << (cell.verified ? "true" : "false") << "}";
-      first = false;
-    }
-  }
-  os << "\n  ]\n}\n";
+  ResultStore store;
+  store.add_sweep(r);
+  store.write_sweep_json(os);
 }
 
 void ascii_plot(std::ostream& os, const SweepResult& r, Metric metric,

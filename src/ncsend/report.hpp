@@ -5,7 +5,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "ncsend/sweep.hpp"
+#include "ncsend/experiment/result.hpp"
 
 namespace ncsend {
 
@@ -15,14 +15,12 @@ enum class Metric { time, bandwidth, slowdown };
 /// as aligned text tables: rows = sizes, columns = schemes.
 void print_tables(std::ostream& os, const SweepResult& r);
 
-/// \brief Machine-readable rows:
-/// `profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,verified`.
+/// \brief Machine-readable rows for one sweep; delegates to the unified
+/// `ResultStore` writer (result_store.hpp), where the schema lives.
 void write_csv(std::ostream& os, const SweepResult& r);
 
-/// \brief The same data as a self-describing JSON document:
-/// `{profile, layout, sizes, schemes, cells: [{...}]}` — convenient for
-/// plotting scripts (matplotlib/pandas can regenerate the paper's
-/// figures directly from it).
+/// \brief One sweep as the self-describing JSON document; delegates to
+/// the unified `ResultStore` writer (result_store.hpp).
 void write_json(std::ostream& os, const SweepResult& r);
 
 /// \brief Log-log ASCII rendering of one panel, one symbol per scheme

@@ -1,69 +1,29 @@
 #include "ncsend/sweep.hpp"
 
-#include <cmath>
+#include <utility>
+
+#include "ncsend/experiment/executor.hpp"
 
 namespace ncsend {
 
-double SweepResult::slowdown(std::size_t si, std::size_t ci) const {
-  for (std::size_t r = 0; r < schemes.size(); ++r) {
-    if (schemes[r] == "reference") {
-      const double ref = time(si, r);
-      return ref > 0.0 ? time(si, ci) / ref : 0.0;
-    }
-  }
-  return 0.0;
+ExperimentPlan to_plan(const SweepConfig& cfg) {
+  ExperimentPlan plan;
+  plan.name = "sweep";
+  plan.profiles = {cfg.profile};
+  plan.schemes = cfg.schemes;
+  plan.sizes_bytes = cfg.sizes_bytes;
+  // Unnamed axis: the sweep result reports the layout's own name.
+  plan.layouts = {LayoutAxis{"", cfg.layout_factory}};
+  plan.harness = cfg.harness;
+  plan.eager_limit_override = cfg.eager_limit_override;
+  plan.functional_payload_limit = cfg.functional_payload_limit;
+  plan.wtime_resolution = cfg.wtime_resolution;
+  return plan;
 }
 
-bool SweepResult::all_verified() const {
-  for (const auto& row : cells)
-    for (const auto& cell : row)
-      if (!cell.verified) return false;
-  return true;
-}
-
-std::vector<std::size_t> log_sizes(double lo, double hi, int per_decade) {
-  std::vector<std::size_t> sizes;
-  const double step = std::pow(10.0, 1.0 / per_decade);
-  for (double s = lo; s <= hi * 1.0001; s *= step) {
-    auto bytes = static_cast<std::size_t>(std::llround(s));
-    bytes -= bytes % 8;  // whole doubles
-    if (bytes >= 8 && (sizes.empty() || bytes != sizes.back()))
-      sizes.push_back(bytes);
-  }
-  return sizes;
-}
-
-std::vector<std::size_t> paper_sizes(int per_decade) {
-  return log_sizes(1e3, 1e9, per_decade);
-}
-
-SweepResult run_sweep(const SweepConfig& cfg) {
-  SweepResult result;
-  result.profile_name = cfg.profile->name;
-  result.sizes_bytes = cfg.sizes_bytes.empty() ? paper_sizes()
-                                               : cfg.sizes_bytes;
-  result.schemes = cfg.schemes;
-
-  minimpi::UniverseOptions opts;
-  opts.nranks = 2;
-  opts.profile = cfg.profile;
-  opts.functional = true;
-  opts.functional_payload_limit = cfg.functional_payload_limit;
-  opts.eager_limit_override = cfg.eager_limit_override;
-  opts.wtime_resolution = cfg.wtime_resolution;
-
-  result.cells.reserve(result.sizes_bytes.size());
-  for (const std::size_t bytes : result.sizes_bytes) {
-    const std::size_t elems = std::max<std::size_t>(1, bytes / sizeof(double));
-    const Layout layout = cfg.layout_factory(elems);
-    if (result.layout_name.empty()) result.layout_name = layout.name();
-    std::vector<RunResult> row;
-    row.reserve(cfg.schemes.size());
-    for (const auto& scheme : cfg.schemes)
-      row.push_back(run_experiment(opts, scheme, layout, cfg.harness));
-    result.cells.push_back(std::move(row));
-  }
-  return result;
+SweepResult run_sweep(const SweepConfig& cfg, int jobs) {
+  PlanResult r = run_plan(to_plan(cfg), ExecutorOptions{jobs});
+  return std::move(r.sweeps.front());
 }
 
 }  // namespace ncsend

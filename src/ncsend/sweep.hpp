@@ -1,11 +1,18 @@
 #pragma once
 /// \file sweep.hpp
-/// \brief Parameter sweeps: one figure = one sweep over sizes x schemes.
+/// \brief Single-figure sweeps: one profile, one layout, sizes x schemes.
+///
+/// `SweepConfig` predates the experiment engine and remains the
+/// convenient way to ask for one figure's worth of cells; it is adapted
+/// to a single-profile `ExperimentPlan` (`to_plan`) and executed by the
+/// engine's worker pool, so `run_sweep` inherits `--jobs`-style
+/// parallelism and its byte-identical determinism guarantee.
 
 #include <functional>
 #include <optional>
 
-#include "ncsend/harness.hpp"
+#include "ncsend/experiment/plan.hpp"
+#include "ncsend/experiment/result.hpp"
 
 namespace ncsend {
 
@@ -27,34 +34,12 @@ struct SweepConfig {
   double wtime_resolution = 1e-6;
 };
 
-struct SweepResult {
-  std::string profile_name;
-  std::string layout_name;
-  std::vector<std::size_t> sizes_bytes;
-  std::vector<std::string> schemes;
-  /// cells[size_index][scheme_index]
-  std::vector<std::vector<RunResult>> cells;
+/// \brief Adapt a legacy sweep config to a one-profile, one-layout plan.
+ExperimentPlan to_plan(const SweepConfig& cfg);
 
-  [[nodiscard]] double time(std::size_t si, std::size_t ci) const {
-    return cells[si][ci].time();
-  }
-  [[nodiscard]] double bandwidth_GBps(std::size_t si, std::size_t ci) const {
-    return cells[si][ci].bandwidth_Bps() / 1e9;
-  }
-  /// Slowdown vs the "reference" column (paper's third panel); 0 when no
-  /// reference scheme is in the sweep.
-  [[nodiscard]] double slowdown(std::size_t si, std::size_t ci) const;
-  [[nodiscard]] bool all_verified() const;
-};
-
-/// \brief Log-spaced sizes from `lo` to `hi` (inclusive-ish) with
-/// `per_decade` points per decade, each rounded to a multiple of 8.
-std::vector<std::size_t> log_sizes(double lo, double hi, int per_decade);
-
-/// \brief The paper's sweep range: 1e3 .. 1e9 bytes.
-std::vector<std::size_t> paper_sizes(int per_decade = 4);
-
-/// \brief Run the full sweep; one fresh 2-rank universe per cell.
-SweepResult run_sweep(const SweepConfig& cfg);
+/// \brief Run the full sweep; one fresh 2-rank universe per cell,
+/// dispatched over the experiment engine's worker pool (`jobs` 0 means
+/// the engine default: NCSEND_JOBS, else hardware concurrency).
+SweepResult run_sweep(const SweepConfig& cfg, int jobs = 0);
 
 }  // namespace ncsend

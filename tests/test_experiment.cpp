@@ -1,0 +1,315 @@
+// The experiment engine: declarative plans, the parallel executor's
+// determinism guarantee, the unified result pipeline, and the shared
+// bench CLI.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+
+namespace {
+
+/// A multi-profile, multi-layout plan small enough to run many times.
+ExperimentPlan small_plan() {
+  ExperimentPlan plan;
+  plan.name = "test-plan";
+  plan.profiles = {&minimpi::MachineProfile::skx_impi(),
+                   &minimpi::MachineProfile::knl_impi()};
+  plan.layouts = {LayoutAxis::stride2(), LayoutAxis::indexed_blocks()};
+  plan.sizes_bytes = {1024, 8192, 65536};
+  plan.schemes = {"reference", "copying", "packing(v)"};
+  plan.harness.reps = 3;
+  return plan;
+}
+
+std::string csv_of(const PlanResult& r) {
+  ResultStore store;
+  store.add_plan(r);
+  std::ostringstream os;
+  store.write_csv(os);
+  return os.str();
+}
+
+std::string json_of(const PlanResult& r) {
+  ResultStore store;
+  store.add_plan(r);
+  std::ostringstream os;
+  store.write_sweep_json(os);
+  return os.str();
+}
+
+TEST(Plan, CellCountAndShape) {
+  const ExperimentPlan plan = small_plan();
+  EXPECT_EQ(plan.cell_count(), 2u * 2u * 3u * 3u);
+  const PlanResult r = run_plan(plan, {1});
+  EXPECT_EQ(r.profile_count, 2u);
+  EXPECT_EQ(r.layout_count, 2u);
+  ASSERT_EQ(r.sweeps.size(), 4u);
+  EXPECT_EQ(r.sweep(0, 0).profile_name, "skx-impi");
+  EXPECT_EQ(r.sweep(1, 1).profile_name, "knl-impi");
+  EXPECT_EQ(r.sweep(0, 0).layout_axis, "stride2");
+  EXPECT_EQ(r.sweep(0, 1).layout_axis, "indexed-blocks(b=4)");
+  for (const auto& s : r.sweeps) {
+    ASSERT_EQ(s.cells.size(), 3u);
+    ASSERT_EQ(s.cells[0].size(), 3u);
+  }
+  EXPECT_TRUE(r.all_verified());
+}
+
+// The engine's core contract: cells are independent virtual-clock
+// universes, so the parallel dispatch must be bit-for-bit equivalent to
+// the serial walk — including the serialized CSV/JSON artifacts.
+TEST(Executor, ParallelMatchesSerialByteForByte) {
+  const ExperimentPlan plan = small_plan();
+  const PlanResult serial = run_plan(plan, {1});
+  const PlanResult parallel = run_plan(plan, {4});
+
+  ASSERT_EQ(serial.sweeps.size(), parallel.sweeps.size());
+  for (std::size_t s = 0; s < serial.sweeps.size(); ++s) {
+    const SweepResult& a = serial.sweeps[s];
+    const SweepResult& b = parallel.sweeps[s];
+    ASSERT_EQ(a.sizes_bytes, b.sizes_bytes);
+    ASSERT_EQ(a.schemes, b.schemes);
+    for (std::size_t si = 0; si < a.sizes_bytes.size(); ++si) {
+      for (std::size_t ci = 0; ci < a.schemes.size(); ++ci) {
+        const RunResult& x = a.cells[si][ci];
+        const RunResult& y = b.cells[si][ci];
+        EXPECT_EQ(x.timing.mean, y.timing.mean);
+        EXPECT_EQ(x.timing.stddev, y.timing.stddev);
+        EXPECT_EQ(x.timing.samples, y.timing.samples);
+        EXPECT_EQ(x.verified, y.verified);
+        EXPECT_EQ(x.data_checked, y.data_checked);
+      }
+    }
+  }
+  EXPECT_EQ(csv_of(serial), csv_of(parallel));
+  EXPECT_EQ(json_of(serial), json_of(parallel));
+}
+
+TEST(Executor, OversubscribedJobsStillComplete) {
+  ExperimentPlan plan = small_plan();
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.layouts = {LayoutAxis::stride2()};
+  // More workers than cells: the pool must clamp, not hang.
+  const PlanResult r = run_plan(plan, {64});
+  EXPECT_EQ(r.sweeps.size(), 1u);
+  EXPECT_TRUE(r.all_verified());
+}
+
+TEST(Executor, CellFailurePropagates) {
+  ExperimentPlan plan = small_plan();
+  plan.schemes = {"reference", "no-such-scheme"};
+  EXPECT_THROW(run_plan(plan, {4}), minimpi::Error);
+  EXPECT_THROW(run_plan(plan, {1}), minimpi::Error);
+}
+
+TEST(Executor, DefaultJobsHonorsEnvironment) {
+  ASSERT_EQ(setenv("NCSEND_JOBS", "3", 1), 0);
+  EXPECT_EQ(default_jobs(), 3);
+  ASSERT_EQ(setenv("NCSEND_JOBS", "garbage", 1), 0);
+  EXPECT_GE(default_jobs(), 1);  // falls back to hardware concurrency
+  ASSERT_EQ(unsetenv("NCSEND_JOBS"), 0);
+  EXPECT_GE(default_jobs(), 1);
+}
+
+TEST(LayoutAxis, RegistryRoundTrip) {
+  for (const auto& name : LayoutAxis::names()) {
+    const LayoutAxis axis = LayoutAxis::by_name(name);
+    const Layout l = axis.factory(1024);
+    EXPECT_EQ(l.element_count(), 1024u) << name;
+  }
+  EXPECT_THROW(LayoutAxis::by_name("bogus"), minimpi::Error);
+}
+
+TEST(LayoutAxis, ByNameRoundTripsRecordedIds) {
+  // The engine records parameterized ids like "indexed-blocks(b=4)" in
+  // results; the registry must accept them back.
+  const LayoutAxis recorded = LayoutAxis::indexed_blocks();
+  const LayoutAxis reparsed = LayoutAxis::by_name(recorded.name);
+  EXPECT_EQ(reparsed.name, recorded.name);
+  const LayoutAxis wide = LayoutAxis::by_name("indexed-blocks(b=8)");
+  EXPECT_EQ(wide.name, "indexed-blocks(b=8)");
+  EXPECT_EQ(wide.factory(64).payload_bytes(), 64u * 8u);
+  EXPECT_THROW(LayoutAxis::by_name("indexed-blocks(b=zero)"),
+               minimpi::Error);
+}
+
+TEST(Executor, SizeLabelsReportActualPayload) {
+  // 1250 elems is not divisible by the 4-element block, so the indexed
+  // axis rounds the payload down; the row label must say so.
+  ExperimentPlan plan;
+  plan.layouts = {LayoutAxis::stride2(), LayoutAxis::indexed_blocks()};
+  plan.schemes = {"reference"};
+  plan.sizes_bytes = {10'000};
+  plan.harness.reps = 1;
+  const PlanResult r = run_plan(plan, {1});
+  EXPECT_EQ(r.sweep(0, 0).sizes_bytes[0], 10'000u);
+  EXPECT_EQ(r.sweep(0, 1).sizes_bytes[0], 9'984u);  // 312 blocks of 4
+  EXPECT_EQ(r.sweep(0, 1).cells[0][0].payload_bytes, 9'984u);
+}
+
+TEST(LayoutAxis, IndexedBlocksIsIrregularSameBytes) {
+  const Layout l = LayoutAxis::indexed_blocks().factory(4096);
+  EXPECT_EQ(l.payload_bytes(), 4096u * 8u);
+  EXPECT_FALSE(l.regular());
+  // Same footprint ratio as the stride-2 canonical case.
+  EXPECT_LE(l.footprint_elems(), 2u * 4096u);
+  // Deterministic: the same seed yields the same layout.
+  const Layout l2 = LayoutAxis::indexed_blocks().factory(4096);
+  EXPECT_EQ(l.name(), l2.name());
+  bool identical = true;
+  std::vector<std::size_t> a, b;
+  l.for_each_element([&](std::size_t, std::size_t src) { a.push_back(src); });
+  l2.for_each_element([&](std::size_t, std::size_t src) { b.push_back(src); });
+  identical = a == b;
+  EXPECT_TRUE(identical);
+}
+
+TEST(LogSizes, RoundsToWholeDoublesAndDropsDuplicates) {
+  // Dense grid over a narrow range: successive raw points round to the
+  // same multiple of 8 and must collapse to one entry.
+  const auto sizes = log_sizes(8, 100, 40);
+  ASSERT_FALSE(sizes.empty());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i] % 8, 0u);
+    EXPECT_GE(sizes[i], 8u);
+    if (i) {
+      EXPECT_GT(sizes[i], sizes[i - 1]);  // strictly increasing
+    }
+  }
+  // 40/decade over ~1.1 decades is 45 raw points; rounding must have
+  // collapsed some (only 12 distinct multiples of 8 exist in [8, 100]).
+  EXPECT_LE(sizes.size(), 12u);
+}
+
+TEST(LogSizes, SubEightPointsAreDropped) {
+  // Raw points below 8 bytes round to 0 and must not appear.
+  const auto sizes = log_sizes(1, 64, 4);
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_GE(sizes.front(), 8u);
+}
+
+TEST(SweepResultMetrics, SlowdownZeroWithoutReference) {
+  ExperimentPlan plan = small_plan();
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.layouts = {LayoutAxis::stride2()};
+  plan.schemes = {"copying", "packing(v)"};  // no "reference" column
+  plan.sizes_bytes = {4096};
+  const SweepResult r = run_plan(plan, {1}).sweep(0, 0);
+  EXPECT_EQ(r.slowdown(0, 0), 0.0);
+  EXPECT_EQ(r.slowdown(0, 1), 0.0);
+}
+
+TEST(ResultStoreWriters, BenchSweepSchemaHasLayoutAxis) {
+  ExperimentPlan plan = small_plan();
+  plan.sizes_bytes = {4096};
+  ResultStore store;
+  store.add_plan(run_plan(plan, {2}));
+  std::ostringstream os;
+  store.write_bench_sweep_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"benchmark\": \"scheme_sweep\""), std::string::npos);
+  EXPECT_NE(out.find("\"layout\": \"stride2\""), std::string::npos);
+  EXPECT_NE(out.find("\"layout\": \"indexed-blocks(b=4)\""),
+            std::string::npos);
+  EXPECT_NE(out.find("knl-impi"), std::string::npos);
+}
+
+TEST(ResultStoreWriters, PackEngineSchema) {
+  ResultStore store;
+  store.add_kernel({"memcpy_contiguous", 4096, 12.5});
+  store.add_kernel({"pack_vector_type", 4096, 6.25});
+  std::ostringstream os;
+  store.write_bench_pack_engine_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"benchmark\": \"pack_engine\""), std::string::npos);
+  EXPECT_NE(out.find("\"kernel\": \"memcpy_contiguous\""), std::string::npos);
+  EXPECT_NE(out.find("\"gbps\": 6.25"), std::string::npos);
+}
+
+TEST(ResultStoreWriters, EagerLimitSchemaPairsRuns) {
+  ExperimentPlan plan;
+  plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+  plan.schemes = {"reference"};
+  plan.sizes_bytes = {65544};
+  plan.harness.reps = 3;
+  const SweepResult base = run_plan(plan, {1}).sweep(0, 0);
+  plan.eager_limit_override = std::size_t{1} << 30;
+  const SweepResult raised = run_plan(plan, {1}).sweep(0, 0);
+  std::ostringstream os;
+  ResultStore::write_bench_eager_limit_json(os, base, raised,
+                                            std::size_t{1} << 30);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"benchmark\": \"eager_limit\""), std::string::npos);
+  EXPECT_NE(out.find("\"time_s\": "), std::string::npos);
+  EXPECT_NE(out.find("\"time_raised_s\": "), std::string::npos);
+}
+
+TEST(ResultStoreWriters, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(BenchCliParse, AcceptsTheSharedFlagSet) {
+  const char* argv[] = {"bench",      "--quick", "--per-decade", "3",
+                        "--reps",     "7",       "--jobs",       "2",
+                        "--out-dir",  "/tmp/x",  "--no-csv"};
+  std::string error;
+  const auto cli = BenchCli::try_parse(11, const_cast<char**>(argv), &error);
+  ASSERT_TRUE(cli.has_value()) << error;
+  EXPECT_TRUE(cli->quick);
+  EXPECT_EQ(cli->per_decade, 3);
+  EXPECT_EQ(cli->reps, 7);
+  EXPECT_EQ(cli->jobs, 2);
+  EXPECT_EQ(cli->out_dir, "/tmp/x");
+  EXPECT_FALSE(cli->csv);
+  EXPECT_EQ(cli->effective_per_decade(), 2);  // --quick wins
+  EXPECT_EQ(cli->effective_reps(), 5);
+}
+
+TEST(BenchCliParse, RejectsUnknownFlagsAndBadValues) {
+  std::string error;
+  {
+    const char* argv[] = {"bench", "--frobnicate"};
+    EXPECT_FALSE(
+        BenchCli::try_parse(2, const_cast<char**>(argv), &error).has_value());
+    EXPECT_NE(error.find("unknown flag"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"bench", "--jobs", "zero"};
+    EXPECT_FALSE(
+        BenchCli::try_parse(3, const_cast<char**>(argv), &error).has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--reps"};
+    EXPECT_FALSE(
+        BenchCli::try_parse(2, const_cast<char**>(argv), &error).has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--jobs", "-4"};
+    EXPECT_FALSE(
+        BenchCli::try_parse(3, const_cast<char**>(argv), &error).has_value());
+  }
+}
+
+TEST(SweepCompat, RunSweepMatchesEngineOutput) {
+  SweepConfig cfg;
+  cfg.sizes_bytes = {1024, 65536};
+  cfg.schemes = {"reference", "copying"};
+  cfg.harness.reps = 3;
+  const SweepResult via_sweep = run_sweep(cfg, 2);
+  const PlanResult via_plan = run_plan(to_plan(cfg), {1});
+  const SweepResult& direct = via_plan.sweep(0, 0);
+  ASSERT_EQ(via_sweep.sizes_bytes, direct.sizes_bytes);
+  for (std::size_t si = 0; si < via_sweep.sizes_bytes.size(); ++si)
+    for (std::size_t ci = 0; ci < via_sweep.schemes.size(); ++ci)
+      EXPECT_EQ(via_sweep.time(si, ci), direct.time(si, ci));
+  // Unnamed legacy axis: the axis id falls back to the layout name.
+  EXPECT_EQ(via_sweep.layout_axis, via_sweep.layout_name);
+}
+
+}  // namespace
