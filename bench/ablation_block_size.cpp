@@ -16,6 +16,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_block_size");
   constexpr std::size_t payload = 8'000'000;
 
   ExperimentPlan plan;

@@ -15,6 +15,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_cache_flush");
   ExperimentPlan plan;
   plan.name = "ablation_cache_flush";
   plan.profiles = {&minimpi::MachineProfile::skx_impi()};

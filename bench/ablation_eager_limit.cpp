@@ -16,6 +16,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_eager_limit");
   ExperimentPlan plan;
   plan.name = "ablation_eager_limit";
   plan.profiles = {&minimpi::MachineProfile::skx_impi()};

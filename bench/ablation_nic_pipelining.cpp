@@ -16,6 +16,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_nic_pipelining");
   ExperimentPlan plan;
   plan.name = "ablation_nic_pipelining";
   plan.profiles = {&minimpi::MachineProfile::skx_impi()};

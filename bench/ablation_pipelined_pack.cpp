@@ -16,6 +16,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_pipelined_pack");
   ExperimentPlan plan;
   plan.name = "ablation_pipelined_pack";
   plan.profiles.clear();

@@ -16,6 +16,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_rma_sync");
   ExperimentPlan plan;
   plan.name = "ablation_rma_sync";
   plan.profiles = {&minimpi::MachineProfile::skx_impi()};

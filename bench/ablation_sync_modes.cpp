@@ -15,6 +15,7 @@ using namespace ncsend;
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("ablation_sync_modes");
   ExperimentPlan plan;
   plan.name = "ablation_sync_modes";
   plan.profiles = {&minimpi::MachineProfile::skx_impi()};

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "ncsend/ncsend.hpp"
 
@@ -45,31 +46,43 @@ inline bool write_store_file(const std::string& dir, const std::string& name,
   return true;
 }
 
-inline void maybe_write_outputs(const ncsend::PlanResult& result,
-                                const ncsend::BenchCli& cli,
-                                const std::string& id) {
-  if (!cli.csv) return;
-  ncsend::ResultStore store;
-  store.add_plan(result);
-  write_store_file(cli.out_dir, id + ".csv",
-                   [&](std::ostream& os) { store.write_csv(os); });
-  write_store_file(cli.out_dir, id + ".json",
-                   [&](std::ostream& os) { store.write_sweep_json(os); });
-}
-
 /// \brief The figure driver: register the plan, run it, report it.
+/// `--pattern` re-measures the figure under other communication
+/// patterns — one plan per pattern, because the scheme set is
+/// per-pattern: pingpong (the harness) covers every scheme, the N-rank
+/// engine the two-sided ones.
 inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
   const ncsend::BenchCli cli = ncsend::BenchCli::parse(argc, argv);
-  ncsend::ExperimentPlan plan;
-  plan.name = spec.id;
-  plan.profiles = {spec.profile};
-  plan.sizes_bytes = ncsend::paper_sizes(cli.effective_per_decade());
-  plan.harness.reps = cli.effective_reps();
-  const ncsend::PlanResult result =
-      ncsend::run_plan(plan, ncsend::ExecutorOptions{cli.jobs});
-  ncsend::print_figure(std::cout, result.sweep(0, 0), spec.title);
-  maybe_write_outputs(result, cli, spec.id);
-  return result.all_verified() ? 0 : 1;
+  const std::vector<std::string> patterns =
+      cli.patterns.empty() ? std::vector<std::string>{"pingpong"}
+                           : cli.patterns;
+  ncsend::ResultStore store;
+  bool all_verified = true;
+  for (const std::string& pattern : patterns) {
+    ncsend::ExperimentPlan plan;
+    plan.name = spec.id;
+    plan.patterns = {pattern};
+    plan.profiles = {spec.profile};
+    plan.sizes_bytes = ncsend::paper_sizes(cli.effective_per_decade());
+    plan.harness.reps = cli.effective_reps();
+    if (pattern != "pingpong") plan.schemes = ncsend::pattern_scheme_names();
+    const ncsend::PlanResult result =
+        ncsend::run_plan(plan, ncsend::ExecutorOptions{cli.jobs});
+    const ncsend::SweepResult& sweep = result.sweep(0, 0);
+    const std::string title = pattern == "pingpong"
+                                  ? spec.title
+                                  : spec.title + " - " + sweep.pattern;
+    ncsend::print_figure(std::cout, sweep, title);
+    store.add_plan(result);
+    all_verified = all_verified && result.all_verified();
+  }
+  if (cli.csv) {
+    write_store_file(cli.out_dir, spec.id + ".csv",
+                     [&](std::ostream& os) { store.write_csv(os); });
+    write_store_file(cli.out_dir, spec.id + ".json",
+                     [&](std::ostream& os) { store.write_sweep_json(os); });
+  }
+  return all_verified ? 0 : 1;
 }
 
 }  // namespace benchcommon

@@ -74,6 +74,7 @@ double predict(const CostModel& m, const std::string& scheme,
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("model_validation");
   ExperimentPlan plan;
   plan.name = "model_validation";
   plan.profiles = {&MachineProfile::skx_impi()};

@@ -3,12 +3,19 @@
 // writers (the schemas live in src/ncsend/experiment/result_store.cpp,
 // and only there):
 //
-//   BENCH_pack_engine.json   wall-clock pack-engine kernels (GB/s) —
-//                            the one place real hardware speed matters
-//   BENCH_scheme_sweep.json  modeled sizes x schemes sweep: every
-//                            machine profile x {stride2, indexed-blocks}
-//                            layout axis, one plan, executed in parallel
-//   BENCH_eager_limit.json   paper 4.5 ablation: raised eager limit
+//   BENCH_pack_engine.json    wall-clock pack-engine kernels (GB/s) —
+//                             the one place real hardware speed matters
+//   BENCH_scheme_sweep.json   modeled sizes x schemes sweep: every
+//                             machine profile x {stride2, indexed-blocks}
+//                             layout axis — the paper's eight schemes
+//                             plus the extension schemes (incl. the
+//                             pipelined packing(p)) — one plan, executed
+//                             in parallel
+//   BENCH_pattern_sweep.json  N-rank communication patterns (paper
+//                             4.7): ping-pong, concurrent pairs, 2-D
+//                             halo faces, all-to-all transpose panels,
+//                             each x {skx, knl} x the two-sided schemes
+//   BENCH_eager_limit.json    paper 4.5 ablation: raised eager limit
 //
 // Flags are the engine's shared set (see --help): --quick picks the
 // small CI grids, --per-decade shapes the full-mode sweep grid, --reps
@@ -97,12 +104,38 @@ ExperimentPlan scheme_sweep_plan(const BenchCli& cli) {
   plan.profiles.clear();
   for (const auto& name : minimpi::MachineProfile::names())
     plan.profiles.push_back(&minimpi::MachineProfile::by_name(name));
+  // The paper's legend plus the extension schemes: the pipelined
+  // packing(p) rides in the default sweep so its large-message
+  // trajectory is tracked run over run (ROADMAP perf target).
+  for (const auto& name : extended_scheme_names())
+    plan.schemes.push_back(name);
   plan.layouts = {LayoutAxis::stride2(), LayoutAxis::indexed_blocks()};
   plan.sizes_bytes =
       cli.quick ? std::vector<std::size_t>{100'000, 10'000'000}
                 : log_sizes(1e4, 1e8, cli.effective_per_decade());
   plan.harness.reps = cli.effective_reps();
   plan.functional_payload_limit = 1 << 16;  // mostly modeled: fast
+  return plan;
+}
+
+// --- BENCH_pattern_sweep: N-rank patterns on the same engine ------------
+
+ExperimentPlan pattern_sweep_plan(const BenchCli& cli) {
+  ExperimentPlan plan;
+  plan.name = "pattern_sweep";
+  plan.patterns =
+      cli.patterns.empty()
+          ? std::vector<std::string>{"pingpong", "multi-pair(4)",
+                                     "halo2d(3x3)", "transpose(4)"}
+          : cli.patterns;
+  plan.profiles = {&minimpi::MachineProfile::skx_impi(),
+                   &minimpi::MachineProfile::knl_impi()};
+  plan.schemes = pattern_scheme_names();
+  plan.sizes_bytes =
+      cli.quick ? std::vector<std::size_t>{8'192, 524'288}
+                : std::vector<std::size_t>{8'192, 262'144, 8'388'608};
+  plan.harness.reps = cli.effective_reps();
+  plan.functional_payload_limit = 1 << 14;  // halo faces stay light
   return plan;
 }
 
@@ -126,7 +159,7 @@ ExperimentPlan eager_limit_plan(const BenchCli& cli) {
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
   const ExecutorOptions exec{cli.jobs};
-  const int expected = cli.csv ? 3 : 0;
+  const int expected = cli.csv ? 4 : 0;
   int written = 0;
 
   const auto maybe_write = [&](const std::string& name, auto&& writer) {
@@ -149,6 +182,13 @@ int main(int argc, char** argv) {
     });
   }
   {
+    ResultStore store;
+    store.add_plan(run_plan(pattern_sweep_plan(cli), exec));
+    maybe_write("BENCH_pattern_sweep.json", [&](std::ostream& os) {
+      store.write_bench_pattern_sweep_json(os);
+    });
+  }
+  {
     constexpr std::size_t override_bytes = std::size_t{4} << 30;
     ExperimentPlan plan = eager_limit_plan(cli);
     const PlanResult base = run_plan(plan, exec);
@@ -161,7 +201,7 @@ int main(int argc, char** argv) {
   }
 
   if (cli.csv)
-    std::cout << written << "/3 benchmark files written to " << cli.out_dir
+    std::cout << written << "/4 benchmark files written to " << cli.out_dir
               << "\n";
   else
     std::cout << "dry run (--no-csv): benchmarks executed, nothing written\n";

@@ -6,16 +6,24 @@
 namespace minimpi {
 
 CostModel::CostModel(const MachineProfile& p,
-                     std::optional<std::size_t> eager_override)
+                     std::optional<std::size_t> eager_override,
+                     int concurrent_senders)
     : p_(p),
       eager_limit_(std::min(eager_override.value_or(p.eager_limit_bytes),
-                            p.internal_buffer_bytes)) {}
+                            p.internal_buffer_bytes)),
+      contention_(1.0 +
+                  p.link_contention_factor *
+                      static_cast<double>(std::max(concurrent_senders, 1) -
+                                          1)) {}
 
 double CostModel::wire_time(std::size_t bytes) const {
   if (bytes == 0) return 0.0;
   const std::size_t packets =
       (bytes + p_.packet_bytes - 1) / p_.packet_bytes;
-  return static_cast<double>(bytes) / p_.net_bandwidth_Bps +
+  // Under link contention S senders share the NIC: each sees the wire
+  // at bandwidth / contention_ (contention_ == 1.0 when the term is
+  // inert, keeping the 2-rank curves bit-identical).
+  return static_cast<double>(bytes) * contention_ / p_.net_bandwidth_Bps +
          static_cast<double>(packets) * p_.per_packet_overhead_s;
 }
 
@@ -163,7 +171,7 @@ CostModel::Timing CostModel::put_timing(double t_origin, std::size_t bytes,
       noncontig ? internal_staging_time(bytes, origin_stats) : 0.0;
   const double rma_wire =
       bytes == 0 ? 0.0
-                 : static_cast<double>(bytes) /
+                 : static_cast<double>(bytes) * contention_ /
                        (p_.net_bandwidth_Bps * p_.put_bandwidth_factor);
   const double extra =
       bytes > p_.internal_buffer_bytes
@@ -183,7 +191,7 @@ CostModel::Timing CostModel::get_timing(double t_origin, std::size_t bytes,
       noncontig ? internal_staging_time(bytes, target_stats) : 0.0;
   const double rma_wire =
       bytes == 0 ? 0.0
-                 : static_cast<double>(bytes) /
+                 : static_cast<double>(bytes) * contention_ /
                        (p_.net_bandwidth_Bps * p_.put_bandwidth_factor);
   const double extra =
       bytes > p_.internal_buffer_bytes

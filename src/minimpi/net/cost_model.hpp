@@ -29,11 +29,21 @@ class CostModel {
   ///   is exactly why the paper saw no large-message change.
   /// The profile is copied: a CostModel stays valid (and unchanged) even
   /// if the caller's profile object is mutated or destroyed afterwards.
+  /// \param concurrent_senders  simultaneous senders sharing one NIC in
+  ///   the scenario being modeled (multi-rank communication patterns);
+  ///   together with the profile's `link_contention_factor` it scales
+  ///   the effective wire bandwidth.  1 (the 2-rank ping-pong) or a
+  ///   factor of 0.0 leave every charge exactly as before.
   explicit CostModel(const MachineProfile& p,
-                     std::optional<std::size_t> eager_override = {});
+                     std::optional<std::size_t> eager_override = {},
+                     int concurrent_senders = 1);
 
   [[nodiscard]] const MachineProfile& profile() const noexcept { return p_; }
   [[nodiscard]] std::size_t eager_limit() const noexcept { return eager_limit_; }
+  /// Wire-time multiplier from link contention (1.0 when inert).
+  [[nodiscard]] double contention_multiplier() const noexcept {
+    return contention_;
+  }
   [[nodiscard]] bool is_eager(std::size_t bytes) const noexcept {
     return bytes <= eager_limit_;
   }
@@ -130,6 +140,7 @@ class CostModel {
 
   MachineProfile p_;
   std::size_t eager_limit_;
+  double contention_ = 1.0;
 };
 
 }  // namespace minimpi

@@ -73,6 +73,15 @@ struct MachineProfile {
   /// system the paper measured; an ablation bench flips it on.
   bool nic_noncontig_pipelining;
 
+  /// Fractional wire-bandwidth loss per *additional* concurrent sender
+  /// sharing one NIC: S simultaneous senders see the link at
+  /// bandwidth / (1 + factor * (S - 1)).  The paper's §4.7 "limited
+  /// test" observed no degradation with all node pairs active, so every
+  /// canned profile ships 0.0 (the term is inert); multi-rank pattern
+  /// benches parameterize it to ask what-if questions the paper could
+  /// not.  S comes from `UniverseOptions::concurrent_senders`.
+  double link_contention_factor = 0.0;
+
   // --- canned profiles ----------------------------------------------------
   static const MachineProfile& skx_impi();      ///< Stampede2 Skylake, Intel MPI (fig 1)
   static const MachineProfile& skx_mvapich2();  ///< Stampede2 Skylake, MVAPICH2 (fig 2)

@@ -38,6 +38,10 @@ struct UniverseOptions {
   std::size_t functional_payload_limit = std::numeric_limits<std::size_t>::max();
   /// Override the profile's eager limit (paper §4.5 experiment).
   std::optional<std::size_t> eager_limit_override;
+  /// Simultaneous senders sharing one NIC (communication patterns);
+  /// feeds the profile's `link_contention_factor` term.  1 = the
+  /// 2-rank ping-pong, where the term is always inert.
+  int concurrent_senders = 1;
   /// MPI_Wtime tick (paper: 1e-6 s); 0 means exact clocks.
   double wtime_resolution = 1e-6;
   /// Optional protocol trace; events from all ranks are appended here.
@@ -149,7 +153,8 @@ class World {
  public:
   explicit World(const UniverseOptions& opts)
       : options(opts),
-        model(*opts.profile, opts.eager_limit_override),
+        model(*opts.profile, opts.eager_limit_override,
+              opts.concurrent_senders),
         barrier_(opts.nranks),
         coll_(opts.nranks) {
     mailboxes_.reserve(static_cast<std::size_t>(opts.nranks));

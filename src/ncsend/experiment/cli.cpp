@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "minimpi/base/error.hpp"
+#include "ncsend/patterns/pattern.hpp"
+
 namespace ncsend {
 namespace {
 
@@ -27,13 +30,15 @@ std::string basename_of(const char* argv0) {
 std::string BenchCli::usage(const std::string& program) {
   return "usage: " + program +
          " [--quick] [--per-decade N] [--reps N] [--jobs N]"
-         " [--out-dir DIR] [--no-csv] [--help]\n"
+         " [--pattern NAME] [--out-dir DIR] [--no-csv] [--help]\n"
          "  --quick        CI-friendly grids (2 points/decade, 5 reps)\n"
          "  --per-decade N size-grid density (default 4)\n"
          "  --reps N       ping-pongs per measurement (default 20)\n"
          "  --jobs N       worker threads for independent sweep cells\n"
          "                 (default: NCSEND_JOBS env, else hardware "
          "concurrency)\n"
+         "  --pattern NAME communication pattern (repeatable): pingpong,\n"
+         "                 multi-pair(P), halo2d(RxC), transpose(N)\n"
          "  --out-dir DIR  output directory (default \"results\")\n"
          "  --no-csv       skip CSV/JSON output files\n";
 }
@@ -60,6 +65,21 @@ std::optional<BenchCli> BenchCli::try_parse(int argc, char** argv,
           *error = arg + " needs a positive integer argument";
         return std::nullopt;
       }
+    } else if (arg == "--pattern") {
+      const char* v = value_of(i);
+      if (v == nullptr) {
+        if (error) *error = "--pattern needs a pattern name argument";
+        return std::nullopt;
+      }
+      try {
+        // Validate against the registry and record the canonical id.
+        cli.patterns.push_back(CommPattern::by_name(v)->name());
+      } catch (const minimpi::Error&) {
+        if (error)
+          *error = "--pattern: unknown communication pattern: " +
+                   std::string(v);
+        return std::nullopt;
+      }
     } else if (arg == "--out-dir") {
       const char* v = value_of(i);
       if (v == nullptr) {
@@ -73,6 +93,14 @@ std::optional<BenchCli> BenchCli::try_parse(int argc, char** argv,
     }
   }
   return cli;
+}
+
+void BenchCli::reject_patterns(const std::string& program) const {
+  if (patterns.empty()) return;
+  std::cerr << program
+            << ": --pattern is not supported here (this bench's "
+               "communication scenario is fixed)\n";
+  std::exit(2);
 }
 
 BenchCli BenchCli::parse(int argc, char** argv) {

@@ -14,6 +14,9 @@
 ///   --jobs N          worker threads for independent cells
 ///                     (default: NCSEND_JOBS, else hardware concurrency;
 ///                     results are byte-identical at any job count)
+///   --pattern NAME    communication pattern to sweep (repeatable;
+///                     "pingpong", "multi-pair(P)", "halo2d(RxC)",
+///                     "transpose(N)"); default: each bench's own set
 ///   --out-dir DIR     output directory (default "results")
 ///   --no-csv          skip CSV/JSON output files
 ///   --help            print usage and exit 0
@@ -21,6 +24,7 @@
 #include <algorithm>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ncsend {
 
@@ -29,6 +33,9 @@ struct BenchCli {
   int per_decade = 4;
   int reps = 20;
   int jobs = 0;  ///< 0 = default_jobs()
+  /// `--pattern` values, validated against the pattern registry; empty
+  /// means "the bench's default patterns".
+  std::vector<std::string> patterns;
   std::string out_dir = "results";
   bool csv = true;
 
@@ -46,6 +53,11 @@ struct BenchCli {
   /// prints the error and usage to stderr and exits with status 2.
   /// `--help` prints usage to stdout and exits 0.
   static BenchCli parse(int argc, char** argv);
+
+  /// \brief For benches whose scenario is fixed (the ablations,
+  /// model_validation): exit 2 if `--pattern` was given, instead of
+  /// silently ignoring it.  `program` names the binary in the message.
+  void reject_patterns(const std::string& program) const;
 
   /// \brief Testable core: returns the parsed flags, or `nullopt` with
   /// the offending diagnostic in `*error`.

@@ -7,12 +7,15 @@
 #include <mutex>
 #include <thread>
 
+#include "ncsend/patterns/pattern.hpp"
+
 namespace ncsend {
 namespace {
 
-/// One unit of work: a (profile, layout, size, scheme) coordinate.
+/// One unit of work: a (pattern, profile, layout, size, scheme)
+/// coordinate.
 struct Cell {
-  std::size_t pi, li, si, ci;
+  std::size_t ti, pi, li, si, ci;
 };
 
 }  // namespace
@@ -31,8 +34,13 @@ int default_jobs() {
 PlanResult run_plan(const ExperimentPlan& plan, const ExecutorOptions& exec) {
   const std::vector<std::size_t> sizes = plan.effective_sizes();
 
-  // Materialize the layout axis up front (factories need not be
-  // thread-safe) and the per-profile universe options.
+  // Materialize the pattern and layout axes up front (factories and
+  // registry lookups need not be thread-safe) and the per-profile
+  // universe options.
+  std::vector<std::unique_ptr<CommPattern>> patterns;
+  patterns.reserve(plan.patterns.size());
+  for (const auto& name : plan.patterns)
+    patterns.push_back(CommPattern::by_name(name));
   std::vector<std::vector<Layout>> layouts;  // [li][si]
   layouts.reserve(plan.layouts.size());
   for (const auto& axis : plan.layouts) {
@@ -53,43 +61,61 @@ PlanResult run_plan(const ExperimentPlan& plan, const ExecutorOptions& exec) {
   // Preallocate every result slot so workers write disjoint memory.
   PlanResult result;
   result.plan_name = plan.name;
+  result.pattern_count = patterns.size();
   result.profile_count = plan.profiles.size();
   result.layout_count = plan.layouts.size();
-  result.sweeps.resize(plan.profiles.size() * plan.layouts.size());
-  for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi) {
-    for (std::size_t li = 0; li < plan.layouts.size(); ++li) {
-      SweepResult& s = result.sweeps[pi * plan.layouts.size() + li];
-      s.profile_name = plan.profiles[pi]->name;
-      s.layout_name = layouts[li].empty() ? std::string()
-                                          : layouts[li].front().name();
-      s.layout_axis =
-          plan.layouts[li].name.empty() ? s.layout_name
-                                        : plan.layouts[li].name;
-      // Label rows with what the layout actually sends: factories may
-      // round a grid size down (e.g. to whole blocks), and a label that
-      // overstates the payload would skew bandwidth/slowdown readings.
-      s.sizes_bytes.reserve(sizes.size());
-      for (const Layout& l : layouts[li])
-        s.sizes_bytes.push_back(l.payload_bytes());
-      s.schemes = plan.schemes;
-      s.cells.assign(sizes.size(),
-                     std::vector<RunResult>(plan.schemes.size()));
+  result.sweeps.resize(patterns.size() * plan.profiles.size() *
+                       plan.layouts.size());
+  for (std::size_t ti = 0; ti < patterns.size(); ++ti) {
+    for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi) {
+      for (std::size_t li = 0; li < plan.layouts.size(); ++li) {
+        SweepResult& s =
+            result.sweeps[(ti * plan.profiles.size() + pi) *
+                              plan.layouts.size() +
+                          li];
+        s.pattern = patterns[ti]->name();
+        s.nranks = patterns[ti]->nranks();
+        s.profile_name = plan.profiles[pi]->name;
+        s.layout_name = layouts[li].empty() ? std::string()
+                                            : layouts[li].front().name();
+        s.layout_axis =
+            plan.layouts[li].name.empty() ? s.layout_name
+                                          : plan.layouts[li].name;
+        // Label rows with the per-message payload the layout actually
+        // carries: factories may round a grid size down (e.g. to whole
+        // blocks).  For multi-rank patterns each cell additionally
+        // records the busiest rank's per-step traffic in its own
+        // payload_bytes (a halo2d interior rank sends several faces),
+        // which is what bandwidth readings divide by.
+        s.sizes_bytes.reserve(sizes.size());
+        for (const Layout& l : layouts[li])
+          s.sizes_bytes.push_back(l.payload_bytes());
+        s.schemes = plan.schemes;
+        s.cells.assign(sizes.size(),
+                       std::vector<RunResult>(plan.schemes.size()));
+      }
     }
   }
 
   std::vector<Cell> cells;
   cells.reserve(plan.cell_count());
-  for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi)
-    for (std::size_t li = 0; li < plan.layouts.size(); ++li)
-      for (std::size_t si = 0; si < sizes.size(); ++si)
-        for (std::size_t ci = 0; ci < plan.schemes.size(); ++ci)
-          cells.push_back({pi, li, si, ci});
+  for (std::size_t ti = 0; ti < patterns.size(); ++ti)
+    for (std::size_t pi = 0; pi < plan.profiles.size(); ++pi)
+      for (std::size_t li = 0; li < plan.layouts.size(); ++li)
+        for (std::size_t si = 0; si < sizes.size(); ++si)
+          for (std::size_t ci = 0; ci < plan.schemes.size(); ++ci)
+            cells.push_back({ti, pi, li, si, ci});
 
   const auto run_cell = [&](const Cell& c) {
     RunResult& slot =
-        result.sweeps[c.pi * plan.layouts.size() + c.li].cells[c.si][c.ci];
-    slot = run_experiment(opts[c.pi], plan.schemes[c.ci], layouts[c.li][c.si],
-                          plan.harness);
+        result
+            .sweeps[(c.ti * plan.profiles.size() + c.pi) *
+                        plan.layouts.size() +
+                    c.li]
+            .cells[c.si][c.ci];
+    slot = run_pattern_experiment(opts[c.pi], *patterns[c.ti],
+                                  plan.schemes[c.ci], layouts[c.li][c.si],
+                                  plan.harness);
   };
 
   int jobs = exec.jobs > 0 ? exec.jobs : default_jobs();

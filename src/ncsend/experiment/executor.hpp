@@ -2,9 +2,11 @@
 /// \file executor.hpp
 /// \brief Parallel plan execution over a worker pool.
 ///
-/// Every cell of an `ExperimentPlan` is one independent 2-rank
-/// simulated Universe: its timing is *virtual*, computed from the cost
-/// model, and completely insensitive to host scheduling (DESIGN.md §2).
+/// Every cell of an `ExperimentPlan` is one independent simulated
+/// Universe (2-rank for the ping-pong pattern, N-rank for the
+/// multi-rank patterns): its timing is *virtual*, computed from the
+/// cost model, and completely insensitive to host scheduling
+/// (DESIGN.md §2, §2.6).
 /// The executor therefore dispatches cells across `jobs` worker threads
 /// and is required — and tested — to produce byte-identical results to
 /// the serial walk.  `jobs <= 1` falls back to a plain loop on the

@@ -76,8 +76,8 @@ std::vector<std::size_t> ExperimentPlan::effective_sizes() const {
 }
 
 std::size_t ExperimentPlan::cell_count() const {
-  return profiles.size() * layouts.size() * effective_sizes().size() *
-         schemes.size();
+  return patterns.size() * profiles.size() * layouts.size() *
+         effective_sizes().size() * schemes.size();
 }
 
 minimpi::UniverseOptions ExperimentPlan::universe_options(

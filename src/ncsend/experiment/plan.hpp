@@ -3,12 +3,13 @@
 /// \brief Declarative experiment plans: the full grid a study runs.
 ///
 /// An `ExperimentPlan` names every axis of the paper's deliverable —
-/// machine profiles x layouts x message sizes x send schemes — plus the
-/// harness options shared by all cells.  A plan is pure data: nothing
-/// runs until the executor (executor.hpp) walks the grid.  Each cell is
-/// one independent 2-rank simulated Universe with a deterministic
-/// virtual clock, which is what makes the grid embarrassingly parallel
-/// (DESIGN.md §2.5).
+/// communication patterns x machine profiles x layouts x message sizes
+/// x send schemes — plus the harness options shared by all cells.  A
+/// plan is pure data: nothing runs until the executor (executor.hpp)
+/// walks the grid.  Each cell is one independent simulated Universe
+/// (2-rank for the default ping-pong pattern, N-rank for the
+/// multi-rank patterns) with a deterministic virtual clock, which is
+/// what makes the grid embarrassingly parallel (DESIGN.md §2.5, §2.6).
 
 #include <cstddef>
 #include <functional>
@@ -50,6 +51,11 @@ struct LayoutAxis {
 struct ExperimentPlan {
   /// Plan id, used for output file stems (`results/<name>.csv`).
   std::string name = "plan";
+  /// Communication patterns to measure (`CommPattern::by_name` ids).
+  /// The default is the paper's 2-rank ping-pong; multi-rank patterns
+  /// ("multi-pair(P)", "halo2d(RxC)", "transpose(N)") accept only the
+  /// engine's two-sided schemes (`pattern_scheme_names()`).
+  std::vector<std::string> patterns = {"pingpong"};
   std::vector<const minimpi::MachineProfile*> profiles = {
       &minimpi::MachineProfile::skx_impi()};
   std::vector<std::string> schemes = all_scheme_names();

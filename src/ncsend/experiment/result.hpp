@@ -17,6 +17,10 @@
 namespace ncsend {
 
 struct SweepResult {
+  /// Canonical communication-pattern id ("pingpong", "halo2d(3x3)", ...).
+  std::string pattern = "pingpong";
+  /// Ranks per cell universe (2 for the ping-pong pattern).
+  int nranks = 2;
   std::string profile_name;
   /// Concrete layout name at the first size (e.g. "strided(b=1,s=2)").
   std::string layout_name;
@@ -40,17 +44,28 @@ struct SweepResult {
   [[nodiscard]] bool all_verified() const;
 };
 
-/// \brief All sweeps one plan produced, ordered profiles-major,
-/// layouts-minor: `sweeps[pi * layout_count + li]`.
+/// \brief All sweeps one plan produced, ordered patterns-major, then
+/// profiles, layouts-minor:
+/// `sweeps[(ti * profile_count + pi) * layout_count + li]`.
 struct PlanResult {
   std::string plan_name;
+  std::size_t pattern_count = 1;
   std::size_t profile_count = 0;
   std::size_t layout_count = 0;
   std::vector<SweepResult> sweeps;
 
+  /// First-pattern accessor: the common single-pattern case (and every
+  /// caller that predates the pattern axis).
   [[nodiscard]] const SweepResult& sweep(std::size_t profile_index,
                                          std::size_t layout_index) const {
     return sweeps.at(profile_index * layout_count + layout_index);
+  }
+  [[nodiscard]] const SweepResult& sweep(std::size_t pattern_index,
+                                         std::size_t profile_index,
+                                         std::size_t layout_index) const {
+    return sweeps.at((pattern_index * profile_count + profile_index) *
+                         layout_count +
+                     layout_index);
   }
   [[nodiscard]] bool all_verified() const {
     for (const auto& s : sweeps)

@@ -13,7 +13,9 @@ namespace {
 void emit_sweep_document(std::ostream& os, const SweepResult& r,
                          const char* indent) {
   const std::string in(indent);
-  os << "{\n" << in << "  \"profile\": \"" << json_escape(r.profile_name)
+  os << "{\n" << in << "  \"pattern\": \"" << json_escape(r.pattern)
+     << "\",\n" << in << "  \"nranks\": " << r.nranks << ",\n"
+     << in << "  \"profile\": \"" << json_escape(r.profile_name)
      << "\",\n" << in << "  \"layout\": \"" << json_escape(r.layout_name)
      << "\",\n" << in << "  \"sizes_bytes\": [";
   for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
@@ -38,6 +40,26 @@ void emit_sweep_document(std::ostream& os, const SweepResult& r,
     }
   }
   os << "\n" << in << "  ]\n" << in << "}";
+}
+
+/// Shared tail of one BENCH grid entry: the sizes/schemes/time_s
+/// arrays both flat-JSON benchmark writers emit (single source for the
+/// grammar CI byte-compares).
+void emit_grid_entry_tail(std::ostream& os, const SweepResult& r) {
+  os << "\"sizes_bytes\": [";
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+    os << (si ? ", " : "") << r.sizes_bytes[si];
+  os << "], \"schemes\": [";
+  for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+    os << (ci ? ", " : "") << "\"" << json_escape(r.schemes[ci]) << "\"";
+  os << "],\n     \"time_s\": [";
+  for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
+    os << (si ? ", " : "") << "[";
+    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
+      os << (ci ? ", " : "") << r.time(si, ci);
+    os << "]";
+  }
+  os << "]}";
 }
 
 }  // namespace
@@ -67,13 +89,14 @@ std::string json_escape(std::string_view s) {
 void ResultStore::write_csv(std::ostream& os) const {
   const auto old_flags = os.flags();
   const auto old_precision = os.precision();
-  os << "profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,"
-        "verified\n";
+  os << "pattern,profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,"
+        "slowdown,verified\n";
   for (const auto& r : sweeps_) {
     for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
       for (std::size_t ci = 0; ci < r.schemes.size(); ++ci) {
         const auto& cell = r.cells[si][ci];
-        os << r.profile_name << "," << r.layout_name << ","
+        os << r.pattern << "," << r.profile_name << "," << r.layout_name
+           << ","
            << r.sizes_bytes[si] << "," << r.schemes[ci] << ","
            << std::scientific << std::setprecision(6) << cell.time() << ","
            << cell.bandwidth_Bps() / 1e9 << "," << r.slowdown(si, ci) << ","
@@ -115,21 +138,37 @@ void ResultStore::write_bench_sweep_json(std::ostream& os) const {
   for (std::size_t i = 0; i < sweeps_.size(); ++i) {
     const SweepResult& r = sweeps_[i];
     os << "    {\"profile\": \"" << json_escape(r.profile_name)
-       << "\", \"layout\": \"" << json_escape(r.layout_axis)
-       << "\", \"sizes_bytes\": [";
+       << "\", \"layout\": \"" << json_escape(r.layout_axis) << "\", ";
+    emit_grid_entry_tail(os, r);
+    os << (i + 1 < sweeps_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
+void ResultStore::write_bench_pattern_sweep_json(std::ostream& os) const {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"pattern_sweep\",\n  \"unit\": \"s\",\n"
+     << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < sweeps_.size(); ++i) {
+    const SweepResult& r = sweeps_[i];
+    os << "    {\"pattern\": \"" << json_escape(r.pattern)
+       << "\", \"nranks\": " << r.nranks << ", \"profile\": \""
+       << json_escape(r.profile_name) << "\", \"layout\": \""
+       << json_escape(r.layout_axis) << "\",\n     \"payload_bytes\": [";
+    // sizes_bytes labels the per-message size axis; payload_bytes is
+    // what the busiest rank actually injects per step (e.g. 4 faces for
+    // an interior halo2d rank) — the denominator behind bandwidth.
     for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
-      os << (si ? ", " : "") << r.sizes_bytes[si];
-    os << "], \"schemes\": [";
-    for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
-      os << (ci ? ", " : "") << "\"" << json_escape(r.schemes[ci]) << "\"";
-    os << "],\n     \"time_s\": [";
-    for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si) {
-      os << (si ? ", " : "") << "[";
-      for (std::size_t ci = 0; ci < r.schemes.size(); ++ci)
-        os << (ci ? ", " : "") << r.time(si, ci);
-      os << "]";
-    }
-    os << "]}" << (i + 1 < sweeps_.size() ? "," : "") << "\n";
+      os << (si ? ", " : "")
+         << (r.cells[si].empty() ? r.sizes_bytes[si]
+                                 : r.cells[si].front().payload_bytes);
+    os << "], ";
+    emit_grid_entry_tail(os, r);
+    os << (i + 1 < sweeps_.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   os.flags(old_flags);

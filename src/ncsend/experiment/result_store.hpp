@@ -44,17 +44,23 @@ class ResultStore {
   }
 
   /// Machine-readable rows over every stored sweep:
-  /// `profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,verified`.
+  /// `pattern,profile,layout,size_bytes,scheme,time_s,bandwidth_GBps,slowdown,verified`.
   void write_csv(std::ostream& os) const;
 
   /// Self-describing JSON: a single sweep emits the flat
-  /// `{profile, layout, sizes_bytes, schemes, cells: [...]}` document;
-  /// several sweeps are wrapped as `{"sweeps": [...]}`.
+  /// `{pattern, nranks, profile, layout, sizes_bytes, schemes,
+  /// cells: [...]}` document; several sweeps are wrapped as
+  /// `{"sweeps": [...]}`.
   void write_sweep_json(std::ostream& os) const;
 
   /// The `BENCH_scheme_sweep.json` schema: per-(profile, layout) time
   /// grids, flat enough for CI to diff successive runs.
   void write_bench_sweep_json(std::ostream& os) const;
+
+  /// The `BENCH_pattern_sweep.json` schema: per-(pattern, profile,
+  /// layout) time grids of the N-rank communication patterns, with the
+  /// pattern id and its rank count on every entry.
+  void write_bench_pattern_sweep_json(std::ostream& os) const;
 
   /// The `BENCH_pack_engine.json` schema over the stored kernel records.
   void write_bench_pack_engine_json(std::ostream& os) const;

@@ -8,6 +8,9 @@
 ///   * `run_pingpong_rank` / `run_experiment` — the §3.2 measurement
 ///     harness (20 timed ping-pongs, cache flushing, outlier rejection,
 ///     data verification);
+///   * `CommPattern` + `run_pattern_experiment` (patterns/) — N-rank
+///     communication patterns (multi-pair, 2-D halo, transpose) on the
+///     same deterministic measurement machinery;
 ///   * the experiment engine (`experiment/`) — declarative
 ///     `ExperimentPlan` grids, parallel deterministic execution via
 ///     `run_plan`, and the unified `ResultStore` writers;
@@ -18,6 +21,7 @@
 #include "ncsend/experiment/experiment.hpp"
 #include "ncsend/harness.hpp"
 #include "ncsend/layout.hpp"
+#include "ncsend/patterns/pattern.hpp"
 #include "ncsend/report.hpp"
 #include "ncsend/scheme.hpp"
 #include "ncsend/schemes/schemes.hpp"

@@ -1,0 +1,239 @@
+#include "ncsend/patterns/pattern.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "minimpi/base/error.hpp"
+
+namespace ncsend {
+
+using minimpi::ErrorClass;
+using minimpi::Rank;
+
+namespace {
+
+/// Parse the decimal in `text`; nullopt on junk or out-of-range.
+std::optional<int> parse_int(std::string_view text, int lo, int hi) {
+  const std::string s(text);
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < lo || v > hi)
+    return std::nullopt;
+  return static_cast<int>(v);
+}
+
+/// Split "family(args)" into family and args ("" when bare).
+std::pair<std::string_view, std::string_view> split_name(
+    std::string_view name) {
+  const auto open = name.find('(');
+  if (open == std::string_view::npos) return {name, {}};
+  if (name.back() != ')') return {name, name.substr(name.size())};
+  return {name.substr(0, open),
+          name.substr(open + 1, name.size() - open - 2)};
+}
+
+// ---------------------------------------------------------------------------
+// pingpong: the §3.2 harness, now a pattern
+// ---------------------------------------------------------------------------
+
+class PingPongPattern final : public CommPattern {
+ public:
+  PingPongPattern() : CommPattern("pingpong") {}
+
+  [[nodiscard]] int nranks() const override { return 2; }
+  [[nodiscard]] bool acked() const override { return true; }
+  [[nodiscard]] int concurrent_senders() const override { return 1; }
+
+  [[nodiscard]] std::vector<Transfer> sends(
+      int rank, const Layout& base) const override {
+    if (rank == 0) return {{1, base}};
+    return {};
+  }
+
+  [[nodiscard]] RunResult run(const minimpi::UniverseOptions& opts,
+                              std::string_view scheme_name,
+                              const Layout& base,
+                              const HarnessConfig& cfg) const override {
+    // The existing harness *is* this pattern; delegating keeps every
+    // 2-rank curve (and the BENCH_scheme_sweep bytes) bit-identical.
+    return run_experiment(opts, scheme_name, base, cfg);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// multi-pair(P): P concurrent ping-pong pairs (paper §4.7)
+// ---------------------------------------------------------------------------
+
+class MultiPairPattern final : public CommPattern {
+ public:
+  explicit MultiPairPattern(int pairs)
+      : CommPattern("multi-pair(" + std::to_string(pairs) + ")"),
+        pairs_(pairs) {}
+
+  [[nodiscard]] int nranks() const override { return 2 * pairs_; }
+  [[nodiscard]] bool acked() const override { return true; }
+  /// All pairs live on one node, as in the paper's test: P senders
+  /// share the NIC.
+  [[nodiscard]] int concurrent_senders() const override { return pairs_; }
+
+  [[nodiscard]] std::vector<Transfer> sends(
+      int rank, const Layout& base) const override {
+    if (rank % 2 == 0) return {{rank + 1, base}};
+    return {};
+  }
+
+ private:
+  int pairs_;
+};
+
+// ---------------------------------------------------------------------------
+// halo2d(RxC): 2-D Cartesian grid exchanging faces
+// ---------------------------------------------------------------------------
+
+class Halo2dPattern final : public CommPattern {
+ public:
+  Halo2dPattern(int rows, int cols)
+      : CommPattern("halo2d(" + std::to_string(rows) + "x" +
+                    std::to_string(cols) + ")"),
+        rows_(rows), cols_(cols) {}
+
+  [[nodiscard]] int nranks() const override { return rows_ * cols_; }
+
+  [[nodiscard]] std::vector<Transfer> sends(
+      int rank, const Layout& base) const override {
+    // Each rank owns an n x n row-major block of doubles, n = the
+    // per-face element count.  Faces to row-neighbors (north/south) are
+    // contiguous rows; faces to column-neighbors (west/east) are true
+    // columns — the canonical blocklen-1 strided vector, stride = the
+    // local row length.
+    const std::size_t n = base.element_count();
+    const int r = rank / cols_;
+    const int c = rank % cols_;
+    std::vector<Transfer> out;
+    if (r > 0) out.push_back({rank - cols_, Layout::contiguous(n)});
+    if (r + 1 < rows_) out.push_back({rank + cols_, Layout::contiguous(n)});
+    if (c > 0) out.push_back({rank - 1, Layout::strided(n, 1, n)});
+    if (c + 1 < cols_) out.push_back({rank + 1, Layout::strided(n, 1, n)});
+    return out;
+  }
+
+  [[nodiscard]] int concurrent_senders() const override {
+    // The busiest rank's out-degree: how many faces leave one NIC at
+    // once in steady state.
+    const int vertical = rows_ >= 3 ? 2 : rows_ - 1;
+    const int horizontal = cols_ >= 3 ? 2 : cols_ - 1;
+    return std::max(1, vertical + horizontal);
+  }
+
+  [[nodiscard]] std::string cell_layout_name(
+      const Layout& base) const override {
+    return "halo-faces(n=" + std::to_string(base.element_count()) + ")";
+  }
+
+ private:
+  int rows_, cols_;
+};
+
+// ---------------------------------------------------------------------------
+// transpose(N): all-to-all of strided panels
+// ---------------------------------------------------------------------------
+
+class TransposePattern final : public CommPattern {
+ public:
+  explicit TransposePattern(int n)
+      : CommPattern("transpose(" + std::to_string(n) + ")"), n_(n) {}
+
+  [[nodiscard]] int nranks() const override { return n_; }
+
+  [[nodiscard]] std::vector<Transfer> sends(
+      int rank, const Layout& base) const override {
+    // Matrix transpose traffic: each rank holds a row-major block of
+    // row length N and scatters its columns, one strided panel of
+    // `elems` doubles per peer.
+    const std::size_t n = base.element_count();
+    const auto stride = static_cast<std::size_t>(n_);
+    std::vector<Transfer> out;
+    out.reserve(static_cast<std::size_t>(n_ - 1));
+    for (int q = 0; q < n_; ++q) {
+      if (q == rank) continue;
+      out.push_back({q, Layout::strided(n, 1, stride)});
+    }
+    return out;
+  }
+
+  [[nodiscard]] int concurrent_senders() const override { return n_ - 1; }
+
+  [[nodiscard]] std::string cell_layout_name(
+      const Layout& base) const override {
+    return "panels(n=" + std::to_string(base.element_count()) +
+           ",s=" + std::to_string(n_) + ")";
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace
+
+std::unique_ptr<CommPattern> CommPattern::by_name(std::string_view name) {
+  const auto [family, args] = split_name(name);
+  if (family == "pingpong" && args.empty())
+    return std::make_unique<PingPongPattern>();
+  if (family == "multi-pair") {
+    const auto pairs = args.empty() ? std::optional<int>{4}
+                                    : parse_int(args, 1, 64);
+    if (pairs) return std::make_unique<MultiPairPattern>(*pairs);
+  }
+  if (family == "halo2d") {
+    if (args.empty()) return std::make_unique<Halo2dPattern>(3, 3);
+    const auto x = args.find('x');
+    if (x != std::string_view::npos) {
+      const auto rows = parse_int(args.substr(0, x), 1, 16);
+      const auto cols = parse_int(args.substr(x + 1), 1, 16);
+      if (rows && cols && *rows * *cols >= 2)
+        return std::make_unique<Halo2dPattern>(*rows, *cols);
+    }
+  }
+  if (family == "transpose") {
+    const auto n = args.empty() ? std::optional<int>{4}
+                                : parse_int(args, 2, 64);
+    if (n) return std::make_unique<TransposePattern>(*n);
+  }
+  minimpi::require(false, ErrorClass::invalid_arg,
+                   "unknown communication pattern: " + std::string(name));
+  return nullptr;
+}
+
+const std::vector<std::string>& CommPattern::names() {
+  static const std::vector<std::string> v = {"pingpong", "multi-pair",
+                                             "halo2d", "transpose"};
+  return v;
+}
+
+const std::vector<std::string>& pattern_scheme_names() {
+  // The two-sided schemes whose receive side is one contiguous buffer:
+  // exactly what the generic engine's per-neighbor application covers.
+  static const std::vector<std::string> v = {
+      "reference", "copying",    "vector type",
+      "subarray",  "packing(e)", "packing(v)"};
+  return v;
+}
+
+bool pattern_scheme_supported(std::string_view scheme) {
+  const auto& names = pattern_scheme_names();
+  return std::find(names.begin(), names.end(), scheme) != names.end();
+}
+
+RunResult run_pattern_experiment(minimpi::UniverseOptions opts,
+                                 const CommPattern& pattern,
+                                 std::string_view scheme_name,
+                                 const Layout& base,
+                                 const HarnessConfig& cfg) {
+  opts.nranks = pattern.nranks();
+  opts.concurrent_senders = pattern.concurrent_senders();
+  return pattern.run(opts, scheme_name, base, cfg);
+}
+
+}  // namespace ncsend

@@ -1,0 +1,131 @@
+#pragma once
+/// \file pattern.hpp
+/// \brief N-rank communication patterns: the paper's §4.7 question as a
+/// first-class subsystem.
+///
+/// Every first-class measurement used to be the 2-rank ping-pong of
+/// §3.2, yet the paper's findings matter because real applications send
+/// non-contiguous data inside multi-rank traffic (its §4.7 explicitly
+/// asks whether the picture survives when all node pairs communicate).
+/// A `CommPattern` generalizes the harness: it names a rank count, a
+/// per-rank *layout map* (which non-contiguous `Layout` each rank sends
+/// to each neighbor per step), and whether steps are closed by a
+/// zero-byte ack (ping-pong style).  One (pattern, scheme, base-layout)
+/// measurement is still a single self-contained `Universe::run`, so the
+/// §2.5 byte-determinism argument carries over unchanged (DESIGN.md
+/// §2.6).
+///
+/// Shipped patterns (`CommPattern::names()`):
+///   * `pingpong`        — the existing §3.2 harness, now a pattern;
+///   * `multi-pair(P)`   — P concurrent ping-pong pairs (the §4.7
+///                         "all node pairs" ablation, subsumed);
+///   * `halo2d(RxC)`     — 2-D Cartesian grid exchanging faces: rows
+///                         travel contiguous, columns as the canonical
+///                         blocklen-1 strided vector;
+///   * `transpose(N)`    — all-to-all of strided panels (each rank
+///                         scatters the columns of its local block).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minimpi/runtime/comm.hpp"
+#include "ncsend/harness.hpp"
+#include "ncsend/layout.hpp"
+
+namespace ncsend {
+
+/// One directed transfer a rank performs every step.
+struct Transfer {
+  minimpi::Rank peer;  ///< destination rank
+  Layout layout;       ///< what the sender sends (its non-contiguous view)
+};
+
+class CommPattern {
+ public:
+  virtual ~CommPattern() = default;
+
+  /// Canonical parameterized id ("halo2d(3x3)", "multi-pair(4)", ...).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Ranks one measurement universe needs.
+  [[nodiscard]] virtual int nranks() const = 0;
+
+  /// The layout map: transfers `rank` performs per step when each
+  /// message carries `base.element_count()` doubles.  Patterns with
+  /// intrinsic layouts (halo2d, transpose) use only the element count;
+  /// pair patterns forward `base` itself.
+  [[nodiscard]] virtual std::vector<Transfer> sends(
+      int rank, const Layout& base) const = 0;
+
+  /// True if each step is closed ping-pong style: every data transfer
+  /// is answered by a zero-byte ack the sender waits for (§3.2).
+  [[nodiscard]] virtual bool acked() const { return false; }
+
+  /// Simultaneous senders contending for one NIC in steady state
+  /// (feeds `UniverseOptions::concurrent_senders`).
+  [[nodiscard]] virtual int concurrent_senders() const = 0;
+
+  /// Row label for result cells; defaults to the base layout's name,
+  /// overridden by patterns whose layouts are intrinsic.
+  [[nodiscard]] virtual std::string cell_layout_name(
+      const Layout& base) const {
+    return base.name();
+  }
+
+  /// \brief One (scheme, base-layout) measurement of this pattern:
+  /// spins up the universe and runs the generic N-rank exchange engine
+  /// (pattern_harness.cpp).  `pingpong` overrides this to delegate to
+  /// the §3.2 harness unchanged.  `opts.nranks` must already match
+  /// `nranks()` (use `run_pattern_experiment`).
+  [[nodiscard]] virtual RunResult run(const minimpi::UniverseOptions& opts,
+                                      std::string_view scheme_name,
+                                      const Layout& base,
+                                      const HarnessConfig& cfg) const;
+
+  /// \brief Registry lookup: canonical names and the parameterized
+  /// forms ("multi-pair(2)", "halo2d(4x2)", "transpose(8)"); bare
+  /// "multi-pair" / "halo2d" / "transpose" pick the default parameters.
+  /// Throws MM_ERR_ARG for unknown names or out-of-range parameters.
+  static std::unique_ptr<CommPattern> by_name(std::string_view name);
+  /// Default instances of every registered pattern family.
+  static const std::vector<std::string>& names();
+
+ protected:
+  explicit CommPattern(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// \brief Send schemes the generic N-rank engine can apply per neighbor
+/// (the two-sided schemes whose receive side is a contiguous buffer).
+/// `pingpong` delegates to the harness and accepts every scheme.
+const std::vector<std::string>& pattern_scheme_names();
+bool pattern_scheme_supported(std::string_view scheme);
+
+/// \brief Deterministic fill salt for (sender rank, transfer index):
+/// each directed transfer carries a distinct recognizable payload.
+inline std::size_t pattern_fill_salt(int rank, std::size_t transfer_index) {
+  return static_cast<std::size_t>(rank) * 1'000'003 + transfer_index * 101;
+}
+
+/// \brief Patch `opts` with the pattern's topology (rank count,
+/// concurrent senders) and run one measurement.
+RunResult run_pattern_experiment(minimpi::UniverseOptions opts,
+                                 const CommPattern& pattern,
+                                 std::string_view scheme_name,
+                                 const Layout& base,
+                                 const HarnessConfig& cfg = {});
+
+/// \brief Per-rank body of the generic N-rank exchange: run inside
+/// `Universe::run` on every rank.  Rank 0 writes the fused result to
+/// `*out` (if non-null); the timing is the per-step maximum over all
+/// sending ranks and `payload_bytes` the busiest rank's per-step send
+/// volume.
+void run_pattern_rank(minimpi::Comm& comm, const CommPattern& pattern,
+                      std::string_view scheme_name, const Layout& base,
+                      const HarnessConfig& cfg, RunResult* out);
+
+}  // namespace ncsend

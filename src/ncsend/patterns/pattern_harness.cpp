@@ -1,0 +1,308 @@
+/// \file pattern_harness.cpp
+/// \brief The generic N-rank exchange engine behind `CommPattern::run`.
+///
+/// One measurement is one `Universe::run`: every rank derives its
+/// outgoing transfers from the pattern's layout map, mirrors the other
+/// ranks' maps to learn what it receives, and then performs `reps`
+/// timed steps.  A step posts all receives, applies the send scheme to
+/// every outgoing transfer, completes receives before sends (so
+/// rendezvous cycles cannot deadlock at the host level), and — for
+/// acked patterns — closes ping-pong style with zero-byte acks.  The
+/// per-step sample is the maximum step time over all sending ranks
+/// (the bottleneck rank), fused after the timed loop; data verification
+/// mirrors the §3.2 harness, per incoming transfer.
+
+#include "ncsend/patterns/pattern.hpp"
+
+#include <string>
+#include <vector>
+
+#include "memsim/flusher.hpp"
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+namespace {
+
+using minimpi::BlockStats;
+using minimpi::Buffer;
+using minimpi::Comm;
+using minimpi::Datatype;
+using minimpi::Rank;
+using minimpi::Request;
+
+enum class SendKind { reference, copying, vector, subarray, packing_e,
+                      packing_v };
+
+SendKind parse_scheme(std::string_view name) {
+  if (name == "reference") return SendKind::reference;
+  if (name == "copying") return SendKind::copying;
+  if (name == "vector type") return SendKind::vector;
+  if (name == "subarray") return SendKind::subarray;
+  if (name == "packing(e)") return SendKind::packing_e;
+  if (name == "packing(v)") return SendKind::packing_v;
+  throw minimpi::Error(
+      minimpi::ErrorClass::invalid_arg,
+      "scheme not supported by the N-rank pattern engine: " +
+          std::string(name) + " (see pattern_scheme_names())");
+}
+
+/// Send-side application of one scheme for one outgoing transfer: owns
+/// the host array the layout lives in plus any staging, charges the
+/// same model terms as the scheme's §2 ping, and posts the isend.
+///
+/// The charge sequences deliberately mirror the ping-pong schemes
+/// (reference.cpp / copying.cpp / derived_types.cpp / packing.cpp) —
+/// peer-addressed and nonblocking where those are rank-1 and blocking.
+/// A change to a scheme's timed charges must be made in both places,
+/// or the pattern sweeps drift from the ping-pong sweeps for the same
+/// legend name (the halo2d shape test in test_patterns.cpp guards the
+/// ranking).  One intended divergence: packing(e) always moves bytes
+/// through one engine gather, while the harness scheme issues literal
+/// per-element MPI_Pack calls below its element_loop_limit — the bytes
+/// and the modeled charges are identical either way.
+struct SchemeSend {
+  SendKind kind = SendKind::reference;
+  Rank peer = 0;
+  Layout layout = Layout::contiguous(0);
+  Datatype dtype;
+  BlockStats stats;
+  Buffer user;     ///< host array (filled with the transfer's pattern)
+  Buffer staging;  ///< contiguous send buffer (kinds that stage)
+  std::uint64_t user_region = 0, staging_region = 0;
+
+  void setup(Comm& comm, SendKind k, const Transfer& t, std::size_t ti) {
+    kind = k;
+    peer = t.peer;
+    layout = t.layout;
+    user_region = 1 + 2 * ti;
+    staging_region = 2 + 2 * ti;
+    const std::size_t footprint_bytes =
+        layout.footprint_elems() * sizeof(double);
+    user = Buffer::allocate(footprint_bytes,
+                            comm.moves_payload(footprint_bytes));
+    if (!user.is_phantom() && footprint_bytes > 0) {
+      const std::size_t salt = pattern_fill_salt(comm.rank(), ti);
+      auto elems = user.as<double>();
+      for (std::size_t i = 0; i < elems.size(); ++i)
+        elems[i] = fill_value(salt + i);
+    }
+    switch (kind) {
+      case SendKind::reference:
+        staging = allocate_staging(comm);
+        // Staged once outside the timing loop: the timed path is a pure
+        // contiguous send of the same byte count.
+        if (!staging.is_phantom() && !user.is_phantom())
+          minimpi::gather(user.data(), 1, layout.datatype(), staging.data());
+        break;
+      case SendKind::copying:
+        staging = allocate_staging(comm);
+        dtype = layout.datatype();
+        stats = dtype.block_stats();
+        break;
+      case SendKind::vector:
+        dtype = styled_or_best(layout, TypeStyle::vector);
+        break;
+      case SendKind::subarray:
+        dtype = styled_or_best(layout, TypeStyle::subarray);
+        break;
+      case SendKind::packing_e:
+      case SendKind::packing_v:
+        staging = allocate_staging(comm);
+        dtype = kind == SendKind::packing_v
+                    ? styled_or_best(layout, TypeStyle::vector)
+                    : layout.datatype();
+        stats = dtype.block_stats();
+        break;
+    }
+  }
+
+  [[nodiscard]] Buffer allocate_staging(Comm& comm) const {
+    return Buffer::allocate(layout.payload_bytes(),
+                            comm.moves_payload(layout.payload_bytes()));
+  }
+
+  /// Gather-loop charge: the same shared formula the ping-pong schemes
+  /// use through SchemeContext.
+  double charge_user_gather(Comm& comm, memsim::CacheModel& cache) {
+    return ncsend::charge_user_gather(comm, cache, layout, stats,
+                                      user_region);
+  }
+
+  /// One step's send: charge the scheme's model terms, move the bytes
+  /// (functional runs), post the isend.
+  Request start(Comm& comm, memsim::CacheModel& cache) {
+    const Datatype f64 = Datatype::float64();
+    switch (kind) {
+      case SendKind::reference:
+        return comm.isend(staging.data(), layout.element_count(), f64, peer,
+                          ping_tag);
+      case SendKind::copying:
+        charge_user_gather(comm, cache);
+        if (!staging.is_phantom() && !user.is_phantom())
+          minimpi::gather(user.data(), 1, dtype, staging.data());
+        cache.touch(staging_region, staging.size());
+        return comm.isend(staging.data(), layout.element_count(), f64, peer,
+                          ping_tag);
+      case SendKind::vector:
+      case SendKind::subarray:
+        return comm.isend(user.data(), 1, dtype, peer, ping_tag);
+      case SendKind::packing_e:
+        // One library call per element dominates (§2.6); the bytes move
+        // through one engine gather either way.
+        comm.charge(comm.model().call_overhead(layout.element_count()));
+        charge_user_gather(comm, cache);
+        if (!staging.is_phantom() && !user.is_phantom())
+          minimpi::gather(user.data(), 1, dtype, staging.data());
+        return comm.isend(staging.data(), layout.payload_bytes(),
+                          Datatype::packed(), peer, ping_tag);
+      case SendKind::packing_v:
+        comm.charge(comm.model().call_overhead(1));
+        charge_user_gather(comm, cache);
+        if (!staging.is_phantom() && !user.is_phantom()) {
+          std::size_t pos = 0;
+          minimpi::pack(user.data(), 1, dtype, staging.data(),
+                        staging.size(), pos);
+        }
+        cache.touch(staging_region, staging.size());
+        return comm.isend(staging.data(), layout.payload_bytes(),
+                          Datatype::packed(), peer, ping_tag);
+    }
+    throw minimpi::Error(minimpi::ErrorClass::internal,
+                         "unreachable send kind");
+  }
+};
+
+/// One expected incoming transfer: who sends, with which layout, and
+/// where the contiguous ghost bytes land.
+struct IncomingTransfer {
+  Rank peer = 0;
+  std::size_t sender_index = 0;  ///< index in the sender's layout map
+  /// The *sender's* layout view (drives size and verification).
+  Layout layout = Layout::contiguous(0);
+  Buffer ghost;
+};
+
+}  // namespace
+
+void run_pattern_rank(Comm& comm, const CommPattern& pattern,
+                      std::string_view scheme_name, const Layout& base,
+                      const HarnessConfig& cfg, RunResult* out) {
+  minimpi::require(comm.size() == pattern.nranks(),
+                   minimpi::ErrorClass::invalid_arg,
+                   "pattern universe has the wrong rank count");
+  const SendKind kind = parse_scheme(scheme_name);
+  const int me = comm.rank();
+
+  // --- the layout map, outgoing and mirrored incoming --------------------
+  const std::vector<Transfer> outgoing = pattern.sends(me, base);
+  std::vector<IncomingTransfer> incoming;
+  for (int q = 0; q < comm.size(); ++q) {
+    if (q == me) continue;
+    const std::vector<Transfer> qs = pattern.sends(q, base);
+    for (std::size_t ti = 0; ti < qs.size(); ++ti)
+      if (qs[ti].peer == me)
+        incoming.push_back({q, ti, qs[ti].layout, Buffer{}});
+  }
+
+  // --- buffers and scheme state, outside the timing loop (§3.2) ----------
+  std::vector<SchemeSend> sends(outgoing.size());
+  for (std::size_t ti = 0; ti < outgoing.size(); ++ti)
+    sends[ti].setup(comm, kind, outgoing[ti], ti);
+  for (IncomingTransfer& in : incoming)
+    in.ghost = Buffer::allocate(in.layout.payload_bytes(),
+                                comm.moves_payload(in.layout.payload_bytes()));
+
+  memsim::CacheModel cache(comm.profile().cache_bytes);
+  memsim::CacheFlusher flusher(cache, cfg.flush, cfg.flush_bytes);
+  const Datatype f64 = Datatype::float64();
+  const Datatype byte = Datatype::byte();
+  comm.barrier();
+
+  // --- timed steps --------------------------------------------------------
+  const bool sender = !sends.empty();
+  std::vector<double> local;
+  local.reserve(static_cast<std::size_t>(cfg.reps));
+  std::vector<Request> rreqs(incoming.size());
+  std::vector<Request> sreqs(sends.size());
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    const double t0 = comm.wtime();
+    for (std::size_t j = 0; j < incoming.size(); ++j)
+      rreqs[j] = comm.irecv(incoming[j].ghost.data(),
+                            incoming[j].layout.element_count(), f64,
+                            incoming[j].peer, ping_tag);
+    for (std::size_t i = 0; i < sends.size(); ++i)
+      sreqs[i] = sends[i].start(comm, cache);
+    // Receives complete first: a rendezvous send finishes only once its
+    // receiver matches, so draining receives before send-waits keeps
+    // cyclic patterns (halo, all-to-all) free of host-level deadlock.
+    waitall(rreqs);
+    waitall(sreqs);
+    if (pattern.acked()) {
+      for (const IncomingTransfer& in : incoming)
+        comm.send(nullptr, 0, byte, in.peer, ping_tag + 1);
+      for (const SchemeSend& s : sends)
+        comm.recv(nullptr, 0, byte, s.peer, ping_tag + 1);
+    }
+    const double dt = comm.wtime() - t0;
+    local.push_back(sender ? dt : 0.0);
+    // The §3.2 flush between repetitions, then a clock-fusing barrier
+    // so every step starts from a common virtual time.
+    flusher.flush(comm);
+    comm.barrier();
+  }
+
+  // --- verification (functional runs only) --------------------------------
+  bool checked = false;
+  bool ok = true;
+  if (cfg.verify) {
+    for (const IncomingTransfer& in : incoming) {
+      const std::size_t footprint_bytes =
+          in.layout.footprint_elems() * sizeof(double);
+      if (in.ghost.is_phantom() || in.ghost.size() == 0 ||
+          !comm.moves_payload(footprint_bytes))
+        continue;
+      checked = true;
+      const std::size_t salt = pattern_fill_salt(in.peer, in.sender_index);
+      const auto got = in.ghost.as<const double>();
+      in.layout.for_each_element([&](std::size_t k, std::size_t src) {
+        if (got[k] != fill_value(salt + src)) ok = false;
+      });
+    }
+  }
+
+  // --- fuse the per-step bottleneck times and the verdict ------------------
+  std::vector<double> samples;
+  samples.reserve(local.size());
+  for (const double dt : local)
+    samples.push_back(comm.allreduce(dt, minimpi::ReduceOp::max));
+  std::size_t my_bytes = 0;
+  for (const SchemeSend& s : sends) my_bytes += s.layout.payload_bytes();
+  const double busiest =
+      comm.allreduce(static_cast<double>(my_bytes), minimpi::ReduceOp::max);
+  const double all_ok =
+      comm.allreduce(checked && !ok ? 0.0 : 1.0, minimpi::ReduceOp::min);
+  const double any_checked =
+      comm.allreduce(checked ? 1.0 : 0.0, minimpi::ReduceOp::max);
+  comm.barrier();
+
+  if (me == 0 && out != nullptr) {
+    out->scheme = std::string(scheme_name);
+    out->layout = pattern.cell_layout_name(base);
+    out->payload_bytes = static_cast<std::size_t>(busiest);
+    out->timing = summarize(samples);
+    out->data_checked = any_checked > 0.5;
+    out->verified = all_ok > 0.5;
+  }
+}
+
+RunResult CommPattern::run(const minimpi::UniverseOptions& opts,
+                           std::string_view scheme_name, const Layout& base,
+                           const HarnessConfig& cfg) const {
+  RunResult result;
+  minimpi::Universe::run(opts, [&](Comm& comm) {
+    run_pattern_rank(comm, *this, scheme_name, base, cfg, &result);
+  });
+  return result;
+}
+
+}  // namespace ncsend

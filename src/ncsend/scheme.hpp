@@ -21,6 +21,23 @@
 
 namespace ncsend {
 
+/// \brief Model charge of one user-space gather of `layout` into a
+/// contiguous buffer: consults the cache model for warmth of the host
+/// array region, charges the copy-loop cost to the rank's clock, and
+/// returns the warm fraction used.  The single source of this formula,
+/// shared by the ping-pong schemes (via `SchemeContext`) and the
+/// N-rank pattern engine (patterns/pattern_harness.cpp).
+inline double charge_user_gather(minimpi::Comm& comm,
+                                 memsim::CacheModel& cache,
+                                 const Layout& layout,
+                                 const minimpi::BlockStats& stats,
+                                 std::uint64_t user_region) {
+  const std::size_t fp = layout.footprint_elems() * sizeof(double);
+  const double warm = cache.touch(user_region, fp);
+  comm.charge_copy(stats.total_bytes, stats, warm);
+  return warm;
+}
+
 /// Everything a scheme needs for one experiment on one rank.
 struct SchemeContext {
   minimpi::Comm& comm;
@@ -47,13 +64,11 @@ struct SchemeContext {
   }
 
   /// \brief Model a user-space gather of the layout into a contiguous
-  /// buffer: consults the cache model for warmth, charges the clock.
+  /// buffer; delegates to the shared `ncsend::charge_user_gather`.
   /// Returns the warm fraction used (tests inspect it).
   double charge_user_gather(const minimpi::BlockStats& stats) {
-    const std::size_t fp = layout.footprint_elems() * sizeof(double);
-    const double warm = cache.touch(user_region, fp);
-    comm.charge_copy(stats.total_bytes, stats, warm);
-    return warm;
+    return ncsend::charge_user_gather(comm, cache, layout, stats,
+                                      user_region);
   }
 };
 

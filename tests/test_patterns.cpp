@@ -1,0 +1,362 @@
+// The communication-pattern subsystem: registry and neighbor maps,
+// N-rank cells on the experiment engine (jobs=1 vs jobs=4 byte
+// determinism), the link-contention model term, end-to-end payload
+// verification for halo2d, and the paper's scheme ranking carried from
+// ping-pong into multi-rank halo traffic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+using minimpi::MachineProfile;
+
+namespace {
+
+Layout stride2(std::size_t elems) { return Layout::strided(elems, 1, 2); }
+
+/// Transfers rank `r` performs, by peer, for quick map checks.
+std::vector<int> peers_of(const CommPattern& p, int rank,
+                          std::size_t elems = 64) {
+  std::vector<int> peers;
+  for (const Transfer& t : p.sends(rank, stride2(elems)))
+    peers.push_back(t.peer);
+  return peers;
+}
+
+TEST(PatternRegistry, NamesAndDefaults) {
+  for (const auto& family : CommPattern::names()) {
+    const auto p = CommPattern::by_name(family);
+    EXPECT_GE(p->nranks(), 2) << family;
+    EXPECT_GE(p->concurrent_senders(), 1) << family;
+  }
+  EXPECT_EQ(CommPattern::by_name("pingpong")->nranks(), 2);
+  EXPECT_EQ(CommPattern::by_name("multi-pair")->name(), "multi-pair(4)");
+  EXPECT_EQ(CommPattern::by_name("multi-pair(2)")->nranks(), 4);
+  EXPECT_EQ(CommPattern::by_name("halo2d")->name(), "halo2d(3x3)");
+  EXPECT_EQ(CommPattern::by_name("halo2d(4x2)")->nranks(), 8);
+  EXPECT_EQ(CommPattern::by_name("transpose(8)")->nranks(), 8);
+}
+
+TEST(PatternRegistry, RejectsJunk) {
+  EXPECT_THROW(CommPattern::by_name("bogus"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("multi-pair(zero)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("multi-pair(0)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("halo2d(1x1)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("halo2d(3)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("transpose(1)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("pingpong(2)"), minimpi::Error);
+}
+
+TEST(Halo2dNeighborMap, CornerEdgeInterior) {
+  const auto halo = CommPattern::by_name("halo2d(3x3)");
+  ASSERT_EQ(halo->nranks(), 9);
+  // Rank layout:  0 1 2 / 3 4 5 / 6 7 8.
+  EXPECT_EQ(peers_of(*halo, 0), (std::vector<int>{3, 1}));        // corner
+  EXPECT_EQ(peers_of(*halo, 1), (std::vector<int>{4, 0, 2}));     // edge
+  EXPECT_EQ(peers_of(*halo, 4), (std::vector<int>{1, 7, 3, 5}));  // interior
+  EXPECT_EQ(peers_of(*halo, 8), (std::vector<int>{5, 7}));        // corner
+  // Interior out-degree is the steady-state NIC share.
+  EXPECT_EQ(halo->concurrent_senders(), 4);
+  EXPECT_EQ(CommPattern::by_name("halo2d(2x2)")->concurrent_senders(), 2);
+  EXPECT_EQ(CommPattern::by_name("halo2d(1x4)")->concurrent_senders(), 2);
+}
+
+TEST(Halo2dNeighborMap, RowsContiguousColumnsStrided) {
+  const auto halo = CommPattern::by_name("halo2d(3x3)");
+  const std::size_t n = 128;
+  const auto sends = halo->sends(4, stride2(n));  // interior rank
+  ASSERT_EQ(sends.size(), 4u);
+  for (const Transfer& t : sends) {
+    EXPECT_EQ(t.layout.element_count(), n);
+    const bool row_face = t.peer == 1 || t.peer == 7;
+    if (row_face) {
+      EXPECT_TRUE(t.layout.is_contiguous()) << "row face to " << t.peer;
+    } else {
+      // The canonical blocklen-1 strided vector, stride = row length.
+      EXPECT_FALSE(t.layout.is_contiguous()) << "column face to " << t.peer;
+      EXPECT_TRUE(t.layout.regular());
+      EXPECT_EQ(t.layout.footprint_elems(), (n - 1) * n + 1);
+    }
+  }
+}
+
+TEST(PatternNeighborMap, EveryTransferHasAWellFormedTarget) {
+  for (const char* name : {"multi-pair(3)", "halo2d(2x4)", "transpose(5)"}) {
+    const auto p = CommPattern::by_name(name);
+    std::size_t transfers = 0;
+    for (int r = 0; r < p->nranks(); ++r) {
+      for (const Transfer& t : p->sends(r, stride2(32))) {
+        ++transfers;
+        EXPECT_GE(t.peer, 0) << name;
+        EXPECT_LT(t.peer, p->nranks()) << name;
+        EXPECT_NE(t.peer, r) << name;
+      }
+    }
+    EXPECT_GT(transfers, 0u) << name;
+  }
+  // Transpose is all-to-all: N*(N-1) directed panels.
+  const auto tp = CommPattern::by_name("transpose(5)");
+  std::size_t panels = 0;
+  for (int r = 0; r < 5; ++r) panels += tp->sends(r, stride2(32)).size();
+  EXPECT_EQ(panels, 20u);
+  EXPECT_EQ(tp->concurrent_senders(), 4);
+}
+
+TEST(PatternEngine, PingpongPatternMatchesHarness) {
+  // "pingpong" is the §3.2 harness, now a pattern: identical results.
+  const auto p = CommPattern::by_name("pingpong");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const Layout l = stride2(4096);
+  const RunResult via_pattern =
+      run_pattern_experiment(opts, *p, "packing(v)", l, cfg);
+  opts.nranks = 2;
+  const RunResult via_harness = run_experiment(opts, "packing(v)", l, cfg);
+  EXPECT_EQ(via_pattern.timing.mean, via_harness.timing.mean);
+  EXPECT_EQ(via_pattern.timing.stddev, via_harness.timing.stddev);
+  EXPECT_EQ(via_pattern.payload_bytes, via_harness.payload_bytes);
+  EXPECT_EQ(via_pattern.verified, via_harness.verified);
+}
+
+TEST(PatternEngine, UnsupportedSchemeThrows) {
+  const auto halo = CommPattern::by_name("halo2d(2x2)");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 1;
+  EXPECT_FALSE(pattern_scheme_supported("onesided"));
+  EXPECT_TRUE(pattern_scheme_supported("packing(v)"));
+  EXPECT_THROW(
+      run_pattern_experiment(opts, *halo, "onesided", stride2(64), cfg),
+      minimpi::Error);
+}
+
+TEST(PatternEngine, Halo2dEndToEndPayloadVerification) {
+  // Functional mode: every face moves for real and every ghost value
+  // must match the sender's per-transfer fill pattern.
+  const auto halo = CommPattern::by_name("halo2d(3x3)");
+  minimpi::UniverseOptions opts;  // default: everything functional
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  const RunResult r =
+      run_pattern_experiment(opts, *halo, "copying", stride2(96), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  // Busiest (interior) rank sends 4 faces per step.
+  EXPECT_EQ(r.payload_bytes, 4u * 96u * 8u);
+  EXPECT_GT(r.time(), 0.0);
+}
+
+TEST(PatternEngine, TransposeEndToEndPayloadVerification) {
+  const auto tp = CommPattern::by_name("transpose(4)");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  const RunResult r =
+      run_pattern_experiment(opts, *tp, "packing(v)", stride2(64), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.payload_bytes, 3u * 64u * 8u);
+}
+
+// The §2.5/§2.6 invariant on N-rank cells: a multi-pattern plan must be
+// bit-for-bit identical between serial and parallel execution.
+TEST(PatternPlan, ParallelMatchesSerialByteForByte) {
+  ExperimentPlan plan;
+  plan.name = "pattern-test-plan";
+  plan.patterns = {"pingpong", "multi-pair(2)", "halo2d(2x2)",
+                   "transpose(3)"};
+  plan.profiles = {&MachineProfile::skx_impi(), &MachineProfile::knl_impi()};
+  plan.schemes = {"reference", "copying", "packing(v)"};
+  plan.sizes_bytes = {1024, 16384};
+  plan.harness.reps = 3;
+  plan.functional_payload_limit = 1 << 12;
+  EXPECT_EQ(plan.cell_count(), 4u * 2u * 1u * 2u * 3u);
+
+  const PlanResult serial = run_plan(plan, {1});
+  const PlanResult parallel = run_plan(plan, {4});
+  ASSERT_EQ(serial.sweeps.size(), 8u);
+  ASSERT_EQ(serial.pattern_count, 4u);
+  EXPECT_EQ(serial.sweep(2, 0, 0).pattern, "halo2d(2x2)");
+  EXPECT_EQ(serial.sweep(2, 0, 0).nranks, 4);
+  EXPECT_EQ(serial.sweep(0, 1, 0).profile_name, "knl-impi");
+
+  ASSERT_EQ(parallel.sweeps.size(), serial.sweeps.size());
+  for (std::size_t s = 0; s < serial.sweeps.size(); ++s) {
+    const SweepResult& a = serial.sweeps[s];
+    const SweepResult& b = parallel.sweeps[s];
+    EXPECT_EQ(a.pattern, b.pattern);
+    for (std::size_t si = 0; si < a.sizes_bytes.size(); ++si)
+      for (std::size_t ci = 0; ci < a.schemes.size(); ++ci) {
+        EXPECT_EQ(a.cells[si][ci].timing.mean, b.cells[si][ci].timing.mean);
+        EXPECT_EQ(a.cells[si][ci].timing.stddev,
+                  b.cells[si][ci].timing.stddev);
+        EXPECT_EQ(a.cells[si][ci].verified, b.cells[si][ci].verified);
+      }
+  }
+  const auto bytes_of = [](const PlanResult& r) {
+    ResultStore store;
+    store.add_plan(r);
+    std::ostringstream os;
+    store.write_bench_pattern_sweep_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(bytes_of(serial), bytes_of(parallel));
+}
+
+TEST(PatternSweepWriter, SchemaCarriesPatternAndRankCount) {
+  ExperimentPlan plan;
+  plan.patterns = {"halo2d(2x2)"};
+  plan.schemes = {"reference", "copying"};
+  plan.sizes_bytes = {2048};
+  plan.harness.reps = 1;
+  ResultStore store;
+  store.add_plan(run_plan(plan, {2}));
+  std::ostringstream os;
+  store.write_bench_pattern_sweep_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"benchmark\": \"pattern_sweep\""), std::string::npos);
+  EXPECT_NE(out.find("\"pattern\": \"halo2d(2x2)\""), std::string::npos);
+  EXPECT_NE(out.find("\"nranks\": 4"), std::string::npos);
+  // Busiest-rank traffic rides next to the per-message size label: a
+  // 2x2 corner rank sends 2 faces of 2048 B each per step.
+  EXPECT_NE(out.find("\"payload_bytes\": [4096]"), std::string::npos);
+  EXPECT_NE(out.find("\"sizes_bytes\": [2048]"), std::string::npos);
+}
+
+// --- the link-contention model term --------------------------------------
+
+TEST(LinkContention, CostModelScalesWireTimeWithSenders) {
+  MachineProfile p = MachineProfile::skx_impi();
+  const minimpi::CostModel inert(p, {}, 4);
+  EXPECT_EQ(inert.contention_multiplier(), 1.0);  // factor 0: term inert
+  p.link_contention_factor = 0.5;
+  const minimpi::CostModel one(p, {}, 1);
+  const minimpi::CostModel four(p, {}, 4);
+  EXPECT_EQ(one.contention_multiplier(), 1.0);
+  EXPECT_EQ(four.contention_multiplier(), 2.5);
+  EXPECT_EQ(one.wire_time(1'000'000),
+            minimpi::CostModel(MachineProfile::skx_impi()).wire_time(1'000'000));
+  EXPECT_GT(four.wire_time(1'000'000), one.wire_time(1'000'000));
+}
+
+TEST(LinkContention, MultiPairTimesMonotoneWhenEnabled) {
+  // With the term parameterized on, concurrent pairs through one NIC
+  // are charged honestly: per-pair time grows with the pair count.
+  MachineProfile contended = MachineProfile::skx_impi();
+  contended.name = "skx-contended";
+  contended.link_contention_factor = 0.5;
+  minimpi::UniverseOptions opts;
+  opts.profile = &contended;
+  opts.functional_payload_limit = 1 << 12;
+  opts.wtime_resolution = 0.0;
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  cfg.flush = false;
+  const Layout l = stride2(125'000);  // 1 MB: wire-dominated
+  double prev = 0.0;
+  for (const int pairs : {1, 2, 4}) {
+    const auto p =
+        CommPattern::by_name("multi-pair(" + std::to_string(pairs) + ")");
+    const double t =
+        run_pattern_experiment(opts, *p, "vector type", l, cfg).time();
+    EXPECT_GT(t, prev) << pairs << " pairs";
+    prev = t;
+  }
+}
+
+TEST(LinkContention, OffByDefaultKeepsPairsIdentical) {
+  // The canned profiles encode the paper's §4.7 observation: no
+  // degradation with every pair active.
+  minimpi::UniverseOptions opts;
+  opts.functional_payload_limit = 1 << 12;
+  opts.wtime_resolution = 0.0;
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  cfg.flush = false;
+  const Layout l = stride2(125'000);
+  const auto time_for = [&](const char* name) {
+    return run_pattern_experiment(opts, *CommPattern::by_name(name),
+                                  "vector type", l, cfg)
+        .time();
+  };
+  // Near, not exactly equal: absolute virtual clocks sit at different
+  // magnitudes in different-size universes (the pre-loop barrier cost
+  // grows with log2(nranks)), so identical per-step charges can round
+  // differently in their last ULPs.
+  const double one = time_for("multi-pair(1)");
+  EXPECT_NEAR(one, time_for("multi-pair(4)"), one * 1e-9);
+  EXPECT_NEAR(one, time_for("multi-pair(8)"), one * 1e-9);
+}
+
+// --- the paper's ranking carries from ping-pong to halo2d ----------------
+
+TEST(PatternShapes, Halo2dSchemeRankingMatchesPaper) {
+  minimpi::UniverseOptions opts;
+  opts.functional_payload_limit = 1 << 14;  // mostly modeled: fast
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const auto halo = CommPattern::by_name("halo2d(3x3)");
+  const Layout l = stride2(125'000);  // 1 MB faces
+
+  const auto time_for = [&](const MachineProfile& p, const char* scheme) {
+    minimpi::UniverseOptions o = opts;
+    o.profile = &p;
+    return run_pattern_experiment(o, *halo, scheme, l, cfg).time();
+  };
+  for (const auto* profile :
+       {&MachineProfile::skx_impi(), &MachineProfile::knl_impi()}) {
+    const double copying = time_for(*profile, "copying");
+    const double packing_v = time_for(*profile, "packing(v)");
+    const double packing_e = time_for(*profile, "packing(e)");
+    const double vector = time_for(*profile, "vector type");
+    // F3 in multi-rank traffic: whole-message packing ~= copying (the
+    // winners), element-wise packing far worse.
+    EXPECT_LT(packing_v / copying, 1.25) << profile->name;
+    EXPECT_GT(packing_v / copying, 0.8) << profile->name;
+    EXPECT_GT(packing_e / copying, 2.0) << profile->name;
+    // F1: the reasonable schemes cluster.
+    EXPECT_LT(vector / copying, 2.0) << profile->name;
+  }
+  // F7: KNL's weak core amplifies every software-copy scheme.
+  const double skx_slowdown =
+      time_for(MachineProfile::skx_impi(), "copying") /
+      time_for(MachineProfile::skx_impi(), "reference");
+  const double knl_slowdown =
+      time_for(MachineProfile::knl_impi(), "copying") /
+      time_for(MachineProfile::knl_impi(), "reference");
+  EXPECT_GT(knl_slowdown, skx_slowdown);
+}
+
+// --- the shared CLI's --pattern flag -------------------------------------
+
+TEST(BenchCliPattern, AcceptsAndCanonicalizes) {
+  const char* argv[] = {"bench", "--pattern", "halo2d", "--pattern",
+                        "multi-pair(2)"};
+  std::string error;
+  const auto cli = BenchCli::try_parse(5, const_cast<char**>(argv), &error);
+  ASSERT_TRUE(cli.has_value()) << error;
+  ASSERT_EQ(cli->patterns.size(), 2u);
+  EXPECT_EQ(cli->patterns[0], "halo2d(3x3)");  // canonical id recorded
+  EXPECT_EQ(cli->patterns[1], "multi-pair(2)");
+}
+
+TEST(BenchCliPattern, RejectsUnknownPatternsAndMissingValue) {
+  std::string error;
+  {
+    const char* argv[] = {"bench", "--pattern", "frobnicate"};
+    EXPECT_FALSE(
+        BenchCli::try_parse(3, const_cast<char**>(argv), &error).has_value());
+    EXPECT_NE(error.find("unknown communication pattern"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"bench", "--pattern"};
+    EXPECT_FALSE(
+        BenchCli::try_parse(2, const_cast<char**>(argv), &error).has_value());
+  }
+}
+
+}  // namespace
