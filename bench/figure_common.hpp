@@ -48,9 +48,11 @@ inline bool write_store_file(const std::string& dir, const std::string& name,
 
 /// \brief The figure driver: register the plan, run it, report it.
 /// `--pattern` re-measures the figure under other communication
-/// patterns — one plan per pattern, because the scheme set is
-/// per-pattern: pingpong (the harness) covers every scheme, the N-rank
-/// engine the two-sided ones.
+/// patterns — one plan per pattern.  The N-rank engine runs the full
+/// legend (the paper's eight plus the extension schemes) through the
+/// same peer-addressed transfer schemes the harness drives; the
+/// pingpong plan keeps the paper's eight so the figures stay the
+/// paper's figures.
 inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
   const ncsend::BenchCli cli = ncsend::BenchCli::parse(argc, argv);
   const std::vector<std::string> patterns =

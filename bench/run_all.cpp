@@ -12,9 +12,9 @@
 //                             pipelined packing(p)) — one plan, executed
 //                             in parallel
 //   BENCH_pattern_sweep.json  N-rank communication patterns (paper
-//                             4.7): ping-pong, concurrent pairs, 2-D
+//                             4.7): ping-pong, concurrent pairs, 2-D/3-D
 //                             halo faces, all-to-all transpose panels,
-//                             each x {skx, knl} x the two-sided schemes
+//                             each x {skx, knl} x the full scheme legend
 //   BENCH_eager_limit.json    paper 4.5 ablation: raised eager limit
 //
 // Flags are the engine's shared set (see --help): --quick picks the
@@ -126,7 +126,8 @@ ExperimentPlan pattern_sweep_plan(const BenchCli& cli) {
   plan.patterns =
       cli.patterns.empty()
           ? std::vector<std::string>{"pingpong", "multi-pair(4)",
-                                     "halo2d(3x3)", "transpose(4)"}
+                                     "halo2d(3x3)", "halo3d(2x2x2)",
+                                     "transpose(4)"}
           : cli.patterns;
   plan.profiles = {&minimpi::MachineProfile::skx_impi(),
                    &minimpi::MachineProfile::knl_impi()};

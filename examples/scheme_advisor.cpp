@@ -1,8 +1,10 @@
-// Command-line advisor: given a machine and a message size, print the
-// paper's recommendation and back it with a quick measured comparison.
+// Command-line advisor: given a machine, a message size, and optionally
+// a communication pattern, print the paper's recommendation and back it
+// with a quick measured comparison.
 //
-//   $ ./scheme_advisor [machine] [payload_bytes]
+//   $ ./scheme_advisor [machine] [payload_bytes] [pattern]
 //   $ ./scheme_advisor knl-impi 500000000
+//   $ ./scheme_advisor skx-impi 50000000 "halo3d(2x2x2)"
 #include <iomanip>
 #include <iostream>
 
@@ -14,6 +16,7 @@ int main(int argc, char** argv) {
   const std::string machine = argc > 1 ? argv[1] : "skx-impi";
   const std::size_t bytes =
       argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 10'000'000;
+  const std::string pattern_name = argc > 3 ? argv[3] : "";
   const auto& profile = minimpi::MachineProfile::by_name(machine);
   const Layout layout = Layout::strided(std::max<std::size_t>(1, bytes / 8),
                                         1, 2);
@@ -23,11 +26,28 @@ int main(int argc, char** argv) {
             << "\n\n";
 
   const Recommendation rec = advise(profile, bytes, layout);
-  std::cout << "recommended scheme: " << rec.scheme << "\n  "
-            << rec.rationale << "\n";
+  std::cout << "recommended scheme (2-rank ping-pong): " << rec.scheme
+            << "\n  " << rec.rationale << "\n";
   if (!rec.avoid.empty()) {
     std::cout << "\navoid:\n";
     for (const auto& a : rec.avoid) std::cout << "  - " << a << "\n";
+  }
+
+  // The §5 conclusion, adjusted for the traffic the message rides in:
+  // neighbor count and link contention shift the thresholds, and
+  // fence-based one-sided is flagged beyond two ranks.
+  if (!pattern_name.empty()) {
+    const auto pattern = CommPattern::by_name(pattern_name);
+    const Recommendation prec = advise(profile, bytes, layout, *pattern);
+    std::cout << "\nrecommended scheme under " << pattern->name() << " ("
+              << pattern->nranks() << " ranks, "
+              << pattern->concurrent_senders()
+              << " concurrent senders): " << prec.scheme << "\n  "
+              << prec.rationale << "\n";
+    if (!prec.avoid.empty()) {
+      std::cout << "\navoid under this pattern:\n";
+      for (const auto& a : prec.avoid) std::cout << "  - " << a << "\n";
+    }
   }
 
   std::cout << "\nmeasured evidence (ping-pong on the simulated fabric):\n";
@@ -46,6 +66,8 @@ int main(int argc, char** argv) {
   std::cout << "\navailable machines:";
   for (const auto& n : minimpi::MachineProfile::names())
     std::cout << " " << n;
+  std::cout << "\navailable patterns:";
+  for (const auto& n : CommPattern::names()) std::cout << " " << n;
   std::cout << "\n";
   return 0;
 }

@@ -298,6 +298,24 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
   return Request{std::move(state)};
 }
 
+Request Comm::issend(const void* buf, std::size_t count, const Datatype& t,
+                     Rank dst, Tag tag) {
+  // The isend rendezvous arm, taken unconditionally: synchronous mode
+  // handshakes regardless of message size (cf. ssend).
+  validate_p2p(count, t, dst, tag, false);
+  auto env = make_envelope(buf, count, t, dst, tag);
+  auto state = std::make_shared<Request::State>();
+  state->comm = this;
+  env->eager = false;
+  env->needs_rdv_ack = true;
+  env->sender_ready = clock_ + profile().send_overhead_s;
+  state->kind = Request::State::Kind::send_rdv;
+  state->rdv_future = env->rdv_promise.get_future();
+  clock_ += profile().send_overhead_s;
+  world_->mailbox(dst).push(std::move(env));
+  return Request{std::move(state)};
+}
+
 Request Comm::irecv(void* buf, std::size_t count, const Datatype& t, Rank src,
                     Tag tag) {
   validate_p2p(count, t, src, tag, true);

@@ -231,6 +231,10 @@ class Comm {
               Tag tag);
   Request isend(const void* buf, std::size_t count, const Datatype& t,
                 Rank dst, Tag tag);
+  /// Nonblocking synchronous send (MPI_Issend): always handshakes, so
+  /// the request completes only once the receiver has matched.
+  Request issend(const void* buf, std::size_t count, const Datatype& t,
+                 Rank dst, Tag tag);
   Request irecv(void* buf, std::size_t count, const Datatype& t, Rank src,
                 Tag tag);
   Status sendrecv(const void* sendbuf, std::size_t sendcount,

@@ -1,5 +1,8 @@
 #include "ncsend/advisor.hpp"
 
+#include "minimpi/net/cost_model.hpp"
+#include "ncsend/patterns/pattern.hpp"
+
 namespace ncsend {
 
 namespace {
@@ -54,6 +57,61 @@ Recommendation advise(const minimpi::MachineProfile& profile,
         "derived datatype directly (paper §5: 'there should be no reason "
         "not to use derived datatypes').  packing(v) performs identically "
         "if you prefer explicit buffer control.";
+  }
+  return rec;
+}
+
+Recommendation advise(const minimpi::MachineProfile& profile,
+                      std::size_t payload_bytes, const Layout& layout,
+                      const CommPattern& pattern) {
+  Recommendation rec = advise(profile, payload_bytes, layout);
+  if (layout.is_contiguous()) return rec;
+
+  // Fence epochs synchronize the whole universe every step; beyond the
+  // 2-rank ping-pong that cost scales with the rank count, not with
+  // the neighbor count (paper §4.4 item 1, amplified).
+  if (pattern.nranks() > 2) {
+    rec.avoid.push_back(
+        "onesided: MPI_Win_fence epochs synchronize all " +
+        std::to_string(pattern.nranks()) + " ranks of " + pattern.name() +
+        " every step; prefer onesided-pscw (pairwise post/start/"
+        "complete/wait) if one-sided transfers are required.");
+  }
+
+  // Concurrent senders sharing one NIC divide the effective per-sender
+  // wire bandwidth by the contention multiplier, so the large-message
+  // regime — where only user-space packing stays at the attainable
+  // rate — begins at proportionally smaller payloads.  The multiplier
+  // comes from the cost model itself, so the advice cannot drift from
+  // what the simulator actually charges.
+  const int senders = pattern.concurrent_senders();
+  const double multiplier =
+      minimpi::CostModel(profile, {}, senders).contention_multiplier();
+  if (multiplier > 1.0) {
+    const auto threshold = static_cast<std::size_t>(
+        static_cast<double>(large_message_bytes) / multiplier);
+    if (payload_bytes >= threshold && rec.scheme != "packing(v)") {
+      rec.scheme = "packing(v)";
+      rec.rationale =
+          pattern.name() + " drives " + std::to_string(senders) +
+          " concurrent senders through one NIC (contention multiplier " +
+          std::to_string(multiplier) +
+          "), so the per-sender wire runs at a fraction of the fabric "
+          "rate and the large-message regime starts near " +
+          std::to_string(threshold) +
+          " bytes: pack the derived type into user space and send "
+          "contiguous bytes (paper §5, threshold rescaled).";
+      rec.avoid.push_back(
+          "vector type / subarray sent directly: MPI-internal buffering "
+          "degrades sooner under link contention (paper §4.1 threshold "
+          "divided by the contention multiplier).");
+    } else if (payload_bytes < threshold) {
+      rec.rationale +=
+          "  (" + pattern.name() + " runs " + std::to_string(senders) +
+          " concurrent senders; below the contention-rescaled threshold "
+          "of " + std::to_string(threshold) +
+          " bytes the ranking is unchanged.)";
+    }
   }
   return rec;
 }

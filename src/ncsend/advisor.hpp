@@ -10,6 +10,8 @@
 
 namespace ncsend {
 
+class CommPattern;
+
 struct Recommendation {
   std::string scheme;               ///< legend name of the recommended scheme
   std::string rationale;            ///< why, in the paper's terms
@@ -24,5 +26,16 @@ struct Recommendation {
 /// one-sided depends on the installation.
 Recommendation advise(const minimpi::MachineProfile& profile,
                       std::size_t payload_bytes, const Layout& layout);
+
+/// \brief Pattern-aware overload: the §5 conclusion adjusted for the
+/// communication pattern the message rides in.  Neighbor count and the
+/// profile's link-contention term shift the large-message threshold
+/// (concurrent senders divide the effective per-sender wire bandwidth,
+/// so the schemes diverge at proportionally smaller payloads), and
+/// fence-synchronized one-sided transfers are flagged in multi-rank
+/// universes (every step synchronizes all ranks, not just neighbors).
+Recommendation advise(const minimpi::MachineProfile& profile,
+                      std::size_t payload_bytes, const Layout& layout,
+                      const CommPattern& pattern);
 
 }  // namespace ncsend

@@ -32,6 +32,7 @@ int default_jobs() {
 }
 
 PlanResult run_plan(const ExperimentPlan& plan, const ExecutorOptions& exec) {
+  plan.validate();  // resolve every axis name before universes spin up
   const std::vector<std::size_t> sizes = plan.effective_sizes();
 
   // Materialize the pattern and layout axes up front (factories and

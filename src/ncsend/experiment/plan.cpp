@@ -5,8 +5,23 @@
 #include <cstdlib>
 
 #include "minimpi/base/error.hpp"
+#include "ncsend/patterns/pattern.hpp"
 
 namespace ncsend {
+
+void ExperimentPlan::validate() const {
+  minimpi::require(!profiles.empty(), minimpi::ErrorClass::invalid_arg,
+                   "plan '" + name + "' names no machine profiles");
+  for (const auto* p : profiles)
+    minimpi::require(p != nullptr, minimpi::ErrorClass::invalid_arg,
+                     "plan '" + name + "' carries a null machine profile");
+  for (const auto& p : patterns) (void)CommPattern::by_name(p);
+  for (const auto& s : schemes) (void)make_transfer_scheme(s);
+  for (const auto& l : layouts)
+    minimpi::require(static_cast<bool>(l.factory),
+                     minimpi::ErrorClass::invalid_arg,
+                     "layout axis '" + l.name + "' has no factory");
+}
 
 LayoutAxis LayoutAxis::stride2() {
   return {"stride2",

@@ -52,9 +52,11 @@ struct ExperimentPlan {
   /// Plan id, used for output file stems (`results/<name>.csv`).
   std::string name = "plan";
   /// Communication patterns to measure (`CommPattern::by_name` ids).
-  /// The default is the paper's 2-rank ping-pong; multi-rank patterns
-  /// ("multi-pair(P)", "halo2d(RxC)", "transpose(N)") accept only the
-  /// engine's two-sided schemes (`pattern_scheme_names()`).
+  /// The default is the paper's 2-rank ping-pong; the multi-rank
+  /// patterns ("multi-pair(P)", "halo2d(RxC)", "halo3d(XxYxZ)",
+  /// "transpose(N)") run the same peer-addressed transfer schemes as
+  /// the harness, so every scheme name is valid under every pattern
+  /// (`pattern_scheme_names()`).
   std::vector<std::string> patterns = {"pingpong"};
   std::vector<const minimpi::MachineProfile*> profiles = {
       &minimpi::MachineProfile::skx_impi()};
@@ -69,6 +71,11 @@ struct ExperimentPlan {
   std::size_t functional_payload_limit = 1u << 20;
   /// MPI_Wtime tick (paper: 1e-6 s); 0 for exact clocks.
   double wtime_resolution = 1e-6;
+
+  /// Fail fast: resolve every pattern, scheme, and layout-axis entry
+  /// before any universe spins up; throws MM_ERR_ARG naming the first
+  /// offender.  `run_plan` calls this on entry.
+  void validate() const;
 
   /// Sizes with the empty-means-paper default applied.
   [[nodiscard]] std::vector<std::size_t> effective_sizes() const;

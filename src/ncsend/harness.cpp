@@ -89,7 +89,8 @@ RunResult run_experiment(const minimpi::UniverseOptions& opts,
   RunResult result;
   minimpi::Universe::run(opts, [&](Comm& comm) {
     // Each rank owns its own scheme instance (schemes hold rank-local
-    // buffers and windows).
+    // buffers and windows): the named peer-addressed TransferScheme
+    // wrapped in the §3.2 ping-pong driver (schemes/two_sided.cpp).
     auto scheme = make_scheme(scheme_name);
     run_pingpong_rank(comm, *scheme, layout, cfg, &result);
   });

@@ -7,7 +7,10 @@
 /// instantiation), 20 individually-timed ping-pongs with MPI_Wtime, a
 /// 50 MB cache-flushing rewrite between repetitions, 1-sigma outlier
 /// rejection, and — because this substrate is functional — an optional
-/// end-to-end data verification after the timed loop.
+/// end-to-end data verification after the timed loop.  The measured
+/// unit is a `SendScheme`: for the legend names that is the generic
+/// ping-pong driver over one peer-addressed `TransferScheme`, the same
+/// object the N-rank pattern engine drives (scheme.hpp).
 
 #include <string>
 

@@ -4,13 +4,17 @@
 ///
 /// `ncsend` packages the paper's contribution for downstream use:
 ///   * `Layout` — the non-contiguous data patterns of interest;
-///   * `SendScheme` + `make_scheme` — the eight §2 send schemes;
+///   * `TransferScheme` + `make_transfer_scheme` — the §2 charge
+///     sequences as peer-addressed transfers, the single source both
+///     measurement engines drive;
+///   * `SendScheme` + `make_scheme` — the 2-rank ping-pong face of the
+///     same schemes;
 ///   * `run_pingpong_rank` / `run_experiment` — the §3.2 measurement
 ///     harness (20 timed ping-pongs, cache flushing, outlier rejection,
 ///     data verification);
 ///   * `CommPattern` + `run_pattern_experiment` (patterns/) — N-rank
-///     communication patterns (multi-pair, 2-D halo, transpose) on the
-///     same deterministic measurement machinery;
+///     communication patterns (multi-pair, 2-D/3-D halo, transpose) on
+///     the same deterministic measurement machinery;
 ///   * the experiment engine (`experiment/`) — declarative
 ///     `ExperimentPlan` grids, parallel deterministic execution via
 ///     `run_plan`, and the unified `ResultStore` writers;

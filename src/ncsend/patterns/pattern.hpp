@@ -22,6 +22,9 @@
 ///   * `halo2d(RxC)`     — 2-D Cartesian grid exchanging faces: rows
 ///                         travel contiguous, columns as the canonical
 ///                         blocklen-1 strided vector;
+///   * `halo3d(XxYxZ)`   — 3-D Cartesian grid exchanging six faces:
+///                         contiguous slabs, blocked strided planes,
+///                         and blocklen-1 strided planes;
 ///   * `transpose(N)`    — all-to-all of strided panels (each rank
 ///                         scatters the columns of its local block).
 
@@ -85,8 +88,8 @@ class CommPattern {
                                       const HarnessConfig& cfg) const;
 
   /// \brief Registry lookup: canonical names and the parameterized
-  /// forms ("multi-pair(2)", "halo2d(4x2)", "transpose(8)"); bare
-  /// "multi-pair" / "halo2d" / "transpose" pick the default parameters.
+  /// forms ("multi-pair(2)", "halo2d(4x2)", "halo3d(2x2x2)",
+  /// "transpose(8)"); bare family names pick the default parameters.
   /// Throws MM_ERR_ARG for unknown names or out-of-range parameters.
   static std::unique_ptr<CommPattern> by_name(std::string_view name);
   /// Default instances of every registered pattern family.
@@ -99,9 +102,10 @@ class CommPattern {
   std::string name_;
 };
 
-/// \brief Send schemes the generic N-rank engine can apply per neighbor
-/// (the two-sided schemes whose receive side is a contiguous buffer).
-/// `pingpong` delegates to the harness and accepts every scheme.
+/// \brief Send schemes the generic N-rank engine can apply per
+/// transfer: the full legend — the paper's eight plus the extension
+/// schemes — because the engine instantiates the same peer-addressed
+/// `TransferScheme` objects the §3.2 harness drives.
 const std::vector<std::string>& pattern_scheme_names();
 bool pattern_scheme_supported(std::string_view scheme);
 

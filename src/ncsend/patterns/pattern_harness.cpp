@@ -3,17 +3,30 @@
 ///
 /// One measurement is one `Universe::run`: every rank derives its
 /// outgoing transfers from the pattern's layout map, mirrors the other
-/// ranks' maps to learn what it receives, and then performs `reps`
-/// timed steps.  A step posts all receives, applies the send scheme to
-/// every outgoing transfer, completes receives before sends (so
-/// rendezvous cycles cannot deadlock at the host level), and — for
-/// acked patterns — closes ping-pong style with zero-byte acks.  The
-/// per-step sample is the maximum step time over all sending ranks
-/// (the bottleneck rank), fused after the timed loop; data verification
-/// mirrors the §3.2 harness, per incoming transfer.
+/// ranks' maps to learn what it receives, and instantiates one real
+/// `TransferScheme` per outgoing transfer — the same objects the §3.2
+/// ping-pong harness drives, so the per-scheme charge sequences have a
+/// single source (scheme.hpp / schemes/*.cpp) instead of the
+/// hand-mirrored switch this file used to carry.
+///
+/// Message-mode schemes run `reps` timed steps that post all receives
+/// (via the scheme's `post_receives`, so chunked schemes land
+/// correctly), start every outgoing transfer in posted mode, complete
+/// receives before send-waits (so rendezvous cycles cannot deadlock at
+/// the host level), and — for acked patterns — close ping-pong style
+/// with zero-byte acks.  RMA schemes instead expose each rank's
+/// concatenated ghost regions in one collectively created window and
+/// run the §3.2 epoch choreography per step: a fence epoch around all
+/// puts (`onesided`), or post/start/complete/wait over the neighbor
+/// groups (`onesided-pscw`); the epoch close is the synchronization,
+/// so no acks are exchanged.  The per-step sample is the maximum step
+/// time over all sending ranks (the bottleneck rank), fused after the
+/// timed loop; data verification mirrors the §3.2 harness, per
+/// incoming transfer.
 
 #include "ncsend/patterns/pattern.hpp"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,164 +36,54 @@
 namespace ncsend {
 namespace {
 
-using minimpi::BlockStats;
 using minimpi::Buffer;
 using minimpi::Comm;
 using minimpi::Datatype;
 using minimpi::Rank;
 using minimpi::Request;
 
-enum class SendKind { reference, copying, vector, subarray, packing_e,
-                      packing_v };
-
-SendKind parse_scheme(std::string_view name) {
-  if (name == "reference") return SendKind::reference;
-  if (name == "copying") return SendKind::copying;
-  if (name == "vector type") return SendKind::vector;
-  if (name == "subarray") return SendKind::subarray;
-  if (name == "packing(e)") return SendKind::packing_e;
-  if (name == "packing(v)") return SendKind::packing_v;
-  throw minimpi::Error(
-      minimpi::ErrorClass::invalid_arg,
-      "scheme not supported by the N-rank pattern engine: " +
-          std::string(name) + " (see pattern_scheme_names())");
-}
-
-/// Send-side application of one scheme for one outgoing transfer: owns
-/// the host array the layout lives in plus any staging, charges the
-/// same model terms as the scheme's §2 ping, and posts the isend.
-///
-/// The charge sequences deliberately mirror the ping-pong schemes
-/// (reference.cpp / copying.cpp / derived_types.cpp / packing.cpp) —
-/// peer-addressed and nonblocking where those are rank-1 and blocking.
-/// A change to a scheme's timed charges must be made in both places,
-/// or the pattern sweeps drift from the ping-pong sweeps for the same
-/// legend name (the halo2d shape test in test_patterns.cpp guards the
-/// ranking).  One intended divergence: packing(e) always moves bytes
-/// through one engine gather, while the harness scheme issues literal
-/// per-element MPI_Pack calls below its element_loop_limit — the bytes
-/// and the modeled charges are identical either way.
-struct SchemeSend {
-  SendKind kind = SendKind::reference;
+/// One outgoing transfer: the real scheme instance plus the host array
+/// the layout lives in (filled with the transfer's recognizable
+/// pattern) and its context.
+struct OutgoingTransfer {
   Rank peer = 0;
   Layout layout = Layout::contiguous(0);
-  Datatype dtype;
-  BlockStats stats;
-  Buffer user;     ///< host array (filled with the transfer's pattern)
-  Buffer staging;  ///< contiguous send buffer (kinds that stage)
-  std::uint64_t user_region = 0, staging_region = 0;
-
-  void setup(Comm& comm, SendKind k, const Transfer& t, std::size_t ti) {
-    kind = k;
-    peer = t.peer;
-    layout = t.layout;
-    user_region = 1 + 2 * ti;
-    staging_region = 2 + 2 * ti;
-    const std::size_t footprint_bytes =
-        layout.footprint_elems() * sizeof(double);
-    user = Buffer::allocate(footprint_bytes,
-                            comm.moves_payload(footprint_bytes));
-    if (!user.is_phantom() && footprint_bytes > 0) {
-      const std::size_t salt = pattern_fill_salt(comm.rank(), ti);
-      auto elems = user.as<double>();
-      for (std::size_t i = 0; i < elems.size(); ++i)
-        elems[i] = fill_value(salt + i);
-    }
-    switch (kind) {
-      case SendKind::reference:
-        staging = allocate_staging(comm);
-        // Staged once outside the timing loop: the timed path is a pure
-        // contiguous send of the same byte count.
-        if (!staging.is_phantom() && !user.is_phantom())
-          minimpi::gather(user.data(), 1, layout.datatype(), staging.data());
-        break;
-      case SendKind::copying:
-        staging = allocate_staging(comm);
-        dtype = layout.datatype();
-        stats = dtype.block_stats();
-        break;
-      case SendKind::vector:
-        dtype = styled_or_best(layout, TypeStyle::vector);
-        break;
-      case SendKind::subarray:
-        dtype = styled_or_best(layout, TypeStyle::subarray);
-        break;
-      case SendKind::packing_e:
-      case SendKind::packing_v:
-        staging = allocate_staging(comm);
-        dtype = kind == SendKind::packing_v
-                    ? styled_or_best(layout, TypeStyle::vector)
-                    : layout.datatype();
-        stats = dtype.block_stats();
-        break;
-    }
-  }
-
-  [[nodiscard]] Buffer allocate_staging(Comm& comm) const {
-    return Buffer::allocate(layout.payload_bytes(),
-                            comm.moves_payload(layout.payload_bytes()));
-  }
-
-  /// Gather-loop charge: the same shared formula the ping-pong schemes
-  /// use through SchemeContext.
-  double charge_user_gather(Comm& comm, memsim::CacheModel& cache) {
-    return ncsend::charge_user_gather(comm, cache, layout, stats,
-                                      user_region);
-  }
-
-  /// One step's send: charge the scheme's model terms, move the bytes
-  /// (functional runs), post the isend.
-  Request start(Comm& comm, memsim::CacheModel& cache) {
-    const Datatype f64 = Datatype::float64();
-    switch (kind) {
-      case SendKind::reference:
-        return comm.isend(staging.data(), layout.element_count(), f64, peer,
-                          ping_tag);
-      case SendKind::copying:
-        charge_user_gather(comm, cache);
-        if (!staging.is_phantom() && !user.is_phantom())
-          minimpi::gather(user.data(), 1, dtype, staging.data());
-        cache.touch(staging_region, staging.size());
-        return comm.isend(staging.data(), layout.element_count(), f64, peer,
-                          ping_tag);
-      case SendKind::vector:
-      case SendKind::subarray:
-        return comm.isend(user.data(), 1, dtype, peer, ping_tag);
-      case SendKind::packing_e:
-        // One library call per element dominates (§2.6); the bytes move
-        // through one engine gather either way.
-        comm.charge(comm.model().call_overhead(layout.element_count()));
-        charge_user_gather(comm, cache);
-        if (!staging.is_phantom() && !user.is_phantom())
-          minimpi::gather(user.data(), 1, dtype, staging.data());
-        return comm.isend(staging.data(), layout.payload_bytes(),
-                          Datatype::packed(), peer, ping_tag);
-      case SendKind::packing_v:
-        comm.charge(comm.model().call_overhead(1));
-        charge_user_gather(comm, cache);
-        if (!staging.is_phantom() && !user.is_phantom()) {
-          std::size_t pos = 0;
-          minimpi::pack(user.data(), 1, dtype, staging.data(),
-                        staging.size(), pos);
-        }
-        cache.touch(staging_region, staging.size());
-        return comm.isend(staging.data(), layout.payload_bytes(),
-                          Datatype::packed(), peer, ping_tag);
-    }
-    throw minimpi::Error(minimpi::ErrorClass::internal,
-                         "unreachable send kind");
-  }
+  Buffer user;  ///< host array (filled with the transfer's pattern)
+  std::unique_ptr<TransferScheme> scheme;
 };
 
 /// One expected incoming transfer: who sends, with which layout, and
-/// where the contiguous ghost bytes land.
+/// where the contiguous ghost bytes land (its own buffer in message
+/// mode, an offset into the rank's window arena in RMA mode).
 struct IncomingTransfer {
   Rank peer = 0;
   std::size_t sender_index = 0;  ///< index in the sender's layout map
   /// The *sender's* layout view (drives size and verification).
   Layout layout = Layout::contiguous(0);
-  Buffer ghost;
+  Buffer ghost;                  ///< message mode only
+  std::size_t arena_offset = 0;  ///< RMA mode only
 };
+
+/// \brief Byte offset of sender `(from, sender_index)`'s transfer in
+/// rank `to`'s ghost arena.  Mirrors the deterministic enumeration the
+/// receiving rank uses to lay out its arena, so the sender can address
+/// its put without any coordination message.
+std::size_t arena_offset_at(const CommPattern& pattern, const Layout& base,
+                            int nranks, Rank to, Rank from,
+                            std::size_t sender_index) {
+  std::size_t offset = 0;
+  for (int q = 0; q < nranks; ++q) {
+    if (q == to) continue;
+    const std::vector<Transfer> qs = pattern.sends(q, base);
+    for (std::size_t tj = 0; tj < qs.size(); ++tj) {
+      if (qs[tj].peer != to) continue;
+      if (q == from && tj == sender_index) return offset;
+      offset += qs[tj].layout.payload_bytes();
+    }
+  }
+  throw minimpi::Error(minimpi::ErrorClass::internal,
+                       "transfer not present in the mirrored layout map");
+}
 
 }  // namespace
 
@@ -190,31 +93,104 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
   minimpi::require(comm.size() == pattern.nranks(),
                    minimpi::ErrorClass::invalid_arg,
                    "pattern universe has the wrong rank count");
-  const SendKind kind = parse_scheme(scheme_name);
   const int me = comm.rank();
+  // A rank-local prototype: resolves the name (throwing for junk on
+  // every rank alike) and answers sync-mode / receive-side questions.
+  const std::unique_ptr<TransferScheme> proto =
+      make_transfer_scheme(scheme_name);
+  const SyncMode mode = proto->sync_mode();
 
   // --- the layout map, outgoing and mirrored incoming --------------------
-  const std::vector<Transfer> outgoing = pattern.sends(me, base);
+  const std::vector<Transfer> outgoing_map = pattern.sends(me, base);
   std::vector<IncomingTransfer> incoming;
   for (int q = 0; q < comm.size(); ++q) {
     if (q == me) continue;
     const std::vector<Transfer> qs = pattern.sends(q, base);
     for (std::size_t ti = 0; ti < qs.size(); ++ti)
       if (qs[ti].peer == me)
-        incoming.push_back({q, ti, qs[ti].layout, Buffer{}});
+        incoming.push_back({q, ti, qs[ti].layout, Buffer{}, 0});
   }
 
   // --- buffers and scheme state, outside the timing loop (§3.2) ----------
-  std::vector<SchemeSend> sends(outgoing.size());
-  for (std::size_t ti = 0; ti < outgoing.size(); ++ti)
-    sends[ti].setup(comm, kind, outgoing[ti], ti);
-  for (IncomingTransfer& in : incoming)
-    in.ghost = Buffer::allocate(in.layout.payload_bytes(),
-                                comm.moves_payload(in.layout.payload_bytes()));
-
   memsim::CacheModel cache(comm.profile().cache_bytes);
+  std::vector<OutgoingTransfer> sends(outgoing_map.size());
+  std::vector<TransferContext> contexts;
+  contexts.reserve(sends.size());
+  for (std::size_t ti = 0; ti < sends.size(); ++ti) {
+    OutgoingTransfer& s = sends[ti];
+    s.peer = outgoing_map[ti].peer;
+    s.layout = outgoing_map[ti].layout;
+    s.scheme = make_transfer_scheme(scheme_name);
+    const std::size_t footprint_bytes =
+        s.layout.footprint_elems() * sizeof(double);
+    s.user = Buffer::allocate(footprint_bytes,
+                              comm.moves_payload(footprint_bytes));
+    if (!s.user.is_phantom() && footprint_bytes > 0) {
+      const std::size_t salt = pattern_fill_salt(me, ti);
+      auto elems = s.user.as<double>();
+      for (std::size_t i = 0; i < elems.size(); ++i)
+        elems[i] = fill_value(salt + i);
+    }
+    contexts.push_back(TransferContext{comm, s.layout, cache, s.user, s.peer,
+                                       /*user_region=*/1 + 2 * ti,
+                                       /*staging_region=*/2 + 2 * ti,
+                                       ping_tag,
+                                       /*blocking=*/false});
+  }
+
+  // Receive side: individual ghost buffers for message schemes, one
+  // contiguous arena exposed through a collectively created window for
+  // RMA schemes.
+  Buffer arena;
+  std::optional<minimpi::Window> win;
+  if (mode == SyncMode::message) {
+    for (IncomingTransfer& in : incoming)
+      in.ghost =
+          Buffer::allocate(in.layout.payload_bytes(),
+                           comm.moves_payload(in.layout.payload_bytes()));
+  } else {
+    std::size_t total = 0;
+    for (const IncomingTransfer& in : incoming)
+      total += in.layout.payload_bytes();
+    // Receiver and sender address the arena through the same
+    // enumeration (arena_offset_at), so the layout cannot drift
+    // between the two endpoints.
+    for (IncomingTransfer& in : incoming)
+      in.arena_offset = arena_offset_at(pattern, base, comm.size(), me,
+                                        in.peer, in.sender_index);
+    arena = Buffer::allocate(total, comm.moves_payload(total));
+    // Collective: every rank participates, exposing its arena (null
+    // base is fine for phantom arenas — the model still charges).
+    win.emplace(comm.win_create(arena.data(), arena.size()));
+    for (std::size_t ti = 0; ti < sends.size(); ++ti) {
+      contexts[ti].window = &*win;
+      contexts[ti].window_offset = arena_offset_at(
+          pattern, base, comm.size(), sends[ti].peer, me, ti);
+    }
+  }
+
+  // Buffered sends draw on one rank-wide attached pool sized for every
+  // transfer's in-flight share.
+  std::size_t attach_total = 0;
+  for (std::size_t ti = 0; ti < sends.size(); ++ti)
+    attach_total += sends[ti].scheme->attach_bytes(contexts[ti]);
+  Buffer attach_buf;
+  if (attach_total > 0) {
+    attach_buf = Buffer::allocate(attach_total,
+                                  comm.moves_payload(attach_total));
+    comm.buffer_attach(attach_buf);
+  }
+
+  for (std::size_t ti = 0; ti < sends.size(); ++ti)
+    sends[ti].scheme->setup(contexts[ti]);
+
+  // PSCW neighbor groups: who exposes to whom each step.
+  std::vector<Rank> origins;
+  for (const IncomingTransfer& in : incoming) origins.push_back(in.peer);
+  std::vector<Rank> targets;
+  for (const OutgoingTransfer& s : sends) targets.push_back(s.peer);
+
   memsim::CacheFlusher flusher(cache, cfg.flush, cfg.flush_bytes);
-  const Datatype f64 = Datatype::float64();
   const Datatype byte = Datatype::byte();
   comm.barrier();
 
@@ -222,26 +198,59 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
   const bool sender = !sends.empty();
   std::vector<double> local;
   local.reserve(static_cast<std::size_t>(cfg.reps));
-  std::vector<Request> rreqs(incoming.size());
-  std::vector<Request> sreqs(sends.size());
+  std::vector<Request> rreqs;
+  std::vector<Request> sreqs;
   for (int rep = 0; rep < cfg.reps; ++rep) {
     const double t0 = comm.wtime();
-    for (std::size_t j = 0; j < incoming.size(); ++j)
-      rreqs[j] = comm.irecv(incoming[j].ghost.data(),
-                            incoming[j].layout.element_count(), f64,
-                            incoming[j].peer, ping_tag);
-    for (std::size_t i = 0; i < sends.size(); ++i)
-      sreqs[i] = sends[i].start(comm, cache);
-    // Receives complete first: a rendezvous send finishes only once its
-    // receiver matches, so draining receives before send-waits keeps
-    // cyclic patterns (halo, all-to-all) free of host-level deadlock.
-    waitall(rreqs);
-    waitall(sreqs);
-    if (pattern.acked()) {
-      for (const IncomingTransfer& in : incoming)
-        comm.send(nullptr, 0, byte, in.peer, ping_tag + 1);
-      for (const SchemeSend& s : sends)
-        comm.recv(nullptr, 0, byte, s.peer, ping_tag + 1);
+    switch (mode) {
+      case SyncMode::message:
+        rreqs.clear();
+        for (IncomingTransfer& in : incoming)
+          proto->post_receives(comm, in.peer, in.layout, in.ghost.data(),
+                               ping_tag, rreqs);
+        sreqs.clear();
+        for (std::size_t ti = 0; ti < sends.size(); ++ti)
+          sends[ti].scheme->start(contexts[ti], sreqs);
+        // Receives complete first: a rendezvous send finishes only once
+        // its receiver matches, so draining receives before send-waits
+        // keeps cyclic patterns (halo, all-to-all) free of host-level
+        // deadlock.
+        waitall(rreqs);
+        waitall(sreqs);
+        for (std::size_t ti = 0; ti < sends.size(); ++ti)
+          sends[ti].scheme->finish(contexts[ti]);
+        if (pattern.acked()) {
+          for (const IncomingTransfer& in : incoming)
+            comm.send(nullptr, 0, byte, in.peer, ping_tag + 1);
+          for (const OutgoingTransfer& s : sends)
+            comm.recv(nullptr, 0, byte, s.peer, ping_tag + 1);
+        }
+        break;
+      case SyncMode::fence:
+        // One fence epoch per step over the whole universe, as in the
+        // paper's §3.2 fence choreography; the closing fence is the
+        // step's synchronization.
+        win->fence();
+        sreqs.clear();
+        for (std::size_t ti = 0; ti < sends.size(); ++ti)
+          sends[ti].scheme->start(contexts[ti], sreqs);
+        win->fence();
+        break;
+      case SyncMode::pscw:
+        // Generalized active target over the neighbor groups: each
+        // rank exposes to the peers that send to it and accesses the
+        // peers it sends to.  Every rank posts before any rank starts,
+        // so the access-epoch waits cannot cycle.
+        if (!origins.empty()) win->post(origins);
+        if (!targets.empty()) {
+          win->start(targets);
+          sreqs.clear();
+          for (std::size_t ti = 0; ti < sends.size(); ++ti)
+            sends[ti].scheme->start(contexts[ti], sreqs);
+          win->complete();
+        }
+        if (!origins.empty()) win->wait_post();
+        break;
     }
     const double dt = comm.wtime() - t0;
     local.push_back(sender ? dt : 0.0);
@@ -258,14 +267,17 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
     for (const IncomingTransfer& in : incoming) {
       const std::size_t footprint_bytes =
           in.layout.footprint_elems() * sizeof(double);
-      if (in.ghost.is_phantom() || in.ghost.size() == 0 ||
+      const Buffer& ghost = mode == SyncMode::message ? in.ghost : arena;
+      if (ghost.is_phantom() || ghost.size() == 0 ||
           !comm.moves_payload(footprint_bytes))
         continue;
       checked = true;
       const std::size_t salt = pattern_fill_salt(in.peer, in.sender_index);
-      const auto got = in.ghost.as<const double>();
+      const std::size_t first =
+          (mode == SyncMode::message ? 0 : in.arena_offset) / sizeof(double);
+      const auto got = ghost.as<const double>();
       in.layout.for_each_element([&](std::size_t k, std::size_t src) {
-        if (got[k] != fill_value(salt + src)) ok = false;
+        if (got[first + k] != fill_value(salt + src)) ok = false;
       });
     }
   }
@@ -276,13 +288,19 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
   for (const double dt : local)
     samples.push_back(comm.allreduce(dt, minimpi::ReduceOp::max));
   std::size_t my_bytes = 0;
-  for (const SchemeSend& s : sends) my_bytes += s.layout.payload_bytes();
+  for (const OutgoingTransfer& s : sends)
+    my_bytes += s.layout.payload_bytes();
   const double busiest =
       comm.allreduce(static_cast<double>(my_bytes), minimpi::ReduceOp::max);
   const double all_ok =
       comm.allreduce(checked && !ok ? 0.0 : 1.0, minimpi::ReduceOp::min);
   const double any_checked =
       comm.allreduce(checked ? 1.0 : 0.0, minimpi::ReduceOp::max);
+
+  for (std::size_t ti = 0; ti < sends.size(); ++ti)
+    sends[ti].scheme->teardown(contexts[ti]);
+  if (attach_total > 0) comm.buffer_detach();
+  win.reset();
   comm.barrier();
 
   if (me == 0 && out != nullptr) {

@@ -2,14 +2,26 @@
 /// \file scheme.hpp
 /// \brief The send-scheme interface: the paper's §2 as a class hierarchy.
 ///
-/// A `SendScheme` implements one way of moving a non-contiguous message
-/// from rank 0's host array to a contiguous buffer on rank 1.  The
-/// harness calls `setup` once per experiment (buffers live outside the
-/// timing loop, as in the paper), then times `run_rep` — one complete
-/// ping-pong — on rank 0.  Two-sided schemes inherit the
-/// recv-then-zero-byte-pong serving loop from `TwoSidedScheme`; the
-/// one-sided scheme overrides `run_rep` entirely so the timers surround
-/// its fences (paper §3.2).
+/// The primitive is the peer-addressed `TransferScheme`: one way of
+/// moving a non-contiguous message from a host array on this rank to a
+/// contiguous region on *any* peer rank.  Its `setup` / `start` /
+/// `finish` / `teardown` lifecycle is the single source of every
+/// scheme's timed charge sequence, shared by the two drivers:
+///
+///   * the §3.2 ping-pong harness (`harness.cpp` + the driver in
+///     `schemes/two_sided.cpp`), which runs one transfer to rank 1 with
+///     blocking completion and a zero-byte pong; and
+///   * the N-rank pattern engine (`patterns/pattern_harness.cpp`),
+///     which instantiates one `TransferScheme` per outgoing transfer
+///     and completes the posted requests after draining its receives.
+///
+/// A scheme never knows which driver is running it: the
+/// `TransferContext` carries the peer rank, layout, buffers, cache
+/// model, and the blocking/posted completion style, and the
+/// `inject`/`inject_sync` helpers map to blocking or nonblocking MPI
+/// calls accordingly.  `SendScheme` remains the 2-rank measurement
+/// interface the harness consumes; `make_scheme` wraps each
+/// `TransferScheme` in the ping-pong driver.
 
 #include <memory>
 #include <string_view>
@@ -25,8 +37,7 @@ namespace ncsend {
 /// contiguous buffer: consults the cache model for warmth of the host
 /// array region, charges the copy-loop cost to the rank's clock, and
 /// returns the warm fraction used.  The single source of this formula,
-/// shared by the ping-pong schemes (via `SchemeContext`) and the
-/// N-rank pattern engine (patterns/pattern_harness.cpp).
+/// shared by every driver through `TransferContext`.
 inline double charge_user_gather(minimpi::Comm& comm,
                                  memsim::CacheModel& cache,
                                  const Layout& layout,
@@ -38,7 +49,145 @@ inline double charge_user_gather(minimpi::Comm& comm,
   return warm;
 }
 
-/// Everything a scheme needs for one experiment on one rank.
+/// Tag used by every data ping; the pong/ack uses tag + 1.
+inline constexpr minimpi::Tag ping_tag = 17;
+
+/// \brief How a transfer's bytes synchronize between the endpoints.
+enum class SyncMode {
+  message,  ///< two-sided: receiver posts contiguous receives
+  fence,    ///< RMA put inside MPI_Win_fence epochs (paper §2.5)
+  pscw,     ///< RMA put inside post/start/complete/wait epochs
+};
+
+/// \brief Everything one peer-addressed transfer needs on the sending
+/// rank.  Subsumes the old rank-0/rank-1 `SchemeContext`: the receive
+/// side (contiguous buffer or exposed window region) is owned by the
+/// driver, so a scheme only ever sees its own endpoint.
+struct TransferContext {
+  minimpi::Comm& comm;
+  const Layout& layout;        ///< what this transfer sends
+  memsim::CacheModel& cache;
+  minimpi::Buffer& user_data;  ///< host array the layout lives in
+  minimpi::Rank peer = 1;      ///< destination rank
+  /// Stable cache-model region ids for this transfer's host array and
+  /// staging buffer (the drivers keep them distinct per transfer).
+  std::uint64_t user_region = 1;
+  std::uint64_t staging_region = 2;
+  minimpi::Tag tag = ping_tag;
+  /// Blocking drivers (the §3.2 ping-pong) complete every injection
+  /// inline; posted drivers (the N-rank engine) collect the returned
+  /// requests and complete them only after draining their receives, so
+  /// cyclic patterns cannot deadlock at the host level.
+  bool blocking = true;
+  /// RMA schemes: the collectively created window exposing the
+  /// receiver's contiguous region, and where this transfer lands in it.
+  minimpi::Window* window = nullptr;
+  std::size_t window_offset = 0;
+
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return layout.payload_bytes();
+  }
+
+  /// \brief Allocate a scheme-owned buffer obeying the phantom policy.
+  [[nodiscard]] minimpi::Buffer allocate(std::size_t bytes) const {
+    return minimpi::Buffer::allocate(bytes, comm.moves_payload(bytes));
+  }
+
+  /// \brief Model a user-space gather of the layout into a contiguous
+  /// buffer; delegates to the shared `ncsend::charge_user_gather`.
+  /// Returns the warm fraction used (tests inspect it).
+  double charge_user_gather(const minimpi::BlockStats& stats) {
+    return ncsend::charge_user_gather(comm, cache, layout, stats,
+                                      user_region);
+  }
+
+  /// \brief Inject `(buf, count, t)` toward the peer: a blocking send
+  /// under the ping-pong driver (bit-identical to the paper's §3.2
+  /// procedure), an isend under the posted engine.  Returns an invalid
+  /// request when the call completed inline.
+  minimpi::Request inject(const void* buf, std::size_t count,
+                          const minimpi::Datatype& t) {
+    if (blocking) {
+      comm.send(buf, count, t, peer, tag);
+      return {};
+    }
+    return comm.isend(buf, count, t, peer, tag);
+  }
+
+  /// \brief Synchronous-mode injection: ssend when blocking, issend
+  /// when posted (both handshake regardless of size).
+  minimpi::Request inject_sync(const void* buf, std::size_t count,
+                               const minimpi::Datatype& t) {
+    if (blocking) {
+      comm.ssend(buf, count, t, peer, tag);
+      return {};
+    }
+    return comm.issend(buf, count, t, peer, tag);
+  }
+};
+
+/// \brief One peer-addressed transfer scheme: the paper's §2 charge
+/// sequences, driver-agnostic.  A scheme instance owns the state of
+/// exactly one directed transfer (staging buffers, datatypes,
+/// persistent requests); drivers create one instance per transfer.
+class TransferScheme {
+ public:
+  virtual ~TransferScheme() = default;
+
+  /// Legend name, matching the paper's figures ("vector type", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// How this scheme's bytes synchronize (drives the engines'
+  /// receive/epoch choreography).
+  [[nodiscard]] virtual SyncMode sync_mode() const {
+    return SyncMode::message;
+  }
+
+  /// Bsend-pool headroom this transfer needs; drivers attach one
+  /// rank-wide buffer covering all transfers before calling `setup`.
+  [[nodiscard]] virtual std::size_t attach_bytes(
+      const TransferContext&) const {
+    return 0;
+  }
+
+  /// Called once before the timing loop (allocate staging, build
+  /// datatypes, pre-stage reference data, ...).
+  virtual void setup(TransferContext&) {}
+  /// Called once after the timing loop.
+  virtual void teardown(TransferContext&) {}
+
+  /// \brief One step's send: charge the scheme's §2 model terms, move
+  /// the bytes (functional runs), and inject the transfer.  Requests
+  /// pushed to `out` are completed by the driver — immediately under
+  /// the blocking ping-pong, after the receive drain under the engine.
+  virtual void start(TransferContext& ctx,
+                     std::vector<minimpi::Request>& out) = 0;
+
+  /// Called once the started requests have completed (persistent
+  /// wait, ...).
+  virtual void finish(TransferContext&) {}
+
+  /// \brief Receiver endpoint of one incoming transfer: post the
+  /// nonblocking receive(s) of `layout`'s payload into the contiguous
+  /// `ghost` bytes (null when phantom).  Default: a single irecv of
+  /// the whole payload as float64.  RMA schemes receive through the
+  /// window instead and never see this call.
+  virtual void post_receives(minimpi::Comm& comm, minimpi::Rank from,
+                             const Layout& layout, std::byte* ghost,
+                             minimpi::Tag tag,
+                             std::vector<minimpi::Request>& out) const;
+};
+
+/// \brief Instantiate a peer-addressed transfer scheme by legend name
+/// (paper legend + extension schemes); throws MM_ERR_ARG for unknown
+/// names.
+std::unique_ptr<TransferScheme> make_transfer_scheme(std::string_view name);
+
+// ---------------------------------------------------------------------------
+// The 2-rank ping-pong layer (paper §3.2)
+// ---------------------------------------------------------------------------
+
+/// Everything the ping-pong harness shares with a 2-rank scheme.
 struct SchemeContext {
   minimpi::Comm& comm;
   const Layout& layout;
@@ -65,16 +214,17 @@ struct SchemeContext {
 
   /// \brief Model a user-space gather of the layout into a contiguous
   /// buffer; delegates to the shared `ncsend::charge_user_gather`.
-  /// Returns the warm fraction used (tests inspect it).
   double charge_user_gather(const minimpi::BlockStats& stats) {
     return ncsend::charge_user_gather(comm, cache, layout, stats,
                                       user_region);
   }
 };
 
-/// Tag used by every data ping; the pong uses tag + 1.
-inline constexpr minimpi::Tag ping_tag = 17;
-
+/// \brief One 2-rank measurement unit: what `run_pingpong_rank` times.
+/// The concrete schemes no longer implement this directly — they are
+/// `TransferScheme`s, and `make_scheme` wraps them in the generic
+/// ping-pong driver.  The interface stays for custom harness schemes
+/// (tests subclass `TwoSidedScheme` below).
 class SendScheme {
  public:
   virtual ~SendScheme() = default;
@@ -92,8 +242,9 @@ class SendScheme {
   virtual void run_rep(SchemeContext& ctx) = 0;
 };
 
-/// \brief Base for the seven two-sided schemes: receiver does a
-/// contiguous recv followed by a zero-byte pong (paper §3.2).
+/// \brief Convenience base for hand-written two-sided harness schemes:
+/// the receiver does a contiguous recv followed by a zero-byte pong
+/// (paper §3.2); subclasses supply the non-contiguous `ping`.
 class TwoSidedScheme : public SendScheme {
  public:
   void run_rep(SchemeContext& ctx) final;
@@ -103,20 +254,11 @@ class TwoSidedScheme : public SendScheme {
   virtual void ping(SchemeContext& ctx) = 0;
 };
 
-/// \brief Instantiate a scheme by legend name.
+/// \brief Instantiate a scheme by legend name: the named
+/// `TransferScheme` wrapped in the §3.2 ping-pong driver.
 std::unique_ptr<SendScheme> make_scheme(std::string_view name);
 
 /// \brief All legend names, in the paper's order.
 const std::vector<std::string>& all_scheme_names();
-
-/// Which derived-type style the direct-send schemes use.
-std::unique_ptr<SendScheme> make_reference();
-std::unique_ptr<SendScheme> make_copying();
-std::unique_ptr<SendScheme> make_buffered();
-std::unique_ptr<SendScheme> make_vector_type();
-std::unique_ptr<SendScheme> make_subarray();
-std::unique_ptr<SendScheme> make_onesided();
-std::unique_ptr<SendScheme> make_packing_element();
-std::unique_ptr<SendScheme> make_packing_vector();
 
 }  // namespace ncsend

@@ -3,24 +3,23 @@
 
 namespace ncsend {
 
-void BufferedScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+std::size_t BufferedScheme::attach_bytes(const TransferContext& ctx) const {
+  // Room for one in-flight message plus MPI's per-message overhead
+  // (paper §2.4: MPI_Buffer_attach + MPI_Bsend).  The driver attaches
+  // one rank-wide pool summing every transfer's share.
+  return ctx.payload_bytes() +
+         minimpi::detail::BsendPool::bsend_overhead_bytes;
+}
+
+void BufferedScheme::setup(TransferContext& ctx) {
   dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
-  // Attach room for one in-flight message plus MPI's per-message
-  // overhead (paper §2.4: MPI_Buffer_attach + MPI_Bsend).
-  const std::size_t need =
-      ctx.payload_bytes() + minimpi::detail::BsendPool::bsend_overhead_bytes;
-  attach_buf_ = ctx.allocate(need);
-  ctx.comm.buffer_attach(attach_buf_);
 }
 
-void BufferedScheme::teardown(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
-  ctx.comm.buffer_detach();
-}
-
-void BufferedScheme::ping(SchemeContext& ctx) {
-  ctx.comm.bsend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+void BufferedScheme::start(TransferContext& ctx,
+                           std::vector<minimpi::Request>&) {
+  // Bsend never blocks on the receiver (the attached buffer absorbs
+  // the message), so the blocking and posted drivers share this call.
+  ctx.comm.bsend(ctx.user_data.data(), 1, dtype_, ctx.peer, ctx.tag);
 }
 
 }  // namespace ncsend

@@ -2,8 +2,7 @@
 
 namespace ncsend {
 
-void CopyingScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void CopyingScheme::setup(TransferContext& ctx) {
   // Paper §2.2: "We allocate the send buffer outside the timing loop,
   // and reuse it."
   sendbuf_ = ctx.allocate(ctx.payload_bytes());
@@ -11,15 +10,17 @@ void CopyingScheme::setup(SchemeContext& ctx) {
   stats_ = dtype_.block_stats();
 }
 
-void CopyingScheme::ping(SchemeContext& ctx) {
+void CopyingScheme::start(TransferContext& ctx,
+                          std::vector<minimpi::Request>& out) {
   // The user-space gather loop: 2N loads + N stores, charged through
   // the machine profile's copy bandwidth (and the cache model's warmth).
   ctx.charge_user_gather(stats_);
   if (!sendbuf_.is_phantom() && !ctx.user_data.is_phantom())
     minimpi::gather(ctx.user_data.data(), 1, dtype_, sendbuf_.data());
-  ctx.cache.touch(SchemeContext::staging_region, sendbuf_.size());
-  ctx.comm.send(sendbuf_.data(), ctx.layout.element_count(),
-                minimpi::Datatype::float64(), 1, ping_tag);
+  ctx.cache.touch(ctx.staging_region, sendbuf_.size());
+  minimpi::Request r = ctx.inject(sendbuf_.data(), ctx.layout.element_count(),
+                                  minimpi::Datatype::float64());
+  if (r.valid()) out.push_back(std::move(r));
 }
 
 }  // namespace ncsend

@@ -2,15 +2,16 @@
 
 namespace ncsend {
 
-void DerivedTypeScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void DerivedTypeScheme::setup(TransferContext& ctx) {
   // Type construction and commit happen outside the timing loop, as in
   // the paper; only the send itself is measured.
   dtype_ = styled_or_best(ctx.layout, style_);
 }
 
-void DerivedTypeScheme::ping(SchemeContext& ctx) {
-  ctx.comm.send(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+void DerivedTypeScheme::start(TransferContext& ctx,
+                              std::vector<minimpi::Request>& out) {
+  minimpi::Request r = ctx.inject(ctx.user_data.data(), 1, dtype_);
+  if (r.valid()) out.push_back(std::move(r));
 }
 
 }  // namespace ncsend

@@ -6,142 +6,149 @@ namespace ncsend {
 // Send-mode variants of the direct derived-type send
 // ---------------------------------------------------------------------------
 
-void SendModeScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void SendModeScheme::setup(TransferContext& ctx) {
   dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
   if (mode_ == Mode::persistent) {
-    preq_ = ctx.comm.send_init(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+    preq_ = ctx.comm.send_init(ctx.user_data.data(), 1, dtype_, ctx.peer,
+                               ctx.tag);
   }
 }
 
-void SendModeScheme::ping(SchemeContext& ctx) {
+void SendModeScheme::start(TransferContext& ctx,
+                           std::vector<minimpi::Request>& out) {
   switch (mode_) {
-    case Mode::isend: {
-      minimpi::Request r =
-          ctx.comm.isend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
-      r.wait();
+    case Mode::isend:
+      // Nonblocking under both drivers; the blocking ping-pong driver
+      // waits the request immediately, reproducing isend+wait.
+      out.push_back(
+          ctx.comm.isend(ctx.user_data.data(), 1, dtype_, ctx.peer, ctx.tag));
+      break;
+    case Mode::ssend: {
+      minimpi::Request r = ctx.inject_sync(ctx.user_data.data(), 1, dtype_);
+      if (r.valid()) out.push_back(std::move(r));
       break;
     }
-    case Mode::ssend:
-      ctx.comm.ssend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
-      break;
     case Mode::rsend:
-      // The ping-pong structure guarantees the receiver has served the
-      // previous rep and is blocked in its next receive: ready mode is
-      // legal here and skips the handshake entirely.
-      ctx.comm.rsend(ctx.user_data.data(), 1, dtype_, 1, ping_tag);
+      // The ping-pong structure guarantees the receiver is already
+      // posted, so ready mode is legal there and skips the handshake.
+      // The N-rank engine posts every receive before any send within a
+      // step, but cross-rank host timing is not enforced — the
+      // simulator delivers regardless and charges ready-mode timing,
+      // an idealization real MPI would leave undefined.  rsend never
+      // blocks on the receiver.
+      ctx.comm.rsend(ctx.user_data.data(), 1, dtype_, ctx.peer, ctx.tag);
       break;
     case Mode::persistent:
       preq_.start();
-      preq_.wait();
       break;
   }
+}
+
+void SendModeScheme::finish(TransferContext&) {
+  if (mode_ == Mode::persistent) preq_.wait();
 }
 
 // ---------------------------------------------------------------------------
 // One-sided with generalized active target synchronization
 // ---------------------------------------------------------------------------
 
-void OneSidedPscwScheme::setup(SchemeContext& ctx) {
-  dtype_ = ctx.sender() ? ctx.layout.datatype() : minimpi::Datatype::float64();
-  if (ctx.sender()) {
-    win_.emplace(ctx.comm.win_create(nullptr, 0));
-  } else {
-    win_.emplace(
-        ctx.comm.win_create(ctx.recv_buf.data(), ctx.recv_buf.size()));
-  }
+void OneSidedPscwScheme::setup(TransferContext& ctx) {
+  dtype_ = ctx.layout.datatype();
 }
 
-void OneSidedPscwScheme::teardown(SchemeContext&) { win_.reset(); }
-
-void OneSidedPscwScheme::run_rep(SchemeContext& ctx) {
-  // Pairwise epochs: the target exposes to rank 0 only; rank 0 accesses
-  // rank 1 only.  No global fence is involved.
-  if (ctx.sender()) {
-    const minimpi::Rank targets[] = {1};
-    win_->start(targets);
-    win_->put(ctx.user_data.data(), 1, dtype_, 1, 0);
-    win_->complete();
-    // Completion notification closes the timed transfer; a zero-byte
-    // ack from the target keeps the timing symmetric with run_rep on
-    // the target side.
-    ctx.comm.recv(nullptr, 0, minimpi::Datatype::byte(), 1, ping_tag + 1);
-  } else {
-    const minimpi::Rank origins[] = {0};
-    win_->post(origins);
-    win_->wait_post();
-    ctx.comm.send(nullptr, 0, minimpi::Datatype::byte(), 0, ping_tag + 1);
-  }
+void OneSidedPscwScheme::start(TransferContext& ctx,
+                               std::vector<minimpi::Request>&) {
+  // The driver has opened a start() access epoch to the peer; the
+  // transfer is one put into its exposed contiguous region.
+  ctx.window->put(ctx.user_data.data(), 1, dtype_, ctx.peer,
+                  ctx.window_offset);
 }
 
 // ---------------------------------------------------------------------------
 // Pipelined packing
 // ---------------------------------------------------------------------------
 
-void PackingPipelinedScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void PackingPipelinedScheme::setup(TransferContext& ctx) {
   dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
   stats_ = dtype_.block_stats();
-  const std::size_t cb = std::min(chunk_bytes, ctx.payload_bytes());
+  const std::size_t total = ctx.payload_bytes();
+  const std::size_t cb = std::min(chunk_bytes, total);
   // The chunk buffers follow the *whole message's* functional/phantom
   // mode: when a 1 GB sweep point runs modeled, individually-small
   // chunks must not smuggle gigabytes of real copies back in.
-  const bool functional = ctx.comm.moves_payload(ctx.payload_bytes());
-  chunk_[0] = minimpi::Buffer::allocate(cb, functional);
-  chunk_[1] = minimpi::Buffer::allocate(cb, functional);
+  const bool functional = ctx.comm.moves_payload(total);
+  // The blocking ping-pong driver double-buffers (two chunks in
+  // flight); the posted engine completes all chunk sends after its
+  // receive drain, so functional runs need one live buffer per chunk.
+  std::size_t nbuf = 2;
+  if (!ctx.blocking && functional)
+    nbuf = std::max<std::size_t>(1, (total + chunk_bytes - 1) / chunk_bytes);
+  chunks_.clear();
+  chunks_.reserve(nbuf);
+  for (std::size_t i = 0; i < nbuf; ++i)
+    chunks_.push_back(minimpi::Buffer::allocate(cb, functional));
 }
 
-void PackingPipelinedScheme::run_rep(SchemeContext& ctx) {
+void PackingPipelinedScheme::start(TransferContext& ctx,
+                                   std::vector<minimpi::Request>& out) {
   const std::size_t total = ctx.payload_bytes();
   const std::size_t nchunks = (total + chunk_bytes - 1) / chunk_bytes;
-  const minimpi::Datatype f64 = minimpi::Datatype::float64();
   const minimpi::Datatype packed = minimpi::Datatype::packed();
-  const minimpi::Datatype byte = minimpi::Datatype::byte();
   const auto& model = ctx.comm.model();
 
-  if (ctx.sender()) {
-    // Pack chunk k into buffer k%2 and isend it; wait for chunk k-1's
-    // send before reusing its buffer (double buffering).
-    minimpi::Request in_flight[2];
-    std::size_t offset = 0;
-    const double warm =
-        ctx.cache.touch(SchemeContext::user_region,
-                        ctx.layout.footprint_elems() * sizeof(double));
-    for (std::size_t k = 0; k < nchunks; ++k) {
-      const std::size_t len = std::min(chunk_bytes, total - offset);
-      // One pack call per chunk, chunk's share of the gather cost.
-      ctx.comm.charge(model.call_overhead(1));
-      minimpi::BlockStats chunk_stats = stats_;
-      chunk_stats.total_bytes = len;
-      chunk_stats.block_count =
-          std::max<std::size_t>(1, stats_.block_count * len / total);
-      ctx.comm.charge(model.user_copy_time(len, chunk_stats, warm));
-      auto& buf = chunk_[k % 2];
-      if (in_flight[k % 2].valid()) in_flight[k % 2].wait();
-      if (!buf.is_phantom() && !ctx.user_data.is_phantom()) {
-        minimpi::pack_region(ctx.user_data.data(), 1, dtype_, offset,
-                             buf.data(), len);
-      }
-      in_flight[k % 2] =
-          ctx.comm.isend(buf.data(), len, packed, 1, ping_tag);
-      offset += len;
+  // Pack chunk k and isend it; under the blocking driver, wait for the
+  // send still using chunk k's buffer before refilling it (double
+  // buffering: the pack loop overlaps the wire).  Under the posted
+  // engine the chunk injections ride like any other concurrent
+  // transfers — completed after the receive drain, wires overlapping —
+  // which keeps cyclic patterns deadlock-free (DESIGN.md §2.7).
+  minimpi::Request in_flight[2];
+  std::size_t offset = 0;
+  const double warm =
+      ctx.cache.touch(ctx.user_region,
+                      ctx.layout.footprint_elems() * sizeof(double));
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    const std::size_t len = std::min(chunk_bytes, total - offset);
+    // One pack call per chunk, chunk's share of the gather cost.
+    ctx.comm.charge(model.call_overhead(1));
+    minimpi::BlockStats chunk_stats = stats_;
+    chunk_stats.total_bytes = len;
+    chunk_stats.block_count =
+        std::max<std::size_t>(1, stats_.block_count * len / total);
+    ctx.comm.charge(model.user_copy_time(len, chunk_stats, warm));
+    auto& buf = chunks_[k % chunks_.size()];
+    if (ctx.blocking && in_flight[k % 2].valid()) in_flight[k % 2].wait();
+    if (!buf.is_phantom() && !ctx.user_data.is_phantom()) {
+      minimpi::pack_region(ctx.user_data.data(), 1, dtype_, offset,
+                           buf.data(), len);
     }
-    for (auto& r : in_flight)
-      if (r.valid()) r.wait();
-    ctx.comm.recv(nullptr, 0, byte, 1, ping_tag + 1);
-  } else {
-    const std::size_t elems = ctx.layout.element_count();
-    std::size_t offset = 0;
-    for (std::size_t k = 0; k < nchunks; ++k) {
-      const std::size_t len = std::min(chunk_bytes, total - offset);
-      std::byte* dst = ctx.recv_buf.is_phantom()
-                           ? nullptr
-                           : ctx.recv_buf.data() + offset;
-      ctx.comm.recv(dst, len / sizeof(double), f64, 0, ping_tag);
-      offset += len;
-    }
-    (void)elems;
-    ctx.comm.send(nullptr, 0, byte, 0, ping_tag + 1);
+    minimpi::Request r =
+        ctx.comm.isend(buf.data(), len, packed, ctx.peer, ctx.tag);
+    if (ctx.blocking)
+      in_flight[k % 2] = std::move(r);
+    else
+      out.push_back(std::move(r));
+    offset += len;
+  }
+  for (auto& r : in_flight)
+    if (r.valid()) out.push_back(std::move(r));
+}
+
+void PackingPipelinedScheme::post_receives(
+    minimpi::Comm& comm, minimpi::Rank from, const Layout& layout,
+    std::byte* ghost, minimpi::Tag tag,
+    std::vector<minimpi::Request>& out) const {
+  // The chunked counterpart of the default contiguous receive: one
+  // irecv per chunk, landing at the chunk's offset.
+  const std::size_t total = layout.payload_bytes();
+  const std::size_t nchunks = (total + chunk_bytes - 1) / chunk_bytes;
+  const minimpi::Datatype f64 = minimpi::Datatype::float64();
+  std::size_t offset = 0;
+  for (std::size_t k = 0; k < nchunks; ++k) {
+    const std::size_t len = std::min(chunk_bytes, total - offset);
+    std::byte* dst = ghost == nullptr ? nullptr : ghost + offset;
+    out.push_back(comm.irecv(dst, len / sizeof(double), f64, from, tag));
+    offset += len;
   }
 }
 

@@ -2,25 +2,18 @@
 
 namespace ncsend {
 
-void OneSidedScheme::setup(SchemeContext& ctx) {
-  dtype_ = ctx.sender() ? ctx.layout.datatype() : minimpi::Datatype::float64();
-  // Rank 1 exposes its contiguous receive buffer; rank 0 exposes nothing.
-  if (ctx.sender()) {
-    win_.emplace(ctx.comm.win_create(nullptr, 0));
-  } else {
-    win_.emplace(
-        ctx.comm.win_create(ctx.recv_buf.data(), ctx.recv_buf.size()));
-  }
+void OneSidedScheme::setup(TransferContext& ctx) {
+  dtype_ = ctx.layout.datatype();
 }
 
-void OneSidedScheme::teardown(SchemeContext&) { win_.reset(); }
-
-void OneSidedScheme::run_rep(SchemeContext& ctx) {
+void OneSidedScheme::start(TransferContext& ctx,
+                           std::vector<minimpi::Request>&) {
   // Paper §3.2: "we surrounded the transfer with active target
-  // synchronization fences; the timers surrounded these fences."
-  win_->fence();
-  if (ctx.sender()) win_->put(ctx.user_data.data(), 1, dtype_, 1, 0);
-  win_->fence();
+  // synchronization fences; the timers surrounded these fences."  The
+  // driver opens and closes the fence epoch; the transfer itself is
+  // one MPI_Put of the derived type into the peer's exposed region.
+  ctx.window->put(ctx.user_data.data(), 1, dtype_, ctx.peer,
+                  ctx.window_offset);
 }
 
 }  // namespace ncsend

@@ -6,8 +6,7 @@ namespace ncsend {
 // packing(e): one MPI_Pack call per element
 // ---------------------------------------------------------------------------
 
-void PackingElementScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void PackingElementScheme::setup(TransferContext& ctx) {
   packbuf_ = ctx.allocate(ctx.payload_bytes());
   dtype_ = ctx.layout.datatype();
   stats_ = dtype_.block_stats();
@@ -20,7 +19,8 @@ void PackingElementScheme::setup(SchemeContext& ctx) {
   }
 }
 
-void PackingElementScheme::ping(SchemeContext& ctx) {
+void PackingElementScheme::start(TransferContext& ctx,
+                                 std::vector<minimpi::Request>& out) {
   const std::size_t n = ctx.layout.element_count();
   // Model: N library calls dominate (paper §2.6: "we expect a low
   // performance"), plus the data movement itself.
@@ -40,22 +40,23 @@ void PackingElementScheme::ping(SchemeContext& ctx) {
     // work the model already accounts for).
     minimpi::gather(ctx.user_data.data(), 1, dtype_, packbuf_.data());
   }
-  ctx.comm.send(packbuf_.data(), ctx.payload_bytes(),
-                minimpi::Datatype::packed(), 1, ping_tag);
+  minimpi::Request r = ctx.inject(packbuf_.data(), ctx.payload_bytes(),
+                                  minimpi::Datatype::packed());
+  if (r.valid()) out.push_back(std::move(r));
 }
 
 // ---------------------------------------------------------------------------
 // packing(v): one MPI_Pack call on the derived type
 // ---------------------------------------------------------------------------
 
-void PackingVectorScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void PackingVectorScheme::setup(TransferContext& ctx) {
   packbuf_ = ctx.allocate(ctx.payload_bytes());
   dtype_ = styled_or_best(ctx.layout, TypeStyle::vector);
   stats_ = dtype_.block_stats();
 }
 
-void PackingVectorScheme::ping(SchemeContext& ctx) {
+void PackingVectorScheme::start(TransferContext& ctx,
+                                std::vector<minimpi::Request>& out) {
   // One pack call; the MPI pack engine costs the same as a user copy
   // loop (paper §4.3), so it is charged through the same model path.
   ctx.comm.charge(ctx.comm.model().call_overhead(1));
@@ -65,11 +66,12 @@ void PackingVectorScheme::ping(SchemeContext& ctx) {
     minimpi::pack(ctx.user_data.data(), 1, dtype_, packbuf_.data(),
                   packbuf_.size(), pos);
   }
-  ctx.cache.touch(SchemeContext::staging_region, packbuf_.size());
+  ctx.cache.touch(ctx.staging_region, packbuf_.size());
   // The send is now of *user-space* contiguous bytes: MPI's internal
   // buffer management is out of the picture — the paper's winning move.
-  ctx.comm.send(packbuf_.data(), ctx.payload_bytes(),
-                minimpi::Datatype::packed(), 1, ping_tag);
+  minimpi::Request r = ctx.inject(packbuf_.data(), ctx.payload_bytes(),
+                                  minimpi::Datatype::packed());
+  if (r.valid()) out.push_back(std::move(r));
 }
 
 }  // namespace ncsend

@@ -2,8 +2,7 @@
 
 namespace ncsend {
 
-void ReferenceScheme::setup(SchemeContext& ctx) {
-  if (!ctx.sender()) return;
+void ReferenceScheme::setup(TransferContext& ctx) {
   sendbuf_ = ctx.allocate(ctx.payload_bytes());
   // Outside the timing loop, stage the layout's data once so the
   // receiver sees the same bytes as every other scheme (verification
@@ -14,9 +13,11 @@ void ReferenceScheme::setup(SchemeContext& ctx) {
   }
 }
 
-void ReferenceScheme::ping(SchemeContext& ctx) {
-  ctx.comm.send(sendbuf_.data(), ctx.layout.element_count(),
-                minimpi::Datatype::float64(), 1, ping_tag);
+void ReferenceScheme::start(TransferContext& ctx,
+                            std::vector<minimpi::Request>& out) {
+  minimpi::Request r = ctx.inject(sendbuf_.data(), ctx.layout.element_count(),
+                                  minimpi::Datatype::float64());
+  if (r.valid()) out.push_back(std::move(r));
 }
 
 }  // namespace ncsend

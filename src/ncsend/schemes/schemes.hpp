@@ -1,7 +1,8 @@
 #pragma once
 /// \file schemes.hpp
-/// \brief Concrete send schemes (paper §2).  Tests instantiate these
-/// directly; everything else goes through `make_scheme`.
+/// \brief Concrete peer-addressed transfer schemes (paper §2).  Tests
+/// instantiate these directly; everything else goes through
+/// `make_transfer_scheme` (engines) or `make_scheme` (ping-pong).
 
 #include <optional>
 
@@ -10,22 +11,26 @@
 namespace ncsend {
 
 /// §2.1 — contiguous send of the same byte count: the attainable rate.
-class ReferenceScheme final : public TwoSidedScheme {
+/// The layout's data is staged once in `setup`, outside the timing
+/// loop; the timed path is a pure contiguous send.
+class ReferenceScheme final : public TransferScheme {
  public:
   [[nodiscard]] std::string_view name() const override { return "reference"; }
-  void setup(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
   minimpi::Buffer sendbuf_;
 };
 
 /// §2.2 — user gather loop into a reused contiguous buffer, then send.
-class CopyingScheme final : public TwoSidedScheme {
+class CopyingScheme final : public TransferScheme {
  public:
   [[nodiscard]] std::string_view name() const override { return "copying"; }
-  void setup(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
   minimpi::Buffer sendbuf_;
@@ -33,49 +38,56 @@ class CopyingScheme final : public TwoSidedScheme {
   minimpi::BlockStats stats_;
 };
 
-/// §2.4 — MPI_Buffer_attach + MPI_Bsend of the derived type.
-class BufferedScheme final : public TwoSidedScheme {
+/// §2.4 — MPI_Buffer_attach + MPI_Bsend of the derived type.  The
+/// attach itself is rank-wide, so the scheme only *sizes* its share
+/// (`attach_bytes`); the driver attaches one pool for all transfers.
+class BufferedScheme final : public TransferScheme {
  public:
   [[nodiscard]] std::string_view name() const override { return "buffered"; }
-  void setup(SchemeContext& ctx) override;
-  void teardown(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  [[nodiscard]] std::size_t attach_bytes(
+      const TransferContext& ctx) const override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
-  minimpi::Buffer attach_buf_;
   minimpi::Datatype dtype_;
 };
 
 /// §2.3 — direct send of a derived datatype (vector or subarray flavor).
-class DerivedTypeScheme final : public TwoSidedScheme {
+class DerivedTypeScheme final : public TransferScheme {
  public:
   explicit DerivedTypeScheme(TypeStyle style) : style_(style) {}
   [[nodiscard]] std::string_view name() const override {
     return style_ == TypeStyle::subarray ? "subarray" : "vector type";
   }
-  void setup(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
   TypeStyle style_;
   minimpi::Datatype dtype_;
 };
 
-/// §2.5 — MPI_Put of the derived type inside MPI_Win_fence epochs.
-class OneSidedScheme final : public SendScheme {
+/// §2.5 — MPI_Put of the derived type inside MPI_Win_fence epochs.  The
+/// driver owns the window and the fences; `start` is just the put.
+class OneSidedScheme final : public TransferScheme {
  public:
   [[nodiscard]] std::string_view name() const override { return "onesided"; }
-  void setup(SchemeContext& ctx) override;
-  void teardown(SchemeContext& ctx) override;
-  void run_rep(SchemeContext& ctx) override;
+  [[nodiscard]] SyncMode sync_mode() const override {
+    return SyncMode::fence;
+  }
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
-  std::optional<minimpi::Window> win_;
   minimpi::Datatype dtype_;
 };
 
 /// §2.6 — one MPI_Pack call per element, send MPI_PACKED.
-class PackingElementScheme final : public TwoSidedScheme {
+class PackingElementScheme final : public TransferScheme {
  public:
   /// Above this element count the functional path uses one engine
   /// gather instead of N literal pack calls (identical bytes; the model
@@ -85,8 +97,9 @@ class PackingElementScheme final : public TwoSidedScheme {
   [[nodiscard]] std::string_view name() const override {
     return "packing(e)";
   }
-  void setup(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
   minimpi::Buffer packbuf_;
@@ -96,13 +109,14 @@ class PackingElementScheme final : public TwoSidedScheme {
 };
 
 /// §2.6 — one MPI_Pack call on the whole derived type, send MPI_PACKED.
-class PackingVectorScheme final : public TwoSidedScheme {
+class PackingVectorScheme final : public TransferScheme {
  public:
   [[nodiscard]] std::string_view name() const override {
     return "packing(v)";
   }
-  void setup(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
   minimpi::Buffer packbuf_;
@@ -116,9 +130,9 @@ class PackingVectorScheme final : public TwoSidedScheme {
 
 /// Send-mode variants of the direct derived-type send: nonblocking
 /// (isend+wait), synchronous (ssend), ready (rsend, receiver guaranteed
-/// posted by the ping-pong structure), and persistent
+/// posted by both drivers' structure), and persistent
 /// (send_init/start/wait).  Useful for isolating protocol costs.
-class SendModeScheme final : public TwoSidedScheme {
+class SendModeScheme final : public TransferScheme {
  public:
   enum class Mode { isend, ssend, rsend, persistent };
 
@@ -132,8 +146,10 @@ class SendModeScheme final : public TwoSidedScheme {
     }
     return "?";
   }
-  void setup(SchemeContext& ctx) override;
-  void ping(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
+  void finish(TransferContext& ctx) override;
 
  private:
   Mode mode_;
@@ -143,18 +159,19 @@ class SendModeScheme final : public TwoSidedScheme {
 
 /// One-sided put synchronized with post/start/complete/wait instead of
 /// fences: pairwise sync, so the small-message fence overhead (paper
-/// §4.4 item 1) largely disappears.
-class OneSidedPscwScheme final : public SendScheme {
+/// §4.4 item 1) largely disappears.  The driver owns the window and
+/// the PSCW epochs; `start` is just the put.
+class OneSidedPscwScheme final : public TransferScheme {
  public:
   [[nodiscard]] std::string_view name() const override {
     return "onesided-pscw";
   }
-  void setup(SchemeContext& ctx) override;
-  void teardown(SchemeContext& ctx) override;
-  void run_rep(SchemeContext& ctx) override;
+  [[nodiscard]] SyncMode sync_mode() const override { return SyncMode::pscw; }
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
 
  private:
-  std::optional<minimpi::Window> win_;
   minimpi::Datatype dtype_;
 };
 
@@ -163,19 +180,25 @@ class OneSidedPscwScheme final : public SendScheme {
 /// isend each chunk while packing the next, double-buffered.  The pack
 /// loop overlaps the wire instead of preceding it, so the large-message
 /// time is bounded by max(pack, wire) instead of their sum.
-class PackingPipelinedScheme final : public SendScheme {
+class PackingPipelinedScheme final : public TransferScheme {
  public:
-  /// Chunk granularity; two chunk buffers are kept in flight.
+  /// Chunk granularity; the blocking driver keeps two chunk buffers in
+  /// flight (double buffering).
   static constexpr std::size_t chunk_bytes = 512 * 1024;
 
   [[nodiscard]] std::string_view name() const override {
     return "packing(p)";
   }
-  void setup(SchemeContext& ctx) override;
-  void run_rep(SchemeContext& ctx) override;
+  void setup(TransferContext& ctx) override;
+  void start(TransferContext& ctx,
+             std::vector<minimpi::Request>& out) override;
+  void post_receives(minimpi::Comm& comm, minimpi::Rank from,
+                     const Layout& layout, std::byte* ghost,
+                     minimpi::Tag tag,
+                     std::vector<minimpi::Request>& out) const override;
 
  private:
-  minimpi::Buffer chunk_[2];
+  std::vector<minimpi::Buffer> chunks_;
   minimpi::Datatype dtype_;
   minimpi::BlockStats stats_;
 };

@@ -1,3 +1,9 @@
+/// \file two_sided.cpp
+/// \brief The §3.2 ping-pong driver over peer-addressed transfers, the
+/// legacy `TwoSidedScheme` convenience base, and the scheme factories.
+
+#include <optional>
+
 #include "ncsend/schemes/schemes.hpp"
 
 namespace ncsend {
@@ -24,29 +30,119 @@ minimpi::Datatype styled_or_best(const Layout& layout, TypeStyle style) {
   }
 }
 
-std::unique_ptr<SendScheme> make_reference() {
-  return std::make_unique<ReferenceScheme>();
-}
-std::unique_ptr<SendScheme> make_copying() {
-  return std::make_unique<CopyingScheme>();
-}
-std::unique_ptr<SendScheme> make_buffered() {
-  return std::make_unique<BufferedScheme>();
-}
-std::unique_ptr<SendScheme> make_vector_type() {
-  return std::make_unique<DerivedTypeScheme>(TypeStyle::vector);
-}
-std::unique_ptr<SendScheme> make_subarray() {
-  return std::make_unique<DerivedTypeScheme>(TypeStyle::subarray);
-}
-std::unique_ptr<SendScheme> make_onesided() {
-  return std::make_unique<OneSidedScheme>();
-}
-std::unique_ptr<SendScheme> make_packing_element() {
-  return std::make_unique<PackingElementScheme>();
-}
-std::unique_ptr<SendScheme> make_packing_vector() {
-  return std::make_unique<PackingVectorScheme>();
+namespace {
+
+/// \brief The §3.2 ping-pong harness side of the unified scheme layer:
+/// drives one `TransferScheme` as a single rank-0 -> rank-1 transfer
+/// with blocking completion.  Message-mode steps close with the
+/// zero-byte pong; RMA modes run the §3.2 epoch choreography (fences,
+/// or post/start/complete/wait plus the symmetric ack).  This class is
+/// what keeps every ping-pong charge sequence bit-identical to the
+/// pre-refactor per-scheme classes.
+class PingPongDriver final : public SendScheme {
+ public:
+  explicit PingPongDriver(std::unique_ptr<TransferScheme> transfer)
+      : transfer_(std::move(transfer)) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return transfer_->name();
+  }
+
+  void setup(SchemeContext& ctx) override {
+    tctx_.emplace(TransferContext{ctx.comm, ctx.layout, ctx.cache,
+                                  ctx.user_data, /*peer=*/1,
+                                  SchemeContext::user_region,
+                                  SchemeContext::staging_region, ping_tag,
+                                  /*blocking=*/true});
+    if (transfer_->sync_mode() != SyncMode::message) {
+      // §3.2: the receiver exposes its contiguous buffer; the sender
+      // exposes nothing.
+      win_.emplace(ctx.sender()
+                       ? ctx.comm.win_create(nullptr, 0)
+                       : ctx.comm.win_create(ctx.recv_buf.data(),
+                                             ctx.recv_buf.size()));
+      tctx_->window = &*win_;
+    }
+    if (!ctx.sender()) return;
+    const std::size_t attach = transfer_->attach_bytes(*tctx_);
+    if (attach > 0) {
+      attach_buf_ = ctx.allocate(attach);
+      ctx.comm.buffer_attach(attach_buf_);
+      attached_ = true;
+    }
+    transfer_->setup(*tctx_);
+  }
+
+  void teardown(SchemeContext& ctx) override {
+    if (ctx.sender()) {
+      transfer_->teardown(*tctx_);
+      if (attached_) {
+        ctx.comm.buffer_detach();
+        attached_ = false;
+      }
+    }
+    win_.reset();
+    tctx_.reset();
+  }
+
+  void run_rep(SchemeContext& ctx) override {
+    const minimpi::Datatype byte = minimpi::Datatype::byte();
+    std::vector<minimpi::Request> reqs;
+    switch (transfer_->sync_mode()) {
+      case SyncMode::message:
+        if (ctx.sender()) {
+          transfer_->start(*tctx_, reqs);
+          for (minimpi::Request& r : reqs) r.wait();
+          transfer_->finish(*tctx_);
+          ctx.comm.recv(nullptr, 0, byte, 1, ping_tag + 1);
+        } else {
+          transfer_->post_receives(ctx.comm, 0, ctx.layout,
+                                   ctx.recv_buf.data(), ping_tag, reqs);
+          for (minimpi::Request& r : reqs) r.wait();
+          ctx.comm.send(nullptr, 0, byte, 0, ping_tag + 1);
+        }
+        break;
+      case SyncMode::fence:
+        // Paper §3.2: the timers surround the fences.
+        win_->fence();
+        if (ctx.sender()) transfer_->start(*tctx_, reqs);
+        win_->fence();
+        break;
+      case SyncMode::pscw:
+        if (ctx.sender()) {
+          const minimpi::Rank targets[] = {1};
+          win_->start(targets);
+          transfer_->start(*tctx_, reqs);
+          win_->complete();
+          // Completion notification closes the timed transfer; a
+          // zero-byte ack from the target keeps the timing symmetric.
+          ctx.comm.recv(nullptr, 0, byte, 1, ping_tag + 1);
+        } else {
+          const minimpi::Rank origins[] = {0};
+          win_->post(origins);
+          win_->wait_post();
+          ctx.comm.send(nullptr, 0, byte, 0, ping_tag + 1);
+        }
+        break;
+    }
+  }
+
+ private:
+  std::unique_ptr<TransferScheme> transfer_;
+  std::optional<TransferContext> tctx_;
+  std::optional<minimpi::Window> win_;
+  minimpi::Buffer attach_buf_;
+  bool attached_ = false;
+};
+
+}  // namespace
+
+void TransferScheme::post_receives(minimpi::Comm& comm, minimpi::Rank from,
+                                   const Layout& layout, std::byte* ghost,
+                                   minimpi::Tag tag,
+                                   std::vector<minimpi::Request>& out) const {
+  out.push_back(comm.irecv(ghost, layout.element_count(),
+                           minimpi::Datatype::float64(), from, tag));
 }
 
 const std::vector<std::string>& all_scheme_names() {
@@ -56,15 +152,17 @@ const std::vector<std::string>& all_scheme_names() {
   return names;
 }
 
-std::unique_ptr<SendScheme> make_scheme(std::string_view name) {
-  if (name == "reference") return make_reference();
-  if (name == "copying") return make_copying();
-  if (name == "buffered") return make_buffered();
-  if (name == "vector type") return make_vector_type();
-  if (name == "subarray") return make_subarray();
-  if (name == "onesided") return make_onesided();
-  if (name == "packing(e)") return make_packing_element();
-  if (name == "packing(v)") return make_packing_vector();
+std::unique_ptr<TransferScheme> make_transfer_scheme(std::string_view name) {
+  if (name == "reference") return std::make_unique<ReferenceScheme>();
+  if (name == "copying") return std::make_unique<CopyingScheme>();
+  if (name == "buffered") return std::make_unique<BufferedScheme>();
+  if (name == "vector type")
+    return std::make_unique<DerivedTypeScheme>(TypeStyle::vector);
+  if (name == "subarray")
+    return std::make_unique<DerivedTypeScheme>(TypeStyle::subarray);
+  if (name == "onesided") return std::make_unique<OneSidedScheme>();
+  if (name == "packing(e)") return std::make_unique<PackingElementScheme>();
+  if (name == "packing(v)") return std::make_unique<PackingVectorScheme>();
   // Extension schemes (not in the paper's legend).
   if (name == "isend(v)")
     return std::make_unique<SendModeScheme>(SendModeScheme::Mode::isend);
@@ -80,6 +178,10 @@ std::unique_ptr<SendScheme> make_scheme(std::string_view name) {
     return std::make_unique<PackingPipelinedScheme>();
   throw minimpi::Error(minimpi::ErrorClass::invalid_arg,
                        "unknown send scheme: " + std::string(name));
+}
+
+std::unique_ptr<SendScheme> make_scheme(std::string_view name) {
+  return std::make_unique<PingPongDriver>(make_transfer_scheme(name));
 }
 
 }  // namespace ncsend

@@ -1,7 +1,9 @@
-// The scheme advisor: paper §5 encoded and queryable.
+// The scheme advisor: paper §5 encoded and queryable, including the
+// pattern-aware overload (neighbor count + link contention).
 #include <gtest/gtest.h>
 
 #include "ncsend/advisor.hpp"
+#include "ncsend/patterns/pattern.hpp"
 
 using namespace ncsend;
 using minimpi::MachineProfile;
@@ -63,6 +65,72 @@ TEST(Advisor, IrregularLayoutsStillAdvised) {
                           Layout::fem_boundary(1 << 13, 1 << 16));
   EXPECT_FALSE(rec.scheme.empty());
   EXPECT_FALSE(rec.rationale.empty());
+}
+
+// --- the pattern-aware overload -----------------------------------------
+
+TEST(PatternAdvisor, PingpongMatchesBaseAdvice) {
+  // The 2-rank ping-pong adds no neighbors and no fence concern: the
+  // pattern-aware answer is the base answer.
+  const auto p = CommPattern::by_name("pingpong");
+  const std::size_t bytes = 1 << 20;
+  const Layout l = Layout::strided(bytes / 8, 1, 2);
+  const auto base = advise(MachineProfile::skx_impi(), bytes, l);
+  const auto aware = advise(MachineProfile::skx_impi(), bytes, l, *p);
+  EXPECT_EQ(aware.scheme, base.scheme);
+  EXPECT_EQ(aware.avoid.size(), base.avoid.size());
+}
+
+TEST(PatternAdvisor, MultiRankPatternsFlagFenceOneSided) {
+  const auto halo = CommPattern::by_name("halo3d(2x2x2)");
+  const std::size_t bytes = 1 << 20;
+  const Layout l = Layout::strided(bytes / 8, 1, 2);
+  const auto rec = advise(MachineProfile::skx_impi(), bytes, l, *halo);
+  bool fence_flagged = false;
+  for (const auto& a : rec.avoid)
+    if (a.find("onesided:") != std::string::npos &&
+        a.find("fence") != std::string::npos)
+      fence_flagged = true;
+  EXPECT_TRUE(fence_flagged);
+  // The suggested alternative is the pairwise-synchronized variant.
+  bool suggests_pscw = false;
+  for (const auto& a : rec.avoid)
+    if (a.find("onesided-pscw") != std::string::npos) suggests_pscw = true;
+  EXPECT_TRUE(suggests_pscw);
+}
+
+TEST(PatternAdvisor, ContentionRescalesTheLargeMessageThreshold) {
+  // Under link contention the per-sender wire slows by the contention
+  // multiplier, so the §5 large-message advice kicks in at
+  // proportionally smaller payloads — but only when the profile
+  // actually models contention.
+  MachineProfile contended = MachineProfile::skx_impi();
+  contended.name = "skx-contended";
+  contended.link_contention_factor = 1.0;
+  const auto tp = CommPattern::by_name("transpose(4)");  // 3 senders
+  const std::size_t bytes = 50'000'000;  // below 1e8, above 1e8/3
+  const Layout l = Layout::strided(bytes / 8, 1, 2);
+
+  const auto inert = advise(MachineProfile::skx_impi(), bytes, l, *tp);
+  EXPECT_EQ(inert.scheme, "vector type");  // factor 0.0: nothing shifts
+
+  const auto rescaled = advise(contended, bytes, l, *tp);
+  EXPECT_EQ(rescaled.scheme, "packing(v)");
+  EXPECT_NE(rescaled.rationale.find("concurrent senders"),
+            std::string::npos);
+
+  // Small payloads stay below even the rescaled threshold.
+  const Layout small = Layout::strided(1 << 14, 1, 2);
+  const auto small_rec = advise(contended, 1 << 17, small, *tp);
+  EXPECT_EQ(small_rec.scheme, "vector type");
+}
+
+TEST(PatternAdvisor, ContiguousStillNeedsNothing) {
+  const auto halo = CommPattern::by_name("halo2d(3x3)");
+  const auto rec = advise(MachineProfile::skx_impi(), 1 << 20,
+                          Layout::contiguous(1 << 17), *halo);
+  EXPECT_EQ(rec.scheme, "reference");
+  EXPECT_TRUE(rec.avoid.empty());
 }
 
 }  // namespace

@@ -37,6 +37,8 @@ TEST(PatternRegistry, NamesAndDefaults) {
   EXPECT_EQ(CommPattern::by_name("multi-pair(2)")->nranks(), 4);
   EXPECT_EQ(CommPattern::by_name("halo2d")->name(), "halo2d(3x3)");
   EXPECT_EQ(CommPattern::by_name("halo2d(4x2)")->nranks(), 8);
+  EXPECT_EQ(CommPattern::by_name("halo3d")->name(), "halo3d(2x2x2)");
+  EXPECT_EQ(CommPattern::by_name("halo3d(3x2x2)")->nranks(), 12);
   EXPECT_EQ(CommPattern::by_name("transpose(8)")->nranks(), 8);
 }
 
@@ -46,6 +48,9 @@ TEST(PatternRegistry, RejectsJunk) {
   EXPECT_THROW(CommPattern::by_name("multi-pair(0)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("halo2d(1x1)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("halo2d(3)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("halo3d(1x1x1)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("halo3d(2x2)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("halo3d(9x9x9)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("transpose(1)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("pingpong(2)"), minimpi::Error);
 }
@@ -81,6 +86,60 @@ TEST(Halo2dNeighborMap, RowsContiguousColumnsStrided) {
       EXPECT_EQ(t.layout.footprint_elems(), (n - 1) * n + 1);
     }
   }
+}
+
+TEST(Halo3dNeighborMap, SixFacesThreeLayoutKinds) {
+  const auto halo = CommPattern::by_name("halo3d(3x3x3)");
+  ASSERT_EQ(halo->nranks(), 27);
+  // Interior rank (1,1,1) = 13 exchanges all six faces: +-x first,
+  // then +-y, then +-z.
+  EXPECT_EQ(peers_of(*halo, 13), (std::vector<int>{4, 22, 10, 16, 12, 14}));
+  // Corner rank 0 = (0,0,0) has three faces.
+  EXPECT_EQ(peers_of(*halo, 0), (std::vector<int>{9, 3, 1}));
+
+  // With 64 requested elements the local block is 8x8x8: x-faces are
+  // contiguous slabs, y-faces blocked strided (8 rows of 8, stride 64),
+  // z-faces the canonical blocklen-1 vector at stride 8.
+  const std::size_t n = 64, s = 8;
+  const auto sends = halo->sends(13, stride2(n));
+  ASSERT_EQ(sends.size(), 6u);
+  for (const Transfer& t : sends)
+    EXPECT_EQ(t.layout.element_count(), s * s) << "face to " << t.peer;
+  EXPECT_TRUE(sends[0].layout.is_contiguous());   // -x slab
+  EXPECT_TRUE(sends[1].layout.is_contiguous());   // +x slab
+  for (const std::size_t i : {std::size_t{2}, std::size_t{3}}) {  // y-faces
+    EXPECT_FALSE(sends[i].layout.is_contiguous());
+    EXPECT_TRUE(sends[i].layout.regular());
+    // s blocks of s doubles, stride s^2: footprint (s-1)*s^2 + s.
+    EXPECT_EQ(sends[i].layout.footprint_elems(), (s - 1) * s * s + s);
+  }
+  for (const std::size_t i : {std::size_t{4}, std::size_t{5}}) {  // z-faces
+    EXPECT_FALSE(sends[i].layout.is_contiguous());
+    EXPECT_TRUE(sends[i].layout.regular());
+    // s^2 single elements at stride s: footprint (s^2-1)*s + 1.
+    EXPECT_EQ(sends[i].layout.footprint_elems(), (s * s - 1) * s + 1);
+  }
+
+  // Busiest out-degree: 6 with three interior dimensions, fewer on
+  // thin grids.
+  EXPECT_EQ(halo->concurrent_senders(), 6);
+  EXPECT_EQ(CommPattern::by_name("halo3d(2x2x2)")->concurrent_senders(), 3);
+  EXPECT_EQ(CommPattern::by_name("halo3d(1x1x4)")->concurrent_senders(), 2);
+}
+
+TEST(Halo3dPattern, EndToEndPayloadVerification) {
+  const auto halo = CommPattern::by_name("halo3d(2x2x2)");
+  minimpi::UniverseOptions opts;  // default: everything functional
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  const RunResult r =
+      run_pattern_experiment(opts, *halo, "copying", stride2(96), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  // face_side(96) = 9, so every face carries 81 doubles; each 2x2x2
+  // rank sends 3 faces per step.
+  EXPECT_EQ(r.payload_bytes, 3u * 81u * 8u);
+  EXPECT_EQ(r.layout, "halo3d-faces(n=81)");
 }
 
 TEST(PatternNeighborMap, EveryTransferHasAWellFormedTarget) {
@@ -122,16 +181,99 @@ TEST(PatternEngine, PingpongPatternMatchesHarness) {
   EXPECT_EQ(via_pattern.verified, via_harness.verified);
 }
 
-TEST(PatternEngine, UnsupportedSchemeThrows) {
+TEST(PatternEngine, FullLegendSupportedUnknownSchemesThrow) {
+  // The engine instantiates the real transfer schemes, so the pattern
+  // legend is the harness legend: the paper's eight plus the extension
+  // schemes.
+  const auto& names = pattern_scheme_names();
+  EXPECT_EQ(names.size(),
+            all_scheme_names().size() + extended_scheme_names().size());
+  for (const auto& s : all_scheme_names())
+    EXPECT_TRUE(pattern_scheme_supported(s)) << s;
+  for (const auto& s : extended_scheme_names())
+    EXPECT_TRUE(pattern_scheme_supported(s)) << s;
+  EXPECT_TRUE(pattern_scheme_supported("onesided"));
+  EXPECT_TRUE(pattern_scheme_supported("packing(p)"));
+  EXPECT_FALSE(pattern_scheme_supported("carrier pigeon"));
+
   const auto halo = CommPattern::by_name("halo2d(2x2)");
   minimpi::UniverseOptions opts;
   HarnessConfig cfg;
   cfg.reps = 1;
-  EXPECT_FALSE(pattern_scheme_supported("onesided"));
-  EXPECT_TRUE(pattern_scheme_supported("packing(v)"));
   EXPECT_THROW(
-      run_pattern_experiment(opts, *halo, "onesided", stride2(64), cfg),
+      run_pattern_experiment(opts, *halo, "carrier pigeon", stride2(64), cfg),
       minimpi::Error);
+}
+
+TEST(PatternEngine, OneSidedFenceEndToEndOnHalo) {
+  // Fence-mode RMA inside the N-rank engine: every rank exposes its
+  // concatenated ghost regions in one window; puts land at mirrored
+  // offsets and must deliver the exact fill pattern.
+  const auto halo = CommPattern::by_name("halo2d(2x2)");
+  minimpi::UniverseOptions opts;  // default: everything functional
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  const RunResult r =
+      run_pattern_experiment(opts, *halo, "onesided", stride2(96), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.payload_bytes, 2u * 96u * 8u);
+  EXPECT_GT(r.time(), 0.0);
+}
+
+TEST(PatternEngine, OneSidedPscwEndToEndOnTranspose) {
+  const auto tp = CommPattern::by_name("transpose(3)");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  const RunResult r =
+      run_pattern_experiment(opts, *tp, "onesided-pscw", stride2(64), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.payload_bytes, 2u * 64u * 8u);
+}
+
+TEST(PatternEngine, BufferedSharesOneAttachedPoolAcrossTransfers) {
+  // A halo interior rank bsends several faces per step out of one
+  // rank-wide attached buffer sized by the schemes' attach_bytes sum.
+  const auto halo = CommPattern::by_name("halo2d(3x3)");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  const RunResult r =
+      run_pattern_experiment(opts, *halo, "buffered", stride2(96), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(PatternEngine, PipelinedPackingChunksReassembleOnMultiPair) {
+  // 768 KB payloads split into two 512 KB-bounded chunks per transfer;
+  // the chunked receives must reassemble the exact bytes.
+  const auto mp = CommPattern::by_name("multi-pair(2)");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  const RunResult r =
+      run_pattern_experiment(opts, *mp, "packing(p)", stride2(98'304), cfg);
+  EXPECT_TRUE(r.data_checked);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.payload_bytes, 98'304u * 8u);
+}
+
+TEST(PatternEngine, SendModeVariantsRunUnderCyclicPatterns) {
+  // ssend posts issend under the engine (receives drain afterwards),
+  // so synchronous handshakes cannot deadlock an all-to-all.
+  const auto tp = CommPattern::by_name("transpose(3)");
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  for (const char* scheme :
+       {"isend(v)", "ssend(v)", "rsend(v)", "persistent(v)"}) {
+    const RunResult r =
+        run_pattern_experiment(opts, *tp, scheme, stride2(64), cfg);
+    EXPECT_TRUE(r.verified) << scheme;
+    EXPECT_GT(r.time(), 0.0) << scheme;
+  }
 }
 
 TEST(PatternEngine, Halo2dEndToEndPayloadVerification) {

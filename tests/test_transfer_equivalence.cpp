@@ -1,0 +1,164 @@
+// The unified transfer-scheme layer's load-bearing invariants:
+//
+//   1. For every scheme in the shared legend, the `pingpong` pattern is
+//      bit-identical to the §3.2 harness (skx + knl) — the two engines
+//      share one charge-sequence source.
+//   2. The refactored harness reproduces the seed BENCH_scheme_sweep /
+//      BENCH_eager_limit JSON byte-exactly (goldens captured from the
+//      pre-refactor build), and the engine reproduces the seed
+//      BENCH_pattern_sweep bytes for the schemes it supported then.
+//   3. issend is the nonblocking face of ssend: identical clocks when
+//      waited immediately.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ncsend/ncsend.hpp"
+
+using namespace ncsend;
+using minimpi::MachineProfile;
+
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(NCSEND_GOLDEN_DIR) + "/" + name;
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing golden file: " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// --- 1. pingpong pattern == harness, whole legend, two profiles ---------
+
+TEST(TransferEquivalence, PingpongPatternBitIdenticalToHarness) {
+  const auto pingpong = CommPattern::by_name("pingpong");
+  const Layout l = Layout::strided(4096, 1, 2);
+  HarnessConfig cfg;
+  cfg.reps = 3;
+  for (const MachineProfile* profile :
+       {&MachineProfile::skx_impi(), &MachineProfile::knl_impi()}) {
+    for (const auto& scheme : pattern_scheme_names()) {
+      minimpi::UniverseOptions opts;
+      opts.profile = profile;
+      opts.wtime_resolution = 0.0;  // exact clocks: equality is strict
+      const RunResult via_pattern =
+          run_pattern_experiment(opts, *pingpong, scheme, l, cfg);
+      opts.nranks = 2;
+      const RunResult via_harness = run_experiment(opts, scheme, l, cfg);
+      EXPECT_EQ(via_pattern.timing.mean, via_harness.timing.mean)
+          << scheme << " on " << profile->name;
+      EXPECT_EQ(via_pattern.timing.stddev, via_harness.timing.stddev)
+          << scheme << " on " << profile->name;
+      EXPECT_EQ(via_pattern.payload_bytes, via_harness.payload_bytes)
+          << scheme << " on " << profile->name;
+      EXPECT_EQ(via_pattern.data_checked, via_harness.data_checked)
+          << scheme << " on " << profile->name;
+      EXPECT_EQ(via_pattern.verified, via_harness.verified)
+          << scheme << " on " << profile->name;
+    }
+  }
+}
+
+// --- 2. seed BENCH byte-equivalence -------------------------------------
+
+// Mirrors run_all's `--quick` scheme_sweep plan; the golden was written
+// by the pre-refactor driver with exactly these coordinates.
+TEST(TransferEquivalence, SchemeSweepJsonMatchesSeedGolden) {
+  ExperimentPlan plan;
+  plan.name = "scheme_sweep";
+  plan.profiles.clear();
+  for (const auto& name : MachineProfile::names())
+    plan.profiles.push_back(&MachineProfile::by_name(name));
+  for (const auto& name : extended_scheme_names())
+    plan.schemes.push_back(name);
+  plan.layouts = {LayoutAxis::stride2(), LayoutAxis::indexed_blocks()};
+  plan.sizes_bytes = {100'000, 10'000'000};
+  plan.harness.reps = 5;
+  plan.functional_payload_limit = 1 << 16;
+
+  ResultStore store;
+  store.add_plan(run_plan(plan, {4}));
+  std::ostringstream os;
+  store.write_bench_sweep_json(os);
+  EXPECT_EQ(os.str(), read_golden("BENCH_scheme_sweep.json"));
+}
+
+// Mirrors run_all's `--quick` pattern_sweep plan restricted to the
+// scheme set the pre-refactor engine supported: deleting the mirrored
+// SchemeSend switch must not move a single byte for those schemes.
+TEST(TransferEquivalence, PatternSweepJsonMatchesSeedGolden) {
+  ExperimentPlan plan;
+  plan.name = "pattern_sweep";
+  plan.patterns = {"pingpong", "multi-pair(4)", "halo2d(3x3)",
+                   "transpose(4)"};
+  plan.profiles = {&MachineProfile::skx_impi(), &MachineProfile::knl_impi()};
+  plan.schemes = {"reference", "copying",    "vector type",
+                  "subarray",  "packing(e)", "packing(v)"};
+  plan.sizes_bytes = {8'192, 524'288};
+  plan.harness.reps = 5;
+  plan.functional_payload_limit = 1 << 14;
+
+  ResultStore store;
+  store.add_plan(run_plan(plan, {4}));
+  std::ostringstream os;
+  store.write_bench_pattern_sweep_json(os);
+  EXPECT_EQ(os.str(), read_golden("BENCH_pattern_sweep.json"));
+}
+
+// Mirrors run_all's `--quick` eager_limit ablation.
+TEST(TransferEquivalence, EagerLimitJsonMatchesSeedGolden) {
+  ExperimentPlan plan;
+  plan.name = "eager_limit";
+  plan.profiles = {&MachineProfile::skx_impi()};
+  plan.sizes_bytes = {1'000'000'000};
+  plan.schemes = {"reference", "vector type"};
+  plan.harness.reps = 5;
+  plan.functional_payload_limit = 1 << 16;
+
+  const PlanResult base = run_plan(plan, {4});
+  constexpr std::size_t override_bytes = std::size_t{4} << 30;
+  plan.eager_limit_override = override_bytes;
+  const PlanResult raised = run_plan(plan, {4});
+  std::ostringstream os;
+  ResultStore::write_bench_eager_limit_json(os, base.sweep(0, 0),
+                                            raised.sweep(0, 0),
+                                            override_bytes);
+  EXPECT_EQ(os.str(), read_golden("BENCH_eager_limit.json"));
+}
+
+// --- 3. issend is the nonblocking face of ssend -------------------------
+
+TEST(TransferEquivalence, IssendWaitMatchesSsendClocks) {
+  for (const std::size_t elems : {256u, 1u << 15}) {  // eager + rendezvous
+    double ssend_clock = 0.0, issend_clock = 0.0;
+    const auto run = [&](bool nonblocking, double* out) {
+      minimpi::UniverseOptions opts;
+      opts.nranks = 2;
+      minimpi::Universe::run(opts, [&](minimpi::Comm& comm) {
+        const minimpi::Datatype f64 = minimpi::Datatype::float64();
+        std::vector<double> data(elems);
+        if (comm.rank() == 0) {
+          if (nonblocking) {
+            minimpi::Request r =
+                comm.issend(data.data(), elems, f64, 1, 3);
+            r.wait();
+          } else {
+            comm.ssend(data.data(), elems, f64, 1, 3);
+          }
+          *out = comm.clock();
+        } else {
+          comm.recv(data.data(), elems, f64, 0, 3);
+        }
+      });
+    };
+    run(false, &ssend_clock);
+    run(true, &issend_clock);
+    EXPECT_EQ(issend_clock, ssend_clock) << elems << " doubles";
+    EXPECT_GT(ssend_clock, 0.0);
+  }
+}
+
+}  // namespace
