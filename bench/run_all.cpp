@@ -160,7 +160,7 @@ ExperimentPlan eager_limit_plan(const BenchCli& cli) {
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
   const ExecutorOptions exec{cli.jobs};
-  const int expected = cli.csv ? 4 : 0;
+  const int expected = cli.csv ? 6 : 0;
   int written = 0;
 
   const auto maybe_write = [&](const std::string& name, auto&& writer) {
@@ -201,8 +201,58 @@ int main(int argc, char** argv) {
     });
   }
 
+  {
+    // The ref-[2] what-if on the charge timeline: the same small grid
+    // with and without the `nic_gather` capability (the standalone
+    // `ablation_nic_pipelining` bench runs the denser grid).
+    ExperimentPlan plan;
+    plan.name = "ablation_nic_pipelining";
+    plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+    plan.sizes_bytes = cli.quick
+                           ? std::vector<std::size_t>{100'000'000,
+                                                      1'000'000'000}
+                           : log_sizes(1e6, 1e9, 2);
+    plan.schemes = {"reference", "vector type"};
+    plan.harness.reps = cli.effective_reps();
+    const SweepResult plain = run_plan(plan, exec).sweep(0, 0);
+    minimpi::MachineProfile umr = minimpi::MachineProfile::skx_impi();
+    umr.name = "skx-impi+umr";
+    umr.nic_gather = true;
+    plan.profiles = {&umr};
+    const SweepResult piped = run_plan(plan, exec).sweep(0, 0);
+    maybe_write("BENCH_ablation_nic_pipelining.json", [&](std::ostream& os) {
+      ResultStore::write_bench_ablation_json(
+          os, "ablation_nic_pipelining",
+          {{"serial-nic", plain}, {"nic-gather", piped}});
+    });
+  }
+  {
+    // Static link-contention factor vs emergent NIC occupancy on the
+    // patterns where they disagree (the full comparison and the
+    // documented verdict live in `ablation_contention`).
+    ExperimentPlan plan;
+    plan.name = "ablation_contention";
+    plan.patterns = {"multi-pair(4)", "transpose(4)"};
+    plan.profiles = {&minimpi::MachineProfile::skx_impi()};
+    plan.schemes = {"vector type"};
+    plan.sizes_bytes = {100'000, 10'000'000};
+    plan.harness.reps = cli.effective_reps();
+    plan.functional_payload_limit = 1 << 14;
+    const PlanResult baseline = run_plan(plan, exec);
+    plan.nic_occupancy_contention = true;
+    const PlanResult emergent = run_plan(plan, exec);
+    maybe_write("BENCH_ablation_contention.json", [&](std::ostream& os) {
+      ResultStore::write_bench_ablation_json(
+          os, "ablation_contention",
+          {{"baseline", baseline.sweep(0, 0, 0)},
+           {"baseline", baseline.sweep(1, 0, 0)},
+           {"nic-occupancy", emergent.sweep(0, 0, 0)},
+           {"nic-occupancy", emergent.sweep(1, 0, 0)}});
+    });
+  }
+
   if (cli.csv)
-    std::cout << written << "/4 benchmark files written to " << cli.out_dir
+    std::cout << written << "/6 benchmark files written to " << cli.out_dir
               << "\n";
   else
     std::cout << "dry run (--no-csv): benchmarks executed, nothing written\n";

@@ -20,9 +20,11 @@ double CostModel::wire_time(std::size_t bytes) const {
   if (bytes == 0) return 0.0;
   const std::size_t packets =
       (bytes + p_.packet_bytes - 1) / p_.packet_bytes;
-  // Under link contention S senders share the NIC: each sees the wire
-  // at bandwidth / contention_ (contention_ == 1.0 when the term is
-  // inert, keeping the 2-rank curves bit-identical).
+  // Under static link contention S senders share the NIC: each sees the
+  // wire at bandwidth / contention_ (contention_ == 1.0 when the term
+  // is inert, keeping the 2-rank curves bit-identical).  The emergent
+  // alternative — injections queueing on a rank's NIC timeline — needs
+  // no bandwidth rescaling at all.
   return static_cast<double>(bytes) * contention_ / p_.net_bandwidth_Bps +
          static_cast<double>(packets) * p_.per_packet_overhead_s;
 }
@@ -56,21 +58,26 @@ double CostModel::call_overhead(std::size_t ncalls) const {
   return static_cast<double>(ncalls) * p_.per_call_overhead_s;
 }
 
-double CostModel::capacity_penalty(std::size_t bytes) const {
+double CostModel::capacity_penalty_time(std::size_t bytes) const {
   if (bytes <= p_.internal_buffer_bytes) return 0.0;
   return static_cast<double>(bytes - p_.internal_buffer_bytes) /
          p_.internal_copy_bandwidth_Bps * p_.large_msg_penalty;
 }
 
-double CostModel::internal_staging_time(std::size_t bytes,
-                                        const BlockStats& stats) const {
+double CostModel::staging_base_time(std::size_t bytes,
+                                    const BlockStats& stats) const {
   if (bytes == 0) return 0.0;
   const std::size_t segments =
       (bytes + p_.internal_segment_bytes - 1) / p_.internal_segment_bytes;
   return static_cast<double>(bytes) / p_.internal_copy_bandwidth_Bps *
              block_factor(stats) +
-         static_cast<double>(segments) * p_.per_segment_overhead_s +
-         capacity_penalty(bytes);
+         static_cast<double>(segments) * p_.per_segment_overhead_s;
+}
+
+double CostModel::internal_staging_time(std::size_t bytes,
+                                        const BlockStats& stats) const {
+  if (bytes == 0) return 0.0;
+  return staging_base_time(bytes, stats) + capacity_penalty_time(bytes);
 }
 
 double CostModel::internal_contiguous_copy_time(std::size_t bytes) const {
@@ -82,126 +89,262 @@ double CostModel::internal_contiguous_copy_time(std::size_t bytes) const {
          static_cast<double>(segments) * p_.per_segment_overhead_s;
 }
 
-CostModel::Timing CostModel::eager_timing(double ts, std::size_t bytes,
-                                          const BlockStats& send_stats) const {
-  const bool noncontig = send_stats.block_count > 1;
-  const double local =
-      p_.send_overhead_s + (noncontig ? internal_staging_time(bytes, send_stats)
-                                       : internal_contiguous_copy_time(bytes));
-  const double sender_done = ts + local;
-  return {sender_done, sender_done + wire_time(bytes) + p_.net_latency_s,
-          true};
+// ---------------------------------------------------------------------------
+// Charge-atom emission
+// ---------------------------------------------------------------------------
+//
+// Every composition below is defined by the atom sequence it emits; the
+// scheduler derives the observable Timing.  The serial schedule of each
+// sequence reproduces the closed forms this file used to hard-code —
+// a serial run's finish is its start plus the left-to-right sum of its
+// durations, which is the association the old expressions used
+// (DESIGN.md §2.8 gives the substitution argument; the seed BENCH
+// goldens pin it down).
+
+TransferCharges CostModel::eager_charges(std::size_t bytes,
+                                         const BlockStats& stats) const {
+  const bool noncontig = stats.block_count > 1;
+  TransferCharges c;
+  c.eager = true;
+  c.local.push_back({ChargeAtom::call_overhead, p_.send_overhead_s, 0});
+  if (noncontig) {
+    // The capacity penalty is structurally zero here: the eager limit
+    // is capped by the staging capacity, so an eager message always
+    // fits — exactly the paper's §4.5 mechanism.
+    c.local.push_back({ChargeAtom::cpu_pack, staging_base_time(bytes, stats),
+                       bytes});
+    c.local.push_back(
+        {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  } else {
+    c.local.push_back({ChargeAtom::internal_copy,
+                       internal_contiguous_copy_time(bytes), bytes});
+  }
+  // Fire and forget: the NIC drains the staged buffer in the
+  // background; the sender's CPU is already free.
+  c.transit.push_back({ChargeAtom::injection, wire_time(bytes), bytes});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  return c;
+}
+
+TransferCharges CostModel::rendezvous_charges(std::size_t bytes,
+                                              const BlockStats& stats) const {
+  const bool noncontig = stats.block_count > 1;
+  TransferCharges c;
+  c.eager = false;
+  c.local.push_back({ChargeAtom::handshake, p_.rendezvous_handshake_s, 0});
+  if (noncontig) {
+    c.local.push_back({ChargeAtom::cpu_pack, staging_base_time(bytes, stats),
+                       bytes});
+    // Ref [2] hardware gathers straight from user memory: no staging
+    // buffer, so the beyond-capacity penalty vanishes along with the
+    // CPU occupancy of the wire atom.
+    if (!p_.nic_gather)
+      c.local.push_back(
+          {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  }
+  // Without `nic_gather` this wire atom occupies the CPU too, so it
+  // serializes behind the pack — the paper's central "no overlap"
+  // observation (§2.3/§5), emerging from resource occupancy instead of
+  // a hand-coded branch.
+  c.local.push_back({ChargeAtom::wire, wire_time(bytes), bytes});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  return c;
+}
+
+TransferCharges CostModel::rsend_charges(std::size_t bytes,
+                                         const BlockStats& stats) const {
+  const bool noncontig = stats.block_count > 1;
+  TransferCharges c;
+  c.eager = true;  // no rendezvous ack needed
+  c.local.push_back({ChargeAtom::call_overhead, p_.send_overhead_s, 0});
+  if (noncontig) {
+    c.local.push_back({ChargeAtom::cpu_pack, staging_base_time(bytes, stats),
+                       bytes});
+    c.local.push_back(
+        {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  }
+  c.local.push_back({ChargeAtom::wire, wire_time(bytes), bytes});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  return c;
+}
+
+TransferCharges CostModel::bsend_charges(std::size_t bytes,
+                                         const BlockStats& stats) const {
+  TransferCharges c;
+  c.eager = true;  // buffered sends never block on the receiver
+  // Gather into the user-attached buffer (charged like the MPI pack
+  // engine: paper §4.3 shows MPI_Pack ~= a user copy loop)...
+  c.local.push_back({ChargeAtom::call_overhead, p_.send_overhead_s, 0});
+  c.local.push_back({ChargeAtom::call_overhead, p_.bsend_overhead_s, 0});
+  c.local.push_back({ChargeAtom::cpu_pack,
+                     static_cast<double>(bytes) /
+                         p_.bsend_copy_bandwidth_Bps * block_factor(stats),
+                     bytes});
+  // ...then the background transfer still runs through MPI's internal
+  // machinery: another contiguous copy, the capacity penalty, and an
+  // internal standard send that handshakes above the eager limit.
+  // This is the modeled reason Bsend does not rescue large messages
+  // (§4.2): the user-space buffer adds a copy without removing any.
+  c.transit.push_back({ChargeAtom::internal_copy,
+                       internal_contiguous_copy_time(bytes), bytes});
+  c.transit.push_back(
+      {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  c.transit.push_back({ChargeAtom::handshake,
+                       is_eager(bytes) ? 0.0 : p_.rendezvous_handshake_s, 0});
+  c.transit.push_back({ChargeAtom::injection, wire_time(bytes), bytes});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  return c;
+}
+
+std::vector<Charge> CostModel::recv_charges(std::size_t bytes,
+                                            const BlockStats& recv_stats,
+                                            bool eager,
+                                            bool unexpected) const {
+  std::vector<Charge> seq;
+  seq.push_back({ChargeAtom::match, p_.recv_overhead_s, 0});
+  // Eager copy-out happens only for *unexpected* messages (those that
+  // landed in MPI's buffer before the receive was posted); an expected
+  // eager message is delivered straight into the user buffer.
+  if (eager && unexpected)
+    seq.push_back({ChargeAtom::internal_copy,
+                   internal_contiguous_copy_time(bytes), bytes});
+  if (recv_stats.block_count > 1) {  // scatter to the receive layout
+    seq.push_back(
+        {ChargeAtom::cpu_pack, staging_base_time(bytes, recv_stats), bytes});
+    seq.push_back(
+        {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  }
+  return seq;
+}
+
+TransferCharges CostModel::put_charges(std::size_t bytes,
+                                       const BlockStats& origin_stats) const {
+  const bool noncontig = origin_stats.block_count > 1;
+  const double rma_wire =
+      bytes == 0 ? 0.0
+                 : static_cast<double>(bytes) * contention_ /
+                       (p_.net_bandwidth_Bps * p_.put_bandwidth_factor);
+  const double extra =
+      bytes > p_.internal_buffer_bytes
+          ? static_cast<double>(bytes - p_.internal_buffer_bytes) /
+                p_.net_bandwidth_Bps * p_.rma_large_penalty
+          : 0.0;
+  TransferCharges c;
+  c.eager = false;
+  c.local.push_back({ChargeAtom::call_overhead, p_.put_overhead_s, 0});
+  if (noncontig) {
+    c.local.push_back(
+        {ChargeAtom::cpu_pack, staging_base_time(bytes, origin_stats), bytes});
+    c.local.push_back(
+        {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  }
+  // Injection at the RMA-specific rate; the profile's large-message RMA
+  // penalty rides as extra wire occupancy so it cannot overlap it.
+  c.transit.push_back({ChargeAtom::injection, rma_wire, bytes});
+  if (extra > 0.0) c.transit.push_back({ChargeAtom::wire, extra, 0});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  return c;
+}
+
+TransferCharges CostModel::get_charges(std::size_t bytes,
+                                       const BlockStats& target_stats) const {
+  const bool noncontig = target_stats.block_count > 1;
+  const double rma_wire =
+      bytes == 0 ? 0.0
+                 : static_cast<double>(bytes) * contention_ /
+                       (p_.net_bandwidth_Bps * p_.put_bandwidth_factor);
+  const double extra =
+      bytes > p_.internal_buffer_bytes
+          ? static_cast<double>(bytes - p_.internal_buffer_bytes) /
+                p_.net_bandwidth_Bps * p_.rma_large_penalty
+          : 0.0;
+  // Mirror of put: request goes out, target-side gather, data comes
+  // back.  The response serializes on the *target's* NIC, which the
+  // per-rank ledgers do not track (documented limitation: only
+  // sender-side injections contend).
+  TransferCharges c;
+  c.eager = false;
+  c.local.push_back({ChargeAtom::call_overhead, p_.put_overhead_s, 0});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  if (noncontig) {
+    c.transit.push_back(
+        {ChargeAtom::cpu_pack, staging_base_time(bytes, target_stats), bytes});
+    c.transit.push_back(
+        {ChargeAtom::capacity_penalty, capacity_penalty_time(bytes), 0});
+  }
+  c.transit.push_back({ChargeAtom::wire, rma_wire, bytes});
+  if (extra > 0.0) c.transit.push_back({ChargeAtom::wire, extra, 0});
+  c.transit.push_back({ChargeAtom::net_latency, p_.net_latency_s, 0});
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+CostModel::Timing CostModel::realize(double start,
+                                     const TransferCharges& charges,
+                                     NicGate gate,
+                                     std::vector<PlacedCharge>* placed) const {
+  const NicCapabilities caps = capabilities();
+  const ScheduleResult local =
+      schedule_sequence(start, charges.local, caps, gate, placed);
+  const ScheduleResult transit = schedule_sequence(
+      local.finish, charges.transit, caps,
+      local.gate_used ? NicGate{} : gate, placed);
+  // A message that emitted no NIC atom must still release its FIFO slot.
+  if (gate.active() && !local.gate_used && !transit.gate_used)
+    gate.ledger->skip(gate.ticket);
+  return {local.finish, transit.finish, charges.eager};
+}
+
+CostModel::Timing CostModel::eager_timing(
+    double ts, std::size_t bytes, const BlockStats& send_stats, NicGate gate,
+    std::vector<PlacedCharge>* placed) const {
+  return realize(ts, eager_charges(bytes, send_stats), gate, placed);
 }
 
 CostModel::Timing CostModel::rendezvous_timing(
     double sender_ready, double recv_ready, std::size_t bytes,
-    const BlockStats& send_stats) const {
-  const bool noncontig = send_stats.block_count > 1;
-  const double start =
-      std::max(sender_ready, recv_ready) + p_.rendezvous_handshake_s;
-  const double pack_t =
-      noncontig ? internal_staging_time(bytes, send_stats) : 0.0;
-  const double wire_t = wire_time(bytes);
-  // Paper §2.3/§5: without NIC gather support, building the internal
-  // buffer cannot overlap injection; ref [2] hardware (user-mode memory
-  // registration) overlaps the gather with injection *and* dispenses
-  // with the big staging buffer, so the capacity penalty vanishes too.
-  double xfer;
-  if (p_.nic_noncontig_pipelining) {
-    const double gather_t = pack_t - capacity_penalty(bytes);
-    xfer = std::max(gather_t, wire_t);
-  } else {
-    xfer = pack_t + wire_t;
-  }
-  const double sender_done = start + xfer;
-  return {sender_done, sender_done + p_.net_latency_s, false};
+    const BlockStats& send_stats, NicGate gate,
+    std::vector<PlacedCharge>* placed) const {
+  return realize(std::max(sender_ready, recv_ready),
+                 rendezvous_charges(bytes, send_stats), gate, placed);
 }
 
-CostModel::Timing CostModel::rsend_timing(double ts, std::size_t bytes,
-                                          const BlockStats& send_stats) const {
-  const bool noncontig = send_stats.block_count > 1;
-  const double local =
-      p_.send_overhead_s +
-      (noncontig ? internal_staging_time(bytes, send_stats) : 0.0);
-  const double sender_done = ts + local + wire_time(bytes);
-  return {sender_done, sender_done + p_.net_latency_s, false};
+CostModel::Timing CostModel::rsend_timing(
+    double ts, std::size_t bytes, const BlockStats& send_stats, NicGate gate,
+    std::vector<PlacedCharge>* placed) const {
+  return realize(ts, rsend_charges(bytes, send_stats), gate, placed);
 }
 
-CostModel::Timing CostModel::bsend_timing(double ts, std::size_t bytes,
-                                          const BlockStats& send_stats) const {
-  // Gather into the user-attached buffer (charged like the MPI pack
-  // engine: paper §4.3 shows MPI_Pack ~= a user copy loop)...
-  const double local = p_.send_overhead_s + p_.bsend_overhead_s +
-                       static_cast<double>(bytes) /
-                           p_.bsend_copy_bandwidth_Bps *
-                           block_factor(send_stats);
-  const double sender_done = ts + local;
-  // ...then the background transfer still runs through MPI's internal
-  // machinery: an internal standard send (which handshakes above the
-  // eager limit), another contiguous copy, and the capacity penalty.
-  // This is the modeled reason Bsend does not rescue large messages
-  // (§4.2): the user-space buffer adds a copy without removing any.
-  const double background = internal_contiguous_copy_time(bytes) +
-                            capacity_penalty(bytes) +
-                            (is_eager(bytes) ? 0.0 : handshake_time());
-  return {sender_done,
-          sender_done + background + wire_time(bytes) + p_.net_latency_s,
-          true};
+CostModel::Timing CostModel::bsend_timing(
+    double ts, std::size_t bytes, const BlockStats& send_stats, NicGate gate,
+    std::vector<PlacedCharge>* placed) const {
+  return realize(ts, bsend_charges(bytes, send_stats), gate, placed);
 }
 
 double CostModel::recv_completion(double recv_ready, double arrival,
                                   std::size_t bytes,
-                                  const BlockStats& recv_stats,
-                                  bool eager) const {
-  double t = std::max(recv_ready, arrival) + p_.recv_overhead_s;
-  // Eager copy-out happens only for *unexpected* messages (those that
-  // landed in MPI's buffer before the receive was posted); an expected
-  // eager message is delivered straight into the user buffer.
-  if (eager && recv_ready > arrival)
-    t += internal_contiguous_copy_time(bytes);
-  if (recv_stats.block_count > 1)
-    t += internal_staging_time(bytes, recv_stats);  // scatter to layout
-  return t;
+                                  const BlockStats& recv_stats, bool eager,
+                                  std::vector<PlacedCharge>* placed) const {
+  const bool unexpected = recv_ready > arrival;
+  const auto seq = recv_charges(bytes, recv_stats, eager, unexpected);
+  return schedule_sequence(std::max(recv_ready, arrival), seq, capabilities(),
+                           {}, placed)
+      .finish;
 }
 
-CostModel::Timing CostModel::put_timing(double t_origin, std::size_t bytes,
-                                        const BlockStats& origin_stats) const {
-  const bool noncontig = origin_stats.block_count > 1;
-  const double pack_t =
-      noncontig ? internal_staging_time(bytes, origin_stats) : 0.0;
-  const double rma_wire =
-      bytes == 0 ? 0.0
-                 : static_cast<double>(bytes) * contention_ /
-                       (p_.net_bandwidth_Bps * p_.put_bandwidth_factor);
-  const double extra =
-      bytes > p_.internal_buffer_bytes
-          ? static_cast<double>(bytes - p_.internal_buffer_bytes) /
-                p_.net_bandwidth_Bps * p_.rma_large_penalty
-          : 0.0;
-  const double origin_done = t_origin + p_.put_overhead_s + pack_t;
-  return {origin_done, origin_done + rma_wire + extra + p_.net_latency_s,
-          false};
+CostModel::Timing CostModel::put_timing(
+    double t_origin, std::size_t bytes, const BlockStats& origin_stats,
+    NicGate gate, std::vector<PlacedCharge>* placed) const {
+  return realize(t_origin, put_charges(bytes, origin_stats), gate, placed);
 }
 
-CostModel::Timing CostModel::get_timing(double t_origin, std::size_t bytes,
-                                        const BlockStats& target_stats) const {
-  // Mirror of put: request goes out, target-side gather, data comes back.
-  const bool noncontig = target_stats.block_count > 1;
-  const double pack_t =
-      noncontig ? internal_staging_time(bytes, target_stats) : 0.0;
-  const double rma_wire =
-      bytes == 0 ? 0.0
-                 : static_cast<double>(bytes) * contention_ /
-                       (p_.net_bandwidth_Bps * p_.put_bandwidth_factor);
-  const double extra =
-      bytes > p_.internal_buffer_bytes
-          ? static_cast<double>(bytes - p_.internal_buffer_bytes) /
-                p_.net_bandwidth_Bps * p_.rma_large_penalty
-          : 0.0;
-  const double origin_done = t_origin + p_.put_overhead_s;
-  return {origin_done, origin_done + p_.net_latency_s + pack_t + rma_wire +
-                           extra + p_.net_latency_s,
-          false};
+CostModel::Timing CostModel::get_timing(
+    double t_origin, std::size_t bytes, const BlockStats& target_stats,
+    NicGate gate, std::vector<PlacedCharge>* placed) const {
+  return realize(t_origin, get_charges(bytes, target_stats), gate, placed);
 }
 
 }  // namespace minimpi

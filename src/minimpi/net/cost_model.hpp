@@ -9,14 +9,27 @@
 /// switchover, fence synchronization, per-call overheads), so the
 /// reproduced curves bend for the same reasons the measured ones do.
 ///
+/// Since the charge-timeline redesign the protocol compositions are not
+/// closed-form sums: each one **emits a sequence of typed charge atoms**
+/// (`*_charges`, timeline.hpp) — pack, wire, handshake, ... with a
+/// declared CPU/NIC resource each — and the `Timing` is derived by
+/// *scheduling* that sequence on a resource timeline (`realize`).
+/// Same-resource atoms serialize; cross-resource atoms overlap when the
+/// profile's NIC capabilities allow (`nic_gather`); per-rank NIC gates
+/// make injections of concurrent sends queue FIFO when emergent
+/// contention is enabled.  In the fully serial case the schedule
+/// degenerates to the legacy sums bit-exactly (DESIGN.md §2.8).
+///
 /// All times are seconds of virtual time; all sizes are payload bytes.
 
 #include <cstddef>
 #include <cstring>
 #include <optional>
+#include <vector>
 
 #include "minimpi/datatype/datatype.hpp"
 #include "minimpi/net/machine_profile.hpp"
+#include "minimpi/net/timeline.hpp"
 
 namespace minimpi {
 
@@ -32,17 +45,23 @@ class CostModel {
   /// \param concurrent_senders  simultaneous senders sharing one NIC in
   ///   the scenario being modeled (multi-rank communication patterns);
   ///   together with the profile's `link_contention_factor` it scales
-  ///   the effective wire bandwidth.  1 (the 2-rank ping-pong) or a
-  ///   factor of 0.0 leave every charge exactly as before.
+  ///   the effective wire bandwidth.  This is the *static fallback*
+  ///   contention model — the mechanistic alternative is NIC-occupancy
+  ///   queueing through per-rank `NicGate`s.  1 (the 2-rank ping-pong)
+  ///   or a factor of 0.0 leave every charge exactly as before.
   explicit CostModel(const MachineProfile& p,
                      std::optional<std::size_t> eager_override = {},
                      int concurrent_senders = 1);
 
   [[nodiscard]] const MachineProfile& profile() const noexcept { return p_; }
   [[nodiscard]] std::size_t eager_limit() const noexcept { return eager_limit_; }
-  /// Wire-time multiplier from link contention (1.0 when inert).
+  /// Wire-time multiplier from static link contention (1.0 when inert).
   [[nodiscard]] double contention_multiplier() const noexcept {
     return contention_;
+  }
+  /// Hardware overlap capabilities the scheduler honours.
+  [[nodiscard]] NicCapabilities capabilities() const noexcept {
+    return NicCapabilities{p_.nic_gather};
   }
   [[nodiscard]] bool is_eager(std::size_t bytes) const noexcept {
     return bytes <= eager_limit_;
@@ -68,9 +87,19 @@ class CostModel {
   /// Cost of `ncalls` library calls (MPI_Pack per element, §2.6).
   [[nodiscard]] double call_overhead(std::size_t ncalls) const;
 
+  /// The pack-engine part of MPI-internal staging: copy-loop time plus
+  /// per-segment bookkeeping, *without* the beyond-capacity penalty
+  /// (that is its own typed atom).
+  [[nodiscard]] double staging_base_time(std::size_t bytes,
+                                         const BlockStats& stats) const;
+
+  /// Beyond-capacity bookkeeping behind the paper's large-message
+  /// degradation (§4.1); zero at or below `internal_buffer_bytes`.
+  [[nodiscard]] double capacity_penalty_time(std::size_t bytes) const;
+
   /// MPI-internal staging of a non-contiguous message: pack engine,
-  /// per-segment bookkeeping, and the beyond-capacity penalty that
-  /// produces the paper's large-message degradation (§4.1).
+  /// per-segment bookkeeping, and the beyond-capacity penalty
+  /// (`staging_base_time` + `capacity_penalty_time`).
   [[nodiscard]] double internal_staging_time(std::size_t bytes,
                                              const BlockStats& stats) const;
 
@@ -83,7 +112,59 @@ class CostModel {
   }
   [[nodiscard]] double fence_time() const noexcept { return p_.fence_cost_s; }
 
-  // --- protocol compositions ----------------------------------------------
+  // --- typed charge-atom emission (the timeline API) ----------------------
+  //
+  // Each protocol composition is defined by the atom sequence it emits;
+  // `realize` (or the legacy-shaped `*_timing` wrappers below) derives
+  // the observable Timing by scheduling it.  The emitters are public so
+  // traces, tests, and what-if tools can inspect the exact atoms a
+  // transfer would charge.
+
+  /// Standard-mode send below the eager limit: copy into MPI's internal
+  /// buffer (fire and forget), background injection + latency.
+  [[nodiscard]] TransferCharges eager_charges(std::size_t bytes,
+                                              const BlockStats& stats) const;
+
+  /// Standard/synchronous send above the eager limit.  The sequence
+  /// starts at max(sender_ready, recv_ready): handshake, then staging
+  /// pack and wire — which serialize on the CPU unless the profile has
+  /// `nic_gather`, in which case the wire atom occupies only the NIC
+  /// (and the capacity penalty vanishes with the staging buffer,
+  /// paper ref [2]).
+  [[nodiscard]] TransferCharges rendezvous_charges(
+      std::size_t bytes, const BlockStats& stats) const;
+
+  /// Ready-mode send: no handshake, no eager copy; staging (if
+  /// non-contiguous) and wire keep the sender busy.
+  [[nodiscard]] TransferCharges rsend_charges(std::size_t bytes,
+                                              const BlockStats& stats) const;
+
+  /// Buffered send: gather into the user-attached buffer, return; the
+  /// background transfer still pays MPI's internal copy, the capacity
+  /// penalty, and (above the eager limit) a handshake — why Bsend never
+  /// helps (paper §4.2).
+  [[nodiscard]] TransferCharges bsend_charges(std::size_t bytes,
+                                              const BlockStats& stats) const;
+
+  /// Receiver-side completion atoms for a message that has arrived:
+  /// match overhead, copy-out for *unexpected* eager messages, scatter
+  /// for non-contiguous receive types.
+  [[nodiscard]] std::vector<Charge> recv_charges(std::size_t bytes,
+                                                 const BlockStats& recv_stats,
+                                                 bool eager,
+                                                 bool unexpected) const;
+
+  /// One-sided put: origin-side staging through the same internal
+  /// engine, injection at the RMA-specific rate, plus any
+  /// profile-specific large-message RMA penalty.
+  [[nodiscard]] TransferCharges put_charges(
+      std::size_t bytes, const BlockStats& origin_stats) const;
+
+  /// One-sided get: request latency, target-side gather, response.
+  [[nodiscard]] TransferCharges get_charges(
+      std::size_t bytes, const BlockStats& target_stats) const;
+
+  // --- scheduling ----------------------------------------------------------
 
   struct Timing {
     double sender_done;  ///< virtual time the send call returns
@@ -91,53 +172,50 @@ class CostModel {
     bool eager;
   };
 
-  /// Standard-mode send below the eager limit: copy into MPI's internal
-  /// buffer, fire and forget.
-  [[nodiscard]] Timing eager_timing(double ts, std::size_t bytes,
-                                    const BlockStats& send_stats) const;
+  /// \brief Derive a Timing by scheduling `charges` from `start`:
+  /// `local` up to `sender_done`, `transit` on to `arrival`.  The NIC
+  /// gate (when active) queues the sequence's wire/injection atom FIFO
+  /// behind the rank's earlier injections — emergent contention; an
+  /// inert gate leaves the schedule untouched.  `placed` (optional)
+  /// receives every atom's placement for tracing.
+  Timing realize(double start, const TransferCharges& charges,
+                 NicGate gate = {},
+                 std::vector<PlacedCharge>* placed = nullptr) const;
 
-  /// Standard/synchronous send above the eager limit: RTS/CTS handshake
-  /// gated on the receiver, then (pack +) wire; the sender is busy until
-  /// the data is injected.  Without NIC gather support pack and wire
-  /// serialize — the paper's central "no overlap" observation.
-  [[nodiscard]] Timing rendezvous_timing(double sender_ready, double recv_ready,
-                                         std::size_t bytes,
-                                         const BlockStats& send_stats) const;
+  // --- protocol compositions (scheduled wrappers) --------------------------
 
-  /// Ready-mode send: the receive is guaranteed posted, so no handshake
-  /// and no eager buffering copy — non-contiguous data still stages.
-  [[nodiscard]] Timing rsend_timing(double ts, std::size_t bytes,
-                                    const BlockStats& send_stats) const;
+  [[nodiscard]] Timing eager_timing(
+      double ts, std::size_t bytes, const BlockStats& send_stats,
+      NicGate gate = {}, std::vector<PlacedCharge>* placed = nullptr) const;
 
-  /// Buffered send: gather into the user-attached buffer, return; the
-  /// background transfer still pays MPI's internal copy and, for large
-  /// messages, the capacity penalty — which is why Bsend never helps
-  /// (paper §4.2).
-  [[nodiscard]] Timing bsend_timing(double ts, std::size_t bytes,
-                                    const BlockStats& send_stats) const;
+  [[nodiscard]] Timing rendezvous_timing(
+      double sender_ready, double recv_ready, std::size_t bytes,
+      const BlockStats& send_stats, NicGate gate = {},
+      std::vector<PlacedCharge>* placed = nullptr) const;
 
-  /// Receiver-side completion for a message that arrived at `arrival`:
-  /// match overhead, eager copy-out, scatter for non-contiguous receive
-  /// types.
-  [[nodiscard]] double recv_completion(double recv_ready, double arrival,
-                                       std::size_t bytes,
-                                       const BlockStats& recv_stats,
-                                       bool eager) const;
+  [[nodiscard]] Timing rsend_timing(
+      double ts, std::size_t bytes, const BlockStats& send_stats,
+      NicGate gate = {}, std::vector<PlacedCharge>* placed = nullptr) const;
 
-  /// One-sided put of a (possibly derived-type) message: origin-side
-  /// staging through the same internal engine, RMA-specific wire rate,
-  /// plus any profile-specific large-message RMA penalty.
-  [[nodiscard]] Timing put_timing(double t_origin, std::size_t bytes,
-                                  const BlockStats& origin_stats) const;
+  [[nodiscard]] Timing bsend_timing(
+      double ts, std::size_t bytes, const BlockStats& send_stats,
+      NicGate gate = {}, std::vector<PlacedCharge>* placed = nullptr) const;
 
-  /// One-sided get: same pieces mirrored; data is available to the
-  /// origin at `arrival`.
-  [[nodiscard]] Timing get_timing(double t_origin, std::size_t bytes,
-                                  const BlockStats& target_stats) const;
+  /// Receiver-side completion for a message that arrived at `arrival`.
+  [[nodiscard]] double recv_completion(
+      double recv_ready, double arrival, std::size_t bytes,
+      const BlockStats& recv_stats, bool eager,
+      std::vector<PlacedCharge>* placed = nullptr) const;
+
+  [[nodiscard]] Timing put_timing(
+      double t_origin, std::size_t bytes, const BlockStats& origin_stats,
+      NicGate gate = {}, std::vector<PlacedCharge>* placed = nullptr) const;
+
+  [[nodiscard]] Timing get_timing(
+      double t_origin, std::size_t bytes, const BlockStats& target_stats,
+      NicGate gate = {}, std::vector<PlacedCharge>* placed = nullptr) const;
 
  private:
-  [[nodiscard]] double capacity_penalty(std::size_t bytes) const;
-
   MachineProfile p_;
   std::size_t eager_limit_;
   double contention_ = 1.0;

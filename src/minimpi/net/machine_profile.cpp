@@ -39,7 +39,7 @@ MachineProfile make_skx_impi() {
   p.rma_large_penalty = 1.5;
   p.bsend_overhead_s = 1.0e-6;
   p.bsend_copy_bandwidth_Bps = 6.0e9;
-  p.nic_noncontig_pipelining = false;
+  p.nic_gather = false;
   p.link_contention_factor = 0.0;  // §4.7: no degradation observed
   return p;
 }
@@ -91,7 +91,7 @@ MachineProfile make_ls5_cray() {
   p.rma_large_penalty = 0.0;  // Cray RMA keeps up at large sizes
   p.bsend_overhead_s = 1.0e-6;
   p.bsend_copy_bandwidth_Bps = 3.9e9;
-  p.nic_noncontig_pipelining = false;
+  p.nic_gather = false;
   p.link_contention_factor = 0.0;  // §4.7: no degradation observed
   return p;
 }

@@ -69,17 +69,26 @@ struct MachineProfile {
 
   // --- NIC capability -----------------------------------------------------
   /// True if the NIC can gather non-contiguous data while injecting
-  /// (user-mode memory registration, paper ref [2]).  False on every
-  /// system the paper measured; an ablation bench flips it on.
-  bool nic_noncontig_pipelining;
+  /// (user-mode memory registration, paper ref [2]): `wire` atoms stop
+  /// occupying the CPU on the charge timeline (timeline.hpp), so a
+  /// rendezvous pack overlaps its own injection.  False on every
+  /// system the paper measured; `bench/ablation_nic_pipelining` flips
+  /// it on a profile copy.
+  bool nic_gather;
 
-  /// Fractional wire-bandwidth loss per *additional* concurrent sender
-  /// sharing one NIC: S simultaneous senders see the link at
-  /// bandwidth / (1 + factor * (S - 1)).  The paper's §4.7 "limited
+  /// **Static fallback** for link contention: fractional wire-bandwidth
+  /// loss per *additional* concurrent sender sharing one NIC — S
+  /// simultaneous senders see the link at
+  /// bandwidth / (1 + factor * (S - 1)), with S from
+  /// `UniverseOptions::concurrent_senders`.  The paper's §4.7 "limited
   /// test" observed no degradation with all node pairs active, so every
-  /// canned profile ships 0.0 (the term is inert); multi-rank pattern
-  /// benches parameterize it to ask what-if questions the paper could
-  /// not.  S comes from `UniverseOptions::concurrent_senders`.
+  /// canned profile ships 0.0 (the term is inert).  The mechanistic
+  /// alternative is emergent NIC-occupancy contention
+  /// (`UniverseOptions::nic_occupancy_contention`): injections queue
+  /// FIFO on the sending rank's NIC timeline, so contention arises only
+  /// where sends genuinely overlap on one NIC —
+  /// `bench/ablation_contention` compares the two and documents where
+  /// this static factor mis-models.
   double link_contention_factor = 0.0;
 
   // --- canned profiles ----------------------------------------------------

@@ -1,0 +1,220 @@
+#include "minimpi/net/timeline.hpp"
+
+#include <algorithm>
+
+namespace minimpi {
+
+Resource resource_of(ChargeAtom a) noexcept {
+  switch (a) {
+    case ChargeAtom::cpu_pack:
+    case ChargeAtom::internal_copy:
+    case ChargeAtom::call_overhead:
+    case ChargeAtom::match:
+    case ChargeAtom::capacity_penalty:
+      return Resource::cpu;
+    case ChargeAtom::injection:
+    case ChargeAtom::wire:
+      return Resource::nic;
+    case ChargeAtom::handshake:
+    case ChargeAtom::fence:
+    case ChargeAtom::net_latency:
+      return Resource::none;
+  }
+  return Resource::none;
+}
+
+std::string_view to_string(ChargeAtom a) noexcept {
+  switch (a) {
+    case ChargeAtom::cpu_pack: return "cpu_pack";
+    case ChargeAtom::internal_copy: return "internal_copy";
+    case ChargeAtom::call_overhead: return "call_overhead";
+    case ChargeAtom::handshake: return "handshake";
+    case ChargeAtom::injection: return "injection";
+    case ChargeAtom::wire: return "wire";
+    case ChargeAtom::fence: return "fence";
+    case ChargeAtom::match: return "match";
+    case ChargeAtom::capacity_penalty: return "capacity_penalty";
+    case ChargeAtom::net_latency: return "net_latency";
+  }
+  return "?";
+}
+
+std::string_view to_string(Resource r) noexcept {
+  switch (r) {
+    case Resource::cpu: return "cpu";
+    case Resource::nic: return "nic";
+    case Resource::none: return "-";
+  }
+  return "?";
+}
+
+bool occupies_cpu(ChargeAtom a, const NicCapabilities& caps) noexcept {
+  if (resource_of(a) == Resource::cpu) return true;
+  // Without NIC gather support the CPU babysits wire serialization —
+  // the paper's central "nothing overlaps pack and wire" observation.
+  // `injection` drains an already-staged buffer and never needs it.
+  return a == ChargeAtom::wire && !caps.nic_gather;
+}
+
+bool occupies_nic(ChargeAtom a) noexcept {
+  return resource_of(a) == Resource::nic;
+}
+
+// ---------------------------------------------------------------------------
+// NicLedger
+// ---------------------------------------------------------------------------
+
+std::uint64_t NicLedger::ticket() {
+  if (!enabled_) return 0;
+  std::lock_guard lk(m_);
+  return next_ticket_++;
+}
+
+double NicLedger::inject(std::uint64_t ticket, double ready, double seconds) {
+  if (!enabled_) return ready;
+  std::unique_lock lk(m_);
+  cv_.wait(lk, [&] { return resolved_ == ticket; });
+  // FIFO: this injection starts once the queue ahead of it has drained.
+  // `max` keeps the inert case exact: an idle NIC returns `ready`
+  // bit-identically.
+  const double start = std::max(ready, busy_until_);
+  busy_until_ = start + seconds;
+  ++resolved_;
+  cv_.notify_all();
+  return start;
+}
+
+void NicLedger::skip(std::uint64_t ticket) {
+  if (!enabled_) return;
+  std::unique_lock lk(m_);
+  cv_.wait(lk, [&] { return resolved_ == ticket; });
+  ++resolved_;
+  cv_.notify_all();
+}
+
+double NicLedger::busy_until() const {
+  std::lock_guard lk(m_);
+  return busy_until_;
+}
+
+// ---------------------------------------------------------------------------
+// schedule_sequence
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Occupancy {
+  bool cpu = false;
+  bool nic = false;
+  [[nodiscard]] bool empty() const noexcept { return !cpu && !nic; }
+  [[nodiscard]] bool intersects(const Occupancy& o) const noexcept {
+    return (cpu && o.cpu) || (nic && o.nic);
+  }
+};
+
+}  // namespace
+
+namespace {
+
+/// Total NIC occupancy of the run a gated atom opens: the atom itself
+/// plus the immediately following atoms that keep occupying the NIC
+/// (e.g. a put's injection followed by its large-message wire
+/// penalty).  The ledger reservation must cover all of it, or a later
+/// injection could start inside this one's tail.
+double gated_nic_seconds(std::span<const Charge> seq, std::size_t i) {
+  double total = 0.0;
+  for (; i < seq.size() && occupies_nic(seq[i].atom); ++i)
+    total += seq[i].seconds;
+  return total;
+}
+
+}  // namespace
+
+ScheduleResult schedule_sequence(double start, std::span<const Charge> seq,
+                                 const NicCapabilities& caps, NicGate gate,
+                                 std::vector<PlacedCharge>* placed) {
+  double free_cpu = start;
+  double free_nic = start;
+  // A new run may overlap the previous one (disjoint resources) but
+  // never *precede* it: the wire of a send cannot start before the
+  // call that produces the data has begun.  Vacuous in every serial
+  // chain (runs there split only at joins, whose finish bounds the
+  // next start anyway), so the bit-exact degeneration is untouched.
+  double prev_start = start;
+
+  // The current serial run: consecutive atoms with intersecting
+  // occupancy accumulate into one left-to-right sum added to the run's
+  // start, so a fully serial chain computes `start + (d1 + d2 + ...)`
+  // — the exact association of the closed forms this scheduler
+  // replaced (DESIGN.md §2.8).
+  Occupancy run_occ;
+  double run_start = start;
+  double run_acc = 0.0;
+  bool run_active = false;
+  bool gate_used = false;
+
+  const auto flush = [&] {
+    if (!run_active) return;
+    const double f = run_start + run_acc;
+    if (run_occ.cpu) free_cpu = f;
+    if (run_occ.nic) free_nic = f;
+    run_active = false;
+  };
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const Charge& c = seq[i];
+    Occupancy occ;
+    occ.cpu = occupies_cpu(c.atom, caps);
+    occ.nic = occupies_nic(c.atom);
+
+    double s;
+    double f;
+    if (occ.empty()) {
+      // Join point: starts when everything so far has finished,
+      // everything after it waits.
+      flush();
+      s = std::max(free_cpu, free_nic);
+      f = s + c.seconds;
+      free_cpu = f;
+      free_nic = f;
+    } else {
+      const bool wants_gate = gate.active() && occ.nic && !gate_used;
+      if (run_active && !wants_gate && occ.intersects(run_occ)) {
+        // Serial: extend the run.
+        s = run_start + run_acc;
+        run_occ.cpu |= occ.cpu;
+        run_occ.nic |= occ.nic;
+        run_acc += c.seconds;
+        f = run_start + run_acc;
+      } else {
+        // Overlap (disjoint resources) or a gated injection: a new run
+        // starting at this atom's own resources' free time (but never
+        // before the previous atom started).
+        flush();
+        s = occ.cpu && occ.nic ? std::max(free_cpu, free_nic)
+            : occ.cpu          ? free_cpu
+                               : free_nic;
+        s = std::max(s, prev_start);
+        if (wants_gate) {
+          // Reserve the run's whole NIC occupancy, not just this
+          // atom's share, so later injections queue behind its tail.
+          s = gate.ledger->inject(gate.ticket, s,
+                                  gated_nic_seconds(seq, i));
+          gate_used = true;
+        }
+        run_occ = occ;
+        run_start = s;
+        run_acc = c.seconds;
+        run_active = true;
+        f = run_start + run_acc;
+      }
+    }
+    prev_start = s;
+    if (placed != nullptr)
+      placed->push_back({c.atom, resource_of(c.atom), s, f, c.bytes});
+  }
+  flush();
+  return {std::max(free_cpu, free_nic), gate_used};
+}
+
+}  // namespace minimpi

@@ -1,0 +1,203 @@
+#pragma once
+/// \file timeline.hpp
+/// \brief Typed cost atoms on per-rank CPU/NIC resource timelines.
+///
+/// The paper's central observations are *resource* statements: pack and
+/// wire serialize because nothing overlaps them (§4.3), and
+/// simultaneous senders did not degrade because the NIC was not the
+/// bottleneck (§4.7).  This file makes those statements first-class.
+/// A protocol composition is no longer an opaque closed-form sum: the
+/// `CostModel` emits a sequence of **typed charge atoms** (`cpu_pack`,
+/// `wire`, `handshake`, ...), each with a declared resource, and a
+/// scheduler places them on the rank's resource timeline:
+///
+///   * atoms on the *same* resource serialize (a CPU cannot pack two
+///     buffers at once; a NIC injects one message at a time);
+///   * consecutive atoms on *disjoint* resources overlap when the
+///     hardware capability profile says they can — the `nic_gather`
+///     capability (user-mode memory registration, paper ref [2]) frees
+///     `wire` atoms from occupying the CPU, which is exactly the
+///     pack/inject overlap no measured system had;
+///   * `Resource::none` atoms (handshakes, fences, fabric latency) are
+///     join points: they start when everything before them has
+///     finished and everything after them waits.
+///
+/// Overlap and contention are therefore *emergent properties* of atom
+/// occupancy instead of hand-coded special cases.  In the fully serial
+/// 2-rank blocking ping-pong every atom chain degenerates to the sum
+/// of its durations — bit-identically reproducing the closed forms
+/// this API replaced (DESIGN.md §2.8 gives the substitution argument;
+/// the seed `BENCH_*.json` goldens are the safety net).
+///
+/// Cross-*operation* NIC contention lives in the `NicLedger`: one per
+/// rank, modelling the NIC as a FIFO injection queue.  When enabled
+/// (`UniverseOptions::nic_occupancy_contention`), every message send
+/// takes a ticket in program order and its wire/injection atom cannot
+/// start before the previous ticket's injection has drained — so a
+/// rank firing N concurrent sends (a transpose step) sees its
+/// injections serialize, while independent pairs (multi-pair) see no
+/// contention at all because NICs are per-rank.  The ledger is inert
+/// by default, keeping the 2-rank curves and the static
+/// `link_contention_factor` fallback byte-identical.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace minimpi {
+
+/// \brief The vocabulary of typed cost atoms a protocol can charge.
+enum class ChargeAtom : std::uint8_t {
+  cpu_pack,          ///< layout-aware gather/scatter through a copy loop
+  internal_copy,     ///< MPI-internal copy of already-contiguous bytes
+  call_overhead,     ///< per-call library overhead (o_s, per-put, ...)
+  handshake,         ///< rendezvous RTS/CTS round trip (a join point)
+  injection,         ///< NIC draining an already-staged message (DMA)
+  wire,              ///< wire serialization the sender is busy for
+  fence,             ///< RMA epoch synchronization
+  match,             ///< receive matching / completion overhead (o_r)
+  capacity_penalty,  ///< beyond-capacity staging bookkeeping (§4.1)
+  net_latency,       ///< fabric traversal delay (a join point)
+};
+
+/// \brief The resource an atom occupies while it runs.
+enum class Resource : std::uint8_t { cpu, nic, none };
+
+/// \brief Declared resource of each atom type.  `wire` is special: it
+/// is declared `nic` but *also* occupies the CPU unless the profile
+/// grants `NicCapabilities::nic_gather` (see `occupies_cpu`).
+[[nodiscard]] Resource resource_of(ChargeAtom a) noexcept;
+
+[[nodiscard]] std::string_view to_string(ChargeAtom a) noexcept;
+[[nodiscard]] std::string_view to_string(Resource r) noexcept;
+
+/// \brief One typed charge: an atom, its virtual-time duration, and
+/// the payload bytes it accounts for (0 for pure overheads).
+struct Charge {
+  ChargeAtom atom = ChargeAtom::call_overhead;
+  double seconds = 0.0;
+  std::size_t bytes = 0;
+};
+
+/// A protocol composition's atom sequence, split at the instant the
+/// sending call returns: `local` runs on the sender's timeline up to
+/// `sender_done`; `transit` continues (background injection, fabric
+/// latency) up to the arrival instant.
+struct TransferCharges {
+  std::vector<Charge> local;
+  std::vector<Charge> transit;
+  bool eager = true;
+};
+
+/// \brief What the hardware can overlap, derived from a
+/// `MachineProfile` (`CostModel::capabilities`).
+struct NicCapabilities {
+  /// NIC gathers non-contiguous data while injecting (user-mode memory
+  /// registration, paper ref [2]): `wire` atoms leave the CPU free, so
+  /// a rendezvous pack overlaps its own injection.  False on every
+  /// system the paper measured; `bench/ablation_nic_pipelining` flips
+  /// it on a profile copy.
+  bool nic_gather = false;
+};
+
+/// True if `a` occupies the CPU under `caps` (`wire` does unless the
+/// NIC can gather; `injection` never does — the bytes are staged).
+[[nodiscard]] bool occupies_cpu(ChargeAtom a,
+                                const NicCapabilities& caps) noexcept;
+/// True if `a` occupies the NIC (`wire` and `injection`).
+[[nodiscard]] bool occupies_nic(ChargeAtom a) noexcept;
+
+/// \brief One atom as the scheduler placed it (trace / introspection).
+struct PlacedCharge {
+  ChargeAtom atom;
+  Resource resource;  ///< declared resource (the trace lane)
+  double start = 0.0;
+  double finish = 0.0;
+  std::size_t bytes = 0;
+};
+
+/// \brief Per-rank FIFO NIC injection queue (emergent contention).
+///
+/// Tickets are issued on the owning rank's thread in program order, so
+/// the queue order is deterministic; a ticket is *resolved* (its
+/// injection placed) either immediately by the sender — eager, ready,
+/// buffered, RMA, whose wire times are known at post time — or by the
+/// receiver that computes the rendezvous timing.  Resolution happens
+/// strictly in ticket order: a resolver for ticket k blocks (host
+/// level only) until ticket k-1 has drained, which is what makes a
+/// later injection queue behind an earlier one.  Disabled ledgers are
+/// completely inert: no tickets, no waiting, no state — the bit-exact
+/// default.
+class NicLedger {
+ public:
+  NicLedger() = default;
+  explicit NicLedger(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Issue the next ticket (owning rank's thread, program order).
+  /// Returns 0 when disabled.
+  std::uint64_t ticket();
+
+  /// Resolve `ticket`: the injection becomes ready at `ready` and
+  /// occupies the NIC for `seconds`.  Returns the actual start (==
+  /// `ready` when the queue is empty; later when it must drain).
+  /// Blocks until every earlier ticket has resolved.
+  double inject(std::uint64_t ticket, double ready, double seconds);
+
+  /// Resolve `ticket` without occupying the NIC (a message that emits
+  /// no injection); keeps the FIFO moving.
+  void skip(std::uint64_t ticket);
+
+  /// Latest instant the NIC is known busy until (tests/introspection).
+  [[nodiscard]] double busy_until() const;
+
+ private:
+  bool enabled_ = false;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t resolved_ = 0;
+  double busy_until_ = 0.0;
+};
+
+/// \brief A pending FIFO slot on some rank's NIC: the ledger plus the
+/// ticket this message holds.  Default-constructed gates are inert.
+struct NicGate {
+  NicLedger* ledger = nullptr;
+  std::uint64_t ticket = 0;
+
+  [[nodiscard]] bool active() const noexcept {
+    return ledger != nullptr && ledger->enabled();
+  }
+};
+
+/// \brief Result of scheduling one atom sequence.
+struct ScheduleResult {
+  double finish = 0.0;    ///< when every atom has completed
+  bool gate_used = false; ///< a wire/injection atom consumed the gate
+};
+
+/// \brief Place `seq` on a resource timeline starting at `start`.
+///
+/// Scheduling rule: consecutive atoms whose occupancy sets intersect
+/// form a *serial run* — the run finishes at its start plus the
+/// left-to-right sum of its durations, which is what makes the serial
+/// case degenerate to the legacy closed-form sums bit-exactly.  An
+/// atom whose occupancy is disjoint from the current run starts at its
+/// own resource's free time (overlap); a `Resource::none` atom joins
+/// all resources.  The first NIC-occupying atom additionally queues
+/// through `gate` when it is active (emergent contention).
+///
+/// Pure function of its inputs apart from the gate: identical calls
+/// give identical placements.
+ScheduleResult schedule_sequence(double start, std::span<const Charge> seq,
+                                 const NicCapabilities& caps,
+                                 NicGate gate = {},
+                                 std::vector<PlacedCharge>* placed = nullptr);
+
+}  // namespace minimpi

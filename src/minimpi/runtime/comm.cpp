@@ -7,6 +7,27 @@ namespace minimpi {
 
 using detail::Envelope;
 
+namespace {
+
+/// Captures the scheduler's atom placements for the trace: hand
+/// `sink()` to a `CostModel` scheduling call; the placements land in
+/// the trace log on destruction.  A null sink (no trace attached)
+/// keeps the hot path allocation-free.
+struct ChargeCapture {
+  detail::World& world;
+  Rank rank;
+  std::vector<PlacedCharge> placed;
+
+  [[nodiscard]] std::vector<PlacedCharge>* sink() {
+    return world.tracing() ? &placed : nullptr;
+  }
+  ~ChargeCapture() {
+    if (!placed.empty()) world.trace_charges(rank, placed);
+  }
+};
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Request
 // ---------------------------------------------------------------------------
@@ -99,7 +120,13 @@ void Comm::charge(double seconds) {
 
 void Comm::charge_copy(std::size_t bytes, const BlockStats& stats,
                        double warm_fraction) {
-  clock_ += world_->model.user_copy_time(bytes, stats, warm_fraction);
+  const double d = world_->model.user_copy_time(bytes, stats, warm_fraction);
+  if (world_->tracing()) {
+    const PlacedCharge p{ChargeAtom::cpu_pack, Resource::cpu, clock_,
+                         clock_ + d, bytes};
+    world_->trace_charges(rank_, {&p, 1});
+  }
+  clock_ += d;
 }
 
 // ---------------------------------------------------------------------------
@@ -149,8 +176,10 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& t,
   auto env = make_envelope(buf, count, t, dst, tag);
   const bool noncontig = env->send_stats.block_count > 1;
   if (world_->model.is_eager(env->bytes)) {
+    ChargeCapture cc{*world_, rank_};
     const auto timing =
-        world_->model.eager_timing(clock_, env->bytes, env->send_stats);
+        world_->model.eager_timing(clock_, env->bytes, env->send_stats,
+                                   world_->nic_gate(rank_), cc.sink());
     env->eager = true;
     env->sender_done = timing.sender_done;
     env->arrival = timing.arrival;
@@ -162,6 +191,9 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& t,
     env->eager = false;
     env->needs_rdv_ack = true;
     env->sender_ready = clock_ + profile().send_overhead_s;
+    // The FIFO slot on this rank's NIC is taken now (program order);
+    // the receiver that computes the rendezvous timing resolves it.
+    env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
     world_->trace_event(clock_, rank_, dst, TraceEvent::send_rendezvous,
                         env->bytes, noncontig ? env->bytes : 0);
     auto fut = env->rdv_promise.get_future();
@@ -178,6 +210,7 @@ void Comm::ssend(const void* buf, std::size_t count, const Datatype& t,
   env->eager = false;
   env->needs_rdv_ack = true;
   env->sender_ready = clock_ + profile().send_overhead_s;
+  env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
   auto fut = env->rdv_promise.get_future();
   world_->mailbox(dst).push(std::move(env));
   clock_ = fut.get();
@@ -190,8 +223,10 @@ void Comm::rsend(const void* buf, std::size_t count, const Datatype& t,
   // timing assumes no handshake).
   validate_p2p(count, t, dst, tag, false);
   auto env = make_envelope(buf, count, t, dst, tag);
+  ChargeCapture cc{*world_, rank_};
   const auto timing =
-      world_->model.rsend_timing(clock_, env->bytes, env->send_stats);
+      world_->model.rsend_timing(clock_, env->bytes, env->send_stats,
+                                 world_->nic_gate(rank_), cc.sink());
   env->eager = true;  // no rendezvous ack needed
   env->sender_done = timing.sender_done;
   env->arrival = timing.arrival;
@@ -210,8 +245,10 @@ void Comm::bsend(const void* buf, std::size_t count, const Datatype& t,
           "bsend: attached buffer absent or exhausted");
   env->bsend_pool = bsend_pool_;
   env->bsend_reserved = env->bytes;
+  ChargeCapture cc{*world_, rank_};
   const auto timing =
-      world_->model.bsend_timing(clock_, env->bytes, env->send_stats);
+      world_->model.bsend_timing(clock_, env->bytes, env->send_stats,
+                                 world_->nic_gate(rank_), cc.sink());
   env->eager = true;  // buffered sends never block on the receiver
   env->sender_done = timing.sender_done;
   env->arrival = timing.arrival;
@@ -236,8 +273,13 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
   bool eager;
   const double recv_ready = std::max(clock_, post_clock);
   if (env.needs_rdv_ack) {
+    // The transfer's atoms (pack, wire) occupy the *sender's*
+    // resources; under emergent contention the wire atom resolves the
+    // sender's FIFO NIC slot carried in the envelope.
+    ChargeCapture sc{*world_, env.src};
     const auto timing = world_->model.rendezvous_timing(
-        env.sender_ready, recv_ready, env.bytes, env.send_stats);
+        env.sender_ready, recv_ready, env.bytes, env.send_stats,
+        env.nic_gate, sc.sink());
     env.rdv_promise.set_value(timing.sender_done);
     arrival = timing.arrival;
     eager = false;
@@ -245,8 +287,10 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
     arrival = env.arrival;
     eager = env.eager;
   }
+  ChargeCapture rc{*world_, rank_};
   clock_ = world_->model.recv_completion(recv_ready, arrival, env.bytes,
-                                         message_stats(t, count), eager);
+                                         message_stats(t, count), eager,
+                                         rc.sink());
 
   if (env.has_payload && buf != nullptr) {
     require(t.size() == 0 || env.bytes % t.size() == 0,
@@ -276,8 +320,10 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
   auto state = std::make_shared<Request::State>();
   state->comm = this;
   if (world_->model.is_eager(env->bytes)) {
+    ChargeCapture cc{*world_, rank_};
     const auto timing =
-        world_->model.eager_timing(clock_, env->bytes, env->send_stats);
+        world_->model.eager_timing(clock_, env->bytes, env->send_stats,
+                                   world_->nic_gate(rank_), cc.sink());
     env->eager = true;
     env->sender_done = timing.sender_done;
     env->arrival = timing.arrival;
@@ -290,6 +336,7 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
     env->eager = false;
     env->needs_rdv_ack = true;
     env->sender_ready = clock_ + profile().send_overhead_s;
+    env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
     state->kind = Request::State::Kind::send_rdv;
     state->rdv_future = env->rdv_promise.get_future();
     clock_ += profile().send_overhead_s;
@@ -309,6 +356,7 @@ Request Comm::issend(const void* buf, std::size_t count, const Datatype& t,
   env->eager = false;
   env->needs_rdv_ack = true;
   env->sender_ready = clock_ + profile().send_overhead_s;
+  env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
   state->kind = Request::State::Kind::send_rdv;
   state->rdv_future = env->rdv_promise.get_future();
   clock_ += profile().send_overhead_s;
@@ -598,7 +646,15 @@ void Window::fence() {
     state_->pending_max = 0.0;
   }
   state_->barrier.arrive(0.0);  // make the reset visible before new ops
-  comm_->clock_ = fused + comm_->model().fence_time();
+  {
+    // The fence charge is a typed join atom on this rank's timeline.
+    ChargeCapture cc{*comm_->world_, comm_->rank()};
+    const Charge f{ChargeAtom::fence, comm_->model().fence_time(), 0};
+    comm_->clock_ =
+        schedule_sequence(fused, {&f, 1}, comm_->model().capabilities(), {},
+                          cc.sink())
+            .finish;
+  }
   ++fence_count_;
   access_pending_ = 0.0;
   comm_->world_->trace_event(comm_->clock_, comm_->rank(), -1,
@@ -735,8 +791,10 @@ void Window::put(const void* buf, std::size_t count, const Datatype& t,
   require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
           "put: target out of range");
   const std::size_t bytes = count * t.size();
-  const auto timing =
-      comm_->model().put_timing(comm_->clock_, bytes, message_stats(t, count));
+  ChargeCapture cc{*comm_->world_, comm_->rank()};
+  const auto timing = comm_->model().put_timing(
+      comm_->clock_, bytes, message_stats(t, count),
+      comm_->world_->nic_gate(comm_->rank()), cc.sink());
   comm_->clock_ = timing.sender_done;
   std::lock_guard lk(state_->m);
   require(target_offset + bytes <= state_->sizes[static_cast<std::size_t>(target)],
@@ -761,8 +819,11 @@ void Window::get(void* buf, std::size_t count, const Datatype& t, Rank target,
   require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
           "get: target out of range");
   const std::size_t bytes = count * t.size();
-  const auto timing =
-      comm_->model().get_timing(comm_->clock_, bytes, message_stats(t, count));
+  ChargeCapture cc{*comm_->world_, comm_->rank()};
+  // The response wire serializes on the *target's* NIC, which the
+  // per-rank ledgers deliberately do not track: no gate.
+  const auto timing = comm_->model().get_timing(
+      comm_->clock_, bytes, message_stats(t, count), {}, cc.sink());
   comm_->clock_ = timing.sender_done;
   std::lock_guard lk(state_->m);
   require(target_offset + bytes <= state_->sizes[static_cast<std::size_t>(target)],
@@ -782,8 +843,10 @@ void Window::accumulate_sum_f64(const double* buf, std::size_t count,
   require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
           "accumulate: target out of range");
   const std::size_t bytes = count * sizeof(double);
+  ChargeCapture cc{*comm_->world_, comm_->rank()};
   const auto timing = comm_->model().put_timing(
-      comm_->clock_, bytes, BlockStats{1, bytes, bytes, bytes});
+      comm_->clock_, bytes, BlockStats{1, bytes, bytes, bytes},
+      comm_->world_->nic_gate(comm_->rank()), cc.sink());
   comm_->clock_ = timing.sender_done;
   std::lock_guard lk(state_->m);
   require(target_offset + bytes <= state_->sizes[static_cast<std::size_t>(target)],

@@ -22,6 +22,7 @@
 
 #include "minimpi/base/types.hpp"
 #include "minimpi/datatype/datatype.hpp"
+#include "minimpi/net/timeline.hpp"
 
 namespace minimpi::detail {
 
@@ -44,6 +45,11 @@ struct Envelope {
   bool needs_rdv_ack = false;        ///< rendezvous: receiver resolves timing
   double sender_ready = 0.0;         ///< rendezvous: sender clock + overhead
   std::promise<double> rdv_promise;  ///< fulfilled with sender_done
+
+  /// FIFO slot on the *sender's* NIC ledger, taken at post time in
+  /// program order; the receiver that computes the rendezvous timing
+  /// resolves it (inert when emergent contention is off).
+  NicGate nic_gate;
 
   /// Buffered sends release their reservation when the transfer is
   /// consumed; null for non-buffered sends.

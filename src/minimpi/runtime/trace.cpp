@@ -27,6 +27,32 @@ std::string_view to_string(TraceEvent e) noexcept {
   return "?";
 }
 
+void TraceLog::dump_timeline(std::ostream& os, Rank rank) const {
+  auto all = charges();
+  std::erase_if(all, [&](const ChargeRecord& r) { return r.rank != rank; });
+  std::stable_sort(all.begin(), all.end(),
+                   [](const ChargeRecord& a, const ChargeRecord& b) {
+                     return a.start < b.start;
+                   });
+  os << "rank " << rank << " resource timeline (" << all.size()
+     << " atoms)\n";
+  for (const Resource lane :
+       {Resource::cpu, Resource::nic, Resource::none}) {
+    bool any = false;
+    for (const ChargeRecord& r : all)
+      if (r.resource == lane) { any = true; break; }
+    if (!any) continue;
+    os << "  [" << to_string(lane) << "]\n";
+    for (const ChargeRecord& r : all) {
+      if (r.resource != lane) continue;
+      os << "    " << std::scientific << std::setprecision(3) << r.start
+         << " .. " << r.finish << "  " << to_string(r.atom);
+      if (r.bytes > 0) os << "  " << r.bytes << "B";
+      os << "\n";
+    }
+  }
+}
+
 void TraceLog::dump(std::ostream& os) const {
   auto sorted = records();
   std::stable_sort(sorted.begin(), sorted.end(),

@@ -9,15 +9,25 @@
 /// *mechanisms* ("this send used the rendezvous protocol") rather than
 /// inferring them from timing; users can dump a trace to understand why
 /// a transfer behaved the way it did.
+///
+/// Since the charge-timeline redesign the log also records **typed
+/// charge atoms**: every scheduled atom (`cpu_pack`, `wire`,
+/// `handshake`, ... — timeline.hpp) lands as a `ChargeRecord` with its
+/// resource lane and `[start, finish)` placement, so a trace shows not
+/// just *which* protocol ran but *what occupied which resource when* —
+/// `dump_timeline` renders the per-resource timeline of a rank
+/// (examples/protocol_trace prints one for a rendezvous send).
 
 #include <algorithm>
 #include <cstddef>
 #include <iosfwd>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "minimpi/base/types.hpp"
+#include "minimpi/net/timeline.hpp"
 
 namespace minimpi {
 
@@ -51,6 +61,16 @@ struct TraceRecord {
   std::size_t staged_bytes = 0;  ///< bytes that went through MPI staging
 };
 
+/// One scheduled charge atom on a rank's resource timeline.
+struct ChargeRecord {
+  Rank rank = 0;        ///< rank whose resources the atom occupied
+  ChargeAtom atom = ChargeAtom::call_overhead;
+  Resource resource = Resource::none;  ///< declared lane (cpu / nic / -)
+  double start = 0.0;
+  double finish = 0.0;
+  std::size_t bytes = 0;
+};
+
 /// \brief Thread-safe append-only event log shared by all ranks.
 class TraceLog {
  public:
@@ -80,14 +100,43 @@ class TraceLog {
   void clear() {
     std::lock_guard lk(m_);
     records_.clear();
+    charges_.clear();
+  }
+
+  // --- typed charge atoms ---------------------------------------------------
+
+  /// \brief Record the placement of `rank`'s scheduled atoms.
+  void record_charges(Rank rank, std::span<const PlacedCharge> placed) {
+    std::lock_guard lk(m_);
+    for (const PlacedCharge& p : placed)
+      charges_.push_back({rank, p.atom, p.resource, p.start, p.finish,
+                          p.bytes});
+  }
+
+  /// \brief Snapshot of all charge records (copy).
+  [[nodiscard]] std::vector<ChargeRecord> charges() const {
+    std::lock_guard lk(m_);
+    return charges_;
+  }
+
+  [[nodiscard]] std::size_t charge_count(ChargeAtom a) const {
+    std::lock_guard lk(m_);
+    return static_cast<std::size_t>(
+        std::count_if(charges_.begin(), charges_.end(),
+                      [&](const ChargeRecord& r) { return r.atom == a; }));
   }
 
   /// \brief Human-readable dump, one line per event, time-sorted.
   void dump(std::ostream& os) const;
 
+  /// \brief Render `rank`'s charge atoms as a per-resource timeline
+  /// (one line per atom, grouped into cpu / nic / unbound lanes).
+  void dump_timeline(std::ostream& os, Rank rank) const;
+
  private:
   mutable std::mutex m_;
   std::vector<TraceRecord> records_;
+  std::vector<ChargeRecord> charges_;
 };
 
 }  // namespace minimpi

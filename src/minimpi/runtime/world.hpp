@@ -39,9 +39,18 @@ struct UniverseOptions {
   /// Override the profile's eager limit (paper §4.5 experiment).
   std::optional<std::size_t> eager_limit_override;
   /// Simultaneous senders sharing one NIC (communication patterns);
-  /// feeds the profile's `link_contention_factor` term.  1 = the
+  /// feeds the profile's `link_contention_factor` term — the
+  /// explicitly-labelled *static fallback* contention model.  1 = the
   /// 2-rank ping-pong, where the term is always inert.
   int concurrent_senders = 1;
+  /// Emergent NIC-occupancy contention: every message send takes a
+  /// FIFO slot on its rank's NIC timeline (`NicLedger`), so the
+  /// injections of concurrent sends from one rank queue behind each
+  /// other instead of overlapping for free.  Deterministic — queue
+  /// order is the sender's program order — and off by default, which
+  /// keeps every existing curve bit-identical; `bench/ablation_contention`
+  /// compares it against the static fallback.
+  bool nic_occupancy_contention = false;
   /// MPI_Wtime tick (paper: 1e-6 s); 0 means exact clocks.
   double wtime_resolution = 1e-6;
   /// Optional protocol trace; events from all ranks are appended here.
@@ -159,9 +168,15 @@ class World {
         coll_(opts.nranks) {
     mailboxes_.reserve(static_cast<std::size_t>(opts.nranks));
     bsend_pools_.reserve(static_cast<std::size_t>(opts.nranks));
+    staged_ledgers_.reserve(static_cast<std::size_t>(opts.nranks));
+    rdv_ledgers_.reserve(static_cast<std::size_t>(opts.nranks));
     for (int i = 0; i < opts.nranks; ++i) {
       mailboxes_.push_back(std::make_unique<Mailbox>());
       bsend_pools_.push_back(std::make_shared<BsendPool>());
+      staged_ledgers_.push_back(
+          std::make_unique<NicLedger>(opts.nic_occupancy_contention));
+      rdv_ledgers_.push_back(
+          std::make_unique<NicLedger>(opts.nic_occupancy_contention));
     }
   }
 
@@ -171,6 +186,39 @@ class World {
   Mailbox& mailbox(Rank r) { return *mailboxes_[static_cast<std::size_t>(r)]; }
   std::shared_ptr<BsendPool> bsend_pool(Rank r) {
     return bsend_pools_[static_cast<std::size_t>(r)];
+  }
+  /// Rank `r`'s NIC injection queues.  Two FIFO classes, one per
+  /// resolution site, so an injection never waits across classes:
+  ///
+  ///  * *staged* — eager, ready, buffered, and RMA sends, whose wire
+  ///    times are known at post time.  Tickets are taken and resolved
+  ///    back to back on the sending rank's own thread, so this class
+  ///    never blocks anywhere;
+  ///  * *rendezvous* — large-message sends whose timing only the
+  ///    matching receiver can compute.  The ticket travels in the
+  ///    envelope and the receiver resolves it (after delivery, so the
+  ///    wait can never hold back an undelivered message), strictly in
+  ///    post order — which is how same-sender large messages are
+  ///    matched under MPI's non-overtaking rule and the pattern
+  ///    engine's ascending-sender drain.
+  ///
+  /// The cost: an eager injection does not queue behind a pending
+  /// rendezvous injection of the same rank (defensible — rendezvous
+  /// data is not injected until its CTS anyway, so the staged message
+  /// genuinely goes out first); cross-class NIC overlap is not
+  /// modeled.
+  NicLedger& nic_ledger(Rank r, bool rendezvous = false) {
+    return rendezvous ? *rdv_ledgers_[static_cast<std::size_t>(r)]
+                      : *staged_ledgers_[static_cast<std::size_t>(r)];
+  }
+  /// \brief Take the next FIFO slot on rank `r`'s NIC (class per the
+  /// ledger split above).  Must be called on rank `r`'s own thread
+  /// (program order is the queue order); whoever realizes the
+  /// transfer's charges resolves it.  Inert (no ticket, no state)
+  /// unless emergent contention is enabled.
+  NicGate nic_gate(Rank r, bool rendezvous = false) {
+    NicLedger& l = nic_ledger(r, rendezvous);
+    return NicGate{&l, l.ticket()};
   }
   ClockBarrier& barrier() { return barrier_; }
   CollectiveSlot& collective() { return coll_; }
@@ -193,9 +241,19 @@ class World {
       options.trace->record({vtime, rank, peer, event, bytes, staged});
   }
 
+  /// True if scheduled charge atoms should be captured for the trace.
+  [[nodiscard]] bool tracing() const noexcept {
+    return options.trace != nullptr;
+  }
+  void trace_charges(Rank rank, std::span<const PlacedCharge> placed) const {
+    if (options.trace) options.trace->record_charges(rank, placed);
+  }
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::shared_ptr<BsendPool>> bsend_pools_;
+  std::vector<std::unique_ptr<NicLedger>> staged_ledgers_;
+  std::vector<std::unique_ptr<NicLedger>> rdv_ledgers_;
   ClockBarrier barrier_;
   CollectiveSlot coll_;
   std::mutex wm_;

@@ -103,6 +103,7 @@ minimpi::UniverseOptions ExperimentPlan::universe_options(
   opts.functional = true;
   opts.functional_payload_limit = functional_payload_limit;
   opts.eager_limit_override = eager_limit_override;
+  opts.nic_occupancy_contention = nic_occupancy_contention;
   opts.wtime_resolution = wtime_resolution;
   return opts;
 }

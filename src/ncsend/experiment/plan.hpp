@@ -67,6 +67,12 @@ struct ExperimentPlan {
   HarnessConfig harness;
   /// §4.5 experiment: force the eager limit.
   std::optional<std::size_t> eager_limit_override;
+  /// Emergent NIC-occupancy contention: injections queue FIFO on each
+  /// rank's NIC timeline instead of overlapping for free
+  /// (`UniverseOptions::nic_occupancy_contention`).  Off by default —
+  /// every seed curve is measured without it; `ablation_contention`
+  /// compares it against the static `link_contention_factor` fallback.
+  bool nic_occupancy_contention = false;
   /// Payloads up to this size move physically (and get verified).
   std::size_t functional_payload_limit = 1u << 20;
   /// MPI_Wtime tick (paper: 1e-6 s); 0 for exact clocks.

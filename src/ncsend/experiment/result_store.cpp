@@ -217,4 +217,26 @@ void ResultStore::write_bench_eager_limit_json(std::ostream& os,
   os.precision(old_precision);
 }
 
+void ResultStore::write_bench_ablation_json(
+    std::ostream& os, std::string_view name,
+    const std::vector<AblationVariant>& variants) {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"" << json_escape(name)
+     << "\",\n  \"unit\": \"s\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const SweepResult& r = variants[i].sweep;
+    os << "    {\"variant\": \"" << json_escape(variants[i].label)
+       << "\", \"pattern\": \"" << json_escape(r.pattern)
+       << "\", \"profile\": \"" << json_escape(r.profile_name)
+       << "\", \"layout\": \"" << json_escape(r.layout_axis) << "\",\n     ";
+    emit_grid_entry_tail(os, r);
+    os << (i + 1 < variants.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
 }  // namespace ncsend

@@ -72,6 +72,20 @@ class ResultStore {
                                            const SweepResult& raised,
                                            std::size_t override_bytes);
 
+  /// One labeled variant of an ablation comparison (what-if runs of
+  /// the same grid under different model configurations).
+  struct AblationVariant {
+    std::string label;  ///< e.g. "static-factor", "nic-occupancy"
+    SweepResult sweep;
+  };
+
+  /// The `BENCH_ablation_*.json` schema: the same grid measured under
+  /// several model configurations, one entry per labeled variant
+  /// (`ablation_nic_pipelining`, `ablation_contention`).
+  static void write_bench_ablation_json(
+      std::ostream& os, std::string_view name,
+      const std::vector<AblationVariant>& variants);
+
  private:
   std::vector<SweepResult> sweeps_;
   std::vector<KernelRecord> kernels_;

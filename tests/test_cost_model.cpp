@@ -137,7 +137,7 @@ TEST(RendezvousTiming, PipeliningOverlapsPackAndWire) {
   MachineProfile p = skx();
   const std::size_t n = 1 << 24;
   CostModel serial(p);
-  p.nic_noncontig_pipelining = true;
+  p.nic_gather = true;
   CostModel overlap(p);
   const auto ts = serial.rendezvous_timing(0.0, 0.0, n, strided_stats(n));
   const auto to = overlap.rendezvous_timing(0.0, 0.0, n, strided_stats(n));

@@ -181,7 +181,7 @@ TEST(ShapesCross, NicPipeliningWouldHelpLargeDerivedSends) {
   // Paper §2.3 / ref [2]: with NIC gather support, derived-type sends
   // could pipeline pack and injection.  Flip the capability on.
   MachineProfile umr = MachineProfile::skx_impi();
-  umr.nic_noncontig_pipelining = true;
+  umr.nic_gather = true;
   umr.name = "skx-umr";
   SweepConfig base = sweep_for(MachineProfile::skx_impi(),
                                {100'000'000}, {"vector type"});

@@ -45,7 +45,7 @@ TEST_P(AllProfiles, PhysicallyPlausible) {
   EXPECT_LE(p.put_bandwidth_factor, 1.0);
   EXPECT_GE(p.warm_copy_factor, 1.0);
   // No measured system pipelines non-contiguous injection (paper §2.3).
-  EXPECT_FALSE(p.nic_noncontig_pipelining);
+  EXPECT_FALSE(p.nic_gather);
 }
 
 TEST_P(AllProfiles, CopySlowdownIsAtLeastThree) {
