@@ -1,0 +1,51 @@
+// Engine-throughput benchmark: how fast does the simulator itself run,
+// and what does plan compilation buy?  Each entry measures one grid
+// cell two ways —
+//
+//   direct    the full stack every iteration: scheme charge sequences,
+//             runtime protocol engine, one OS thread per rank
+//   compiled  capture a 2-rep charge program once (ncsend/plan/), then
+//             interpret the frozen action arrays for all iterations on
+//             a single thread
+//
+// and reports wall-clock cells/sec and rank-steps/sec (nranks x iters,
+// the unit the ROADMAP's >= 2x replay target counts).  The replayed
+// timing statistics are byte-identical to direct execution (the
+// `identical` field asserts it), so the speedup is free.
+//
+// This is a wall-clock benchmark like BENCH_pack_engine: the emitted
+// times vary run to run and the JSON is not a golden file.  Flags are
+// the engine's shared set; --iters sets the per-cell iteration count
+// (default 60 under --quick, 200 otherwise).
+#include <iostream>
+#include <vector>
+
+#include "figure_common.hpp"
+
+using namespace ncsend;
+
+int main(int argc, char** argv) {
+  const BenchCli cli = BenchCli::parse(argc, argv);
+  cli.reject_patterns("engine_scale");
+  const int iters = cli.iters > 0 ? cli.iters : (cli.quick ? 60 : 200);
+
+  const std::vector<EngineScaleRecord> records =
+      benchcommon::measure_engine_scale(iters);
+  for (const EngineScaleRecord& r : records)
+    std::cout << r.pattern << " x " << r.scheme << " (" << r.nranks
+              << " ranks, " << r.iters << " iters): direct "
+              << r.direct_seconds << "s, compiled " << r.compiled_seconds
+              << "s, speedup " << r.speedup() << "x, identical "
+              << (r.identical ? "yes" : "NO") << "\n";
+
+  if (cli.csv) {
+    benchcommon::write_store_file(
+        cli.out_dir, "BENCH_engine_scale.json", [&](std::ostream& os) {
+          ResultStore::write_bench_engine_scale_json(os, records);
+        });
+  }
+
+  bool ok = records.size() == 2;
+  for (const EngineScaleRecord& r : records) ok = ok && r.identical;
+  return ok ? 0 : 1;
+}

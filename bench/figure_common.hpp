@@ -11,6 +11,7 @@
 /// writers.  Flags are the engine's shared set (`--help` lists them);
 /// unknown flags exit with status 2.
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "ncsend/ncsend.hpp"
+#include "ncsend/plan/comm_plan.hpp"
 
 namespace benchcommon {
 
@@ -44,6 +46,79 @@ inline bool write_store_file(const std::string& dir, const std::string& name,
   write(os);
   std::cout << "wrote " << path << "\n";
   return true;
+}
+
+/// \brief The `BENCH_engine_scale` measurement, shared by the
+/// standalone `engine_scale` bench and `run_all`: wall-clock one cell
+/// (8 KiB stride-2 "vector type" on skx) per pattern, direct execution
+/// vs compile-once/replay-many, `iters` iterations each way.  The
+/// replayed timing statistics must be byte-identical to direct
+/// execution; the per-record `identical` flag reports it.
+inline std::vector<ncsend::EngineScaleRecord> measure_engine_scale(
+    int iters) {
+  namespace nc = ncsend;
+  const auto wall_seconds = [](auto&& fn) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+  const auto same_timing = [](const nc::TimingStats& a,
+                              const nc::TimingStats& b) {
+    return a.mean == b.mean && a.stddev == b.stddev && a.min == b.min &&
+           a.max == b.max && a.samples == b.samples &&
+           a.rejected == b.rejected;
+  };
+
+  minimpi::UniverseOptions opts;
+  opts.profile = &minimpi::MachineProfile::skx_impi();
+  opts.functional = true;
+  opts.functional_payload_limit = 1 << 14;
+
+  constexpr std::size_t payload = 8'192;
+  const nc::Layout layout =
+      nc::Layout::strided(payload / sizeof(double), 1, 2);
+  const std::string scheme = "vector type";
+
+  std::vector<nc::EngineScaleRecord> records;
+  for (const char* pattern_name : {"transpose(4)", "halo2d(3x3)"}) {
+    const auto pattern = nc::CommPattern::by_name(pattern_name);
+    nc::HarnessConfig cfg;
+    cfg.reps = iters;
+
+    nc::RunResult direct;
+    const double direct_s = wall_seconds([&] {
+      direct =
+          nc::run_pattern_experiment(opts, *pattern, scheme, layout, cfg);
+    });
+
+    nc::RunResult replayed;
+    bool valid = true;
+    const double compiled_s = wall_seconds([&] {
+      const nc::plan::CommPlan cp =
+          nc::plan::compile_cell(opts, *pattern, scheme, layout, cfg);
+      valid = cp.valid;
+      if (cp.valid) replayed = cp.replay(iters);
+    });
+    if (!valid) {
+      std::cerr << "engine_scale: " << pattern_name
+                << " did not compile; skipping\n";
+      continue;
+    }
+
+    nc::EngineScaleRecord rec;
+    rec.pattern = pattern->name();
+    rec.scheme = scheme;
+    rec.nranks = pattern->nranks();
+    rec.payload_bytes = layout.payload_bytes();
+    rec.iters = iters;
+    rec.direct_seconds = direct_s;
+    rec.compiled_seconds = compiled_s;
+    rec.identical = same_timing(direct.timing, replayed.timing);
+    records.push_back(rec);
+  }
+  return records;
 }
 
 /// \brief The figure driver: register the plan, run it, report it.

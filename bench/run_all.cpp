@@ -16,6 +16,9 @@
 //                             halo faces, all-to-all transpose panels,
 //                             each x {skx, knl} x the full scheme legend
 //   BENCH_eager_limit.json    paper 4.5 ablation: raised eager limit
+//   BENCH_engine_scale.json   wall-clock engine throughput: compiled
+//                             plan replay vs direct execution (not a
+//                             golden file — times vary run to run)
 //
 // Flags are the engine's shared set (see --help): --quick picks the
 // small CI grids, --per-decade shapes the full-mode sweep grid, --reps
@@ -24,6 +27,9 @@
 // --no-csv dry-runs everything without writing files.  The sweep cells
 // are independent simulated universes, so --jobs N > 1 changes
 // wall-clock only: the JSON is byte-identical at any job count.
+// --replay routes every plan cell through compiled-plan replay
+// (capture once, interpret), which is also byte-identical — CI diffs
+// the golden files across the two modes.
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -155,12 +161,22 @@ ExperimentPlan eager_limit_plan(const BenchCli& cli) {
   return plan;
 }
 
+/// Apply the `--replay` routing to a plan.  `--iters` is deliberately
+/// NOT forwarded: extrapolated iteration counts change the sample
+/// population, and the golden files must stay byte-identical across
+/// execution modes — here `--iters` only sizes the engine-scale
+/// measurement below.
+ExperimentPlan with_replay(ExperimentPlan plan, const BenchCli& cli) {
+  plan.compiled_replay = cli.replay;
+  return plan;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
   const ExecutorOptions exec{cli.jobs};
-  const int expected = cli.csv ? 6 : 0;
+  const int expected = cli.csv ? 7 : 0;
   int written = 0;
 
   const auto maybe_write = [&](const std::string& name, auto&& writer) {
@@ -177,21 +193,21 @@ int main(int argc, char** argv) {
   }
   {
     ResultStore store;
-    store.add_plan(run_plan(scheme_sweep_plan(cli), exec));
+    store.add_plan(run_plan(with_replay(scheme_sweep_plan(cli), cli), exec));
     maybe_write("BENCH_scheme_sweep.json", [&](std::ostream& os) {
       store.write_bench_sweep_json(os);
     });
   }
   {
     ResultStore store;
-    store.add_plan(run_plan(pattern_sweep_plan(cli), exec));
+    store.add_plan(run_plan(with_replay(pattern_sweep_plan(cli), cli), exec));
     maybe_write("BENCH_pattern_sweep.json", [&](std::ostream& os) {
       store.write_bench_pattern_sweep_json(os);
     });
   }
   {
     constexpr std::size_t override_bytes = std::size_t{4} << 30;
-    ExperimentPlan plan = eager_limit_plan(cli);
+    ExperimentPlan plan = with_replay(eager_limit_plan(cli), cli);
     const PlanResult base = run_plan(plan, exec);
     plan.eager_limit_override = override_bytes;
     const PlanResult raised = run_plan(plan, exec);
@@ -251,8 +267,20 @@ int main(int argc, char** argv) {
     });
   }
 
+  {
+    // Wall-clock engine throughput: compiled replay vs direct.  Small
+    // iteration counts here — the standalone `engine_scale` bench runs
+    // the denser measurement.
+    const int iters = cli.iters > 0 ? cli.iters : (cli.quick ? 60 : 200);
+    const std::vector<EngineScaleRecord> records =
+        benchcommon::measure_engine_scale(iters);
+    maybe_write("BENCH_engine_scale.json", [&](std::ostream& os) {
+      ResultStore::write_bench_engine_scale_json(os, records);
+    });
+  }
+
   if (cli.csv)
-    std::cout << written << "/6 benchmark files written to " << cli.out_dir
+    std::cout << written << "/7 benchmark files written to " << cli.out_dir
               << "\n";
   else
     std::cout << "dry run (--no-csv): benchmarks executed, nothing written\n";

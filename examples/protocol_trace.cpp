@@ -8,12 +8,18 @@
 // the paper's central mechanism directly: the wire atom occupies the
 // CPU lane too, so it cannot start until the pack finishes.
 //
+// The final section compiles the same cell into a `CommPlan` and dumps
+// its per-rank action arrays — the frozen charge program the
+// experiment layer replays instead of re-running the full stack
+// (ncsend/plan/, DESIGN.md §2.9).
+//
 //   $ ./protocol_trace ["scheme"] [payload_bytes]
 //   $ ./protocol_trace "vector type" 1000000
 //   $ ./protocol_trace onesided 4096
 #include <iostream>
 
 #include "ncsend/ncsend.hpp"
+#include "ncsend/plan/comm_plan.hpp"
 
 using namespace ncsend;
 
@@ -82,5 +88,18 @@ int main(int argc, char** argv) {
                       ? " -> pack and wire serialize (no NIC gather)\n"
                       : " -> wire overlaps the pack (NIC gather)\n");
   }
+
+  // The compiled form of this cell: the flat action array replay
+  // interprets.  (A separate capture run — the traced universe above
+  // used 1 rep, too few to pin a steady state.)
+  minimpi::UniverseOptions copts;
+  copts.wtime_resolution = 0.0;
+  HarnessConfig ccfg;
+  ccfg.reps = 2;
+  const auto pattern = CommPattern::by_name("pingpong");
+  const plan::CommPlan cp =
+      plan::compile_cell(copts, *pattern, scheme_name, layout, ccfg);
+  std::cout << "\ncompiled plan (what the experiment layer replays):\n";
+  cp.dump(std::cout);
   return 0;
 }

@@ -97,6 +97,16 @@ double NicLedger::busy_until() const {
   return busy_until_;
 }
 
+std::uint64_t NicLedger::resolved() const {
+  std::lock_guard lk(m_);
+  return resolved_;
+}
+
+void NicLedger::preload(double busy_until) {
+  std::lock_guard lk(m_);
+  busy_until_ = busy_until;
+}
+
 // ---------------------------------------------------------------------------
 // schedule_sequence
 // ---------------------------------------------------------------------------

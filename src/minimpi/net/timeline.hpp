@@ -156,6 +156,17 @@ class NicLedger {
   /// Latest instant the NIC is known busy until (tests/introspection).
   [[nodiscard]] double busy_until() const;
 
+  /// Tickets resolved so far (compiled-plan replay polls this instead
+  /// of blocking inside `inject`, which would deadlock its single
+  /// interpreter thread).
+  [[nodiscard]] std::uint64_t resolved() const;
+
+  /// Seed `busy_until` with a captured value: a replayed plan's ledger
+  /// replica starts where the capture run's ledger stood at the first
+  /// recorded rep boundary (an eager sender can return before its wire
+  /// drains, so busy time carries across reps under contention).
+  void preload(double busy_until);
+
  private:
   bool enabled_ = false;
   mutable std::mutex m_;

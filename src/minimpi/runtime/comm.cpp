@@ -3,11 +3,34 @@
 #include <cmath>
 #include <thread>
 
+#include "minimpi/runtime/plan_record.hpp"
+
 namespace minimpi {
 
 using detail::Envelope;
 
 namespace {
+
+/// The active plan recorder, or nullptr when rank `r` is not inside a
+/// recorded rep (setup / verification / teardown traffic is not part of
+/// a compiled program).
+plan::Recorder* plan_rec(detail::World& w, Rank r) {
+  plan::Recorder* rec = w.options.plan_recorder;
+  return (rec != nullptr && rec->recording(r)) ? rec : nullptr;
+}
+
+plan::Action plan_send_action(plan::SendArm arm, Rank peer, Tag tag,
+                              const Envelope& env, std::uint32_t event) {
+  plan::Action a;
+  a.op = plan::Op::send;
+  a.arm = arm;
+  a.peer = peer;
+  a.tag = tag;
+  a.bytes = env.bytes;
+  a.stats = env.send_stats;
+  a.event = event;
+  return a;
+}
 
 /// Captures the scheduler's atom placements for the trace: hand
 /// `sink()` to a `CostModel` scheduling call; the placements land in
@@ -49,6 +72,10 @@ struct Request::State {
   Rank src = any_source;
   Tag tag = any_tag;
   double post_clock = 0.0;
+
+  // compiled-plan capture: the send event this request refers to
+  bool plan_tracked = false;
+  std::uint32_t plan_event = 0;
 };
 
 Status Request::wait() {
@@ -57,6 +84,20 @@ Status Request::wait() {
   auto& s = *state_;
   if (s.done) return s.status;
   Comm& c = *s.comm;
+  if (s.kind != State::Kind::recv) {
+    if (auto* rec = plan_rec(*c.world_, c.rank_)) {
+      if (s.plan_tracked) {
+        plan::Action a;
+        a.op = plan::Op::wait_send;
+        a.event = s.plan_event;
+        rec->record(c.rank_, std::move(a));
+      } else {
+        // A send posted outside the rep completing inside it: its
+        // timing is not part of the program.
+        rec->mark_uncompilable("wait on a send posted outside the rep");
+      }
+    }
+  }
   switch (s.kind) {
     case State::Kind::send_eager:
       c.clock_ = std::max(c.clock_, s.completion);
@@ -80,6 +121,11 @@ bool Request::test(Status* status) {
   auto& s = *state_;
   if (!s.done) {
     Comm& c = *s.comm;
+    if (auto* rec = plan_rec(*c.world_, c.rank_)) {
+      // Whether a test succeeds depends on host scheduling, so its
+      // clock effect cannot be part of a deterministic program.
+      rec->mark_uncompilable("MPI_Test during a recorded rep");
+    }
     switch (s.kind) {
       case State::Kind::send_eager:
         c.clock_ = std::max(c.clock_, s.completion);
@@ -115,6 +161,11 @@ double Comm::wtime() const noexcept {
 
 void Comm::charge(double seconds) {
   require(seconds >= 0.0, ErrorClass::invalid_arg, "negative charge");
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    plan::Action a;
+    a.seconds = seconds;
+    rec->record(rank_, std::move(a));
+  }
   clock_ += seconds;
 }
 
@@ -125,6 +176,13 @@ void Comm::charge_copy(std::size_t bytes, const BlockStats& stats,
     const PlacedCharge p{ChargeAtom::cpu_pack, Resource::cpu, clock_,
                          clock_ + d, bytes};
     world_->trace_charges(rank_, {&p, 1});
+  }
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    // The amount is clock-independent, so it freezes to a scalar.
+    plan::Action a;
+    a.seconds = d;
+    a.bytes = bytes;
+    rec->record(rank_, std::move(a));
   }
   clock_ += d;
 }
@@ -175,6 +233,13 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& t,
   validate_p2p(count, t, dst, tag, false);
   auto env = make_envelope(buf, count, t, dst, tag);
   const bool noncontig = env->send_stats.block_count > 1;
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    const auto arm = world_->model.is_eager(env->bytes)
+                         ? plan::SendArm::eager_blocking
+                         : plan::SendArm::rdv_blocking;
+    rec->record(rank_, plan_send_action(arm, dst, tag, *env,
+                                        rec->next_send_event(rank_)));
+  }
   if (world_->model.is_eager(env->bytes)) {
     ChargeCapture cc{*world_, rank_};
     const auto timing =
@@ -207,6 +272,11 @@ void Comm::ssend(const void* buf, std::size_t count, const Datatype& t,
   // Synchronous mode: always handshake, regardless of size.
   validate_p2p(count, t, dst, tag, false);
   auto env = make_envelope(buf, count, t, dst, tag);
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    rec->record(rank_,
+                plan_send_action(plan::SendArm::rdv_blocking, dst, tag, *env,
+                                 rec->next_send_event(rank_)));
+  }
   env->eager = false;
   env->needs_rdv_ack = true;
   env->sender_ready = clock_ + profile().send_overhead_s;
@@ -223,6 +293,10 @@ void Comm::rsend(const void* buf, std::size_t count, const Datatype& t,
   // timing assumes no handshake).
   validate_p2p(count, t, dst, tag, false);
   auto env = make_envelope(buf, count, t, dst, tag);
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    rec->record(rank_, plan_send_action(plan::SendArm::ready, dst, tag, *env,
+                                        rec->next_send_event(rank_)));
+  }
   ChargeCapture cc{*world_, rank_};
   const auto timing =
       world_->model.rsend_timing(clock_, env->bytes, env->send_stats,
@@ -245,6 +319,14 @@ void Comm::bsend(const void* buf, std::size_t count, const Datatype& t,
           "bsend: attached buffer absent or exhausted");
   env->bsend_pool = bsend_pool_;
   env->bsend_reserved = env->bytes;
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    // Pool accounting is timing-neutral (reserve here, release in the
+    // receiver's completion), so the replayed arm skips it; capture
+    // validated that the pool never ran dry.
+    rec->record(rank_,
+                plan_send_action(plan::SendArm::buffered, dst, tag, *env,
+                                 rec->next_send_event(rank_)));
+  }
   ChargeCapture cc{*world_, rank_};
   const auto timing =
       world_->model.bsend_timing(clock_, env->bytes, env->send_stats,
@@ -268,6 +350,19 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
   require(recv_sig.accepts(env.signature), ErrorClass::type_mismatch,
           "send/recv type signatures incompatible: send " +
               env.signature.to_string() + " vs recv " + recv_sig.to_string());
+
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    // One action at the *match* position: the receiver's clock is
+    // monotonic and the post happened earlier on this same rank, so
+    // recv_ready == clock_ here — no separate post action is needed.
+    plan::Action a;
+    a.op = plan::Op::recv;
+    a.peer = env.src;
+    a.tag = env.tag;
+    a.bytes = env.bytes;
+    a.stats = message_stats(t, count);
+    rec->record(rank_, std::move(a));
+  }
 
   double arrival;
   bool eager;
@@ -309,6 +404,10 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
 Status Comm::recv(void* buf, std::size_t count, const Datatype& t, Rank src,
                   Tag tag) {
   validate_p2p(count, t, src, tag, true);
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    if (src == any_source || tag == any_tag)
+      rec->mark_uncompilable("wildcard receive during a recorded rep");
+  }
   auto env = world_->mailbox(rank_).match(src, tag);
   return finish_recv(buf, count, t, *env, clock_);
 }
@@ -319,6 +418,15 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
   auto env = make_envelope(buf, count, t, dst, tag);
   auto state = std::make_shared<Request::State>();
   state->comm = this;
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    const auto arm = world_->model.is_eager(env->bytes)
+                         ? plan::SendArm::eager_posted
+                         : plan::SendArm::rdv_posted;
+    state->plan_tracked = true;
+    state->plan_event = rec->next_send_event(rank_);
+    rec->record(rank_,
+                plan_send_action(arm, dst, tag, *env, state->plan_event));
+  }
   if (world_->model.is_eager(env->bytes)) {
     ChargeCapture cc{*world_, rank_};
     const auto timing =
@@ -353,6 +461,13 @@ Request Comm::issend(const void* buf, std::size_t count, const Datatype& t,
   auto env = make_envelope(buf, count, t, dst, tag);
   auto state = std::make_shared<Request::State>();
   state->comm = this;
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    state->plan_tracked = true;
+    state->plan_event = rec->next_send_event(rank_);
+    rec->record(rank_,
+                plan_send_action(plan::SendArm::rdv_posted, dst, tag, *env,
+                                 state->plan_event));
+  }
   env->eager = false;
   env->needs_rdv_ack = true;
   env->sender_ready = clock_ + profile().send_overhead_s;
@@ -367,6 +482,10 @@ Request Comm::issend(const void* buf, std::size_t count, const Datatype& t,
 Request Comm::irecv(void* buf, std::size_t count, const Datatype& t, Rank src,
                     Tag tag) {
   validate_p2p(count, t, src, tag, true);
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    if (src == any_source || tag == any_tag)
+      rec->mark_uncompilable("wildcard receive during a recorded rep");
+  }
   auto state = std::make_shared<Request::State>();
   state->comm = this;
   state->kind = Request::State::Kind::recv;
@@ -392,6 +511,8 @@ Status Comm::sendrecv(const void* sendbuf, std::size_t sendcount,
 
 Status Comm::probe(Rank src, Tag tag) {
   validate_p2p(0, Datatype::byte(), src, tag, true);
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("probe during a recorded rep");
   auto env = world_->mailbox(rank_).peek(src, tag);
   // A rendezvous message is visible once its RTS arrives.
   const double visible = env->needs_rdv_ack
@@ -403,6 +524,8 @@ Status Comm::probe(Rank src, Tag tag) {
 
 std::optional<Status> Comm::iprobe(Rank src, Tag tag) {
   validate_p2p(0, Datatype::byte(), src, tag, true);
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("iprobe during a recorded rep");
   auto env = world_->mailbox(rank_).try_peek(src, tag);
   if (!env) return std::nullopt;
   const double visible = env->needs_rdv_ack
@@ -493,11 +616,15 @@ bool testall(std::span<Request> requests) {
 void Comm::buffer_attach(Buffer& buf) {
   require(!bsend_pool_->attached(), ErrorClass::buffer,
           "buffer already attached");
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("buffer_attach during a recorded rep");
   bsend_pool_->attach(buf.size());
 }
 
 void Comm::buffer_detach() {
   require(bsend_pool_->attached(), ErrorClass::buffer, "no buffer attached");
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("buffer_detach during a recorded rep");
   bsend_pool_->detach();
 }
 
@@ -513,6 +640,11 @@ double Comm::collective_cost(std::size_t bytes) const {
 }
 
 void Comm::barrier() {
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    plan::Action a;
+    a.op = plan::Op::barrier;
+    rec->record(rank_, std::move(a));
+  }
   clock_ = world_->barrier().arrive(clock_) + collective_cost(0);
   world_->trace_event(clock_, rank_, -1, TraceEvent::collective, 0);
 }
@@ -520,6 +652,8 @@ void Comm::barrier() {
 void Comm::bcast(void* buf, std::size_t count, const Datatype& t, Rank root) {
   require(t.valid() && t.committed(), ErrorClass::invalid_type,
           "bcast: datatype not committed");
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("payload collective during a recorded rep");
   require(root >= 0 && root < size(), ErrorClass::invalid_rank,
           "bcast: root out of range");
   const std::size_t bytes = count * t.size();
@@ -546,6 +680,8 @@ double apply_op(ReduceOp op, double a, double b) {
 }  // namespace
 
 double Comm::reduce(double value, ReduceOp op, Rank root) {
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("payload collective during a recorded rep");
   auto& slot = world_->collective();
   const double fused = slot.deposit(rank_, &value, clock_);
   double result = 0.0;
@@ -561,6 +697,8 @@ double Comm::reduce(double value, ReduceOp op, Rank root) {
 }
 
 double Comm::allreduce(double value, ReduceOp op) {
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("payload collective during a recorded rep");
   auto& slot = world_->collective();
   const double fused = slot.deposit(rank_, &value, clock_);
   double result = *static_cast<const double*>(slot.contribution(0));
@@ -574,6 +712,8 @@ double Comm::allreduce(double value, ReduceOp op) {
 }
 
 std::vector<double> Comm::gather(double value, Rank root) {
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("payload collective during a recorded rep");
   auto& slot = world_->collective();
   const double fused = slot.deposit(rank_, &value, clock_);
   std::vector<double> out;
@@ -593,6 +733,8 @@ std::vector<double> Comm::gather(double value, Rank root) {
 // ---------------------------------------------------------------------------
 
 Window Comm::win_create(void* base, std::size_t size_bytes) {
+  if (auto* rec = plan_rec(*world_, rank_))
+    rec->mark_uncompilable("win_create during a recorded rep");
   auto& slot = world_->collective();
   std::shared_ptr<detail::WindowState> ws;
   if (rank_ == 0) ws = world_->create_window();
@@ -634,6 +776,12 @@ void Window::record_op_arrival(double arrival) {
 }
 
 void Window::fence() {
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::fence;
+    a.win = rec->window_id(state_.get());
+    rec->record(comm_->rank(), std::move(a));
+  }
   double pending;
   {
     std::lock_guard lk(state_->m);
@@ -663,6 +811,12 @@ void Window::fence() {
 
 void Window::post(std::span<const Rank> origins) {
   const auto me = static_cast<std::size_t>(comm_->rank());
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::pscw_post;
+    a.win = rec->window_id(state_.get());
+    rec->record(comm_->rank(), std::move(a));
+  }
   comm_->clock_ += comm_->profile().send_overhead_s;
   {
     std::lock_guard lk(state_->m);
@@ -680,6 +834,13 @@ void Window::post(std::span<const Rank> origins) {
 void Window::start(std::span<const Rank> targets) {
   require(!in_pscw_access_, ErrorClass::rma_sync,
           "start: access epoch already open");
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::pscw_start;
+    a.win = rec->window_id(state_.get());
+    a.group.assign(targets.begin(), targets.end());
+    rec->record(comm_->rank(), std::move(a));
+  }
   if (consumed_post_seq_.empty())
     consumed_post_seq_.assign(static_cast<std::size_t>(comm_->size()), 0);
   const double latency = comm_->profile().net_latency_s;
@@ -707,6 +868,13 @@ void Window::start(std::span<const Rank> targets) {
 void Window::complete() {
   require(in_pscw_access_, ErrorClass::rma_sync,
           "complete: no access epoch open");
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::pscw_complete;
+    a.win = rec->window_id(state_.get());
+    a.group = pscw_targets_;
+    rec->record(comm_->rank(), std::move(a));
+  }
   comm_->clock_ += comm_->profile().send_overhead_s;
   const double done = std::max(comm_->clock_, access_pending_);
   {
@@ -732,6 +900,13 @@ void Window::wait_post() {
           ErrorClass::rma_sync, "wait_post: no exposure epoch open");
   const auto expected =
       static_cast<int>(state_->post_origins[me].size());
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::pscw_wait;
+    a.win = rec->window_id(state_.get());
+    a.event = static_cast<std::uint32_t>(expected);
+    rec->record(comm_->rank(), std::move(a));
+  }
   state_->cv.wait(lk, [&] {
     return state_->complete_count[me] >= expected;
   });
@@ -748,6 +923,8 @@ void Window::lock(Rank target) {
           "lock: target out of range");
   require(locked_target_ < 0, ErrorClass::rma_sync,
           "lock: a lock is already held");
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank()))
+    rec->mark_uncompilable("passive-target lock during a recorded rep");
   const auto ti = static_cast<std::size_t>(target);
   std::unique_lock lk(state_->m);
   state_->cv.wait(lk, [&] { return !state_->lock_held[ti]; });
@@ -791,6 +968,15 @@ void Window::put(const void* buf, std::size_t count, const Datatype& t,
   require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
           "put: target out of range");
   const std::size_t bytes = count * t.size();
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::put;
+    a.peer = target;
+    a.bytes = bytes;
+    a.stats = message_stats(t, count);
+    a.win = rec->window_id(state_.get());
+    rec->record(comm_->rank(), std::move(a));
+  }
   ChargeCapture cc{*comm_->world_, comm_->rank()};
   const auto timing = comm_->model().put_timing(
       comm_->clock_, bytes, message_stats(t, count),
@@ -819,6 +1005,15 @@ void Window::get(void* buf, std::size_t count, const Datatype& t, Rank target,
   require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
           "get: target out of range");
   const std::size_t bytes = count * t.size();
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::get;
+    a.peer = target;
+    a.bytes = bytes;
+    a.stats = message_stats(t, count);
+    a.win = rec->window_id(state_.get());
+    rec->record(comm_->rank(), std::move(a));
+  }
   ChargeCapture cc{*comm_->world_, comm_->rank()};
   // The response wire serializes on the *target's* NIC, which the
   // per-rank ledgers deliberately do not track: no gate.
@@ -843,6 +1038,15 @@ void Window::accumulate_sum_f64(const double* buf, std::size_t count,
   require(target >= 0 && target < comm_->size(), ErrorClass::invalid_rank,
           "accumulate: target out of range");
   const std::size_t bytes = count * sizeof(double);
+  if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
+    plan::Action a;
+    a.op = plan::Op::put;  // accumulate charges exactly like a put
+    a.peer = target;
+    a.bytes = bytes;
+    a.stats = BlockStats{1, bytes, bytes, bytes};
+    a.win = rec->window_id(state_.get());
+    rec->record(comm_->rank(), std::move(a));
+  }
   ChargeCapture cc{*comm_->world_, comm_->rank()};
   const auto timing = comm_->model().put_timing(
       comm_->clock_, bytes, BlockStats{1, bytes, bytes, bytes},
@@ -859,6 +1063,45 @@ void Window::accumulate_sum_f64(const double* buf, std::size_t count,
   record_op_arrival(timing.arrival);
   comm_->world_->trace_event(comm_->clock_, comm_->rank(), target,
                              TraceEvent::rma_accumulate, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Comm: compiled-plan capture marks
+// ---------------------------------------------------------------------------
+
+void Comm::plan_begin_rep() {
+  plan::Recorder* rec = world_->options.plan_recorder;
+  if (rec == nullptr) return;
+  rec->begin_rep(rank_,
+                 {clock_, world_->nic_ledger(rank_, false).busy_until(),
+                  world_->nic_ledger(rank_, true).busy_until()});
+}
+
+void Comm::plan_end_rep() {
+  plan::Recorder* rec = world_->options.plan_recorder;
+  if (rec == nullptr) return;
+  rec->end_rep(rank_,
+               {clock_, world_->nic_ledger(rank_, false).busy_until(),
+                world_->nic_ledger(rank_, true).busy_until()});
+}
+
+void Comm::plan_sample_begin() {
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    plan::Action a;
+    a.op = plan::Op::sample_begin;
+    a.seconds = wtime();  // captured absolute; replay must reproduce it
+    rec->record(rank_, std::move(a));
+  }
+}
+
+void Comm::plan_sample_end(bool contributes) {
+  if (auto* rec = plan_rec(*world_, rank_)) {
+    plan::Action a;
+    a.op = plan::Op::sample_end;
+    a.seconds = wtime();
+    a.event = contributes ? 1u : 0u;
+    rec->record(rank_, std::move(a));
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -286,6 +286,18 @@ class Comm {
   /// (null base is allowed for phantom buffers).
   Window win_create(void* base, std::size_t size_bytes);
 
+  // --- compiled-plan capture marks ------------------------------------------
+  // Harness hooks bracketing one timed rep and its timer window; no-ops
+  // unless `UniverseOptions::plan_recorder` is set (plan_record.hpp).
+  // `plan_begin_rep` snapshots this rank's virtual-clock state so a
+  // replay can resume from exactly here.
+  void plan_begin_rep();
+  void plan_end_rep();
+  void plan_sample_begin();
+  /// \param contributes  whether this rank's dt enters the fused sample
+  ///   (the harness's `sender ? dt : 0.0` decision, frozen).
+  void plan_sample_end(bool contributes);
+
  private:
   friend class Window;
   friend class Request;

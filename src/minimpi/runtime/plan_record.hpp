@@ -1,0 +1,239 @@
+#pragma once
+/// \file plan_record.hpp
+/// \brief Capture of a rank's per-rep communication program as a flat
+/// action array (the "compiled communication plan" substrate).
+///
+/// A `plan::Recorder` hangs off `UniverseOptions` like the trace log;
+/// when present, every `Comm` operation executed *inside a rep* (between
+/// the harness's `plan_begin_rep`/`plan_end_rep` marks) appends one typed
+/// `Action` to the recording rank's current program.  The action carries
+/// everything needed to re-execute the operation's virtual-clock
+/// arithmetic without the scheme/runtime object stack: the protocol arm
+/// taken (eager, rendezvous, ready, buffered — the *decision* is frozen,
+/// the *timing* is not), the peer/tag/bytes, and the `BlockStats` the
+/// cost model was fed.  Amounts that do not depend on the clock
+/// (`charge`, `charge_copy`) are frozen as scalar `advance` actions.
+///
+/// What is deliberately NOT captured: any absolute clock value used by
+/// an operation.  Replay (ncsend/plan/) re-runs the same pure
+/// `CostModel` arithmetic from the captured initial state, so quantized
+/// `wtime()` samples come out bit-identical — see DESIGN.md §2.9 for the
+/// substitution argument.
+///
+/// Operations whose replay semantics we do not model (wildcard receives,
+/// probes, tests, payload collectives mid-rep, buffer attach/detach
+/// mid-rep) mark the recording *uncompilable*; the experiment layer then
+/// falls back to direct execution, so capture can never produce a wrong
+/// plan — only no plan.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "minimpi/base/types.hpp"
+#include "minimpi/datatype/datatype.hpp"
+#include "minimpi/net/timeline.hpp"
+
+namespace minimpi::plan {
+
+/// Operation kinds a compiled program can replay.
+enum class Op : std::uint8_t {
+  advance,        ///< clock += seconds (charge / charge_copy, frozen amount)
+  send,           ///< arm-specific send; creates send event #`event`
+  wait_send,      ///< Request::wait on send event #`event`
+  recv,           ///< match (src,tag) FIFO + receiver-side completion
+  barrier,        ///< clock-fusing barrier over all ranks
+  fence,          ///< window fence epoch boundary
+  put,            ///< RMA put into `peer` through window `win`
+  get,            ///< RMA get from `peer` through window `win`
+  pscw_post,      ///< expose epoch open (post)
+  pscw_start,     ///< access epoch open towards `group`
+  pscw_complete,  ///< access epoch close towards `group`
+  pscw_wait,      ///< expose epoch close; `event` = expected completes
+  sample_begin,   ///< harness timer start; `seconds` = captured wtime()
+  sample_end,     ///< harness timer stop; `event` = contributes flag
+};
+
+/// Which protocol arm a captured send took.  Replay re-executes the
+/// matching `CostModel` composition; the eager-vs-rendezvous *decision*
+/// is part of the program, its *timing* is recomputed.
+enum class SendArm : std::uint8_t {
+  eager_blocking,  ///< blocking standard send below the eager limit
+  eager_posted,    ///< isend below the eager limit
+  rdv_blocking,    ///< blocking standard/synchronous send, rendezvous
+  rdv_posted,      ///< isend above the limit, or issend
+  ready,           ///< rsend (no handshake, staged injection)
+  buffered,        ///< bsend (gather to attached pool, background wire)
+};
+
+/// One step of a rank's compiled program.  Flat POD-ish struct; the
+/// whole program is a contiguous `std::vector<Action>`.
+struct Action {
+  Op op = Op::advance;
+  SendArm arm = SendArm::eager_blocking;
+  Rank peer = -1;           ///< send dst / recv src / RMA target
+  Tag tag = 0;
+  std::size_t bytes = 0;    ///< payload bytes on the wire
+  BlockStats stats;         ///< sender-side stats (send/put) or
+                            ///< receiver-side stats (recv)
+  double seconds = 0.0;     ///< advance amount; captured wtime() at marks
+  std::uint32_t event = 0;  ///< send/wait_send event id; pscw_wait expected;
+                            ///< sample_end contributes flag
+  int win = -1;             ///< window id for RMA / pscw ops
+  std::vector<Rank> group;  ///< pscw_start / pscw_complete target group
+  bool inserted = false;    ///< added by an optimization pass (visible
+                            ///< plan-level charge, not captured)
+  ChargeAtom atom = ChargeAtom::cpu_pack;  ///< advance label (dump /
+                                           ///< pass accounting)
+};
+
+/// One rep's actions for one rank.
+using RankProgram = std::vector<Action>;
+
+[[nodiscard]] const char* op_name(Op op) noexcept;
+[[nodiscard]] const char* arm_name(SendArm arm) noexcept;
+
+/// \brief Per-universe capture sink.
+///
+/// Threading: each rank thread appends only to its own per-rank state,
+/// so recording is lock-free on the hot path; the window registry and
+/// the uncompilable flag (touchable from any rank) take a mutex.
+class Recorder {
+ public:
+  /// Virtual-clock state of one rank at a rep boundary.
+  struct Snapshot {
+    double clock = 0.0;
+    double staged_busy = 0.0;  ///< staged-class NIC ledger busy_until
+    double rdv_busy = 0.0;     ///< rendezvous-class NIC ledger busy_until
+  };
+
+  explicit Recorder(int nranks)
+      : per_rank_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(per_rank_.size());
+  }
+
+  // --- rank-thread API (called from Comm under the harness marks) -------
+
+  void begin_rep(Rank r, const Snapshot& at) {
+    RankState& st = per_rank_[static_cast<std::size_t>(r)];
+    st.begin_snapshots.push_back(at);
+    st.reps.emplace_back();
+    st.recording = true;
+    st.next_event = 0;
+  }
+
+  void end_rep(Rank r, const Snapshot& at) {
+    RankState& st = per_rank_[static_cast<std::size_t>(r)];
+    st.end_snapshots.push_back(at);
+    st.recording = false;
+  }
+
+  /// True while rank `r` is inside a rep (setup / verification /
+  /// teardown traffic outside the marks is not part of the program).
+  [[nodiscard]] bool recording(Rank r) const {
+    return per_rank_[static_cast<std::size_t>(r)].recording;
+  }
+
+  void record(Rank r, Action a) {
+    per_rank_[static_cast<std::size_t>(r)].reps.back().push_back(
+        std::move(a));
+  }
+
+  /// Fresh send-event id, unique within the rank's current rep.
+  [[nodiscard]] std::uint32_t next_send_event(Rank r) {
+    return per_rank_[static_cast<std::size_t>(r)].next_event++;
+  }
+
+  /// Stable small id for a window, shared across ranks (windows are
+  /// created collectively, so every rank registers the same state
+  /// object set; the id is the registration order of the shared state).
+  [[nodiscard]] int window_id(const void* state) {
+    std::lock_guard<std::mutex> lock(m_);
+    for (std::size_t i = 0; i < windows_.size(); ++i)
+      if (windows_[i] == state) return static_cast<int>(i);
+    windows_.push_back(state);
+    return static_cast<int>(windows_.size() - 1);
+  }
+
+  /// An operation replay cannot model was captured: poison the plan.
+  void mark_uncompilable(const std::string& why) {
+    std::lock_guard<std::mutex> lock(m_);
+    if (uncompilable_reason_.empty()) uncompilable_reason_ = why;
+  }
+
+  // --- harvest API (after Universe::run returns) ------------------------
+
+  [[nodiscard]] bool uncompilable() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return !uncompilable_reason_.empty();
+  }
+  [[nodiscard]] std::string reason() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return uncompilable_reason_;
+  }
+
+  [[nodiscard]] const std::vector<RankProgram>& reps(Rank r) const {
+    return per_rank_[static_cast<std::size_t>(r)].reps;
+  }
+  [[nodiscard]] const std::vector<Snapshot>& begin_snapshots(Rank r) const {
+    return per_rank_[static_cast<std::size_t>(r)].begin_snapshots;
+  }
+  [[nodiscard]] const std::vector<Snapshot>& end_snapshots(Rank r) const {
+    return per_rank_[static_cast<std::size_t>(r)].end_snapshots;
+  }
+  [[nodiscard]] std::size_t window_count() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return windows_.size();
+  }
+
+ private:
+  struct RankState {
+    bool recording = false;
+    std::uint32_t next_event = 0;
+    std::vector<RankProgram> reps;
+    std::vector<Snapshot> begin_snapshots;
+    std::vector<Snapshot> end_snapshots;
+  };
+
+  std::vector<RankState> per_rank_;
+  mutable std::mutex m_;
+  std::vector<const void*> windows_;
+  std::string uncompilable_reason_;
+};
+
+inline const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::advance: return "advance";
+    case Op::send: return "send";
+    case Op::wait_send: return "wait_send";
+    case Op::recv: return "recv";
+    case Op::barrier: return "barrier";
+    case Op::fence: return "fence";
+    case Op::put: return "put";
+    case Op::get: return "get";
+    case Op::pscw_post: return "pscw_post";
+    case Op::pscw_start: return "pscw_start";
+    case Op::pscw_complete: return "pscw_complete";
+    case Op::pscw_wait: return "pscw_wait";
+    case Op::sample_begin: return "sample_begin";
+    case Op::sample_end: return "sample_end";
+  }
+  return "?";
+}
+
+inline const char* arm_name(SendArm arm) noexcept {
+  switch (arm) {
+    case SendArm::eager_blocking: return "eager";
+    case SendArm::eager_posted: return "eager-posted";
+    case SendArm::rdv_blocking: return "rdv";
+    case SendArm::rdv_posted: return "rdv-posted";
+    case SendArm::ready: return "ready";
+    case SendArm::buffered: return "buffered";
+  }
+  return "?";
+}
+
+}  // namespace minimpi::plan

@@ -25,6 +25,10 @@
 
 namespace minimpi {
 
+namespace plan {
+class Recorder;
+}  // namespace plan
+
 /// User-facing configuration of a simulated job.
 struct UniverseOptions {
   int nranks = 2;
@@ -55,6 +59,11 @@ struct UniverseOptions {
   double wtime_resolution = 1e-6;
   /// Optional protocol trace; events from all ranks are appended here.
   std::shared_ptr<TraceLog> trace;
+  /// Optional compiled-plan capture sink (plan_record.hpp).  When set,
+  /// every in-rep communication op appends a typed action to the
+  /// recording rank's program; the harness brackets reps via the
+  /// `Comm::plan_*` marks.  Not owned; must outlive `Universe::run`.
+  plan::Recorder* plan_recorder = nullptr;
 };
 
 namespace detail {

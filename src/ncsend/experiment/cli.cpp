@@ -30,7 +30,8 @@ std::string basename_of(const char* argv0) {
 std::string BenchCli::usage(const std::string& program) {
   return "usage: " + program +
          " [--quick] [--per-decade N] [--reps N] [--jobs N]"
-         " [--pattern NAME] [--out-dir DIR] [--no-csv] [--help]\n"
+         " [--pattern NAME] [--replay] [--iters N] [--out-dir DIR]"
+         " [--no-csv] [--help]\n"
          "  --quick        CI-friendly grids (2 points/decade, 5 reps)\n"
          "  --per-decade N size-grid density (default 4)\n"
          "  --reps N       ping-pongs per measurement (default 20)\n"
@@ -39,6 +40,11 @@ std::string BenchCli::usage(const std::string& program) {
          "concurrency)\n"
          "  --pattern NAME communication pattern (repeatable): pingpong,\n"
          "                 multi-pair(P), halo2d(RxC), transpose(N)\n"
+         "  --replay       route cells through compiled-plan replay\n"
+         "                 (capture once, interpret; byte-identical "
+         "output)\n"
+         "  --iters N      replay iteration count (implies --replay;\n"
+         "                 extrapolates the compiled plan past --reps)\n"
          "  --out-dir DIR  output directory (default \"results\")\n"
          "  --no-csv       skip CSV/JSON output files\n";
 }
@@ -55,16 +61,21 @@ std::optional<BenchCli> BenchCli::try_parse(int argc, char** argv,
       cli.quick = true;
     } else if (arg == "--no-csv") {
       cli.csv = false;
-    } else if (arg == "--per-decade" || arg == "--reps" || arg == "--jobs") {
+    } else if (arg == "--per-decade" || arg == "--reps" ||
+               arg == "--jobs" || arg == "--iters") {
       const char* v = value_of(i);
       int* target = arg == "--per-decade" ? &cli.per_decade
                     : arg == "--reps"     ? &cli.reps
-                                          : &cli.jobs;
+                    : arg == "--jobs"     ? &cli.jobs
+                                          : &cli.iters;
       if (v == nullptr || !parse_positive(v, target)) {
         if (error)
           *error = arg + " needs a positive integer argument";
         return std::nullopt;
       }
+      if (arg == "--iters") cli.replay = true;
+    } else if (arg == "--replay") {
+      cli.replay = true;
     } else if (arg == "--pattern") {
       const char* v = value_of(i);
       if (v == nullptr) {

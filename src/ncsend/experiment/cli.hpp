@@ -17,6 +17,10 @@
 ///   --pattern NAME    communication pattern to sweep (repeatable;
 ///                     "pingpong", "multi-pair(P)", "halo2d(RxC)",
 ///                     "transpose(N)"); default: each bench's own set
+///   --replay          route cells through compiled-plan replay
+///                     (capture once, interpret; byte-identical output)
+///   --iters N         replay iteration count (implies --replay;
+///                     extrapolates the compiled plan past --reps)
 ///   --out-dir DIR     output directory (default "results")
 ///   --no-csv          skip CSV/JSON output files
 ///   --help            print usage and exit 0
@@ -36,6 +40,13 @@ struct BenchCli {
   /// `--pattern` values, validated against the pattern registry; empty
   /// means "the bench's default patterns".
   std::vector<std::string> patterns;
+  /// `--replay`: run every sweep through compiled-plan replay
+  /// (`ExperimentPlan::compiled_replay`).
+  bool replay = false;
+  /// `--iters N`: strict replay iteration count
+  /// (`ExperimentPlan::replay_iters`); 0 = use `--reps`.  Implies
+  /// `--replay`.
+  int iters = 0;
   std::string out_dir = "results";
   bool csv = true;
 

@@ -7,7 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "minimpi/base/error.hpp"
 #include "ncsend/patterns/pattern.hpp"
+#include "ncsend/plan/comm_plan.hpp"
 
 namespace ncsend {
 namespace {
@@ -107,6 +109,7 @@ PlanResult run_plan(const ExperimentPlan& plan, const ExecutorOptions& exec) {
           for (std::size_t ci = 0; ci < plan.schemes.size(); ++ci)
             cells.push_back({ti, pi, li, si, ci});
 
+  const bool replaying = plan.compiled_replay || plan.replay_iters > 0;
   const auto run_cell = [&](const Cell& c) {
     RunResult& slot =
         result
@@ -114,6 +117,30 @@ PlanResult run_plan(const ExperimentPlan& plan, const ExecutorOptions& exec) {
                         plan.layouts.size() +
                     c.li]
             .cells[c.si][c.ci];
+    if (replaying) {
+      // Compile once (a 2-3 rep capture), then interpret the frozen
+      // charge program for the full rep count.  With the passes off
+      // the replayed samples are bit-identical to direct execution, so
+      // an uncompilable cell can silently fall back — unless the plan
+      // demands extrapolated iterations, where silence would change
+      // the sample count.
+      ncsend::plan::PassOptions passes;
+      passes.aggregate_small = plan.replay_aggregate_small;
+      passes.sort_injections = plan.replay_sort_injections;
+      const ncsend::plan::CommPlan cp = ncsend::plan::compile_cell(
+          opts[c.pi], *patterns[c.ti], plan.schemes[c.ci],
+          layouts[c.li][c.si], plan.harness, passes);
+      if (cp.valid) {
+        slot = cp.replay(plan.replay_iters > 0 ? plan.replay_iters
+                                               : plan.harness.reps);
+        return;
+      }
+      minimpi::require(plan.replay_iters <= 0,
+                       minimpi::ErrorClass::invalid_arg,
+                       "cell (" + std::string(patterns[c.ti]->name()) +
+                           ", " + plan.schemes[c.ci] +
+                           ") is not compilable: " + cp.invalid_reason);
+    }
     slot = run_pattern_experiment(opts[c.pi], *patterns[c.ti],
                                   plan.schemes[c.ci], layouts[c.li][c.si],
                                   plan.harness);

@@ -16,7 +16,18 @@ void ExperimentPlan::validate() const {
     minimpi::require(p != nullptr, minimpi::ErrorClass::invalid_arg,
                      "plan '" + name + "' carries a null machine profile");
   for (const auto& p : patterns) (void)CommPattern::by_name(p);
-  for (const auto& s : schemes) (void)make_transfer_scheme(s);
+  for (const auto& s : schemes) {
+    const auto scheme = make_transfer_scheme(s);
+    // Strict extrapolated replay pins per-rank state (bsend pools) past
+    // the capture run's teardown; schemes that tear that state down
+    // cannot honor more iterations than were captured.
+    minimpi::require(
+        !(replay_iters > 0 && scheme->teardown_invalidates_pinned_state()),
+        minimpi::ErrorClass::invalid_arg,
+        "plan '" + name + "': scheme '" + s +
+            "' tears down pinned state at teardown and cannot be "
+            "replayed for extrapolated iterations (replay_iters)");
+  }
   for (const auto& l : layouts)
     minimpi::require(static_cast<bool>(l.factory),
                      minimpi::ErrorClass::invalid_arg,

@@ -78,6 +78,24 @@ struct ExperimentPlan {
   /// MPI_Wtime tick (paper: 1e-6 s); 0 for exact clocks.
   double wtime_resolution = 1e-6;
 
+  // --- compiled-plan replay (ncsend/plan/) -------------------------------
+  /// Route every cell through compile-once/replay-many: capture a short
+  /// program, interpret it for the full rep count.  Cells whose capture
+  /// is not compilable silently fall back to direct execution, so
+  /// results are identical either way (the passes-off guarantee).
+  bool compiled_replay = false;
+  /// When > 0: replay each compiled plan for this many iterations
+  /// instead of `harness.reps` (implies `compiled_replay`).  Strict —
+  /// an uncompilable cell is an error, and `validate()` rejects schemes
+  /// whose teardown invalidates the pinned state replay extrapolates
+  /// from (buffered's bsend-pool detach).
+  int replay_iters = 0;
+  /// Optimization passes applied to each compiled plan.  Both change
+  /// modeled time (visibly, as plan-level charge actions); goldens hold
+  /// only with both off.
+  bool replay_aggregate_small = false;
+  bool replay_sort_injections = false;
+
   /// Fail fast: resolve every pattern, scheme, and layout-axis entry
   /// before any universe spins up; throws MM_ERR_ARG naming the first
   /// offender.  `run_plan` calls this on entry.

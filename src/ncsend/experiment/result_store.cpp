@@ -217,6 +217,39 @@ void ResultStore::write_bench_eager_limit_json(std::ostream& os,
   os.precision(old_precision);
 }
 
+void ResultStore::write_bench_engine_scale_json(
+    std::ostream& os, const std::vector<EngineScaleRecord>& records) {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"engine_scale\",\n"
+     << "  \"unit\": \"rank_steps_per_sec\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EngineScaleRecord& r = records[i];
+    os << "    {\"pattern\": \"" << json_escape(r.pattern)
+       << "\", \"scheme\": \"" << json_escape(r.scheme)
+       << "\", \"nranks\": " << r.nranks
+       << ", \"payload_bytes\": " << r.payload_bytes
+       << ", \"iters\": " << r.iters << ",\n     \"direct_seconds\": "
+       << r.direct_seconds
+       << ", \"compiled_seconds\": " << r.compiled_seconds
+       << ", \"cells_per_sec_direct\": "
+       << (r.direct_seconds > 0.0 ? 1.0 / r.direct_seconds : 0.0)
+       << ", \"cells_per_sec_compiled\": "
+       << (r.compiled_seconds > 0.0 ? 1.0 / r.compiled_seconds : 0.0)
+       << ",\n     \"rank_steps_per_sec_direct\": "
+       << r.direct_rank_steps_per_sec()
+       << ", \"rank_steps_per_sec_compiled\": "
+       << r.compiled_rank_steps_per_sec()
+       << ", \"speedup\": " << r.speedup()
+       << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
 void ResultStore::write_bench_ablation_json(
     std::ostream& os, std::string_view name,
     const std::vector<AblationVariant>& variants) {

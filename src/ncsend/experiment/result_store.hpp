@@ -25,6 +25,33 @@ struct KernelRecord {
   double gbps = 0.0;
 };
 
+/// One engine-throughput measurement (the `BENCH_engine_scale` family):
+/// wall-clock cost of simulating one cell directly vs compiling its
+/// charge program once and replaying it.  `rank_steps` is the work
+/// unit the ISSUE's speedup target counts: nranks x iterations.
+struct EngineScaleRecord {
+  std::string pattern;
+  std::string scheme;
+  int nranks = 0;
+  std::size_t payload_bytes = 0;
+  int iters = 0;
+  double direct_seconds = 0.0;    ///< wall clock, direct execution
+  double compiled_seconds = 0.0;  ///< wall clock, compile + replay
+  bool identical = false;         ///< replayed timing == direct timing
+  [[nodiscard]] double rank_steps() const {
+    return static_cast<double>(nranks) * static_cast<double>(iters);
+  }
+  [[nodiscard]] double direct_rank_steps_per_sec() const {
+    return direct_seconds > 0.0 ? rank_steps() / direct_seconds : 0.0;
+  }
+  [[nodiscard]] double compiled_rank_steps_per_sec() const {
+    return compiled_seconds > 0.0 ? rank_steps() / compiled_seconds : 0.0;
+  }
+  [[nodiscard]] double speedup() const {
+    return compiled_seconds > 0.0 ? direct_seconds / compiled_seconds : 0.0;
+  }
+};
+
 /// \brief JSON string escaping for every writer below.
 std::string json_escape(std::string_view s);
 
@@ -85,6 +112,11 @@ class ResultStore {
   static void write_bench_ablation_json(
       std::ostream& os, std::string_view name,
       const std::vector<AblationVariant>& variants);
+
+  /// The `BENCH_engine_scale.json` schema: wall-clock engine throughput
+  /// (cells/sec and rank-steps/sec), compiled replay vs direct.
+  static void write_bench_engine_scale_json(
+      std::ostream& os, const std::vector<EngineScaleRecord>& records);
 
  private:
   std::vector<SweepResult> sweeps_;

@@ -44,12 +44,16 @@ void run_pingpong_rank(Comm& comm, SendScheme& scheme, const Layout& layout,
   std::vector<double> samples;
   samples.reserve(static_cast<std::size_t>(cfg.reps));
   for (int rep = 0; rep < cfg.reps; ++rep) {
+    comm.plan_begin_rep();
+    comm.plan_sample_begin();
     const double t0 = comm.wtime();
     scheme.run_rep(ctx);
     const double dt = comm.wtime() - t0;
+    comm.plan_sample_end(is_sender);
     if (is_sender) samples.push_back(dt);
     // Between every two ping-pongs a 50 MB array is rewritten (§3.2).
     flusher.flush(comm);
+    comm.plan_end_rep();
   }
 
   // --- verification (functional runs only) --------------------------------

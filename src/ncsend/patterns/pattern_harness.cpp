@@ -195,13 +195,17 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
   comm.barrier();
 
   // --- timed steps --------------------------------------------------------
+  // Everything above this point is the engine's *compile phase*: the
+  // neighbor map, transfer contexts, window/arena bindings, attach pool,
+  // and scheme state it produced are exactly what a compiled `CommPlan`
+  // pins (ncsend/plan/).  The loop below is the *replay phase* — the
+  // part a plan replaces with a flat action program.
   const bool sender = !sends.empty();
   std::vector<double> local;
   local.reserve(static_cast<std::size_t>(cfg.reps));
   std::vector<Request> rreqs;
   std::vector<Request> sreqs;
-  for (int rep = 0; rep < cfg.reps; ++rep) {
-    const double t0 = comm.wtime();
+  const auto execute_step = [&] {
     switch (mode) {
       case SyncMode::message:
         rreqs.clear();
@@ -252,12 +256,20 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
         if (!origins.empty()) win->wait_post();
         break;
     }
+  };
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    comm.plan_begin_rep();
+    comm.plan_sample_begin();
+    const double t0 = comm.wtime();
+    execute_step();
     const double dt = comm.wtime() - t0;
+    comm.plan_sample_end(sender);
     local.push_back(sender ? dt : 0.0);
     // The §3.2 flush between repetitions, then a clock-fusing barrier
     // so every step starts from a common virtual time.
     flusher.flush(comm);
     comm.barrier();
+    comm.plan_end_rep();
   }
 
   // --- verification (functional runs only) --------------------------------

@@ -1,0 +1,148 @@
+#pragma once
+/// \file comm_plan.hpp
+/// \brief Compiled communication plans: build-once / replay-many charge
+/// programs for one (pattern, scheme, layout) experiment cell.
+///
+/// `compile_cell` runs a short *capture* universe (2–3 reps) with a
+/// `minimpi::plan::Recorder` attached: every in-rep communication op
+/// appends one typed action to the executing rank's program
+/// (plan_record.hpp).  The result is a `CommPlan` — a flat per-rank
+/// action array plus the virtual-clock state at the first rep boundary —
+/// which `replay()` re-executes with a single-threaded interpreter that
+/// reproduces the `Comm` clock arithmetic exactly: same `CostModel`
+/// compositions, same NIC-ledger FIFO queueing, same barrier/fence/PSCW
+/// clock fusion, same `wtime()` quantization.  With all optimization
+/// passes off the replayed samples are bit-identical to direct execution
+/// (DESIGN.md §2.9 gives the substitution argument; a compile-time
+/// self-check *proves* it per plan by interpreting the captured reps and
+/// comparing every timer mark).
+///
+/// Validity is conservative: anything the interpreter cannot reproduce
+/// (wildcards, probes, tests, mid-rep collectives, a non-converging
+/// steady state) yields `valid == false` and the experiment layer falls
+/// back to direct execution — a plan can be missing, never wrong.
+///
+/// Optimization passes rewrite the compiled form *visibly*: each
+/// inserted action is flagged and its cost accounted in `pass_charges`,
+/// and passes deliberately change modeled time — goldens only hold with
+/// passes off.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minimpi/net/cost_model.hpp"
+#include "minimpi/runtime/plan_record.hpp"
+#include "minimpi/runtime/world.hpp"
+#include "ncsend/harness.hpp"
+#include "ncsend/patterns/pattern.hpp"
+
+namespace ncsend::plan {
+
+namespace mplan = minimpi::plan;
+
+/// Toggleable rewrites of the compiled form.  Both default off: the
+/// passes-off plan is the bit-exact substitute for direct execution.
+struct PassOptions {
+  /// Merge consecutive small (eager) posted sends to the same
+  /// (peer, tag) into one wire atom per peer, charging the coalescing
+  /// copy as a visible plan-level `internal_copy` action.
+  bool aggregate_small = false;
+  /// Stable-sort runs of consecutive posted sends by ascending size so
+  /// short injections drain first on the FIFO NIC ledger, charging the
+  /// reorder bookkeeping as a visible `call_overhead` action.
+  bool sort_injections = false;
+
+  [[nodiscard]] bool any() const noexcept {
+    return aggregate_small || sort_injections;
+  }
+};
+
+/// One pass-inserted plan-level charge (accounting for dump/tests).
+struct PassCharge {
+  minimpi::ChargeAtom atom = minimpi::ChargeAtom::internal_copy;
+  double seconds = 0.0;
+  std::size_t merged = 0;  ///< actions merged/reordered by this charge
+};
+
+/// A compiled experiment cell: per-rank action programs for the cold
+/// rep and the steady-state rep, plus the initial virtual-clock state.
+struct CommPlan {
+  int nranks = 0;
+  std::optional<minimpi::CostModel> model;  ///< copied capture model
+  bool contention = false;                  ///< NIC-occupancy ledgers on
+  double wtime_resolution = 1e-6;
+  int captured_reps = 0;      ///< programs per rank (>=2; last = steady)
+  std::size_t window_count = 0;
+
+  /// programs[rank][k]: rep-k program; k >= captured_reps replays the
+  /// last (steady-state) program with clocks carried forward.
+  std::vector<std::vector<mplan::RankProgram>> programs;
+  /// Per-rank clock/ledger state at the first `plan_begin_rep`.
+  std::vector<mplan::Recorder::Snapshot> start;
+  /// Per-rank clock at each captured `plan_end_rep` (self-check oracle).
+  std::vector<std::vector<double>> end_clocks;
+
+  RunResult base;  ///< capture-run result (scheme/layout/verify verdict)
+  bool valid = false;
+  std::string invalid_reason;
+
+  PassOptions passes;  ///< passes applied to this plan
+  std::vector<PassCharge> pass_charges;
+  /// True when the interpreter must reproduce the captured timer marks
+  /// bit-exactly over the captured reps (any applied pass clears it).
+  bool verify_marks = false;
+
+  /// Interpret `reps` repetitions and return the fused per-rep samples
+  /// (max over contributing ranks), exactly as the harness would have
+  /// collected them.  Requires `valid`.
+  [[nodiscard]] std::vector<double> replay_samples(int reps) const;
+
+  /// Full replayed result: `base` with the timing replaced by
+  /// `summarize(replay_samples(reps))`.
+  [[nodiscard]] RunResult replay(int reps) const;
+
+  /// Human-readable action-array listing (examples/protocol_trace).
+  void dump(std::ostream& os) const;
+};
+
+/// \brief Compile one experiment cell: capture `min(cfg.reps, flush ?
+/// 2 : 3)` reps through the recorder, validate (uncompilable ops,
+/// steady-state convergence, interpreter self-check against the
+/// captured timer marks), then apply the requested passes.
+///
+/// On any validation failure the returned plan has `valid == false`
+/// and `invalid_reason` set; `base` still holds the capture-run result.
+[[nodiscard]] CommPlan compile_cell(const minimpi::UniverseOptions& opts,
+                                    const CommPattern& pattern,
+                                    std::string_view scheme_name,
+                                    const Layout& layout,
+                                    const HarnessConfig& cfg,
+                                    const PassOptions& passes = {});
+
+// --- optimization passes (exposed for unit tests) -------------------------
+
+/// Aggregation pass over one rep's programs (all ranks: sender and
+/// receiver rewritten together).  Returns true if anything was merged.
+bool aggregate_small_rep(std::vector<mplan::RankProgram>& rep_programs,
+                         const minimpi::CostModel& model,
+                         std::vector<PassCharge>& charges);
+
+/// Injection-order pass over one rank's program.  Returns true if any
+/// run was reordered.
+bool sort_injections_program(mplan::RankProgram& program,
+                             const minimpi::CostModel& model,
+                             std::vector<PassCharge>& charges);
+
+namespace detail {
+/// The single-threaded interpreter behind `replay_samples`: executes
+/// `reps` repetitions of `plan` and returns the fused samples.  The
+/// first `verify_reps` reps additionally compare every captured timer
+/// mark and rep-end clock bit-exactly, throwing on divergence.
+std::vector<double> interpret(const CommPlan& plan, int reps,
+                              int verify_reps);
+}  // namespace detail
+
+}  // namespace ncsend::plan

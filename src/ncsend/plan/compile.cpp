@@ -1,0 +1,234 @@
+/// \file compile.cpp
+/// \brief Plan compilation: one short capture run, validation, and the
+/// bit-exact replay self-check.
+///
+/// Capture cost is deliberately tiny: with per-rep cache flushing every
+/// rep charges identically, so two reps (one cold, one steady) pin the
+/// whole program; without flushing the warm-up transient needs a third
+/// rep, and the last two captured programs must agree structurally —
+/// otherwise there is no steady state to extrapolate and the plan is
+/// rejected.
+///
+/// The self-check is the load-bearing safety device: before a plan is
+/// declared valid, the interpreter re-executes the captured reps from
+/// the captured initial state and every `wtime()` timer mark plus every
+/// rep-end clock must equal the capture bit-for-bit.  Divergence — any
+/// arithmetic the interpreter does not reproduce exactly — invalidates
+/// the plan, and the experiment layer falls back to direct execution,
+/// so a wrong plan can never reach a result table.
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "ncsend/plan/comm_plan.hpp"
+
+namespace ncsend::plan {
+
+namespace {
+
+using mplan::Action;
+using mplan::Op;
+
+/// Structural equality of two captured programs: same ops in the same
+/// order with the same frozen operands.  (Timer-mark absolutes differ
+/// across reps by construction and are excluded.)
+[[nodiscard]] bool same_shape(const mplan::RankProgram& a,
+                              const mplan::RankProgram& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Action& x = a[i];
+    const Action& y = b[i];
+    if (x.op != y.op || x.arm != y.arm || x.peer != y.peer ||
+        x.tag != y.tag || x.bytes != y.bytes || x.event != y.event ||
+        x.win != y.win || x.group != y.group)
+      return false;
+    if (x.stats.block_count != y.stats.block_count ||
+        x.stats.total_bytes != y.stats.total_bytes ||
+        x.stats.min_block != y.stats.min_block ||
+        x.stats.max_block != y.stats.max_block)
+      return false;
+    const bool is_mark = x.op == Op::sample_begin || x.op == Op::sample_end;
+    if (!is_mark && x.seconds != y.seconds) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CommPlan compile_cell(const minimpi::UniverseOptions& opts,
+                      const CommPattern& pattern,
+                      std::string_view scheme_name, const Layout& layout,
+                      const HarnessConfig& cfg, const PassOptions& passes) {
+  CommPlan plan;
+  plan.nranks = pattern.nranks();
+  plan.contention = opts.nic_occupancy_contention;
+  plan.wtime_resolution = opts.wtime_resolution;
+  // Patterns patch the model's static-contention input
+  // (run_pattern_experiment); the replica must match.
+  plan.model.emplace(*opts.profile, opts.eager_limit_override,
+                     pattern.concurrent_senders());
+
+  if (cfg.reps < 2) {
+    plan.invalid_reason = "fewer than 2 reps: no steady state to capture";
+    return plan;
+  }
+  if (!cfg.flush && cfg.reps < 3) {
+    // Without per-rep flushing the second rep is still inside the
+    // cache warm-up transient: there is no verified steady program to
+    // extrapolate from.
+    plan.invalid_reason = "unflushed capture needs at least 3 reps";
+    return plan;
+  }
+  // Flushed reps all charge identically (every rep is cold), so cold +
+  // steady = 2.  Unflushed runs need a third rep to get past the
+  // warm-up transient.
+  const int capture_reps = std::min(cfg.reps, cfg.flush ? 2 : 3);
+  plan.captured_reps = capture_reps;
+
+  mplan::Recorder rec(plan.nranks);
+  minimpi::UniverseOptions copts = opts;
+  copts.plan_recorder = &rec;
+  HarnessConfig ccfg = cfg;
+  ccfg.reps = capture_reps;
+  plan.base = run_pattern_experiment(copts, pattern, scheme_name, layout,
+                                     ccfg);
+
+  if (rec.uncompilable()) {
+    plan.invalid_reason = rec.reason();
+    return plan;
+  }
+
+  // --- harvest -------------------------------------------------------------
+  plan.window_count = rec.window_count();
+  plan.programs.resize(static_cast<std::size_t>(plan.nranks));
+  plan.start.resize(static_cast<std::size_t>(plan.nranks));
+  plan.end_clocks.resize(static_cast<std::size_t>(plan.nranks));
+  for (int r = 0; r < plan.nranks; ++r) {
+    const auto& reps = rec.reps(r);
+    const auto& begins = rec.begin_snapshots(r);
+    const auto& ends = rec.end_snapshots(r);
+    if (static_cast<int>(reps.size()) != capture_reps ||
+        begins.size() != reps.size() || ends.size() != reps.size()) {
+      plan.invalid_reason = "capture produced an incomplete program";
+      return plan;
+    }
+    plan.programs[static_cast<std::size_t>(r)] = reps;
+    plan.start[static_cast<std::size_t>(r)] = begins.front();
+    for (const auto& s : ends)
+      plan.end_clocks[static_cast<std::size_t>(r)].push_back(s.clock);
+  }
+
+  // --- steady-state convergence -------------------------------------------
+  if (capture_reps >= 3) {
+    for (int r = 0; r < plan.nranks; ++r) {
+      const auto& reps = plan.programs[static_cast<std::size_t>(r)];
+      if (!same_shape(reps[reps.size() - 2], reps.back())) {
+        plan.invalid_reason =
+            "no steady state: last two captured reps differ structurally";
+        return plan;
+      }
+    }
+  }
+
+  // --- bit-exact replay self-check ----------------------------------------
+  plan.valid = true;
+  plan.verify_marks = true;
+  try {
+    (void)detail::interpret(plan, capture_reps, capture_reps);
+  } catch (const std::exception& e) {
+    plan.valid = false;
+    plan.verify_marks = false;
+    plan.invalid_reason = e.what();
+    return plan;
+  }
+
+  // --- optimization passes (after the self-check: they deliberately
+  // change modeled time, so the mark oracle no longer applies) -------------
+  if (passes.any()) {
+    plan.passes = passes;
+    bool changed = false;
+    if (passes.aggregate_small) {
+      for (int k = 0; k < capture_reps; ++k) {
+        std::vector<mplan::RankProgram> slice;
+        slice.reserve(static_cast<std::size_t>(plan.nranks));
+        for (int r = 0; r < plan.nranks; ++r)
+          slice.push_back(
+              plan.programs[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(k)]);
+        if (aggregate_small_rep(slice, *plan.model, plan.pass_charges))
+          changed = true;
+        for (int r = 0; r < plan.nranks; ++r)
+          plan.programs[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(k)] =
+              std::move(slice[static_cast<std::size_t>(r)]);
+      }
+    }
+    if (passes.sort_injections) {
+      for (int r = 0; r < plan.nranks; ++r)
+        for (auto& prog : plan.programs[static_cast<std::size_t>(r)])
+          if (sort_injections_program(prog, *plan.model,
+                                      plan.pass_charges))
+            changed = true;
+    }
+    if (changed) plan.verify_marks = false;
+  }
+
+  return plan;
+}
+
+void CommPlan::dump(std::ostream& os) const {
+  os << "CommPlan: " << base.scheme << " / " << base.layout << " ("
+     << nranks << " ranks, " << captured_reps << " captured reps, "
+     << window_count << " windows"
+     << (contention ? ", NIC contention" : "") << ")\n";
+  if (!valid) {
+    os << "  INVALID: " << invalid_reason << "\n";
+    return;
+  }
+  if (passes.any()) {
+    os << "  passes:" << (passes.aggregate_small ? " aggregate_small" : "")
+       << (passes.sort_injections ? " sort_injections" : "") << "\n";
+    for (const PassCharge& c : pass_charges)
+      os << "    +" << minimpi::to_string(c.atom) << " " << c.seconds
+         << "s (" << c.merged << " actions)\n";
+  }
+  for (int r = 0; r < nranks; ++r) {
+    const auto& reps = programs[static_cast<std::size_t>(r)];
+    os << "  rank " << r << " (clock0 = "
+       << start[static_cast<std::size_t>(r)].clock << "s):\n";
+    for (std::size_t k = 0; k < reps.size(); ++k) {
+      os << "    rep " << k
+         << (k + 1 == reps.size() ? " (steady)" : k == 0 ? " (cold)" : "")
+         << ": " << reps[k].size() << " actions\n";
+      for (std::size_t i = 0; i < reps[k].size(); ++i) {
+        const Action& a = reps[k][i];
+        os << "      [" << i << "] " << mplan::op_name(a.op);
+        if (a.op == Op::send) os << " " << mplan::arm_name(a.arm);
+        if (a.peer >= 0) os << " peer=" << a.peer;
+        if (a.op == Op::send || a.op == Op::recv) os << " tag=" << a.tag;
+        if (a.bytes > 0) os << " bytes=" << a.bytes;
+        if (a.stats.block_count > 1)
+          os << " blocks=" << a.stats.block_count;
+        if (a.op == Op::advance)
+          os << " " << minimpi::to_string(a.atom) << " +" << a.seconds
+             << "s";
+        if (a.op == Op::send || a.op == Op::wait_send)
+          os << " ev=" << a.event;
+        if (a.win >= 0) os << " win=" << a.win;
+        if (!a.group.empty()) {
+          os << " group=[";
+          for (std::size_t gi = 0; gi < a.group.size(); ++gi)
+            os << (gi ? "," : "") << a.group[gi];
+          os << "]";
+        }
+        if (a.op == Op::pscw_wait) os << " expected=" << a.event;
+        if (a.op == Op::sample_end) os << " contributes=" << a.event;
+        if (a.inserted) os << " (pass-inserted)";
+        os << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace ncsend::plan

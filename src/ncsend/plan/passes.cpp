@@ -1,0 +1,296 @@
+/// \file passes.cpp
+/// \brief Optimization passes over the compiled action form.
+///
+/// Both passes rewrite the flat program *visibly*: every inserted
+/// action carries `inserted = true` and a typed `ChargeAtom`, and the
+/// aggregate cost is reported in the plan's `pass_charges` — nothing is
+/// optimized away silently.  Passes deliberately change modeled time
+/// (that is their point), so the bit-exact-replay guarantee and the
+/// seed goldens hold only with passes off.
+///
+/// Safety rules, both conservative:
+///  * aggregation only merges groups where *every* send from the rank
+///    to the (peer, tag) key in the rep is a small posted (eager) send
+///    and the receiver's recv count for the key matches exactly — so
+///    mailbox FIFO pairing is preserved wholesale;
+///  * injection sorting only reorders runs of *consecutive* posted
+///    sends (nothing blocks between them) and reverts any run where
+///    two messages to the same (peer, tag) would swap relative order
+///    (MPI's non-overtaking rule).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "ncsend/plan/comm_plan.hpp"
+
+namespace ncsend::plan {
+
+namespace {
+
+using minimpi::ChargeAtom;
+using minimpi::Rank;
+using mplan::Action;
+using mplan::Op;
+using mplan::SendArm;
+
+[[nodiscard]] bool posted_arm(SendArm arm) noexcept {
+  switch (arm) {
+    case SendArm::eager_posted:
+    case SendArm::rdv_posted:
+    case SendArm::ready:
+    case SendArm::buffered:
+      return true;
+    case SendArm::eager_blocking:
+    case SendArm::rdv_blocking:
+      return false;
+  }
+  return false;
+}
+
+/// Merge `b`'s block statistics into `a`.
+void merge_stats(minimpi::BlockStats& a, const minimpi::BlockStats& b) {
+  if (a.block_count == 0) {
+    a = b;
+    return;
+  }
+  if (b.block_count == 0) return;
+  a.block_count += b.block_count;
+  a.total_bytes += b.total_bytes;
+  a.min_block = std::min(a.min_block, b.min_block);
+  a.max_block = std::max(a.max_block, b.max_block);
+}
+
+/// One applicable aggregation opportunity found by scanning a rep.
+struct MergeGroup {
+  Rank sender = -1;
+  Rank receiver = -1;
+  int tag = 0;
+  std::vector<std::size_t> send_idx;  ///< positions in sender's program
+  std::vector<std::size_t> recv_idx;  ///< positions in receiver's program
+};
+
+/// Find the first mergeable (sender, peer, tag) group in the rep, or
+/// nullopt.  A group qualifies when the sender posts >= 2 sends to the
+/// key, all of them eager_posted, and the receiver's recv count for the
+/// key matches the send count exactly.
+[[nodiscard]] std::optional<MergeGroup> find_group(
+    const std::vector<mplan::RankProgram>& progs) {
+  for (std::size_t r = 0; r < progs.size(); ++r) {
+    std::map<std::tuple<Rank, int>, std::vector<std::size_t>> sends;
+    std::map<std::tuple<Rank, int>, bool> all_eager_posted;
+    for (std::size_t i = 0; i < progs[r].size(); ++i) {
+      const Action& a = progs[r][i];
+      if (a.op != Op::send) continue;
+      const auto key = std::make_tuple(a.peer, a.tag);
+      sends[key].push_back(i);
+      auto it = all_eager_posted.try_emplace(key, true).first;
+      it->second = it->second && a.arm == SendArm::eager_posted;
+    }
+    for (const auto& [key, idxs] : sends) {
+      if (idxs.size() < 2 || !all_eager_posted[key]) continue;
+      const auto [peer, tag] = key;
+      if (peer < 0 || static_cast<std::size_t>(peer) >= progs.size())
+        continue;
+      std::vector<std::size_t> ridx;
+      for (std::size_t j = 0; j < progs[static_cast<std::size_t>(peer)].size();
+           ++j) {
+        const Action& b = progs[static_cast<std::size_t>(peer)][j];
+        if (b.op == Op::recv && b.peer == static_cast<Rank>(r) &&
+            b.tag == tag)
+          ridx.push_back(j);
+      }
+      if (ridx.size() != idxs.size()) continue;
+      MergeGroup g;
+      g.sender = static_cast<Rank>(r);
+      g.receiver = peer;
+      g.tag = tag;
+      g.send_idx = idxs;
+      g.recv_idx = ridx;
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Apply one merge group: coalesce the sender's sends into the last
+/// one (plus a visible coalescing-copy action before it) and the
+/// receiver's recvs into the first one.
+void apply_group(std::vector<mplan::RankProgram>& progs, const MergeGroup& g,
+                 const minimpi::CostModel& model,
+                 std::vector<PassCharge>& charges) {
+  mplan::RankProgram& sp = progs[static_cast<std::size_t>(g.sender)];
+  mplan::RankProgram& rp = progs[static_cast<std::size_t>(g.receiver)];
+
+  const std::size_t last = g.send_idx.back();
+  Action merged = sp[last];
+  std::vector<std::uint32_t> dropped_events;
+  for (std::size_t k = 0; k + 1 < g.send_idx.size(); ++k) {
+    const Action& a = sp[g.send_idx[k]];
+    merged.bytes += a.bytes;
+    merge_stats(merged.stats, a.stats);
+    dropped_events.push_back(a.event);
+  }
+  {
+    // merged.stats currently holds the last send's stats merged with
+    // the earlier ones in reverse order; rebuild deterministically.
+    minimpi::BlockStats s{};
+    for (const std::size_t i : g.send_idx) merge_stats(s, sp[i].stats);
+    merged.stats = s;
+  }
+
+  // The coalescing copy: the bytes of all merged messages move once
+  // more into one contiguous wire buffer — a visible plan-level charge.
+  Action copy;
+  copy.op = Op::advance;
+  copy.seconds = model.internal_contiguous_copy_time(merged.bytes);
+  copy.bytes = merged.bytes;
+  copy.inserted = true;
+  copy.atom = ChargeAtom::internal_copy;
+  charges.push_back(
+      {ChargeAtom::internal_copy, copy.seconds, g.send_idx.size()});
+
+  // Rewrite the sender: drop the early sends, keep the merged one at
+  // the last position (prefixed by the copy), and fix up wait_sends on
+  // dropped events — drop waits before the merged send (nothing to
+  // wait for yet), retarget waits after it to the merged event.
+  const auto is_dropped = [&](std::uint32_t ev) {
+    return std::find(dropped_events.begin(), dropped_events.end(), ev) !=
+           dropped_events.end();
+  };
+  mplan::RankProgram out;
+  out.reserve(sp.size() + 1);
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    const Action& a = sp[i];
+    const bool early_send =
+        std::find(g.send_idx.begin(), g.send_idx.end(), i) !=
+            g.send_idx.end() &&
+        i != last;
+    if (early_send) continue;
+    if (i == last) {
+      out.push_back(copy);
+      out.push_back(merged);
+      continue;
+    }
+    if (a.op == Op::wait_send && is_dropped(a.event)) {
+      if (i < last) continue;  // subsumed by the merged send's wait
+      Action w = a;
+      w.event = merged.event;
+      out.push_back(w);
+      continue;
+    }
+    out.push_back(a);
+  }
+  sp = std::move(out);
+
+  // Rewrite the receiver: one recv (summed bytes, merged stats) at the
+  // first matching position.
+  Action rmerged = rp[g.recv_idx.front()];
+  {
+    minimpi::BlockStats s{};
+    std::size_t bytes = 0;
+    for (const std::size_t j : g.recv_idx) {
+      merge_stats(s, rp[j].stats);
+      bytes += rp[j].bytes;
+    }
+    rmerged.stats = s;
+    rmerged.bytes = bytes;
+  }
+  mplan::RankProgram rout;
+  rout.reserve(rp.size());
+  for (std::size_t j = 0; j < rp.size(); ++j) {
+    const bool in_group = std::find(g.recv_idx.begin(), g.recv_idx.end(),
+                                    j) != g.recv_idx.end();
+    if (!in_group) {
+      rout.push_back(rp[j]);
+    } else if (j == g.recv_idx.front()) {
+      rout.push_back(rmerged);
+    }
+  }
+  rp = std::move(rout);
+}
+
+}  // namespace
+
+bool aggregate_small_rep(std::vector<mplan::RankProgram>& rep_programs,
+                         const minimpi::CostModel& model,
+                         std::vector<PassCharge>& charges) {
+  bool changed = false;
+  // Apply one group at a time and rescan: positions shift after each
+  // rewrite, and groups touch two ranks' programs.
+  while (auto g = find_group(rep_programs)) {
+    apply_group(rep_programs, *g, model, charges);
+    changed = true;
+  }
+  return changed;
+}
+
+bool sort_injections_program(mplan::RankProgram& program,
+                             const minimpi::CostModel& model,
+                             std::vector<PassCharge>& charges) {
+  bool changed = false;
+  std::size_t i = 0;
+  while (i < program.size()) {
+    if (!(program[i].op == Op::send && posted_arm(program[i].arm))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < program.size() && program[j].op == Op::send &&
+           posted_arm(program[j].arm))
+      ++j;
+    const std::size_t n = j - i;
+    if (n < 2) {
+      i = j;
+      continue;
+    }
+    // Stable sort by ascending wire size: short injections drain the
+    // FIFO NIC ledger first.
+    std::vector<std::size_t> order(n);
+    for (std::size_t k = 0; k < n; ++k) order[k] = i + k;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return program[a].bytes < program[b].bytes;
+                     });
+    // Non-overtaking guard: two sends to the same (peer, tag) must not
+    // swap relative order.
+    bool fifo_ok = true;
+    std::map<std::tuple<Rank, int>, std::size_t> last_seen;
+    for (const std::size_t idx : order) {
+      const auto key =
+          std::make_tuple(program[idx].peer, program[idx].tag);
+      auto it = last_seen.find(key);
+      if (it != last_seen.end() && it->second > idx) fifo_ok = false;
+      last_seen[key] = idx;
+    }
+    bool identity = true;
+    for (std::size_t k = 0; k < n; ++k)
+      if (order[k] != i + k) identity = false;
+    if (!fifo_ok || identity) {
+      i = j;
+      continue;
+    }
+    std::vector<Action> run;
+    run.reserve(n);
+    for (const std::size_t idx : order) run.push_back(program[idx]);
+    for (std::size_t k = 0; k < n; ++k) program[i + k] = run[k];
+    // The reorder bookkeeping: one library-call charge for rewriting
+    // the injection queue, visible in the program.
+    Action cost;
+    cost.op = Op::advance;
+    cost.seconds = model.call_overhead(n);
+    cost.inserted = true;
+    cost.atom = ChargeAtom::call_overhead;
+    program.insert(program.begin() + static_cast<std::ptrdiff_t>(i), cost);
+    charges.push_back({ChargeAtom::call_overhead, cost.seconds, n});
+    changed = true;
+    i = j + 1;  // account for the inserted action
+  }
+  return changed;
+}
+
+}  // namespace ncsend::plan

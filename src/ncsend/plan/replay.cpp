@@ -1,0 +1,520 @@
+/// \file replay.cpp
+/// \brief Single-threaded interpreter for compiled communication plans.
+///
+/// Re-executes the per-rank action programs with the *exact* clock
+/// arithmetic of `Comm` (comm.cpp): the same `CostModel` compositions
+/// against the same initial state must produce bit-identical clocks,
+/// which the compile-time self-check verifies against the captured
+/// timer marks.  Cross-rank constructs (mailbox FIFOs, NIC-ledger
+/// tickets, barrier/fence clock fusion, PSCW epochs) are replayed on
+/// host-lock-free replicas driven by a cooperative round-robin
+/// scheduler: each rank executes until it blocks, and a full sweep with
+/// no progress is a structural deadlock (compile rejects such plans).
+///
+/// Ranks deliberately do NOT synchronize at rep boundaries — the
+/// ping-pong harness has no per-rep barrier, so its two ranks drift
+/// across reps exactly as the threaded runtime lets them.
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "ncsend/plan/comm_plan.hpp"
+
+namespace ncsend::plan {
+namespace detail {
+
+namespace {
+
+using minimpi::BlockStats;
+using minimpi::Charge;
+using minimpi::ChargeAtom;
+using minimpi::CostModel;
+using minimpi::NicGate;
+using minimpi::NicLedger;
+using minimpi::Rank;
+using mplan::Action;
+using mplan::Op;
+using mplan::SendArm;
+
+[[nodiscard]] bool is_rdv(SendArm arm) noexcept {
+  return arm == SendArm::rdv_blocking || arm == SendArm::rdv_posted;
+}
+
+/// The sender side of one replayed message, addressed by the receiver
+/// through the per-(dst,src,tag) FIFO and by the sender's wait_send
+/// through the per-rep event table.
+struct SendEvent {
+  SendArm arm = SendArm::eager_blocking;
+  Rank src = -1;
+  std::size_t bytes = 0;
+  BlockStats stats;
+  // staged arms: known at post time
+  double sender_done = 0.0;
+  double arrival = 0.0;
+  // rendezvous arms: resolved by the matching receiver
+  double sender_ready = 0.0;
+  std::uint64_t ticket = 0;
+  bool rdv_resolved = false;
+  double rdv_done = 0.0;
+};
+
+struct BarrierGen {
+  int arrived = 0;
+  double maxv = -std::numeric_limits<double>::infinity();
+  bool released = false;
+  double fused = 0.0;
+};
+
+/// Replica of one `detail::WindowState` (world.hpp).
+struct WindowReplica {
+  double pending_max = 0.0;
+  std::vector<BarrierGen> fence_gens;
+  std::vector<int> post_seq;
+  std::vector<double> post_time;
+  std::vector<int> complete_count;
+  std::vector<double> complete_max;
+  std::vector<std::vector<int>> consumed;  ///< [origin][target]
+  std::vector<double> access_pending;      ///< per rank (Window-local)
+
+  explicit WindowReplica(int nranks)
+      : post_seq(static_cast<std::size_t>(nranks), 0),
+        post_time(static_cast<std::size_t>(nranks), 0.0),
+        complete_count(static_cast<std::size_t>(nranks), 0),
+        complete_max(static_cast<std::size_t>(nranks), 0.0),
+        consumed(static_cast<std::size_t>(nranks),
+                 std::vector<int>(static_cast<std::size_t>(nranks), 0)),
+        access_pending(static_cast<std::size_t>(nranks), 0.0) {}
+};
+
+struct RankExec {
+  double clock = 0.0;
+  int rep = 0;          ///< global rep index currently executing
+  std::size_t pc = 0;
+  int stage = 0;        ///< two-phase progress of the action at pc
+  bool done = false;
+  std::vector<SendEvent*> events;  ///< current rep, indexed by event id
+  double sample_t0 = 0.0;
+  std::size_t barrier_idx = 0;               ///< global barrier counter
+  std::vector<std::size_t> fence_idx;        ///< per window
+};
+
+struct Interp {
+  const CommPlan& plan;
+  const CostModel& model;
+  int total_reps;
+  int verify_reps;
+
+  std::vector<RankExec> ranks;
+  std::deque<SendEvent> arena;  ///< stable addresses
+  std::map<std::tuple<Rank, Rank, int>, std::deque<SendEvent*>> queues;
+  std::vector<std::unique_ptr<NicLedger>> staged;
+  std::vector<std::unique_ptr<NicLedger>> rdv;
+  std::vector<BarrierGen> barrier_gens;
+  std::vector<WindowReplica> windows;
+  std::vector<double> samples;  ///< fused, per global rep
+  double coll0 = 0.0;           ///< collective_cost(0) replica
+
+  Interp(const CommPlan& p, int reps, int verify)
+      : plan(p), model(*p.model), total_reps(reps), verify_reps(verify) {
+    const int n = plan.nranks;
+    ranks.resize(static_cast<std::size_t>(n));
+    staged.reserve(static_cast<std::size_t>(n));
+    rdv.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      RankExec& re = ranks[static_cast<std::size_t>(r)];
+      re.clock = plan.start[static_cast<std::size_t>(r)].clock;
+      re.fence_idx.assign(plan.window_count, 0);
+      staged.push_back(std::make_unique<NicLedger>(plan.contention));
+      rdv.push_back(std::make_unique<NicLedger>(plan.contention));
+      staged.back()->preload(
+          plan.start[static_cast<std::size_t>(r)].staged_busy);
+      rdv.back()->preload(plan.start[static_cast<std::size_t>(r)].rdv_busy);
+    }
+    windows.assign(plan.window_count, WindowReplica(n));
+    samples.assign(static_cast<std::size_t>(reps), 0.0);
+    const auto& prof = model.profile();
+    const double rounds = std::ceil(std::log2(std::max(2, n)));
+    coll0 = rounds *
+            (prof.send_overhead_s + prof.net_latency_s + model.wire_time(0));
+  }
+
+  [[nodiscard]] double wtime(double clock) const {
+    const double res = plan.wtime_resolution;
+    if (res <= 0.0) return clock;
+    return std::floor(clock / res) * res;
+  }
+
+  [[nodiscard]] const mplan::RankProgram& program(Rank r, int rep) const {
+    const auto& reps = plan.programs[static_cast<std::size_t>(r)];
+    const auto k = std::min<std::size_t>(static_cast<std::size_t>(rep),
+                                         reps.size() - 1);
+    return reps[k];
+  }
+
+  BarrierGen& gen_at(std::vector<BarrierGen>& gens, std::size_t idx) {
+    if (idx >= gens.size()) gens.resize(idx + 1);
+    return gens[idx];
+  }
+
+  void check_mark(Rank r, const Action& a, double computed) const {
+    if (!plan.verify_marks) return;
+    if (ranks[static_cast<std::size_t>(r)].rep >= verify_reps) return;
+    if (computed != a.seconds)
+      throw std::runtime_error(
+          "replay self-check: timer mark diverged from capture");
+  }
+
+  /// Execute one action for rank `r`.  Returns false when the rank must
+  /// block (no state beyond its recorded stage is touched).
+  bool step(Rank r, const Action& a) {
+    RankExec& re = ranks[static_cast<std::size_t>(r)];
+    const auto& prof = model.profile();
+    switch (a.op) {
+      case Op::advance:
+        re.clock += a.seconds;
+        return true;
+
+      case Op::send: {
+        arena.emplace_back();
+        SendEvent* ev = &arena.back();
+        ev->arm = a.arm;
+        ev->src = r;
+        ev->bytes = a.bytes;
+        ev->stats = a.stats;
+        const auto sgate = [&] {
+          NicLedger& led = *staged[static_cast<std::size_t>(r)];
+          return NicGate{&led, led.ticket()};
+        };
+        switch (a.arm) {
+          case SendArm::eager_blocking:
+          case SendArm::eager_posted: {
+            const auto t =
+                model.eager_timing(re.clock, a.bytes, a.stats, sgate());
+            ev->sender_done = t.sender_done;
+            ev->arrival = t.arrival;
+            break;
+          }
+          case SendArm::ready: {
+            const auto t =
+                model.rsend_timing(re.clock, a.bytes, a.stats, sgate());
+            ev->sender_done = t.sender_done;
+            ev->arrival = t.arrival;
+            break;
+          }
+          case SendArm::buffered: {
+            const auto t =
+                model.bsend_timing(re.clock, a.bytes, a.stats, sgate());
+            ev->sender_done = t.sender_done;
+            ev->arrival = t.arrival;
+            break;
+          }
+          case SendArm::rdv_blocking:
+          case SendArm::rdv_posted:
+            // Rendezvous sends take a slot in the *rendezvous* FIFO
+            // class, never the staged one (world.hpp class split).
+            ev->sender_ready = re.clock + prof.send_overhead_s;
+            ev->ticket = rdv[static_cast<std::size_t>(r)]->ticket();
+            break;
+        }
+        if (a.event >= re.events.size()) re.events.resize(a.event + 1);
+        re.events[a.event] = ev;
+        queues[{a.peer, r, a.tag}].push_back(ev);
+        // Clock effect of the posting call.
+        switch (a.arm) {
+          case SendArm::eager_blocking:
+          case SendArm::ready:
+          case SendArm::buffered:
+            re.clock = ev->sender_done;
+            return true;
+          case SendArm::eager_posted:
+          case SendArm::rdv_posted:
+            re.clock += prof.send_overhead_s;
+            return true;
+          case SendArm::rdv_blocking:
+            // Blocks until the matching receiver resolves the
+            // rendezvous; handled as stage 1 below.
+            re.stage = 1;
+            return false;
+        }
+        return true;
+      }
+
+      case Op::wait_send: {
+        SendEvent* ev = a.event < re.events.size() ? re.events[a.event]
+                                                   : nullptr;
+        if (ev == nullptr)
+          throw std::runtime_error("replay: wait on unknown send event");
+        if (is_rdv(ev->arm)) {
+          if (!ev->rdv_resolved) return false;
+          re.clock = std::max(re.clock, ev->rdv_done);
+        } else {
+          re.clock = std::max(re.clock, ev->sender_done);
+        }
+        return true;
+      }
+
+      case Op::recv: {
+        auto it = queues.find({r, a.peer, a.tag});
+        if (it == queues.end() || it->second.empty()) return false;
+        SendEvent* ev = it->second.front();
+        double arrival;
+        bool eager;
+        // recv_ready == the receiver's clock at the match (the post, if
+        // any, happened earlier on this same rank — see finish_recv).
+        const double recv_ready = re.clock;
+        if (is_rdv(ev->arm)) {
+          NicLedger& led = *rdv[static_cast<std::size_t>(ev->src)];
+          // Single interpreter thread: blocking inside inject() would
+          // deadlock, so resolve strictly when this ticket is next.
+          if (led.enabled() && led.resolved() != ev->ticket) return false;
+          const NicGate g{&led, ev->ticket};
+          const auto t = model.rendezvous_timing(ev->sender_ready,
+                                                 recv_ready, ev->bytes,
+                                                 ev->stats, g);
+          ev->rdv_done = t.sender_done;
+          ev->rdv_resolved = true;
+          arrival = t.arrival;
+          eager = false;
+        } else {
+          arrival = ev->arrival;
+          eager = true;
+        }
+        it->second.pop_front();
+        re.clock = model.recv_completion(recv_ready, arrival, ev->bytes,
+                                         a.stats, eager);
+        return true;
+      }
+
+      case Op::barrier: {
+        BarrierGen& g = gen_at(barrier_gens, re.barrier_idx);
+        if (re.stage == 0) {
+          g.maxv = std::max(g.maxv, re.clock);
+          if (++g.arrived == plan.nranks) {
+            g.fused = g.maxv;
+            g.released = true;
+          }
+          re.stage = 1;
+        }
+        if (!g.released) return false;
+        re.clock = g.fused + coll0;
+        ++re.barrier_idx;
+        return true;
+      }
+
+      case Op::fence: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        BarrierGen& g = gen_at(
+            w.fence_gens, re.fence_idx[static_cast<std::size_t>(a.win)]);
+        if (re.stage == 0) {
+          g.maxv = std::max(g.maxv, std::max(re.clock, w.pending_max));
+          if (++g.arrived == plan.nranks) {
+            g.fused = g.maxv;
+            g.released = true;
+            w.pending_max = 0.0;  // rank 0's reset between the barriers
+          }
+          re.stage = 1;
+        }
+        if (!g.released) return false;
+        const Charge f{ChargeAtom::fence, model.fence_time(), 0};
+        re.clock = minimpi::schedule_sequence(g.fused, {&f, 1},
+                                              model.capabilities(), {})
+                       .finish;
+        w.access_pending[static_cast<std::size_t>(r)] = 0.0;
+        ++re.fence_idx[static_cast<std::size_t>(a.win)];
+        return true;
+      }
+
+      case Op::put: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        const NicGate g{staged[static_cast<std::size_t>(r)].get(),
+                        staged[static_cast<std::size_t>(r)]->ticket()};
+        const auto t = model.put_timing(re.clock, a.bytes, a.stats, g);
+        re.clock = t.sender_done;
+        w.pending_max = std::max(w.pending_max, t.arrival);
+        auto& ap = w.access_pending[static_cast<std::size_t>(r)];
+        ap = std::max(ap, t.arrival);
+        return true;
+      }
+
+      case Op::get: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        // The response wire serializes on the target's NIC, untracked
+        // by the per-rank ledgers: no gate (mirrors Window::get).
+        const auto t = model.get_timing(re.clock, a.bytes, a.stats, {});
+        re.clock = t.sender_done;
+        w.pending_max = std::max(w.pending_max, t.arrival);
+        auto& ap = w.access_pending[static_cast<std::size_t>(r)];
+        ap = std::max(ap, t.arrival);
+        return true;
+      }
+
+      case Op::pscw_post: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        re.clock += prof.send_overhead_s;
+        const auto me = static_cast<std::size_t>(r);
+        ++w.post_seq[me];
+        w.post_time[me] = re.clock;
+        w.complete_count[me] = 0;
+        w.complete_max[me] = 0.0;
+        return true;
+      }
+
+      case Op::pscw_start: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        const auto me = static_cast<std::size_t>(r);
+        for (const Rank t : a.group) {
+          const auto ti = static_cast<std::size_t>(t);
+          if (w.post_seq[ti] <= w.consumed[me][ti]) return false;
+        }
+        for (const Rank t : a.group) {
+          const auto ti = static_cast<std::size_t>(t);
+          w.consumed[me][ti] = w.post_seq[ti];
+          re.clock =
+              std::max(re.clock, w.post_time[ti] + prof.net_latency_s);
+        }
+        w.access_pending[me] = 0.0;
+        return true;
+      }
+
+      case Op::pscw_complete: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        const auto me = static_cast<std::size_t>(r);
+        re.clock += prof.send_overhead_s;
+        const double done = std::max(re.clock, w.access_pending[me]);
+        for (const Rank t : a.group) {
+          const auto ti = static_cast<std::size_t>(t);
+          ++w.complete_count[ti];
+          w.complete_max[ti] = std::max(w.complete_max[ti], done);
+        }
+        w.access_pending[me] = 0.0;
+        return true;
+      }
+
+      case Op::pscw_wait: {
+        WindowReplica& w = windows[static_cast<std::size_t>(a.win)];
+        const auto me = static_cast<std::size_t>(r);
+        if (w.complete_count[me] < static_cast<int>(a.event)) return false;
+        re.clock =
+            std::max(re.clock, w.complete_max[me]) + prof.recv_overhead_s;
+        w.complete_count[me] = 0;
+        return true;
+      }
+
+      case Op::sample_begin:
+        re.sample_t0 = wtime(re.clock);
+        check_mark(r, a, re.sample_t0);
+        return true;
+
+      case Op::sample_end: {
+        const double now = wtime(re.clock);
+        check_mark(r, a, now);
+        const double dt = a.event != 0 ? now - re.sample_t0 : 0.0;
+        auto& fused = samples[static_cast<std::size_t>(re.rep)];
+        fused = std::max(fused, dt);
+        return true;
+      }
+    }
+    throw std::runtime_error("replay: unknown action");
+  }
+
+  /// Run rank `r` until it blocks or finishes all reps; true if any
+  /// action executed.
+  bool run_rank(Rank r) {
+    RankExec& re = ranks[static_cast<std::size_t>(r)];
+    bool progressed = false;
+    while (!re.done) {
+      const mplan::RankProgram& prog = program(r, re.rep);
+      if (re.pc >= prog.size()) {
+        if (plan.verify_marks && re.rep < verify_reps) {
+          const double want = plan.end_clocks[static_cast<std::size_t>(r)]
+                                             [static_cast<std::size_t>(
+                                                 re.rep)];
+          if (re.clock != want)
+            throw std::runtime_error(
+                "replay self-check: rep-end clock diverged from capture");
+        }
+        ++re.rep;
+        re.pc = 0;
+        re.stage = 0;
+        re.events.clear();
+        if (re.rep >= total_reps) re.done = true;
+        continue;
+      }
+      // A blocking rendezvous send that already enqueued its envelope
+      // (stage 1) only waits for resolution.
+      if (re.stage == 1 && prog[re.pc].op == Op::send) {
+        SendEvent* ev = re.events[prog[re.pc].event];
+        if (!ev->rdv_resolved) return progressed;
+        re.clock = ev->rdv_done;
+        re.stage = 0;
+        ++re.pc;
+        progressed = true;
+        continue;
+      }
+      const int stage_before = re.stage;
+      if (!step(r, prog[re.pc])) {
+        // A stage transition (rendezvous envelope enqueued, barrier
+        // arrival) mutates shared state other ranks wait on: count it
+        // as progress or the deadlock sweep would misfire.
+        if (re.stage != stage_before) progressed = true;
+        return progressed;
+      }
+      re.stage = 0;
+      ++re.pc;
+      progressed = true;
+    }
+    return progressed;
+  }
+
+  std::vector<double> run() {
+    for (;;) {
+      bool any = false;
+      bool all_done = true;
+      for (int r = 0; r < plan.nranks; ++r) {
+        any |= run_rank(r);
+        all_done &= ranks[static_cast<std::size_t>(r)].done;
+      }
+      if (all_done) break;
+      if (!any)
+        throw std::runtime_error("replay: structural deadlock (no rank "
+                                 "can make progress)");
+    }
+    return std::move(samples);
+  }
+};
+
+}  // namespace
+
+std::vector<double> interpret(const CommPlan& plan, int reps,
+                              int verify_reps) {
+  if (!plan.model.has_value())
+    throw std::runtime_error("replay: plan has no cost model");
+  if (reps <= 0) return {};
+  Interp interp(plan, reps, verify_reps);
+  return interp.run();
+}
+
+}  // namespace detail
+
+std::vector<double> CommPlan::replay_samples(int reps) const {
+  if (!valid)
+    throw std::runtime_error("replay on an invalid plan: " + invalid_reason);
+  return detail::interpret(*this, reps,
+                           verify_marks ? captured_reps : 0);
+}
+
+RunResult CommPlan::replay(int reps) const {
+  RunResult r = base;
+  const std::vector<double> samples = replay_samples(reps);
+  r.timing = summarize(samples);
+  return r;
+}
+
+}  // namespace ncsend::plan

@@ -156,6 +156,16 @@ class TransferScheme {
   /// Called once after the timing loop.
   virtual void teardown(TransferContext&) {}
 
+  /// \brief True when this scheme's teardown tears down state a
+  /// compiled plan pins — e.g. the buffered scheme's rank-wide bsend
+  /// pool, detached after the capture run.  Replaying such a plan for
+  /// *more* iterations than captured would assume the pinned binding
+  /// outlives its teardown, so `ExperimentPlan::validate()` rejects
+  /// grids combining `replay_iters` with such schemes.
+  [[nodiscard]] virtual bool teardown_invalidates_pinned_state() const {
+    return false;
+  }
+
   /// \brief One step's send: charge the scheme's §2 model terms, move
   /// the bytes (functional runs), and inject the transfer.  Requests
   /// pushed to `out` are completed by the driver — immediately under

@@ -46,6 +46,10 @@ class BufferedScheme final : public TransferScheme {
   [[nodiscard]] std::string_view name() const override { return "buffered"; }
   [[nodiscard]] std::size_t attach_bytes(
       const TransferContext& ctx) const override;
+  /// The rank-wide attach pool a plan pins is detached at teardown.
+  [[nodiscard]] bool teardown_invalidates_pinned_state() const override {
+    return true;
+  }
   void setup(TransferContext& ctx) override;
   void start(TransferContext& ctx,
              std::vector<minimpi::Request>& out) override;

@@ -1,0 +1,337 @@
+// Compiled communication plans (ncsend/plan/): compile determinism,
+// replay-vs-direct byte equivalence across patterns x schemes (incl.
+// rendezvous, RMA, NIC contention, and extrapolated iteration counts),
+// pass on/off charge accounting, the experiment-layer routing (silent
+// fallback vs strict replay_iters, jobs=1 vs jobs=4 identity), the
+// validate() rejection of pinned-state schemes, and the --iters flag.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ncsend/ncsend.hpp"
+#include "ncsend/plan/comm_plan.hpp"
+
+using namespace ncsend;
+using minimpi::MachineProfile;
+namespace mplan = minimpi::plan;
+
+namespace {
+
+minimpi::UniverseOptions base_opts() {
+  minimpi::UniverseOptions opts;
+  opts.profile = &MachineProfile::skx_impi();
+  opts.functional = true;
+  opts.functional_payload_limit = 1 << 16;
+  return opts;
+}
+
+Layout stride2(std::size_t elems) { return Layout::strided(elems, 1, 2); }
+
+std::string dump_of(const plan::CommPlan& cp) {
+  std::ostringstream os;
+  cp.dump(os);
+  return os.str();
+}
+
+void expect_same_timing(const TimingStats& a, const TimingStats& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_EQ(a.samples, b.samples) << what;
+  EXPECT_EQ(a.rejected, b.rejected) << what;
+}
+
+}  // namespace
+
+TEST(PlanCompile, DeterministicAndValid) {
+  const auto pattern = CommPattern::by_name("transpose(3)");
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const Layout layout = stride2(1024);
+  const plan::CommPlan a =
+      plan::compile_cell(base_opts(), *pattern, "vector type", layout, cfg);
+  const plan::CommPlan b =
+      plan::compile_cell(base_opts(), *pattern, "vector type", layout, cfg);
+  ASSERT_TRUE(a.valid) << a.invalid_reason;
+  ASSERT_TRUE(b.valid) << b.invalid_reason;
+  EXPECT_EQ(a.captured_reps, 2);  // flushed capture: cold + steady
+  EXPECT_EQ(dump_of(a), dump_of(b));
+  EXPECT_NE(dump_of(a).find("steady"), std::string::npos);
+}
+
+TEST(PlanCompile, ReplayMatchesDirectAcrossPatternsAndSchemes) {
+  const std::vector<std::string> patterns = {"pingpong", "multi-pair(2)",
+                                             "halo2d(2x2)", "transpose(3)"};
+  const std::vector<std::string> schemes = {
+      "reference", "vector type", "packing(p)", "buffered",
+      "onesided",  "onesided-pscw", "isend(v)", "ssend(v)"};
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const Layout layout = stride2(1024);
+  for (const auto& pname : patterns) {
+    const auto pattern = CommPattern::by_name(pname);
+    for (const auto& sname : schemes) {
+      const std::string what = pname + " / " + sname;
+      const RunResult direct = run_pattern_experiment(
+          base_opts(), *pattern, sname, layout, cfg);
+      const plan::CommPlan cp =
+          plan::compile_cell(base_opts(), *pattern, sname, layout, cfg);
+      ASSERT_TRUE(cp.valid) << what << ": " << cp.invalid_reason;
+      expect_same_timing(direct.timing, cp.replay(cfg.reps).timing, what);
+    }
+  }
+}
+
+TEST(PlanCompile, ExtrapolatedReplayMatchesLongDirectRun) {
+  // Capture stays at 2 reps however many are requested; replaying the
+  // steady-state program out to N must equal the N-rep direct run.
+  const auto pattern = CommPattern::by_name("transpose(3)");
+  HarnessConfig cfg;
+  cfg.reps = 20;
+  const Layout layout = stride2(4096);
+  const RunResult direct =
+      run_pattern_experiment(base_opts(), *pattern, "vector type", layout,
+                             cfg);
+  const plan::CommPlan cp = plan::compile_cell(base_opts(), *pattern,
+                                               "vector type", layout, cfg);
+  ASSERT_TRUE(cp.valid) << cp.invalid_reason;
+  EXPECT_EQ(cp.captured_reps, 2);
+  expect_same_timing(direct.timing, cp.replay(20).timing, "extrapolated");
+}
+
+TEST(PlanCompile, RendezvousAndContentionReplayExactly) {
+  // Large strided payloads go through the rendezvous protocol and,
+  // with NIC-occupancy contention on, through per-rank FIFO ledgers —
+  // the interpreter must reproduce both.
+  minimpi::UniverseOptions opts = base_opts();
+  opts.nic_occupancy_contention = true;
+  const auto pattern = CommPattern::by_name("transpose(4)");
+  HarnessConfig cfg;
+  cfg.reps = 6;
+  const Layout layout = stride2(1 << 19);  // 4 MiB payload: rendezvous
+  const RunResult direct =
+      run_pattern_experiment(opts, *pattern, "vector type", layout, cfg);
+  const plan::CommPlan cp =
+      plan::compile_cell(opts, *pattern, "vector type", layout, cfg);
+  ASSERT_TRUE(cp.valid) << cp.invalid_reason;
+  EXPECT_TRUE(cp.contention);
+  expect_same_timing(direct.timing, cp.replay(cfg.reps).timing,
+                     "contention");
+}
+
+TEST(PlanCompile, UnflushedCaptureNeedsThreeReps) {
+  const auto pattern = CommPattern::by_name("pingpong");
+  HarnessConfig cfg;
+  cfg.flush = false;
+  cfg.reps = 2;
+  const Layout layout = stride2(1024);
+  const plan::CommPlan bad = plan::compile_cell(base_opts(), *pattern,
+                                                "vector type", layout, cfg);
+  EXPECT_FALSE(bad.valid);
+  EXPECT_NE(bad.invalid_reason.find("3 reps"), std::string::npos);
+
+  // With >= 3 unflushed reps the warm steady state is captured and
+  // replay still matches direct execution exactly.
+  cfg.reps = 6;
+  const RunResult direct = run_pattern_experiment(
+      base_opts(), *pattern, "vector type", layout, cfg);
+  const plan::CommPlan cp = plan::compile_cell(base_opts(), *pattern,
+                                               "vector type", layout, cfg);
+  ASSERT_TRUE(cp.valid) << cp.invalid_reason;
+  EXPECT_EQ(cp.captured_reps, 3);
+  expect_same_timing(direct.timing, cp.replay(cfg.reps).timing,
+                     "unflushed");
+}
+
+TEST(PlanPasses, AggregationChargesVisiblyAndChangesTime) {
+  // packing(p) posts several same-(peer, tag) chunk isends per step;
+  // with the eager limit raised past the chunk size they are all
+  // eager-posted and eligible for aggregation.
+  minimpi::UniverseOptions opts = base_opts();
+  opts.eager_limit_override = std::size_t{1} << 20;
+  const auto pattern = CommPattern::by_name("transpose(2)");
+  HarnessConfig cfg;
+  cfg.reps = 4;
+  const Layout layout = stride2(1 << 18);  // 2 MiB payload: 4 chunks
+
+  const plan::CommPlan plain =
+      plan::compile_cell(opts, *pattern, "packing(p)", layout, cfg);
+  ASSERT_TRUE(plain.valid) << plain.invalid_reason;
+  EXPECT_TRUE(plain.pass_charges.empty());
+
+  plan::PassOptions passes;
+  passes.aggregate_small = true;
+  const plan::CommPlan merged =
+      plan::compile_cell(opts, *pattern, "packing(p)", layout, cfg, passes);
+  ASSERT_TRUE(merged.valid) << merged.invalid_reason;
+  ASSERT_FALSE(merged.pass_charges.empty());
+  for (const plan::PassCharge& c : merged.pass_charges) {
+    EXPECT_EQ(c.atom, minimpi::ChargeAtom::internal_copy);
+    EXPECT_GT(c.seconds, 0.0);
+    EXPECT_GE(c.merged, 2u);
+  }
+  // The pass deliberately changes modeled time: fewer injections, one
+  // extra coalescing copy.
+  EXPECT_NE(plain.replay(cfg.reps).timing.mean,
+            merged.replay(cfg.reps).timing.mean);
+  // And the charge shows up in the dump.
+  EXPECT_NE(dump_of(merged).find("aggregate_small"), std::string::npos);
+  EXPECT_NE(dump_of(merged).find("pass-inserted"), std::string::npos);
+}
+
+TEST(PlanPasses, SortInjectionsReordersBySizeWithFifoGuard) {
+  using mplan::Action;
+  using mplan::Op;
+  using mplan::SendArm;
+  const minimpi::CostModel model(MachineProfile::skx_impi(), std::nullopt,
+                                 1);
+  const auto send = [](int peer, int tag, std::size_t bytes,
+                       int event) {
+    Action a;
+    a.op = Op::send;
+    a.arm = SendArm::eager_posted;
+    a.peer = peer;
+    a.tag = tag;
+    a.bytes = bytes;
+    a.stats = minimpi::BlockStats{1, bytes, bytes, bytes};
+    a.event = event;
+    return a;
+  };
+
+  // Distinct peers: reorder is allowed and sorts ascending by size.
+  mplan::RankProgram prog = {send(1, 17, 3000, 0), send(2, 17, 1000, 1),
+                             send(3, 17, 2000, 2)};
+  std::vector<plan::PassCharge> charges;
+  ASSERT_TRUE(plan::sort_injections_program(prog, model, charges));
+  ASSERT_EQ(prog.size(), 4u);  // + inserted bookkeeping charge
+  EXPECT_EQ(prog[0].op, Op::advance);
+  EXPECT_TRUE(prog[0].inserted);
+  EXPECT_EQ(prog[0].atom, minimpi::ChargeAtom::call_overhead);
+  EXPECT_EQ(prog[1].bytes, 1000u);
+  EXPECT_EQ(prog[2].bytes, 2000u);
+  EXPECT_EQ(prog[3].bytes, 3000u);
+  ASSERT_EQ(charges.size(), 1u);
+  EXPECT_GT(charges[0].seconds, 0.0);
+
+  // Same (peer, tag) twice: swapping them would break message-order
+  // FIFO, so the run must be left alone.
+  mplan::RankProgram fifo = {send(1, 17, 3000, 0), send(1, 17, 1000, 1)};
+  charges.clear();
+  EXPECT_FALSE(plan::sort_injections_program(fifo, model, charges));
+  EXPECT_EQ(fifo.size(), 2u);
+  EXPECT_EQ(fifo[0].bytes, 3000u);
+  EXPECT_TRUE(charges.empty());
+}
+
+TEST(PlanExperiment, CompiledReplayPlanMatchesDirectAtAnyJobCount) {
+  ExperimentPlan plan;
+  plan.name = "replay_identity";
+  plan.patterns = {"transpose(3)", "pingpong"};
+  plan.schemes = {"reference", "vector type", "packing(p)"};
+  plan.sizes_bytes = {8'192, 262'144};
+  plan.harness.reps = 5;
+  plan.functional_payload_limit = 1 << 14;
+
+  const PlanResult direct = run_plan(plan, {1});
+  plan.compiled_replay = true;
+  const PlanResult replay1 = run_plan(plan, {1});
+  const PlanResult replay4 = run_plan(plan, {4});
+
+  const auto json_of = [](const PlanResult& r) {
+    ResultStore store;
+    store.add_plan(r);
+    std::ostringstream os;
+    store.write_bench_pattern_sweep_json(os);
+    return os.str();
+  };
+  EXPECT_EQ(json_of(direct), json_of(replay1));
+  EXPECT_EQ(json_of(replay1), json_of(replay4));
+}
+
+TEST(PlanExperiment, SilentFallbackWhenUncompilable) {
+  // reps=1 has no steady state to capture, so compiled_replay quietly
+  // runs the cell directly — same result, no error.
+  ExperimentPlan plan;
+  plan.patterns = {"pingpong"};
+  plan.schemes = {"vector type"};
+  plan.sizes_bytes = {8'192};
+  plan.harness.reps = 1;
+  const PlanResult direct = run_plan(plan, {1});
+  plan.compiled_replay = true;
+  const PlanResult fallback = run_plan(plan, {1});
+  expect_same_timing(direct.sweep(0, 0).cells[0][0].timing,
+                     fallback.sweep(0, 0).cells[0][0].timing, "fallback");
+}
+
+TEST(PlanExperiment, StrictReplayItersRejectsUncompilableCells) {
+  ExperimentPlan plan;
+  plan.patterns = {"pingpong"};
+  plan.schemes = {"vector type"};
+  plan.sizes_bytes = {8'192};
+  plan.harness.reps = 1;  // uncompilable: no steady state
+  plan.replay_iters = 10;
+  EXPECT_THROW(run_plan(plan, {1}), minimpi::Error);
+}
+
+TEST(PlanExperiment, ReplayItersExtrapolatesTheSamplePopulation) {
+  ExperimentPlan plan;
+  plan.patterns = {"transpose(3)"};
+  plan.schemes = {"vector type"};
+  plan.sizes_bytes = {8'192};
+  plan.harness.reps = 4;
+  plan.replay_iters = 25;
+  const PlanResult r = run_plan(plan, {1});
+  EXPECT_EQ(r.sweep(0, 0).cells[0][0].timing.samples, 25);
+}
+
+TEST(PlanExperiment, ValidateRejectsPinnedStateSchemesUnderReplayIters) {
+  ExperimentPlan plan;
+  plan.schemes = {"reference", "buffered"};
+  plan.validate();  // fine without extrapolated replay
+  plan.compiled_replay = true;
+  plan.validate();  // capture-length replay is fine too
+  plan.replay_iters = 50;
+  EXPECT_THROW(plan.validate(), minimpi::Error);
+  plan.schemes = {"reference", "vector type"};
+  plan.validate();  // no pinned-state scheme: accepted
+}
+
+TEST(PlanCli, ItersFlagValidatedAndImpliesReplay) {
+  std::string error;
+  {
+    const char* argv[] = {"bench", "--iters", "50"};
+    const auto cli = BenchCli::try_parse(3, const_cast<char**>(argv),
+                                         &error);
+    ASSERT_TRUE(cli.has_value()) << error;
+    EXPECT_EQ(cli->iters, 50);
+    EXPECT_TRUE(cli->replay);
+  }
+  {
+    const char* argv[] = {"bench", "--replay"};
+    const auto cli = BenchCli::try_parse(2, const_cast<char**>(argv),
+                                         &error);
+    ASSERT_TRUE(cli.has_value()) << error;
+    EXPECT_TRUE(cli->replay);
+    EXPECT_EQ(cli->iters, 0);
+  }
+  {
+    const char* argv[] = {"bench", "--iters", "0"};
+    EXPECT_FALSE(BenchCli::try_parse(3, const_cast<char**>(argv), &error)
+                     .has_value());
+  }
+  {
+    const char* argv[] = {"bench", "--iters", "many"};
+    EXPECT_FALSE(BenchCli::try_parse(3, const_cast<char**>(argv), &error)
+                     .has_value());
+    EXPECT_NE(error.find("--iters"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"bench", "--iters"};
+    EXPECT_FALSE(BenchCli::try_parse(2, const_cast<char**>(argv), &error)
+                     .has_value());
+  }
+}
