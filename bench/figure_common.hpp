@@ -121,6 +121,82 @@ inline std::vector<ncsend::EngineScaleRecord> measure_engine_scale(
   return records;
 }
 
+/// \brief The universe-scaling measurement shared by the standalone
+/// `universe_scale` bench and `run_all`: wall-clock whole modeled-mode
+/// universes (metadata-only payloads, sampled digest verification) at
+/// growing rank counts, so the curve reports simulated rank-steps/sec
+/// under the cooperative scheduler up to 1k+ ranks.  `specs` may
+/// override the default pattern set (each spec must name a pattern the
+/// registry accepts).  Patterns that record a compilable plan also get
+/// a compile-once/replay-many timing; `replay_seconds` stays 0 where
+/// capture is not applicable.
+inline std::vector<ncsend::UniverseScaleRecord> measure_universe_scale(
+    int reps, const std::vector<std::string>& specs = {}) {
+  namespace nc = ncsend;
+  const auto wall_seconds = [](auto&& fn) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  // Modeled mode: payloads travel as metadata, virtual timing identical
+  // (a tested invariant); sampled digests stand in for byte checks.
+  minimpi::UniverseOptions opts;
+  opts.profile = &minimpi::MachineProfile::skx_impi();
+  opts.functional = false;
+
+  constexpr std::size_t payload = 8'192;
+  const nc::Layout layout =
+      nc::Layout::strided(payload / sizeof(double), 1, 2);
+  const std::string scheme = "vector type";
+
+  // Default curve: sparse ring topologies riding the rank axis to 1024
+  // (linear traffic growth), one denser hypercube point, and the
+  // ISSUE's named geometries transpose(64) and halo3d(8x8x8).
+  const std::vector<std::string> defaults = {
+      "graph(ring:16)",  "graph(ring:64)", "graph(ring:256)",
+      "graph(ring:1024)", "graph(hyper:64)", "transpose(64)",
+      "halo3d(8x8x8)"};
+  const std::vector<std::string>& names = specs.empty() ? defaults : specs;
+
+  std::vector<nc::UniverseScaleRecord> records;
+  for (const std::string& pattern_name : names) {
+    const auto pattern = nc::CommPattern::by_name(pattern_name);
+    nc::HarnessConfig cfg;
+    cfg.reps = reps;
+    cfg.verify_samples = 4;
+
+    nc::RunResult direct;
+    const double direct_s = wall_seconds([&] {
+      direct =
+          nc::run_pattern_experiment(opts, *pattern, scheme, layout, cfg);
+    });
+
+    bool compiled = false;
+    const double compiled_s = wall_seconds([&] {
+      const nc::plan::CommPlan cp =
+          nc::plan::compile_cell(opts, *pattern, scheme, layout, cfg);
+      compiled = cp.valid;
+      if (cp.valid) (void)cp.replay(reps);
+    });
+    const double replay_s = compiled ? compiled_s : 0.0;
+
+    nc::UniverseScaleRecord rec;
+    rec.pattern = pattern->name();
+    rec.scheme = scheme;
+    rec.nranks = pattern->nranks();
+    rec.payload_bytes = layout.payload_bytes();
+    rec.reps = reps;
+    rec.direct_seconds = direct_s;
+    rec.replay_seconds = replay_s;
+    rec.verified = direct.data_checked && direct.verified;
+    records.push_back(rec);
+  }
+  return records;
+}
+
 /// \brief The figure driver: register the plan, run it, report it.
 /// `--pattern` re-measures the figure under other communication
 /// patterns — one plan per pattern.  The N-rank engine runs the full

@@ -19,6 +19,10 @@
 //   BENCH_engine_scale.json   wall-clock engine throughput: compiled
 //                             plan replay vs direct execution (not a
 //                             golden file — times vary run to run)
+//   BENCH_universe_scale.json simulated rank-steps/sec vs rank count:
+//                             whole modeled-mode universes up to
+//                             graph(ring:1024) under the cooperative
+//                             scheduler (not a golden file either)
 //
 // Flags are the engine's shared set (see --help): --quick picks the
 // small CI grids, --per-decade shapes the full-mode sweep grid, --reps
@@ -176,7 +180,7 @@ ExperimentPlan with_replay(ExperimentPlan plan, const BenchCli& cli) {
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
   const ExecutorOptions exec{cli.jobs};
-  const int expected = cli.csv ? 7 : 0;
+  const int expected = cli.csv ? 8 : 0;
   int written = 0;
 
   const auto maybe_write = [&](const std::string& name, auto&& writer) {
@@ -278,9 +282,20 @@ int main(int argc, char** argv) {
       ResultStore::write_bench_engine_scale_json(os, records);
     });
   }
+  {
+    // Universe scaling: whole modeled-mode universes at growing rank
+    // counts (the standalone `universe_scale` bench prints the curve
+    // and asserts it reaches 1024 ranks).
+    const int reps = cli.quick ? 3 : 8;
+    const std::vector<UniverseScaleRecord> records =
+        benchcommon::measure_universe_scale(reps);
+    maybe_write("BENCH_universe_scale.json", [&](std::ostream& os) {
+      ResultStore::write_bench_universe_scale_json(os, records);
+    });
+  }
 
   if (cli.csv)
-    std::cout << written << "/7 benchmark files written to " << cli.out_dir
+    std::cout << written << "/8 benchmark files written to " << cli.out_dir
               << "\n";
   else
     std::cout << "dry run (--no-csv): benchmarks executed, nothing written\n";

@@ -1,0 +1,215 @@
+#include "minimpi/base/coop.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "minimpi/base/error.hpp"
+
+namespace minimpi::coop {
+
+namespace {
+
+thread_local Scheduler* tl_current = nullptr;
+
+std::size_t page_size() {
+  static const std::size_t p = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return p;
+}
+
+std::size_t round_up(std::size_t n, std::size_t unit) {
+  return (n + unit - 1) / unit * unit;
+}
+
+/// RAII: publish `s` as the carrier thread's scheduler for the
+/// duration of `run()` (restoring any outer value, so a rank body
+/// that itself drives a nested universe would still resolve waits
+/// against the innermost scheduler).
+struct CurrentGuard {
+  Scheduler* saved;
+  explicit CurrentGuard(Scheduler* s) : saved(tl_current) { tl_current = s; }
+  ~CurrentGuard() { tl_current = saved; }
+};
+
+#ifndef MAP_STACK
+#define MAP_STACK 0
+#endif
+
+}  // namespace
+
+Scheduler* Scheduler::current() noexcept { return tl_current; }
+
+Scheduler::Scheduler(std::size_t stack_bytes)
+    : stack_bytes_(round_up(std::max(stack_bytes, page_size()), page_size())) {}
+
+Scheduler::~Scheduler() {
+  for (const auto& f : fibers_)
+    if (f->stack_base != nullptr) munmap(f->stack_base, f->stack_span);
+}
+
+void Scheduler::spawn(std::function<void()> body) {
+  require(static_cast<int>(fibers_.size()) < max_tasks(),
+          ErrorClass::resource,
+          "cooperative scheduler: task capacity exceeded (" +
+              std::to_string(max_tasks()) + " rank tasks)");
+  auto f = std::make_unique<Fiber>();
+  f->sched = this;
+  f->index = static_cast<int>(fibers_.size());
+  f->body = std::move(body);
+
+  // Stack layout: one PROT_NONE guard page at the low end (stacks grow
+  // down), then the usable span.  Pages commit lazily, so a 1k-rank
+  // universe costs virtual address space, not resident memory.
+  const std::size_t span = stack_bytes_ + page_size();
+  void* base = mmap(nullptr, span, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  require(base != MAP_FAILED, ErrorClass::resource,
+          "cooperative scheduler: fiber stack mmap failed at task " +
+              std::to_string(f->index));
+  if (mprotect(base, page_size(), PROT_NONE) != 0) {
+    munmap(base, span);
+    throw Error(ErrorClass::resource,
+                "cooperative scheduler: fiber guard page mprotect failed");
+  }
+  f->stack_base = base;
+  f->stack_span = span;
+
+  if (getcontext(&f->ctx) != 0) {
+    throw Error(ErrorClass::resource,
+                "cooperative scheduler: getcontext failed");
+  }
+  f->ctx.uc_stack.ss_sp = static_cast<char*>(base) + page_size();
+  f->ctx.uc_stack.ss_size = stack_bytes_;
+  f->ctx.uc_link = &main_ctx_;  // returning from the trampoline resumes run()
+  makecontext(&f->ctx, &Scheduler::trampoline_entry, 0);
+
+  ready_.push_back(f.get());
+  ++live_;
+  fibers_.push_back(std::move(f));
+}
+
+void Scheduler::trampoline_entry() {
+  Scheduler* s = tl_current;
+  Fiber* f = s->running_;
+  try {
+    f->body();
+  } catch (const Cancelled&) {
+    f->cancelled = true;
+  } catch (...) {
+    f->error = std::current_exception();
+  }
+  f->state = Fiber::State::done;
+  // Falling off the trampoline switches to uc_link == main_ctx_.
+}
+
+void Scheduler::resume(Fiber* f) {
+  f->state = Fiber::State::running;
+  running_ = f;
+  swapcontext(&main_ctx_, &f->ctx);
+  running_ = nullptr;
+}
+
+void Scheduler::switch_out(Fiber* f) { swapcontext(&f->ctx, &main_ctx_); }
+
+void Scheduler::make_ready(Fiber* f) {
+  f->waiting_on = nullptr;
+  f->state = Fiber::State::ready;
+  ready_.push_back(f);
+}
+
+int Scheduler::wake_all_blocked() {
+  int woken = 0;
+  for (const auto& f : fibers_) {
+    if (f->state != Fiber::State::blocked) continue;
+    if (f->waiting_on != nullptr) {
+      auto& parked = f->waiting_on->fibers_;
+      parked.erase(std::find(parked.begin(), parked.end(), f.get()));
+    }
+    make_ready(f.get());
+    ++woken;
+  }
+  return woken;
+}
+
+void Scheduler::run() {
+  CurrentGuard guard(this);
+  bool forced = false;
+  std::uint64_t events_at_force = 0;
+  while (live_ > 0) {
+    if (ready_.empty()) {
+      // Every live task is blocked.  Force one full re-poll round:
+      // each task re-checks its wait predicate (a missed notify turns
+      // into a wasted poll, never a hang).  If the previous forced
+      // round changed nothing — no notify fired, everyone re-parked —
+      // the wait graph is cyclic: cancel the blocked tasks so their
+      // stacks unwind, and report the deadlock.
+      if (forced && notify_events_ == events_at_force && !cancelling_) {
+        deadlocked_ = true;
+        cancelling_ = true;
+        blocked_at_deadlock_ = wake_all_blocked();
+        continue;
+      }
+      forced = true;
+      events_at_force = notify_events_;
+      wake_all_blocked();
+      continue;
+    }
+    Fiber* f = ready_.front();
+    ready_.pop_front();
+    resume(f);
+    if (f->state == Fiber::State::done) {
+      --live_;
+      if (f->error != nullptr) errors_.push_back(f->error);
+      // The stack is dead; release the mapping eagerly so long-lived
+      // schedulers at high rank counts do not hold 1k stacks resident.
+      munmap(f->stack_base, f->stack_span);
+      f->stack_base = nullptr;
+    }
+  }
+  cancelling_ = false;
+}
+
+void Scheduler::yield() {
+  Fiber* f = running_;
+  require(f != nullptr, ErrorClass::internal, "coop yield outside a fiber");
+  f->state = Fiber::State::ready;
+  ready_.push_back(f);
+  switch_out(f);
+  if (cancelling_) throw Cancelled{};
+}
+
+void Scheduler::block_on(WaitQueue& wq) {
+  Fiber* f = running_;
+  require(f != nullptr, ErrorClass::internal,
+          "coop blocking wait outside a fiber");
+  if (cancelling_) throw Cancelled{};
+  wq.fibers_.push_back(f);
+  f->waiting_on = &wq;
+  f->state = Fiber::State::blocked;
+  switch_out(f);
+  if (cancelling_) throw Cancelled{};
+}
+
+void WaitQueue::notify_all() {
+  if (!fibers_.empty()) {
+    for (Fiber* f : fibers_) {
+      f->sched->make_ready(f);
+      ++f->sched->notify_events_;
+    }
+    fibers_.clear();
+  }
+  cv_.notify_all();
+}
+
+void yield_now() {
+  Scheduler* s = Scheduler::current();
+  if (s != nullptr)
+    s->yield();
+  else
+    std::this_thread::yield();
+}
+
+}  // namespace minimpi::coop

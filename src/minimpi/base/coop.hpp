@@ -1,0 +1,233 @@
+#pragma once
+/// \file coop.hpp
+/// \brief Cooperative rank tasks: stackful fibers, the run-to-blocking
+/// scheduler, and the wait-queue primitive the runtime blocks on.
+///
+/// Every simulated rank used to be an OS thread; a 1024-rank universe
+/// meant 1024 kernel threads fighting over a handful of cores, with
+/// every `Mailbox` match and `ClockBarrier` round paying a
+/// condition-variable wakeup and a full scheduler trip.  This file
+/// replaces that with *cooperative* execution: each rank body becomes a
+/// resumable task (a ucontext stackful fiber with its own guard-paged
+/// stack) multiplexed over one carrier thread per `Universe::run`.  The
+/// carrier is the bounded worker pool's unit — the experiment executor
+/// still runs whole universes on `--jobs N` workers, and each worker
+/// drives its own scheduler.
+///
+/// Why one carrier and not M: the simulator's results are *virtual*
+/// clocks, already proven independent of host interleaving (DESIGN.md
+/// §2.5/§2.10).  Serial scheduling order is therefore the spec:
+/// spawn-order round-robin, run each task to its next blocking point,
+/// wake exactly the tasks an event readies.  Concurrency of rank
+/// bodies is an executor detail the model never observes, so the
+/// cheapest correct executor — no locks contended, no kernel wakeups,
+/// an event-driven ready queue instead of per-step full-rank drains —
+/// wins.
+///
+/// Blocking vocabulary: runtime objects (mailboxes, barriers, RMA
+/// epochs, NIC ledgers, bsend pools) wait on a `WaitQueue`.  Its API is
+/// deliberately condition-variable shaped (`wait(lock, pred)` /
+/// `notify_all()`) so converting a wait site is a type change, not a
+/// rewrite; on a fiber it parks the task on the queue and switches to
+/// the scheduler, while plain OS threads (raw `NicLedger` users in
+/// tests) fall back to a real condition variable.
+///
+/// Deadlock is detected, not hung on: when the ready queue drains and
+/// blocked tasks remain, the scheduler forces one full re-poll round;
+/// if no wait predicate flipped and no notify arrived, the blocked
+/// tasks are cancelled (unwinding their stacks) and `Universe::run`
+/// reports a typed `MM_ERR_DEADLOCK` — or the first real rank error,
+/// if one caused the pile-up.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include <ucontext.h>
+
+namespace minimpi::coop {
+
+class Scheduler;
+
+/// \brief One resumable rank task: a ucontext fiber with a private
+/// mmap'd stack (guard page at the low end).  Internal to the
+/// scheduler; exposed only so `WaitQueue` can park and wake tasks.
+struct Fiber {
+  enum class State { ready, running, blocked, done };
+
+  Scheduler* sched = nullptr;
+  int index = 0;                      ///< spawn order (the rank id)
+  ucontext_t ctx{};
+  void* stack_base = nullptr;         ///< mmap base (guard page here)
+  std::size_t stack_span = 0;         ///< mapped bytes incl. guard
+  std::function<void()> body;
+  std::exception_ptr error;           ///< what the body threw, if anything
+  bool cancelled = false;             ///< unwound by deadlock cancellation
+  State state = State::ready;
+  class WaitQueue* waiting_on = nullptr;
+};
+
+/// \brief The event queue every runtime blocking site waits on.
+///
+/// Condition-variable-compatible surface: `wait(lk, pred)` blocks until
+/// `pred()` holds, `notify_all()` wakes every waiter.  On a fiber the
+/// wait releases the lock, parks the task, and switches to the
+/// scheduler (so no carrier-thread self-deadlock is possible); a plain
+/// OS thread uses the embedded condition variable.  A single queue may
+/// serve both kinds of waiter over its lifetime, but fiber bookkeeping
+/// is only ever touched from the owning carrier thread.
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  /// Block until `pred()` holds.  `lk` must be held; it is released
+  /// while parked and re-acquired before re-checking the predicate.
+  template <class Pred>
+  void wait(std::unique_lock<std::mutex>& lk, Pred pred);
+
+  /// Lock-free variant for objects whose state only fibers touch
+  /// (e.g. a rendezvous ack inside an `Envelope`): no mutex needed
+  /// because nothing preempts a fiber between its predicate check and
+  /// its park.  Must be called on a fiber.
+  template <class Pred>
+  void wait(Pred pred);
+
+  /// Wake every waiter: parked fibers move to their scheduler's ready
+  /// queue, thread waiters get a condition-variable broadcast.
+  void notify_all();
+
+ private:
+  friend class Scheduler;
+  std::vector<Fiber*> fibers_;   ///< parked fibers (carrier thread only)
+  std::condition_variable cv_;   ///< fallback for raw OS threads
+};
+
+/// \brief Run-to-blocking-point scheduler: multiplexes rank fibers
+/// over the calling (carrier) thread in deterministic spawn order.
+class Scheduler {
+ public:
+  /// Per-universe rank-task capacity.  Each task costs one fixed-size
+  /// virtual stack mapping; the cap keeps a typo'd rank count from
+  /// exhausting address mappings before anything useful fails.
+  [[nodiscard]] static constexpr int max_tasks() noexcept { return 16384; }
+
+  /// Default fiber stack: 512 KiB of lazily-committed pages plus a
+  /// guard page.  Rank bodies are harness loops, not recursions —
+  /// the deepest observed frames are well under one tenth of this.
+  static constexpr std::size_t default_stack_bytes = 512 * 1024;
+
+  explicit Scheduler(std::size_t stack_bytes = default_stack_bytes);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// The scheduler driving the calling thread, or null on a plain
+  /// thread (then every wait falls back to condition variables).
+  [[nodiscard]] static Scheduler* current() noexcept;
+
+  /// Create one task.  Throws `Error(ErrorClass::resource)` when the
+  /// task capacity is exceeded or a stack cannot be mapped.
+  void spawn(std::function<void()> body);
+
+  /// Drive every task to completion (or cancellation after a detected
+  /// deadlock).  Task errors are collected, not thrown — inspect
+  /// `first_error()` / `deadlocked()` afterwards.
+  void run();
+
+  /// First exception a task body threw, in completion order; null if
+  /// every task finished clean.
+  [[nodiscard]] std::exception_ptr first_error() const noexcept {
+    return errors_.empty() ? nullptr : errors_.front();
+  }
+  /// True if the last `run()` had to cancel blocked tasks.
+  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+  /// How many tasks were blocked when the deadlock was declared.
+  [[nodiscard]] int blocked_at_deadlock() const noexcept {
+    return blocked_at_deadlock_;
+  }
+
+  /// Reschedule the running fiber at the ready-queue tail (cooperative
+  /// poll loops: test / iprobe / waitany).
+  void yield();
+
+  /// Park the running fiber on `wq` until someone notifies it (or the
+  /// scheduler force-wakes it; callers always re-check their predicate
+  /// in a loop).
+  void block_on(WaitQueue& wq);
+
+ private:
+  friend class WaitQueue;
+  static void trampoline_entry();
+
+  void make_ready(Fiber* f);
+  void resume(Fiber* f);
+  void switch_out(Fiber* f);
+  int wake_all_blocked();
+
+  std::size_t stack_bytes_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::deque<Fiber*> ready_;
+  ucontext_t main_ctx_{};
+  Fiber* running_ = nullptr;
+  int live_ = 0;
+  /// Bumped by every `notify_all` that actually woke a fiber: the
+  /// progress signal the deadlock detector compares across a forced
+  /// re-poll round.
+  std::uint64_t notify_events_ = 0;
+  bool cancelling_ = false;
+  bool deadlocked_ = false;
+  int blocked_at_deadlock_ = 0;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// Thrown into parked/yielding fibers to unwind their stacks after a
+/// deadlock is declared; never escapes `Scheduler::run`.
+struct Cancelled {};
+
+/// Cooperative yield that is safe anywhere: reschedules the fiber when
+/// on one, yields the OS thread otherwise.  Poll loops
+/// (`Request::test`, `iprobe`, `waitany`) call this so a spinning rank
+/// cannot starve the carrier.
+void yield_now();
+
+// ---------------------------------------------------------------------------
+// inline implementations
+// ---------------------------------------------------------------------------
+
+template <class Pred>
+void WaitQueue::wait(std::unique_lock<std::mutex>& lk, Pred pred) {
+  Scheduler* s = Scheduler::current();
+  if (s == nullptr) {
+    cv_.wait(lk, std::move(pred));
+    return;
+  }
+  // Single carrier: nothing runs between the predicate check and the
+  // park, so dropping the lock first cannot lose a wakeup — and keeps
+  // the next fiber from self-deadlocking on the same mutex.
+  while (!pred()) {
+    lk.unlock();
+    s->block_on(*this);
+    lk.lock();
+  }
+}
+
+template <class Pred>
+void WaitQueue::wait(Pred pred) {
+  while (!pred()) {
+    Scheduler* s = Scheduler::current();
+    if (s == nullptr)
+      throw std::logic_error("coop::WaitQueue: lock-free wait off-fiber");
+    s->block_on(*this);
+  }
+}
+
+}  // namespace minimpi::coop

@@ -15,6 +15,8 @@ std::string_view to_string(ErrorClass ec) noexcept {
     case ErrorClass::rma_range: return "MM_ERR_RMA_RANGE";
     case ErrorClass::type_mismatch: return "MM_ERR_TYPE_MISMATCH";
     case ErrorClass::not_supported: return "MM_ERR_NOT_SUPPORTED";
+    case ErrorClass::resource: return "MM_ERR_RESOURCE";
+    case ErrorClass::deadlock: return "MM_ERR_DEADLOCK";
   }
   return "MM_ERR_UNKNOWN";
 }

@@ -29,6 +29,8 @@ enum class ErrorClass {
   rma_range,       ///< put/get outside the target window
   type_mismatch,   ///< send/recv type signatures incompatible (debug checking)
   not_supported,   ///< feature intentionally outside the subset
+  resource,        ///< host resource exhausted (rank-task capacity, stacks)
+  deadlock,        ///< every live rank task blocked on the others
 };
 
 /// \brief Convert an error class to its stable name (e.g. "MM_ERR_TRUNCATE").

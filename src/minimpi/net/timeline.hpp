@@ -40,13 +40,14 @@
 /// by default, keeping the 2-rank curves and the static
 /// `link_contention_factor` fallback byte-identical.
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
+
+#include "minimpi/base/coop.hpp"
 
 namespace minimpi {
 
@@ -170,7 +171,10 @@ class NicLedger {
  private:
   bool enabled_ = false;
   mutable std::mutex m_;
-  std::condition_variable cv_;
+  /// Fiber-aware wait queue with a condition-variable fallback, so the
+  /// ledger works both under the cooperative scheduler and from raw OS
+  /// threads (tests drive it that way).
+  coop::WaitQueue cv_;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t resolved_ = 0;
   double busy_until_ = 0.0;

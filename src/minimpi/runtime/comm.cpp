@@ -1,8 +1,8 @@
 #include "minimpi/runtime/comm.hpp"
 
 #include <cmath>
-#include <thread>
 
+#include "minimpi/base/coop.hpp"
 #include "minimpi/runtime/plan_record.hpp"
 
 namespace minimpi {
@@ -62,8 +62,8 @@ struct Request::State {
   Status status;
 
   // sends
-  double completion = 0.0;          // eager: known at post time
-  std::future<double> rdv_future;   // rendezvous: resolved by receiver
+  double completion = 0.0;              // eager: known at post time
+  std::shared_ptr<Envelope> env;        // rendezvous: receiver posts the ack
 
   // receives
   void* buf = nullptr;
@@ -103,7 +103,8 @@ Status Request::wait() {
       c.clock_ = std::max(c.clock_, s.completion);
       break;
     case State::Kind::send_rdv:
-      c.clock_ = std::max(c.clock_, s.rdv_future.get());
+      s.env->ack_wq.wait([&] { return s.env->ack_ready; });
+      c.clock_ = std::max(c.clock_, s.env->ack_value);
       break;
     case State::Kind::recv: {
       auto env = c.world_->mailbox(c.rank_).match(s.src, s.tag);
@@ -131,14 +132,20 @@ bool Request::test(Status* status) {
         c.clock_ = std::max(c.clock_, s.completion);
         break;
       case State::Kind::send_rdv:
-        if (s.rdv_future.wait_for(std::chrono::seconds(0)) !=
-            std::future_status::ready)
+        if (!s.env->ack_ready) {
+          // Cooperative poll loops (`while (!r.test()) {}`) must let the
+          // peer fiber run, or the carrier spins forever.
+          coop::yield_now();
           return false;
-        c.clock_ = std::max(c.clock_, s.rdv_future.get());
+        }
+        c.clock_ = std::max(c.clock_, s.env->ack_value);
         break;
       case State::Kind::recv: {
         auto env = c.world_->mailbox(c.rank_).try_match(s.src, s.tag);
-        if (!env) return false;
+        if (!env) {
+          coop::yield_now();
+          return false;
+        }
         s.status = c.finish_recv(s.buf, s.count, s.type, *env, s.post_clock);
         break;
       }
@@ -261,9 +268,10 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& t,
     env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
     world_->trace_event(clock_, rank_, dst, TraceEvent::send_rendezvous,
                         env->bytes, noncontig ? env->bytes : 0);
-    auto fut = env->rdv_promise.get_future();
-    world_->mailbox(dst).push(std::move(env));
-    clock_ = fut.get();  // blocked until the receiver matches (rendezvous)
+    world_->mailbox(dst).push(env);
+    // Parked until the receiver matches (rendezvous) and posts the ack.
+    env->ack_wq.wait([&] { return env->ack_ready; });
+    clock_ = env->ack_value;
   }
 }
 
@@ -281,9 +289,9 @@ void Comm::ssend(const void* buf, std::size_t count, const Datatype& t,
   env->needs_rdv_ack = true;
   env->sender_ready = clock_ + profile().send_overhead_s;
   env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
-  auto fut = env->rdv_promise.get_future();
-  world_->mailbox(dst).push(std::move(env));
-  clock_ = fut.get();
+  world_->mailbox(dst).push(env);
+  env->ack_wq.wait([&] { return env->ack_ready; });
+  clock_ = env->ack_value;
 }
 
 void Comm::rsend(const void* buf, std::size_t count, const Datatype& t,
@@ -375,7 +383,9 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
     const auto timing = world_->model.rendezvous_timing(
         env.sender_ready, recv_ready, env.bytes, env.send_stats,
         env.nic_gate, sc.sink());
-    env.rdv_promise.set_value(timing.sender_done);
+    env.ack_value = timing.sender_done;
+    env.ack_ready = true;
+    env.ack_wq.notify_all();
     arrival = timing.arrival;
     eager = false;
   } else {
@@ -446,7 +456,7 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
     env->sender_ready = clock_ + profile().send_overhead_s;
     env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
     state->kind = Request::State::Kind::send_rdv;
-    state->rdv_future = env->rdv_promise.get_future();
+    state->env = env;
     clock_ += profile().send_overhead_s;
     world_->mailbox(dst).push(std::move(env));
   }
@@ -473,7 +483,7 @@ Request Comm::issend(const void* buf, std::size_t count, const Datatype& t,
   env->sender_ready = clock_ + profile().send_overhead_s;
   env->nic_gate = world_->nic_gate(rank_, /*rendezvous=*/true);
   state->kind = Request::State::Kind::send_rdv;
-  state->rdv_future = env->rdv_promise.get_future();
+  state->env = env;
   clock_ += profile().send_overhead_s;
   world_->mailbox(dst).push(std::move(env));
   return Request{std::move(state)};
@@ -527,7 +537,10 @@ std::optional<Status> Comm::iprobe(Rank src, Tag tag) {
   if (auto* rec = plan_rec(*world_, rank_))
     rec->mark_uncompilable("iprobe during a recorded rep");
   auto env = world_->mailbox(rank_).try_peek(src, tag);
-  if (!env) return std::nullopt;
+  if (!env) {
+    coop::yield_now();  // iprobe loops must let the sender fiber run
+    return std::nullopt;
+  }
   const double visible = env->needs_rdv_ack
                              ? env->sender_ready + profile().net_latency_s
                              : env->arrival;
@@ -599,7 +612,7 @@ std::size_t waitany(std::span<Request> requests, Status* status) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
       if (requests[i].test(status)) return i;
     }
-    std::this_thread::yield();
+    coop::yield_now();
   }
 }
 
@@ -1112,24 +1125,30 @@ void Universe::run(const UniverseOptions& opts,
                    const std::function<void(Comm&)>& body) {
   require(opts.nranks >= 1, ErrorClass::invalid_arg,
           "universe needs at least one rank");
+  require(opts.nranks <= coop::Scheduler::max_tasks(), ErrorClass::resource,
+          "universe of " + std::to_string(opts.nranks) +
+              " ranks exceeds the cooperative scheduler's capacity of " +
+              std::to_string(coop::Scheduler::max_tasks()) +
+              " rank tasks (one fiber stack per rank)");
   detail::World world(opts);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(opts.nranks));
-  std::mutex ex_mutex;
-  std::exception_ptr first_error;
+  // Every rank is a cooperative fiber on this (carrier) thread, resumed
+  // in spawn order and run to its next blocking point.  Virtual clocks
+  // are independent of execution interleaving (DESIGN.md §2.10), so the
+  // serial schedule produces exactly what the old thread-per-rank
+  // executor did — without kernel threads or condition-variable wakeups.
+  coop::Scheduler sched;
   for (Rank r = 0; r < opts.nranks; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        Comm comm(world, r);
-        body(comm);
-      } catch (...) {
-        std::lock_guard lk(ex_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
+    sched.spawn([&world, &body, r] {
+      Comm comm(world, r);
+      body(comm);
     });
   }
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  sched.run();
+  if (auto err = sched.first_error()) std::rethrow_exception(err);
+  require(!sched.deadlocked(), ErrorClass::deadlock,
+          "all " + std::to_string(sched.blocked_at_deadlock()) +
+              " blocked ranks are waiting on each other; no progress is "
+              "possible");
 }
 
 }  // namespace minimpi

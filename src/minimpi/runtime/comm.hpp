@@ -21,7 +21,6 @@
 /// paper's observable behaviour.
 
 #include <functional>
-#include <future>
 
 #include "minimpi/base/buffer.hpp"
 #include "minimpi/datatype/pack.hpp"

@@ -5,21 +5,36 @@
 /// Every send deposits an `Envelope` in the destination rank's mailbox.
 /// Receives match on `(source, tag)` with MPI wildcard semantics and the
 /// MPI non-overtaking guarantee: envelopes from the same source are
-/// matched in the order they were sent (the deque preserves per-source
-/// program order because each sender enqueues sequentially).
+/// matched in the order they were sent.
 ///
-/// Rendezvous-protocol envelopes carry a promise through which the
-/// *receiver* — who alone knows both sides' virtual clocks — reports the
-/// computed sender-completion time back to the (blocked) sender.
+/// Matching is indexed: envelopes live in per-`(src, tag)` buckets
+/// (each a FIFO deque), so the engine's hot path — a fully-addressed
+/// receive against a pattern neighbor — is one hash lookup plus a
+/// pop-front, independent of how many thousand other messages are
+/// queued.  Wildcard receives (`any_source` / `any_tag`) fall back to a
+/// scan over the *buckets* for the globally earliest arrival: every
+/// envelope carries a monotone arrival sequence number, per-bucket
+/// FIFOs keep per-source program order, and the minimum head sequence
+/// across matching buckets is exactly the envelope the old linear deque
+/// scan would have taken — so wildcard arrival order and non-overtaking
+/// are preserved bit-for-bit.
+///
+/// Rendezvous-protocol envelopes carry an ack slot through which the
+/// *receiver* — who alone knows both sides' virtual clocks — reports
+/// the computed sender-completion time back to the (blocked) sender.
+/// The slot is a `coop::WaitQueue`, not a promise/future pair: the
+/// blocked sender is a parked fiber, and a future's `get()` would hang
+/// the carrier thread that also has to run the matching receiver.
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
-#include <future>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "minimpi/base/coop.hpp"
 #include "minimpi/base/types.hpp"
 #include "minimpi/datatype/datatype.hpp"
 #include "minimpi/net/timeline.hpp"
@@ -44,7 +59,9 @@ struct Envelope {
 
   bool needs_rdv_ack = false;        ///< rendezvous: receiver resolves timing
   double sender_ready = 0.0;         ///< rendezvous: sender clock + overhead
-  std::promise<double> rdv_promise;  ///< fulfilled with sender_done
+  bool ack_ready = false;            ///< receiver published ack_value
+  double ack_value = 0.0;            ///< the computed sender_done
+  coop::WaitQueue ack_wq;            ///< parks the blocked sender fiber
 
   /// FIFO slot on the *sender's* NIC ledger, taken at post time in
   /// program order; the receiver that computes the rendezvous timing
@@ -57,25 +74,27 @@ struct Envelope {
   std::size_t bsend_reserved = 0;
 };
 
-/// \brief Per-destination queue with blocking wildcard matching.
+/// \brief Per-destination mailbox: `(src, tag)`-indexed buckets with a
+/// wildcard earliest-arrival fallback, blocking via the coop scheduler.
 class Mailbox {
  public:
   void push(std::shared_ptr<Envelope> env) {
     {
       std::lock_guard lk(m_);
-      q_.push_back(std::move(env));
+      buckets_[key(env->src, env->tag)].push_back(
+          Item{next_seq_++, std::move(env)});
+      ++size_;
     }
-    cv_.notify_all();
+    wq_.notify_all();
   }
 
   /// \brief Remove and return the first envelope matching (src, tag),
   /// blocking until one exists.
   std::shared_ptr<Envelope> match(Rank src, Tag tag) {
     std::unique_lock lk(m_);
-    for (;;) {
-      if (auto env = take_locked(src, tag)) return env;
-      cv_.wait(lk);
-    }
+    std::shared_ptr<Envelope> env;
+    wq_.wait(lk, [&] { return (env = take_locked(src, tag)) != nullptr; });
+    return env;
   }
 
   /// \brief Non-blocking variant; null if nothing matches.
@@ -84,49 +103,99 @@ class Mailbox {
     return take_locked(src, tag);
   }
 
-  /// \brief Blocking peek (MPI_Probe): the envelope stays queued.
+  /// \brief Blocking peek (MPI_Probe): the envelope stays queued, and
+  /// it is exactly the one the next matching `match` will take.
   std::shared_ptr<Envelope> peek(Rank src, Tag tag) {
     std::unique_lock lk(m_);
-    for (;;) {
-      for (const auto& e : q_)
-        if (matches(*e, src, tag)) return e;
-      cv_.wait(lk);
-    }
+    std::shared_ptr<Envelope> env;
+    wq_.wait(lk, [&] { return (env = peek_locked(src, tag)) != nullptr; });
+    return env;
   }
 
   /// \brief Non-blocking peek (MPI_Iprobe); null if nothing matches.
   std::shared_ptr<Envelope> try_peek(Rank src, Tag tag) {
     std::lock_guard lk(m_);
-    for (const auto& e : q_)
-      if (matches(*e, src, tag)) return e;
-    return nullptr;
+    return peek_locked(src, tag);
   }
 
+  /// Total queued envelopes: maintained as a running counter so it
+  /// stays one load, and consistent with the sum of the per-bucket
+  /// totals, no matter how the buckets are split.
   [[nodiscard]] std::size_t pending() {
     std::lock_guard lk(m_);
-    return q_.size();
+    return size_;
+  }
+
+  /// Queued envelopes a `(src, tag)` receive would consider (wildcards
+  /// allowed): the per-bucket accounting behind `pending()`.
+  [[nodiscard]] std::size_t pending(Rank src, Tag tag) {
+    std::lock_guard lk(m_);
+    if (src != any_source && tag != any_tag) {
+      const auto it = buckets_.find(key(src, tag));
+      return it == buckets_.end() ? 0 : it->second.size();
+    }
+    std::size_t n = 0;
+    for (const auto& [k, q] : buckets_)
+      if (key_matches(k, src, tag)) n += q.size();
+    return n;
   }
 
  private:
-  static bool matches(const Envelope& e, Rank src, Tag tag) {
-    return (src == any_source || e.src == src) &&
-           (tag == any_tag || e.tag == tag);
+  struct Item {
+    std::uint64_t seq = 0;  ///< global arrival order within this mailbox
+    std::shared_ptr<Envelope> env;
+  };
+  using Bucket = std::deque<Item>;
+
+  static std::uint64_t key(Rank src, Tag tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+  static bool key_matches(std::uint64_t k, Rank src, Tag tag) noexcept {
+    const auto ksrc = static_cast<Rank>(static_cast<std::int32_t>(k >> 32));
+    const auto ktag =
+        static_cast<Tag>(static_cast<std::int32_t>(k & 0xffffffffu));
+    return (src == any_source || ksrc == src) &&
+           (tag == any_tag || ktag == tag);
+  }
+
+  /// The bucket whose head is the earliest-arrived envelope a
+  /// `(src, tag)` receive may take — O(1) on the fully-addressed hot
+  /// path, O(#non-empty buckets) under a wildcard.  Null if none match.
+  Bucket* find_bucket(Rank src, Tag tag) {
+    if (src != any_source && tag != any_tag) {
+      const auto it = buckets_.find(key(src, tag));
+      return (it != buckets_.end() && !it->second.empty()) ? &it->second
+                                                           : nullptr;
+    }
+    Bucket* best = nullptr;
+    for (auto& [k, q] : buckets_) {
+      if (q.empty() || !key_matches(k, src, tag)) continue;
+      if (best == nullptr || q.front().seq < best->front().seq) best = &q;
+    }
+    return best;
   }
 
   std::shared_ptr<Envelope> take_locked(Rank src, Tag tag) {
-    for (auto it = q_.begin(); it != q_.end(); ++it) {
-      if (matches(**it, src, tag)) {
-        auto env = std::move(*it);
-        q_.erase(it);
-        return env;
-      }
-    }
-    return nullptr;
+    Bucket* b = find_bucket(src, tag);
+    if (b == nullptr) return nullptr;
+    auto env = std::move(b->front().env);
+    b->pop_front();
+    --size_;
+    return env;
+  }
+
+  std::shared_ptr<Envelope> peek_locked(Rank src, Tag tag) {
+    Bucket* b = find_bucket(src, tag);
+    return b == nullptr ? nullptr : b->front().env;
   }
 
   std::mutex m_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Envelope>> q_;
+  coop::WaitQueue wq_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// \brief Accounting for the user buffer attached via buffer_attach.
@@ -151,7 +220,7 @@ class BsendPool {
   /// \return the capacity that was attached.
   std::size_t detach() {
     std::unique_lock lk(m_);
-    cv_.wait(lk, [&] { return used_ == 0; });
+    wq_.wait(lk, [&] { return used_ == 0; });
     attached_ = false;
     const std::size_t cap = capacity_;
     capacity_ = 0;
@@ -172,7 +241,7 @@ class BsendPool {
       std::lock_guard lk(m_);
       used_ -= std::min(used_, payload_bytes + bsend_overhead_bytes);
     }
-    cv_.notify_all();
+    wq_.notify_all();
   }
 
   [[nodiscard]] bool attached() {
@@ -190,7 +259,7 @@ class BsendPool {
 
  private:
   std::mutex m_;
-  std::condition_variable cv_;
+  coop::WaitQueue wq_;
   bool attached_ = false;
   std::size_t capacity_ = 0;
   std::size_t used_ = 0;

@@ -5,12 +5,12 @@
 /// One `World` backs one `Universe::run` invocation: it owns the
 /// mailboxes, the clock-fusing barrier used by collectives and RMA
 /// fences, the collective data-exchange slot, and the RMA window
-/// registry.  Ranks are OS threads; all cross-rank communication flows
-/// through this object under conventional locking, while *virtual* time
-/// is computed from the cost model so results are independent of host
-/// scheduling.
+/// registry.  Ranks are cooperative fiber tasks multiplexed over one
+/// carrier thread (base/coop.hpp); all cross-rank communication flows
+/// through this object, blocking on `coop::WaitQueue`s, while *virtual*
+/// time is computed from the cost model so results are independent of
+/// host scheduling (DESIGN.md §2.5/§2.10).
 
-#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <limits>
@@ -95,7 +95,7 @@ class ClockBarrier {
 
  private:
   std::mutex m_;
-  std::condition_variable cv_;
+  coop::WaitQueue cv_;
   const int parties_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
@@ -150,7 +150,7 @@ struct WindowState {
   std::vector<bool> in_epoch;      ///< per-rank epoch flag (fence toggled)
 
   std::mutex m;                    ///< guards target memory + all state below
-  std::condition_variable cv;      ///< PSCW / lock wakeups
+  coop::WaitQueue cv;              ///< PSCW / lock wakeups
   double pending_max = 0.0;        ///< latest arrival among epoch's RMA ops
 
   // Generalized active target (post/start/complete/wait) state.

@@ -39,7 +39,9 @@ std::string BenchCli::usage(const std::string& program) {
          "                 (default: NCSEND_JOBS env, else hardware "
          "concurrency)\n"
          "  --pattern NAME communication pattern (repeatable): pingpong,\n"
-         "                 multi-pair(P), halo2d(RxC), transpose(N)\n"
+         "                 multi-pair(P), halo2d(RxC), halo3d(XxYxZ),\n"
+         "                 transpose(N), graph(ring:N|star:N|hyper:N),\n"
+         "                 graph(N:a>b.c>d...)\n"
          "  --replay       route cells through compiled-plan replay\n"
          "                 (capture once, interpret; byte-identical "
          "output)\n"

@@ -16,7 +16,10 @@
 ///                     results are byte-identical at any job count)
 ///   --pattern NAME    communication pattern to sweep (repeatable;
 ///                     "pingpong", "multi-pair(P)", "halo2d(RxC)",
-///                     "transpose(N)"); default: each bench's own set
+///                     "halo3d(XxYxZ)", "transpose(N)",
+///                     "graph(ring:N|star:N|hyper:N|N:a>b.c>d...)");
+///                     default: each bench's own set.  Malformed specs
+///                     exit 2; output labels use the canonical form
 ///   --replay          route cells through compiled-plan replay
 ///                     (capture once, interpret; byte-identical output)
 ///   --iters N         replay iteration count (implies --replay;

@@ -250,6 +250,32 @@ void ResultStore::write_bench_engine_scale_json(
   os.precision(old_precision);
 }
 
+void ResultStore::write_bench_universe_scale_json(
+    std::ostream& os, const std::vector<UniverseScaleRecord>& records) {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"universe_scale\",\n"
+     << "  \"unit\": \"rank_steps_per_sec\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const UniverseScaleRecord& r = records[i];
+    os << "    {\"pattern\": \"" << json_escape(r.pattern)
+       << "\", \"scheme\": \"" << json_escape(r.scheme)
+       << "\", \"nranks\": " << r.nranks
+       << ", \"payload_bytes\": " << r.payload_bytes
+       << ", \"reps\": " << r.reps << ",\n     \"direct_seconds\": "
+       << r.direct_seconds << ", \"replay_seconds\": " << r.replay_seconds
+       << ", \"rank_steps_per_sec_direct\": "
+       << r.direct_rank_steps_per_sec()
+       << ", \"rank_steps_per_sec_replay\": " << r.replay_rank_steps_per_sec()
+       << ", \"verified\": " << (r.verified ? "true" : "false") << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
 void ResultStore::write_bench_ablation_json(
     std::ostream& os, std::string_view name,
     const std::vector<AblationVariant>& variants) {

@@ -52,6 +52,31 @@ struct EngineScaleRecord {
   }
 };
 
+/// One universe-scaling measurement (the `BENCH_universe_scale`
+/// family): wall-clock cost of simulating one whole modeled-mode
+/// universe at growing rank counts under the cooperative scheduler —
+/// the scaling curve the 1k-rank tentpole is judged by.  `rank_steps`
+/// counts the same work unit as `EngineScaleRecord`.
+struct UniverseScaleRecord {
+  std::string pattern;
+  std::string scheme;
+  int nranks = 0;
+  std::size_t payload_bytes = 0;
+  int reps = 0;
+  double direct_seconds = 0.0;  ///< wall clock, direct execution
+  double replay_seconds = 0.0;  ///< wall clock, compile + replay (0 = n/a)
+  bool verified = false;        ///< sampled digest verification passed
+  [[nodiscard]] double rank_steps() const {
+    return static_cast<double>(nranks) * static_cast<double>(reps);
+  }
+  [[nodiscard]] double direct_rank_steps_per_sec() const {
+    return direct_seconds > 0.0 ? rank_steps() / direct_seconds : 0.0;
+  }
+  [[nodiscard]] double replay_rank_steps_per_sec() const {
+    return replay_seconds > 0.0 ? rank_steps() / replay_seconds : 0.0;
+  }
+};
+
 /// \brief JSON string escaping for every writer below.
 std::string json_escape(std::string_view s);
 
@@ -117,6 +142,12 @@ class ResultStore {
   /// (cells/sec and rank-steps/sec), compiled replay vs direct.
   static void write_bench_engine_scale_json(
       std::ostream& os, const std::vector<EngineScaleRecord>& records);
+
+  /// The `BENCH_universe_scale.json` schema: simulated rank-steps/sec
+  /// vs rank count for whole modeled-mode universes, direct and
+  /// compiled replay.
+  static void write_bench_universe_scale_json(
+      std::ostream& os, const std::vector<UniverseScaleRecord>& records);
 
  private:
   std::vector<SweepResult> sweeps_;

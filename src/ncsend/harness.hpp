@@ -25,6 +25,13 @@ struct HarnessConfig {
   bool flush = true;                ///< rewrite 50 MB between reps (§3.2)
   std::size_t flush_bytes = memsim::CacheFlusher::default_flush_bytes;
   bool verify = true;               ///< check delivered bytes (functional runs)
+  /// Sampled verification cells for modeled (metadata-only) runs: each
+  /// transfer endpoint digests this many sampled fill values from the
+  /// layout map, and the fused send-side and receive-side digest totals
+  /// must agree — catching a drifted layout-map mirror without ever
+  /// materializing ghost bytes.  0 (the default) disables the pass, so
+  /// existing runs and their goldens are untouched.
+  int verify_samples = 0;
 };
 
 struct RunResult {

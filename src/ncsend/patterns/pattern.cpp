@@ -243,24 +243,129 @@ class TransposePattern final : public CommPattern {
   int n_;
 };
 
+// ---------------------------------------------------------------------------
+// graph(...): sparse neighbor topologies from an explicit adjacency
+// ---------------------------------------------------------------------------
+
+class GraphPattern final : public CommPattern {
+ public:
+  GraphPattern(std::string name, std::vector<std::vector<Rank>> adj)
+      : CommPattern(std::move(name)), adj_(std::move(adj)) {}
+
+  [[nodiscard]] int nranks() const override {
+    return static_cast<int>(adj_.size());
+  }
+
+  [[nodiscard]] std::vector<Transfer> sends(
+      int rank, const Layout& base) const override {
+    // Every edge carries the requested base layout itself: graph
+    // patterns parameterize the *topology*, pair-style, leaving the
+    // non-contiguity axis to the layout sweep.
+    std::vector<Transfer> out;
+    out.reserve(adj_[static_cast<std::size_t>(rank)].size());
+    for (const Rank peer : adj_[static_cast<std::size_t>(rank)])
+      out.push_back({peer, base});
+    return out;
+  }
+
+  [[nodiscard]] int concurrent_senders() const override {
+    // The busiest rank's out-degree, as for the Cartesian patterns.
+    std::size_t deg = 1;
+    for (const auto& n : adj_) deg = std::max(deg, n.size());
+    return static_cast<int>(deg);
+  }
+
+ private:
+  std::vector<std::vector<Rank>> adj_;
+};
+
+/// Parse the graph(...) argument forms:
+///   ring:N   — rank i sends to (i+1) mod N;
+///   star:N   — rank 0 (the hub) sends to every leaf;
+///   hyper:N  — hypercube, N a power of two: rank i sends to i^2^d;
+///   N:a>b.c>d... — explicit directed edge list over N ranks.
+/// Null on malformed input (caller raises MM_ERR_ARG).
+std::unique_ptr<CommPattern> make_graph(std::string_view args) {
+  // Cap at the cooperative scheduler's task capacity: one fiber per rank.
+  constexpr int max_n = 16384;
+  const auto colon = args.find(':');
+  if (colon == std::string_view::npos) return nullptr;
+  const auto head = args.substr(0, colon);
+  const auto tail = args.substr(colon + 1);
+
+  if (head == "ring") {
+    const auto n = parse_int(tail, 2, max_n);
+    if (!n) return nullptr;
+    std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(*n));
+    for (int i = 0; i < *n; ++i)
+      adj[static_cast<std::size_t>(i)] = {(i + 1) % *n};
+    return std::make_unique<GraphPattern>(
+        "graph(ring:" + std::to_string(*n) + ")", std::move(adj));
+  }
+  if (head == "star") {
+    const auto n = parse_int(tail, 2, max_n);
+    if (!n) return nullptr;
+    std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(*n));
+    for (int i = 1; i < *n; ++i) adj[0].push_back(i);
+    return std::make_unique<GraphPattern>(
+        "graph(star:" + std::to_string(*n) + ")", std::move(adj));
+  }
+  if (head == "hyper") {
+    const auto n = parse_int(tail, 2, max_n);
+    if (!n || (*n & (*n - 1)) != 0) return nullptr;  // power of two only
+    std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(*n));
+    for (int i = 0; i < *n; ++i)
+      for (int bit = 1; bit < *n; bit <<= 1)
+        adj[static_cast<std::size_t>(i)].push_back(i ^ bit);
+    return std::make_unique<GraphPattern>(
+        "graph(hyper:" + std::to_string(*n) + ")", std::move(adj));
+  }
+
+  // Explicit edge list: "N:a>b.c>d..." over ranks 0..N-1.
+  const auto n = parse_int(head, 2, max_n);
+  if (!n || tail.empty()) return nullptr;
+  std::vector<std::vector<Rank>> adj(static_cast<std::size_t>(*n));
+  std::string canon;
+  std::string_view rest = tail;
+  while (!rest.empty()) {
+    const auto dot = rest.find('.');
+    const auto edge =
+        dot == std::string_view::npos ? rest : rest.substr(0, dot);
+    rest = dot == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(dot + 1);
+    const auto gt = edge.find('>');
+    if (gt == std::string_view::npos) return nullptr;
+    const auto a = parse_int(edge.substr(0, gt), 0, *n - 1);
+    const auto b = parse_int(edge.substr(gt + 1), 0, *n - 1);
+    if (!a || !b || *a == *b) return nullptr;
+    adj[static_cast<std::size_t>(*a)].push_back(*b);
+    if (!canon.empty()) canon += '.';
+    canon += std::to_string(*a) + ">" + std::to_string(*b);
+  }
+  return std::make_unique<GraphPattern>(
+      "graph(" + std::to_string(*n) + ":" + canon + ")", std::move(adj));
+}
+
 }  // namespace
 
 std::unique_ptr<CommPattern> CommPattern::by_name(std::string_view name) {
   const auto [family, args] = split_name(name);
   if (family == "pingpong" && args.empty())
     return std::make_unique<PingPongPattern>();
+  // Geometry caps bound one universe at the cooperative scheduler's
+  // task capacity (16384 fibers), not at thread-per-rank feasibility.
   if (family == "multi-pair") {
     const auto pairs = args.empty() ? std::optional<int>{4}
-                                    : parse_int(args, 1, 64);
+                                    : parse_int(args, 1, 512);
     if (pairs) return std::make_unique<MultiPairPattern>(*pairs);
   }
   if (family == "halo2d") {
     if (args.empty()) return std::make_unique<Halo2dPattern>(3, 3);
     const auto x = args.find('x');
     if (x != std::string_view::npos) {
-      const auto rows = parse_int(args.substr(0, x), 1, 16);
-      const auto cols = parse_int(args.substr(x + 1), 1, 16);
-      if (rows && cols && *rows * *cols >= 2)
+      const auto rows = parse_int(args.substr(0, x), 1, 64);
+      const auto cols = parse_int(args.substr(x + 1), 1, 64);
+      if (rows && cols && *rows * *cols >= 2 && *rows * *cols <= 4096)
         return std::make_unique<Halo2dPattern>(*rows, *cols);
     }
   }
@@ -270,17 +375,21 @@ std::unique_ptr<CommPattern> CommPattern::by_name(std::string_view name) {
     const auto x2 = x1 == std::string_view::npos ? std::string_view::npos
                                                  : args.find('x', x1 + 1);
     if (x2 != std::string_view::npos) {
-      const auto nx = parse_int(args.substr(0, x1), 1, 8);
-      const auto ny = parse_int(args.substr(x1 + 1, x2 - x1 - 1), 1, 8);
-      const auto nz = parse_int(args.substr(x2 + 1), 1, 8);
-      if (nx && ny && nz && *nx * *ny * *nz >= 2 && *nx * *ny * *nz <= 64)
+      const auto nx = parse_int(args.substr(0, x1), 1, 16);
+      const auto ny = parse_int(args.substr(x1 + 1, x2 - x1 - 1), 1, 16);
+      const auto nz = parse_int(args.substr(x2 + 1), 1, 16);
+      if (nx && ny && nz && *nx * *ny * *nz >= 2 && *nx * *ny * *nz <= 4096)
         return std::make_unique<Halo3dPattern>(*nx, *ny, *nz);
     }
   }
   if (family == "transpose") {
     const auto n = args.empty() ? std::optional<int>{4}
-                                : parse_int(args, 2, 64);
+                                : parse_int(args, 2, 256);
     if (n) return std::make_unique<TransposePattern>(*n);
+  }
+  if (family == "graph") {
+    auto g = args.empty() ? make_graph("ring:8") : make_graph(args);
+    if (g) return g;
   }
   minimpi::require(false, ErrorClass::invalid_arg,
                    "unknown communication pattern: " + std::string(name));
@@ -288,8 +397,8 @@ std::unique_ptr<CommPattern> CommPattern::by_name(std::string_view name) {
 }
 
 const std::vector<std::string>& CommPattern::names() {
-  static const std::vector<std::string> v = {"pingpong", "multi-pair",
-                                             "halo2d", "halo3d", "transpose"};
+  static const std::vector<std::string> v = {
+      "pingpong", "multi-pair", "halo2d", "halo3d", "transpose", "graph"};
   return v;
 }
 

@@ -26,7 +26,15 @@
 ///                         contiguous slabs, blocked strided planes,
 ///                         and blocklen-1 strided planes;
 ///   * `transpose(N)`    — all-to-all of strided panels (each rank
-///                         scatters the columns of its local block).
+///                         scatters the columns of its local block);
+///   * `graph(...)`      — sparse neighbor topology from an explicit
+///                         adjacency: `graph(ring:N)`, `graph(star:N)`,
+///                         `graph(hyper:N)` (N a power of two), or an
+///                         explicit edge list `graph(N:a>b.c>d...)`.
+///                         Each edge carries the base layout itself;
+///                         this is the pattern that scales a universe
+///                         to 1k+ ranks (total traffic grows linearly,
+///                         not quadratically as in transpose).
 
 #include <memory>
 #include <string>
@@ -89,7 +97,8 @@ class CommPattern {
 
   /// \brief Registry lookup: canonical names and the parameterized
   /// forms ("multi-pair(2)", "halo2d(4x2)", "halo3d(2x2x2)",
-  /// "transpose(8)"); bare family names pick the default parameters.
+  /// "transpose(8)", "graph(ring:1024)"); bare family names pick the
+  /// default parameters.
   /// Throws MM_ERR_ARG for unknown names or out-of-range parameters.
   static std::unique_ptr<CommPattern> by_name(std::string_view name);
   /// Default instances of every registered pattern family.

@@ -1,0 +1,225 @@
+// The indexed (src, tag)-bucket mailbox: MPI matching semantics must
+// survive the move from one linear deque to per-bucket FIFOs — wildcard
+// receives still take the globally earliest arrival, per-source order
+// is still non-overtaking, and probe peeks exactly the envelope the
+// next receive takes.  Direct Mailbox unit tests cover the bucket
+// accounting; universe tests cover the end-to-end semantics under the
+// cooperative scheduler's deterministic arrival order.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+#include "minimpi/runtime/matching.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+std::shared_ptr<detail::Envelope> make_env(Rank src, Tag tag) {
+  auto e = std::make_shared<detail::Envelope>();
+  e->src = src;
+  e->tag = tag;
+  return e;
+}
+
+TEST(MailboxIndex, ExactMatchSkipsEarlierNonMatchingEnvelopes) {
+  detail::Mailbox mb;
+  mb.push(make_env(1, 5));
+  mb.push(make_env(1, 6));
+  mb.push(make_env(2, 5));
+  // A fully-addressed match takes from its own bucket, leaving earlier
+  // arrivals for other (src, tag) pairs queued.
+  auto got = mb.try_match(1, 6);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->src, 1);
+  EXPECT_EQ(got->tag, 6);
+  EXPECT_EQ(mb.pending(), 2u);
+  EXPECT_EQ(mb.pending(1, 5), 1u);
+  EXPECT_EQ(mb.pending(1, 6), 0u);
+  EXPECT_EQ(mb.pending(2, 5), 1u);
+}
+
+TEST(MailboxIndex, WildcardTakesGloballyEarliestArrival) {
+  detail::Mailbox mb;
+  mb.push(make_env(3, 9));
+  mb.push(make_env(1, 5));
+  mb.push(make_env(2, 7));
+  // any_source/any_tag drains in arrival order across buckets, exactly
+  // as the old linear scan did.
+  const Rank order[] = {3, 1, 2};
+  for (const Rank expect : order) {
+    auto got = mb.try_match(any_source, any_tag);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->src, expect);
+  }
+  EXPECT_EQ(mb.try_match(any_source, any_tag), nullptr);
+}
+
+TEST(MailboxIndex, WildcardSourceRespectsTagFilter) {
+  detail::Mailbox mb;
+  mb.push(make_env(1, 5));
+  mb.push(make_env(2, 6));
+  mb.push(make_env(3, 5));
+  auto got = mb.try_match(any_source, 6);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->src, 2);
+  // Earliest arrival among the tag-5 buckets is rank 1's.
+  got = mb.try_match(any_source, 5);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->src, 1);
+}
+
+TEST(MailboxIndex, PendingCountsStayConsistentAcrossBuckets) {
+  detail::Mailbox mb;
+  for (int i = 0; i < 4; ++i) mb.push(make_env(1, 5));
+  for (int i = 0; i < 3; ++i) mb.push(make_env(2, 5));
+  mb.push(make_env(1, 8));
+  EXPECT_EQ(mb.pending(), 8u);
+  EXPECT_EQ(mb.pending(1, 5), 4u);
+  EXPECT_EQ(mb.pending(2, 5), 3u);
+  EXPECT_EQ(mb.pending(any_source, 5), 7u);
+  EXPECT_EQ(mb.pending(1, any_tag), 5u);
+  EXPECT_EQ(mb.pending(any_source, any_tag), 8u);
+  (void)mb.try_match(1, 5);
+  (void)mb.try_match(any_source, any_tag);  // takes rank 1's next tag-5
+  EXPECT_EQ(mb.pending(), 6u);
+  EXPECT_EQ(mb.pending(1, 5), 2u);
+}
+
+TEST(MailboxIndex, PeekReturnsExactlyWhatMatchTakes) {
+  detail::Mailbox mb;
+  mb.push(make_env(2, 5));
+  mb.push(make_env(1, 5));
+  auto peeked = mb.try_peek(any_source, 5);
+  ASSERT_NE(peeked, nullptr);
+  auto taken = mb.try_match(any_source, 5);
+  EXPECT_EQ(peeked.get(), taken.get());
+  EXPECT_EQ(taken->src, 2);
+}
+
+TEST(MatchingSemantics, WildcardReceivesArriveInDeterministicSendOrder) {
+  // Ranks 1..3 each send one eager message before the barrier; under
+  // the cooperative scheduler they run (and push) in spawn order, so
+  // rank 0's wildcard drain must see sources 1, 2, 3.
+  UniverseOptions o;
+  o.nranks = 4;
+  Universe::run(o, [](Comm& c) {
+    if (c.rank() != 0) {
+      const double v = c.rank();
+      c.send(&v, 1, Datatype::float64(), 0, 3);
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      for (Rank expect = 1; expect <= 3; ++expect) {
+        double v = 0.0;
+        const Status st =
+            c.recv(&v, 1, Datatype::float64(), any_source, any_tag);
+        EXPECT_EQ(st.source, expect);
+        EXPECT_EQ(v, static_cast<double>(expect));
+      }
+    }
+  });
+}
+
+TEST(MatchingSemantics, AnyTagKeepsPerSourceProgramOrder) {
+  // One sender, three different tags: tag buckets split the envelopes,
+  // but an any_tag drain must still see the sender's program order.
+  UniverseOptions o;
+  o.nranks = 2;
+  Universe::run(o, [](Comm& c) {
+    const Tag tags[] = {9, 4, 7};
+    if (c.rank() == 1) {
+      for (const Tag t : tags) {
+        const double v = t;
+        c.send(&v, 1, Datatype::float64(), 0, t);
+      }
+    } else {
+      c.barrier();
+      for (const Tag expect : tags) {
+        double v = 0.0;
+        const Status st = c.recv(&v, 1, Datatype::float64(), 1, any_tag);
+        EXPECT_EQ(st.tag, expect);
+      }
+    }
+    if (c.rank() == 1) c.barrier();
+  });
+}
+
+TEST(MatchingSemantics, InterleavedSendersKeepPerSourceFifo) {
+  // Ranks 1 and 2 interleave 50 same-tag messages each; fully-addressed
+  // receives must drain each source in its own program order no matter
+  // how the pushes interleaved in the shared mailbox.
+  UniverseOptions o;
+  o.nranks = 3;
+  Universe::run(o, [](Comm& c) {
+    constexpr int msgs = 50;
+    if (c.rank() != 0) {
+      for (int m = 0; m < msgs; ++m) {
+        const double v = c.rank() * 1000 + m;
+        c.send(&v, 1, Datatype::float64(), 0, 3);
+      }
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      for (int m = 0; m < msgs; ++m) {
+        for (Rank src = 1; src <= 2; ++src) {
+          double v = 0.0;
+          c.recv(&v, 1, Datatype::float64(), src, 3);
+          EXPECT_EQ(v, src * 1000.0 + m);
+        }
+      }
+    }
+  });
+}
+
+TEST(MatchingSemantics, ProbeSeesTheEnvelopeTheNextRecvTakes) {
+  UniverseOptions o;
+  o.nranks = 3;
+  Universe::run(o, [](Comm& c) {
+    if (c.rank() != 0) {
+      const std::vector<double> v(static_cast<std::size_t>(c.rank()), 1.0);
+      c.send(v.data(), v.size(), Datatype::float64(), 0,
+             static_cast<Tag>(10 + c.rank()));
+    }
+    c.barrier();
+    if (c.rank() == 0) {
+      for (int i = 0; i < 2; ++i) {
+        const Status probed = c.probe(any_source, any_tag);
+        std::vector<double> buf(probed.count_bytes / sizeof(double));
+        const Status got = c.recv(buf.data(), buf.size(),
+                                  Datatype::float64(), any_source, any_tag);
+        EXPECT_EQ(got.source, probed.source);
+        EXPECT_EQ(got.tag, probed.tag);
+        EXPECT_EQ(got.count_bytes, probed.count_bytes);
+      }
+    }
+  });
+}
+
+TEST(MatchingSemantics, IprobeAgreesWithProbeAndRecv) {
+  UniverseOptions o;
+  o.nranks = 2;
+  Universe::run(o, [](Comm& c) {
+    if (c.rank() == 1) {
+      const double v = 42.0;
+      c.send(&v, 1, Datatype::float64(), 0, 6);
+      c.barrier();
+    } else {
+      c.barrier();  // the message is queued once the barrier releases
+      const auto st = c.iprobe(any_source, any_tag);
+      ASSERT_TRUE(st.has_value());
+      EXPECT_EQ(st->source, 1);
+      EXPECT_EQ(st->tag, 6);
+      double v = 0.0;
+      const Status got =
+          c.recv(&v, 1, Datatype::float64(), st->source, st->tag);
+      EXPECT_EQ(got.source, st->source);
+      EXPECT_EQ(v, 42.0);
+      EXPECT_FALSE(c.iprobe(any_source, any_tag).has_value());
+    }
+  });
+}
+
+}  // namespace

@@ -50,7 +50,10 @@ TEST(PatternRegistry, RejectsJunk) {
   EXPECT_THROW(CommPattern::by_name("halo2d(3)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("halo3d(1x1x1)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("halo3d(2x2)"), minimpi::Error);
-  EXPECT_THROW(CommPattern::by_name("halo3d(9x9x9)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("halo3d(17x17x17)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("graph(hyper:6)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("graph(2:0>0)"), minimpi::Error);
+  EXPECT_THROW(CommPattern::by_name("graph(2:0>5)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("transpose(1)"), minimpi::Error);
   EXPECT_THROW(CommPattern::by_name("pingpong(2)"), minimpi::Error);
 }

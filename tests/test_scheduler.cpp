@@ -1,0 +1,154 @@
+// The cooperative rank scheduler: capacity limits, high-rank-count
+// universes, deadlock detection, and error propagation while peers are
+// parked — the behaviours thread-per-rank execution never had to
+// define.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "minimpi/base/coop.hpp"
+#include "minimpi/minimpi.hpp"
+
+using namespace minimpi;
+
+namespace {
+
+TEST(Scheduler, RankCountAboveCapacityIsTypedResourceError) {
+  UniverseOptions o;
+  o.nranks = coop::Scheduler::max_tasks() + 1;
+  try {
+    Universe::run(o, [](Comm&) {});
+    FAIL() << "expected MM_ERR_RESOURCE";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::resource);
+    EXPECT_NE(std::string(e.what()).find("MM_ERR_RESOURCE"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("capacity"), std::string::npos);
+  }
+}
+
+TEST(Scheduler, TwoThousandRankUniverseRunsOnOneCarrier) {
+  // A ring exchange over 2048 fibers: far beyond what thread-per-rank
+  // could spawn comfortably, small enough to stay a fast unit test.
+  UniverseOptions o;
+  o.nranks = 2048;
+  o.functional = true;
+  double fused = 0.0;
+  Universe::run(o, [&](Comm& c) {
+    const Rank right = (c.rank() + 1) % c.size();
+    const Rank left = (c.rank() + c.size() - 1) % c.size();
+    const double payload = c.rank();
+    double got = -1.0;
+    Request rr = c.irecv(&got, 1, Datatype::float64(), left, 7);
+    c.send(&payload, 1, Datatype::float64(), right, 7);
+    rr.wait();
+    EXPECT_EQ(got, static_cast<double>(left));
+    const double sum = c.allreduce(1.0, ReduceOp::sum);
+    if (c.rank() == 0) fused = sum;
+  });
+  EXPECT_EQ(fused, 2048.0);
+}
+
+TEST(Scheduler, CyclicBlockingReportsDeadlockNotHang) {
+  // Both ranks post a blocking receive nothing will ever match.  Under
+  // OS threads this hung forever; the scheduler must cancel the parked
+  // fibers and surface a typed MM_ERR_DEADLOCK.
+  UniverseOptions o;
+  o.nranks = 2;
+  try {
+    Universe::run(o, [](Comm& c) {
+      double v = 0.0;
+      c.recv(&v, 1, Datatype::float64(), 1 - c.rank(), 5);
+    });
+    FAIL() << "expected MM_ERR_DEADLOCK";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::deadlock);
+  }
+}
+
+TEST(Scheduler, RendezvousCycleReportsDeadlock) {
+  // Two blocking rendezvous sends at each other: the classic unsafe
+  // MPI program.  Each sender parks on its ack; no receiver ever runs.
+  UniverseOptions o;
+  o.nranks = 2;
+  o.eager_limit_override = std::size_t{0};  // force rendezvous
+  std::vector<double> buf(1024, 1.0);
+  try {
+    Universe::run(o, [&](Comm& c) {
+      c.send(buf.data(), buf.size(), Datatype::float64(), 1 - c.rank(), 5);
+    });
+    FAIL() << "expected MM_ERR_DEADLOCK";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::deadlock);
+  }
+}
+
+TEST(Scheduler, RankErrorPropagatesWhilePeerIsParked) {
+  // Rank 1 throws while rank 0 is blocked waiting for it.  The real
+  // error must come out of Universe::run — not the induced deadlock of
+  // the now-unmatchable receive.
+  UniverseOptions o;
+  o.nranks = 2;
+  try {
+    Universe::run(o, [](Comm& c) {
+      if (c.rank() == 1)
+        throw Error(ErrorClass::truncate, "synthetic rank failure");
+      double v = 0.0;
+      c.recv(&v, 1, Datatype::float64(), 1, 5);
+    });
+    FAIL() << "expected the rank's own error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::truncate);
+  }
+}
+
+TEST(Scheduler, BlockedFiberStacksUnwindOnDeadlock) {
+  // Destructors on a cancelled fiber's stack must run: the scheduler
+  // cancels via a thrown exception, not by abandoning the stack.
+  struct Tripwire {
+    int* counter;
+    ~Tripwire() { ++*counter; }
+  };
+  static int unwound = 0;
+  unwound = 0;
+  UniverseOptions o;
+  o.nranks = 2;
+  try {
+    Universe::run(o, [](Comm& c) {
+      Tripwire t{&unwound};
+      double v = 0.0;
+      c.recv(&v, 1, Datatype::float64(), 1 - c.rank(), 5);
+    });
+    FAIL() << "expected MM_ERR_DEADLOCK";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::deadlock);
+  }
+  EXPECT_EQ(unwound, 2);
+}
+
+TEST(Scheduler, VirtualClocksMatchThreadEraValues) {
+  // The substitution argument in practice: a 4-rank pattern cell's
+  // virtual timing is a pure function of the model, so the fiber
+  // scheduler must reproduce it deterministically run over run.
+  const auto measure = [] {
+    UniverseOptions o;
+    o.nranks = 4;
+    double t = 0.0;
+    Universe::run(o, [&](Comm& c) {
+      double v = c.rank();
+      for (int rep = 0; rep < 3; ++rep) {
+        const Rank peer = c.rank() ^ 1;
+        c.sendrecv(&v, 1, Datatype::float64(), peer, 2, &v, 1,
+                   Datatype::float64(), peer, 2);
+        c.barrier();
+      }
+      if (c.rank() == 0) t = c.wtime();
+    });
+    return t;
+  };
+  const double first = measure();
+  EXPECT_GT(first, 0.0);
+  EXPECT_EQ(first, measure());
+}
+
+}  // namespace
