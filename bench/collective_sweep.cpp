@@ -1,0 +1,63 @@
+/// \file collective_sweep.cpp
+/// \brief The collective-algorithm crossover benchmark.
+///
+/// Sweeps `collective(op:algo:N)` cells across a message-size grid on
+/// the skx and knl profiles and writes `BENCH_collective_sweep.json`.
+/// The headline result: binomial trees / recursive doubling win the
+/// latency-bound small-message end while the chunked ring wins the
+/// bandwidth-bound large-message end, and that crossover *emerges*
+/// from per-rank CPU/NIC timeline occupancy — the engine prices only
+/// point-to-point transfers and copies, never a collective as such.
+/// The exit code asserts the crossover is present for at least one
+/// profile; `--collective op:algo:N` overrides the swept cells and
+/// `--replay` routes every cell through compiled-plan replay
+/// (byte-identical output, a CI-checked invariant).
+#include <iostream>
+
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  namespace nc = ncsend;
+  const nc::BenchCli cli = nc::BenchCli::parse(argc, argv);
+  cli.reject_patterns("collective_sweep");
+
+  const std::vector<nc::CollectiveSweepRecord> records =
+      benchcommon::measure_collective_sweep(cli.quick, cli.effective_reps(),
+                                            cli.replay, cli.collectives);
+
+  std::cout << "collective algorithm sweep ("
+            << (cli.replay ? "compiled replay" : "direct execution")
+            << ", modeled mode, virtual seconds):\n";
+  for (const nc::CollectiveSweepRecord& r : records) {
+    std::cout << "  " << r.profile << "  " << r.op << ":" << r.algo << ":"
+              << r.nranks << "  [";
+    for (std::size_t i = 0; i < r.times_s.size(); ++i)
+      std::cout << (i ? ", " : "") << r.times_s[i];
+    std::cout << "] s" << (r.verified ? "" : "  UNVERIFIED") << "\n";
+  }
+
+  if (cli.csv) {
+    benchcommon::write_store_file(
+        cli.out_dir, "BENCH_collective_sweep.json", [&](std::ostream& os) {
+          nc::ResultStore::write_bench_collective_sweep_json(os, records);
+        });
+  }
+
+  bool all_verified = true;
+  for (const nc::CollectiveSweepRecord& r : records)
+    all_verified = all_verified && r.verified;
+  if (!all_verified) {
+    std::cerr << "collective_sweep: digest verification failed\n";
+    return 1;
+  }
+  // The sweep's reason to exist: the tree-vs-ring crossover must show
+  // up for at least one profile (skipped under a --collective override,
+  // which may name a single algorithm).
+  if (cli.collectives.empty() &&
+      !benchcommon::collective_crossover_present(records)) {
+    std::cerr << "collective_sweep: no profile shows the expected "
+                 "tree-vs-ring crossover\n";
+    return 1;
+  }
+  return 0;
+}

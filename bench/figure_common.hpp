@@ -153,12 +153,13 @@ inline std::vector<ncsend::UniverseScaleRecord> measure_universe_scale(
   const std::string scheme = "vector type";
 
   // Default curve: sparse ring topologies riding the rank axis to 1024
-  // (linear traffic growth), one denser hypercube point, and the
-  // ISSUE's named geometries transpose(64) and halo3d(8x8x8).
+  // (linear traffic growth), one denser hypercube point, the ISSUE's
+  // named geometries transpose(64) and halo3d(8x8x8), and one 1k-rank
+  // collective schedule (2046 ring rounds through the same engine).
   const std::vector<std::string> defaults = {
       "graph(ring:16)",  "graph(ring:64)", "graph(ring:256)",
       "graph(ring:1024)", "graph(hyper:64)", "transpose(64)",
-      "halo3d(8x8x8)"};
+      "halo3d(8x8x8)", "collective(allreduce:ring:1024)"};
   const std::vector<std::string>& names = specs.empty() ? defaults : specs;
 
   std::vector<nc::UniverseScaleRecord> records;
@@ -197,6 +198,117 @@ inline std::vector<ncsend::UniverseScaleRecord> measure_universe_scale(
   return records;
 }
 
+/// \brief The `BENCH_collective_sweep` measurement shared by the
+/// standalone `collective_sweep` bench and `run_all`: virtual time of
+/// each collective cell across a message-size grid on the skx and knl
+/// profiles, modeled mode with sampled digest verification.  The point
+/// of the sweep is the algorithm crossover — logarithmic schedules
+/// (tree, rd) win the latency-bound small-message end, the chunked
+/// ring wins the bandwidth-bound large-message end — and that ordering
+/// *emerges* from per-rank CPU/NIC timeline occupancy; nothing in the
+/// engine special-cases a collective's cost.  `specs` may override the
+/// default cells with canonical `collective(op:algo:N)` names (the
+/// `--collective` flag).  With `replay`, every cell is compiled once
+/// and replayed (`plan::compile_cell`), which must reproduce direct
+/// execution byte-for-byte in the artifact.
+inline std::vector<ncsend::CollectiveSweepRecord> measure_collective_sweep(
+    bool quick, int reps, bool replay,
+    const std::vector<std::string>& specs = {}) {
+  namespace nc = ncsend;
+
+  const std::vector<std::string> defaults =
+      quick ? std::vector<std::string>{"collective(allreduce:tree:32)",
+                                       "collective(allreduce:ring:32)",
+                                       "collective(allreduce:rd:32)"}
+            : std::vector<std::string>{"collective(allreduce:tree:32)",
+                                       "collective(allreduce:ring:32)",
+                                       "collective(allreduce:rd:32)",
+                                       "collective(bcast:tree:32)",
+                                       "collective(bcast:ring:32)",
+                                       "collective(allgather:tree:32)",
+                                       "collective(allgather:ring:32)",
+                                       "collective(reduce-scatter:tree:32)",
+                                       "collective(reduce-scatter:ring:32)"};
+  const std::vector<std::string>& names = specs.empty() ? defaults : specs;
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{4'096, 1'048'576}
+            : std::vector<std::size_t>{1'024, 16'384, 131'072, 1'048'576};
+
+  std::vector<nc::CollectiveSweepRecord> records;
+  for (const minimpi::MachineProfile* profile :
+       {&minimpi::MachineProfile::skx_impi(),
+        &minimpi::MachineProfile::knl_impi()}) {
+    minimpi::UniverseOptions opts;
+    opts.profile = profile;
+    opts.functional = false;  // modeled: payloads as metadata + digests
+
+    for (const std::string& spec : names) {
+      const auto pattern = nc::CommPattern::by_name(spec);
+      const auto* cp = dynamic_cast<const nc::coll::CollectivePattern*>(
+          pattern.get());
+      if (cp == nullptr) {
+        std::cerr << "collective_sweep: " << spec
+                  << " is not a collective cell; skipping\n";
+        continue;
+      }
+      nc::CollectiveSweepRecord rec;
+      rec.profile = profile->name;
+      rec.op = nc::coll::op_name(cp->op());
+      rec.algo = nc::coll::algo_name(cp->algo());
+      rec.nranks = cp->nranks();
+      rec.scheme = "vector type";
+      bool ok = true;
+      for (const std::size_t bytes : sizes) {
+        const nc::Layout layout =
+            nc::Layout::strided(bytes / sizeof(double), 1, 2);
+        nc::HarnessConfig cfg;
+        cfg.reps = reps;
+        cfg.verify_samples = 4;
+        nc::RunResult r;
+        if (replay) {
+          const nc::plan::CommPlan plan =
+              nc::plan::compile_cell(opts, *pattern, rec.scheme, layout, cfg);
+          minimpi::require(plan.valid, minimpi::ErrorClass::invalid_arg,
+                           "collective_sweep: " + spec +
+                               " did not compile: " + plan.invalid_reason);
+          r = plan.replay(reps);
+        } else {
+          r = nc::run_pattern_experiment(opts, *pattern, rec.scheme, layout,
+                                         cfg);
+        }
+        rec.sizes_bytes.push_back(bytes);
+        rec.times_s.push_back(r.time());
+        ok = ok && r.data_checked && r.verified;
+      }
+      rec.verified = ok;
+      records.push_back(rec);
+    }
+  }
+  return records;
+}
+
+/// \brief Exit-code criterion for the collective sweep: at least one
+/// profile must show the crossover — a logarithmic schedule (tree or
+/// rd) fastest at the smallest swept size AND the ring fastest at the
+/// largest — for some (op, nranks) cell with both families present.
+inline bool collective_crossover_present(
+    const std::vector<ncsend::CollectiveSweepRecord>& records) {
+  for (const ncsend::CollectiveSweepRecord& r : records) {
+    if (r.times_s.empty()) continue;
+    const ncsend::CollectiveSweepRecord* small = &r;
+    const ncsend::CollectiveSweepRecord* large = &r;
+    for (const ncsend::CollectiveSweepRecord& c : records) {
+      if (c.profile != r.profile || c.op != r.op || c.nranks != r.nranks ||
+          c.times_s.empty())
+        continue;
+      if (c.times_s.front() < small->times_s.front()) small = &c;
+      if (c.times_s.back() < large->times_s.back()) large = &c;
+    }
+    if (small->algo != "ring" && large->algo == "ring") return true;
+  }
+  return false;
+}
+
 /// \brief The figure driver: register the plan, run it, report it.
 /// `--pattern` re-measures the figure under other communication
 /// patterns — one plan per pattern.  The N-rank engine runs the full
@@ -206,9 +318,12 @@ inline std::vector<ncsend::UniverseScaleRecord> measure_universe_scale(
 /// paper's figures.
 inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
   const ncsend::BenchCli cli = ncsend::BenchCli::parse(argc, argv);
-  const std::vector<std::string> patterns =
-      cli.patterns.empty() ? std::vector<std::string>{"pingpong"}
-                           : cli.patterns;
+  // `--collective` cells are pattern cells too: append them so a figure
+  // can be re-measured under a collective schedule.
+  std::vector<std::string> patterns = cli.patterns;
+  patterns.insert(patterns.end(), cli.collectives.begin(),
+                  cli.collectives.end());
+  if (patterns.empty()) patterns = {"pingpong"};
   ncsend::ResultStore store;
   bool all_verified = true;
   for (const std::string& pattern : patterns) {
@@ -218,7 +333,10 @@ inline int run_figure(const FigureSpec& spec, int argc, char** argv) {
     plan.profiles = {spec.profile};
     plan.sizes_bytes = ncsend::paper_sizes(cli.effective_per_decade());
     plan.harness.reps = cli.effective_reps();
-    if (pattern != "pingpong") plan.schemes = ncsend::pattern_scheme_names();
+    if (ncsend::coll::is_collective_pattern_name(pattern))
+      plan.schemes = ncsend::coll::collective_scheme_names();
+    else if (pattern != "pingpong")
+      plan.schemes = ncsend::pattern_scheme_names();
     const ncsend::PlanResult result =
         ncsend::run_plan(plan, ncsend::ExecutorOptions{cli.jobs});
     const ncsend::SweepResult& sweep = result.sweep(0, 0);

@@ -23,6 +23,12 @@
 //                             whole modeled-mode universes up to
 //                             graph(ring:1024) under the cooperative
 //                             scheduler (not a golden file either)
+//   BENCH_collective_sweep.json
+//                             collective algorithms as transfer
+//                             schedules: tree/ring/rd cells across a
+//                             size grid on {skx, knl}, exposing the
+//                             small-message-tree vs large-message-ring
+//                             crossover per profile
 //
 // Flags are the engine's shared set (see --help): --quick picks the
 // small CI grids, --per-decade shapes the full-mode sweep grid, --reps
@@ -180,7 +186,7 @@ ExperimentPlan with_replay(ExperimentPlan plan, const BenchCli& cli) {
 int main(int argc, char** argv) {
   const BenchCli cli = BenchCli::parse(argc, argv);
   const ExecutorOptions exec{cli.jobs};
-  const int expected = cli.csv ? 8 : 0;
+  const int expected = cli.csv ? 9 : 0;
   int written = 0;
 
   const auto maybe_write = [&](const std::string& name, auto&& writer) {
@@ -293,9 +299,22 @@ int main(int argc, char** argv) {
       ResultStore::write_bench_universe_scale_json(os, records);
     });
   }
+  {
+    // Collective algorithms as transfer schedules: virtual-time grids
+    // whose tree-vs-ring crossover emerges from timeline occupancy
+    // (the standalone `collective_sweep` bench asserts the crossover
+    // in its exit code; here the artifact is golden — byte-identical
+    // across job counts and across direct vs --replay execution).
+    const std::vector<CollectiveSweepRecord> records =
+        benchcommon::measure_collective_sweep(
+            cli.quick, cli.effective_reps(), cli.replay, cli.collectives);
+    maybe_write("BENCH_collective_sweep.json", [&](std::ostream& os) {
+      ResultStore::write_bench_collective_sweep_json(os, records);
+    });
+  }
 
   if (cli.csv)
-    std::cout << written << "/8 benchmark files written to " << cli.out_dir
+    std::cout << written << "/9 benchmark files written to " << cli.out_dir
               << "\n";
   else
     std::cout << "dry run (--no-csv): benchmarks executed, nothing written\n";

@@ -50,6 +50,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Collective algorithm choice: when the message is one collective's
+  // payload, which topology should carry it on this machine?
+  {
+    const int coll_ranks = pattern_name.empty()
+                               ? 64
+                               : std::max(2, CommPattern::by_name(
+                                                 pattern_name)->nranks());
+    std::cout << "\ncollective algorithms at N=" << coll_ranks
+              << " ranks (tree/ring crossover on this machine):\n";
+    for (const char* op :
+         {"allreduce", "bcast", "allgather", "reduce-scatter"}) {
+      const CollectiveAdvice adv =
+          advise_collective(profile, op, bytes, coll_ranks);
+      std::cout << "  " << std::setw(14) << op << " -> " << std::setw(4)
+                << adv.algorithm << "  (crossover "
+                << adv.crossover_bytes << " B)\n";
+    }
+    const CollectiveAdvice why =
+        advise_collective(profile, "allreduce", bytes, coll_ranks);
+    std::cout << "  " << why.rationale << "\n";
+  }
+
   std::cout << "\nmeasured evidence (ping-pong on the simulated fabric):\n";
   SweepConfig cfg;
   cfg.profile = &profile;

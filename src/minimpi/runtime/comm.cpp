@@ -682,7 +682,8 @@ void Comm::bcast(void* buf, std::size_t count, const Datatype& t, Rank root) {
 }
 
 namespace {
-double apply_op(ReduceOp op, double a, double b) {
+template <class T>
+T apply_op(ReduceOp op, T a, T b) {
   switch (op) {
     case ReduceOp::sum: return a + b;
     case ReduceOp::min: return std::min(a, b);
@@ -690,6 +691,7 @@ double apply_op(ReduceOp op, double a, double b) {
   }
   return a;
 }
+
 }  // namespace
 
 double Comm::reduce(double value, ReduceOp op, Rank root) {
@@ -709,19 +711,33 @@ double Comm::reduce(double value, ReduceOp op, Rank root) {
   return result;
 }
 
-double Comm::allreduce(double value, ReduceOp op) {
+template <class T>
+T Comm::allreduce_impl(T value, ReduceOp op) {
+  static_assert(sizeof(T) == sizeof(double),
+                "allreduce charges one 8-byte scalar");
   if (auto* rec = plan_rec(*world_, rank_))
     rec->mark_uncompilable("payload collective during a recorded rep");
   auto& slot = world_->collective();
   const double fused = slot.deposit(rank_, &value, clock_);
-  double result = *static_cast<const double*>(slot.contribution(0));
+  T result = *static_cast<const T*>(slot.contribution(0));
   for (Rank r = 1; r < size(); ++r)
     result = apply_op(op, result,
-                      *static_cast<const double*>(slot.contribution(r)));
+                      *static_cast<const T*>(slot.contribution(r)));
   // Reduce + broadcast: twice the tree cost.
-  clock_ = fused + 2.0 * collective_cost(sizeof(double));
+  clock_ = fused + 2.0 * collective_cost(sizeof(T));
   slot.release();
   return result;
+}
+
+double Comm::allreduce(double value, ReduceOp op) {
+  return allreduce_impl(value, op);
+}
+
+// Exact for integer digest terms: the deposited bits are folded as
+// int64, so fused totals above 2^53 do not round the way the former
+// convert-to-double detour did.
+std::int64_t Comm::allreduce(std::int64_t value, ReduceOp op) {
+  return allreduce_impl(value, op);
 }
 
 std::vector<double> Comm::gather(double value, Rank root) {

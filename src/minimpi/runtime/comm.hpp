@@ -20,6 +20,7 @@
 /// vehicle.  See DESIGN.md §2 for why this substitution preserves the
 /// paper's observable behaviour.
 
+#include <cstdint>
 #include <functional>
 
 #include "minimpi/base/buffer.hpp"
@@ -276,6 +277,11 @@ class Comm {
   /// Scalar reductions over one double per rank.
   double reduce(double value, ReduceOp op, Rank root);
   double allreduce(double value, ReduceOp op);
+  /// Typed integer allreduce: exact for digest terms whose fused totals
+  /// exceed 2^53 (a double round-trip would silently round them).  Both
+  /// overloads share one typed reduce entry point; the charge is
+  /// identical (one 8-byte scalar either way).
+  std::int64_t allreduce(std::int64_t value, ReduceOp op);
   /// Gather one double per rank to root (returns full vector at root,
   /// empty elsewhere).
   std::vector<double> gather(double value, Rank root);
@@ -312,6 +318,10 @@ class Comm {
   Status finish_recv(void* buf, std::size_t count, const Datatype& t,
                      detail::Envelope& env, double post_clock);
   double collective_cost(std::size_t bytes) const;
+  /// Shared body of the scalar allreduce overloads (defined in
+  /// comm.cpp; instantiated for double and std::int64_t).
+  template <class T>
+  T allreduce_impl(T value, ReduceOp op);
 
   detail::World* world_;
   Rank rank_;

@@ -1,6 +1,9 @@
 #include "ncsend/advisor.hpp"
 
+#include <limits>
+
 #include "minimpi/net/cost_model.hpp"
+#include "ncsend/collectives/collective.hpp"
 #include "ncsend/patterns/pattern.hpp"
 
 namespace ncsend {
@@ -117,6 +120,83 @@ Recommendation advise(const minimpi::MachineProfile& profile,
     }
   }
   return rec;
+}
+
+CollectiveAdvice advise_collective(const minimpi::MachineProfile& profile,
+                                   std::string_view op,
+                                   std::size_t payload_bytes, int nranks) {
+  const auto parsed = coll::op_by_name(op);
+  minimpi::require(parsed.has_value(), minimpi::ErrorClass::invalid_arg,
+                   "advise_collective: unknown collective op: " +
+                       std::string(op));
+  minimpi::require(nranks >= 2, minimpi::ErrorClass::invalid_arg,
+                   "advise_collective: need at least 2 ranks");
+  // Round counts come from the schedules themselves, so the advice
+  // cannot drift from what the engine executes.
+  const double tree_r = coll::CollectiveSchedule(*parsed, coll::CollAlgo::tree,
+                                                 nranks, 1)
+                            .round_count();
+  const double ring_r = coll::CollectiveSchedule(*parsed, coll::CollAlgo::ring,
+                                                 nranks, 1)
+                            .round_count();
+  // Recursive doubling only exists for power-of-two rank counts, and
+  // rooted bcast has no doubling form (the schedule aliases it to tree).
+  const bool pow2 = ((nranks & (nranks - 1)) == 0) &&
+                    *parsed != coll::CollOp::bcast;
+
+  // Per-round latency and wire bandwidth: tree rounds carry the full
+  // vector, ring rounds a 1/N chunk.  Equating
+  //   tree_r·(α + B/β)  =  ring_r·(α + B/(Nβ))
+  // gives the switch point B*.
+  const double alpha = profile.send_overhead_s + profile.net_latency_s;
+  const double beta = profile.net_bandwidth_Bps;
+  const double numer = ring_r - tree_r;
+  const double denom = tree_r - ring_r / static_cast<double>(nranks);
+
+  CollectiveAdvice adv;
+  const std::string scale = "N=" + std::to_string(nranks) + ": " +
+                            std::to_string(static_cast<int>(tree_r)) +
+                            " tree rounds vs " +
+                            std::to_string(static_cast<int>(ring_r)) +
+                            " ring rounds";
+  if (numer <= 0.0) {
+    // The ring needs no more rounds than the tree (tiny N): it wins on
+    // latency *and* bandwidth, at every size.
+    adv.crossover_bytes = 0;
+    adv.algorithm = "ring";
+    adv.rationale = "At " + scale +
+                    " the ring never pays more latency than the tree and "
+                    "moves 1/N of the bytes per round; there is no "
+                    "crossover to wait for.";
+    return adv;
+  }
+  if (denom <= 0.0) {
+    adv.crossover_bytes = std::numeric_limits<std::size_t>::max();
+    adv.algorithm = pow2 ? "rd" : "tree";
+    adv.rationale = "At " + scale +
+                    " the ring's round count overwhelms its per-round "
+                    "byte savings at every message size; stay with the "
+                    "logarithmic schedule.";
+    return adv;
+  }
+  adv.crossover_bytes = static_cast<std::size_t>(alpha * beta * numer / denom);
+  const bool ring = payload_bytes >= adv.crossover_bytes;
+  adv.algorithm = ring ? "ring" : (pow2 ? "rd" : "tree");
+  adv.rationale =
+      std::string(op) + " at " + scale + "; with per-round latency " +
+      std::to_string(alpha) + " s and wire bandwidth " +
+      std::to_string(beta / 1e9) + " GB/s the tree/ring crossover sits at " +
+      std::to_string(adv.crossover_bytes) + " bytes, and this payload (" +
+      std::to_string(payload_bytes) + " B) is " +
+      (ring ? "past it: the ring's 1/N-sized chunks amortize the extra "
+              "rounds (bandwidth-bound regime)."
+            : std::string("below it: log2(N) latency-bound rounds beat "
+                          "the ring's O(N) chain") +
+                  (pow2 ? ", and recursive doubling halves even the "
+                          "tree's round count at a power-of-two rank "
+                          "count."
+                        : "."));
+  return adv;
 }
 
 }  // namespace ncsend

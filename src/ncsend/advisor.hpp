@@ -3,6 +3,7 @@
 /// \brief The paper's conclusion (§5), executable.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ncsend/layout.hpp"
@@ -37,5 +38,32 @@ Recommendation advise(const minimpi::MachineProfile& profile,
 Recommendation advise(const minimpi::MachineProfile& profile,
                       std::size_t payload_bytes, const Layout& layout,
                       const CommPattern& pattern);
+
+/// \brief Algorithm choice for one collective call.
+struct CollectiveAdvice {
+  std::string algorithm;         ///< "tree", "ring", or "rd"
+  std::size_t crossover_bytes;   ///< tree→ring switch point on this machine
+  std::string rationale;         ///< the α/β trade, in the machine's numbers
+};
+
+/// \brief Recommend a collective algorithm (the BENCH_collective_sweep
+/// crossover, closed-form): binomial trees pay ceil(log2 N) full-vector
+/// rounds — latency-optimal, bandwidth-wasteful — while rings pay O(N)
+/// rounds of B/N-byte chunks — bandwidth-optimal, latency-heavy.  With
+/// per-round latency α = send_overhead + net_latency and wire bandwidth
+/// β, the switch point is
+///
+///   B* = α·β · (ring_rounds − tree_rounds) / (tree_rounds − ring_rounds/N)
+///
+/// so machines with expensive sends (knl's slow protocol core) switch
+/// to the ring *later* than machines with cheap ones (skx) — the
+/// per-profile ordering the sweep exposes empirically.  Below the
+/// crossover, power-of-two rank counts get "rd" (recursive doubling
+/// halves the tree's round count for the all-to-all ops).  `op` is a
+/// collective op name ("allreduce", "bcast", "allgather",
+/// "reduce-scatter"); throws MM_ERR_ARG for junk.
+CollectiveAdvice advise_collective(const minimpi::MachineProfile& profile,
+                                   std::string_view op,
+                                   std::size_t payload_bytes, int nranks);
 
 }  // namespace ncsend

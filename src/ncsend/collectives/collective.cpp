@@ -1,0 +1,407 @@
+/// \file collective.cpp
+/// \brief Closed-form collective schedules, the `collective(...)` spec
+/// parser, and the pattern-layer plumbing.
+///
+/// Every schedule below is written twice — `send_of` and `recv_of` are
+/// derived independently from the round index — and the two derivations
+/// must agree transfer-for-transfer.  Tests pin that mirror exhaustively
+/// (test_collective_algorithms.cpp) and the modeled digest re-checks it
+/// at every rank count a bench sweeps.
+
+#include "ncsend/collectives/collective.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "minimpi/minimpi.hpp"
+
+namespace ncsend {
+namespace coll {
+
+namespace {
+
+/// ceil(log2(n)) for n >= 1.
+int ceil_log2(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::string_view op_name(CollOp op) {
+  switch (op) {
+    case CollOp::allreduce: return "allreduce";
+    case CollOp::bcast: return "bcast";
+    case CollOp::allgather: return "allgather";
+    case CollOp::reduce_scatter: return "reduce-scatter";
+  }
+  return "?";
+}
+
+std::string_view algo_name(CollAlgo algo) {
+  switch (algo) {
+    case CollAlgo::tree: return "tree";
+    case CollAlgo::ring: return "ring";
+    case CollAlgo::rdouble: return "rd";
+  }
+  return "?";
+}
+
+std::optional<CollOp> op_by_name(std::string_view name) {
+  if (name == "allreduce") return CollOp::allreduce;
+  if (name == "bcast") return CollOp::bcast;
+  if (name == "allgather") return CollOp::allgather;
+  if (name == "reduce-scatter") return CollOp::reduce_scatter;
+  return std::nullopt;
+}
+
+std::optional<CollAlgo> algo_by_name(std::string_view name) {
+  if (name == "tree") return CollAlgo::tree;
+  if (name == "ring") return CollAlgo::ring;
+  if (name == "rd") return CollAlgo::rdouble;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// CollectiveSchedule
+// ---------------------------------------------------------------------------
+
+CollectiveSchedule::CollectiveSchedule(CollOp op, CollAlgo algo, int nranks,
+                                       std::size_t elems)
+    : op_(op), algo_(algo), nranks_(nranks), elems_(elems) {
+  minimpi::require(nranks >= 2, minimpi::ErrorClass::invalid_arg,
+                   "collective schedule needs at least 2 ranks");
+  // Rooted bcast has no recursive-doubling form: the butterfly needs
+  // data on every rank to exchange.  It degenerates to the binomial
+  // tree, which *is* the rooted half of the doubling butterfly.
+  if (op_ == CollOp::bcast && algo_ == CollAlgo::rdouble)
+    algo_ = CollAlgo::tree;
+  minimpi::require(algo_ != CollAlgo::rdouble || is_pow2(nranks),
+                   minimpi::ErrorClass::invalid_arg,
+                   "recursive doubling needs a power-of-two rank count");
+  log2n_ = ceil_log2(nranks_);
+  switch (algo_) {
+    case CollAlgo::tree:
+      // bcast: K one-way rounds.  Everything else pays a down *and* an
+      // up sweep: reduce+bcast (allreduce), gather+bcast (allgather),
+      // reduce+scatter (reduce-scatter).
+      rounds_ = op_ == CollOp::bcast ? log2n_ : 2 * log2n_;
+      break;
+    case CollAlgo::ring:
+      switch (op_) {
+        case CollOp::allreduce: rounds_ = 2 * (nranks_ - 1); break;
+        case CollOp::allgather:
+        case CollOp::reduce_scatter: rounds_ = nranks_ - 1; break;
+        case CollOp::bcast:
+          // Pipelined line: N segments ripple down N-1 hops; the last
+          // segment leaves rank N-2 at round (N-2)+(N-1).
+          rounds_ = 2 * nranks_ - 2;
+          break;
+      }
+      break;
+    case CollAlgo::rdouble:
+      rounds_ = log2n_;
+      break;
+  }
+}
+
+std::optional<CollTransfer> CollectiveSchedule::send_of(int rank,
+                                                        int round) const {
+  if (rank < 0 || rank >= nranks_ || round < 0 || round >= rounds_)
+    return std::nullopt;
+  const int N = nranks_;
+  const int K = log2n_;
+  const auto make = [&](int src, int dst, std::size_t lo, std::size_t hi,
+                        bool combine) -> std::optional<CollTransfer> {
+    if (hi <= lo) return std::nullopt;
+    return CollTransfer{src, dst, hi - lo, lo, lo, combine};
+  };
+
+  switch (algo_) {
+    case CollAlgo::tree: {
+      // Phase split: ops other than bcast run K "down" rounds (toward
+      // rank 0) followed by K "up" rounds (away from rank 0).
+      const bool down_phase = op_ != CollOp::bcast && round < K;
+      if (down_phase) {
+        const int mask = 1 << round;
+        if ((rank & (2 * mask - 1)) != mask) return std::nullopt;
+        const int dst = rank - mask;
+        if (op_ == CollOp::allgather) {
+          // Gather: forward the chunk range this rank has accumulated,
+          // [chunk rank, chunk min(rank+mask, N)), at its own offsets.
+          return make(rank, dst, chunk_lo(rank),
+                      chunk_lo(std::min(rank + mask, N)), /*combine=*/false);
+        }
+        // Reduce: the full working vector, summed into the parent.
+        return make(rank, dst, 0, elems_, /*combine=*/true);
+      }
+      // Up phase (bcast rounds, or the scatter half of reduce-scatter):
+      // masks shrink so the tree fans out from rank 0.
+      const int t = op_ == CollOp::bcast ? round : round - K;
+      const int mask = 1 << (K - 1 - t);
+      if ((rank & (2 * mask - 1)) != 0 || rank + mask >= N)
+        return std::nullopt;
+      const int dst = rank + mask;
+      if (op_ == CollOp::reduce_scatter) {
+        // Scatter: hand the subtree rooted at dst its chunk range.
+        return make(rank, dst, chunk_lo(dst),
+                    chunk_lo(std::min(dst + mask, N)), /*combine=*/false);
+      }
+      // bcast / the broadcast half of allreduce & allgather: full vector.
+      return make(rank, dst, 0, elems_, /*combine=*/false);
+    }
+
+    case CollAlgo::ring: {
+      if (op_ == CollOp::bcast) {
+        // Pipelined line: rank r forwards segment (round - r) to r+1.
+        if (rank > N - 2) return std::nullopt;
+        const int seg = round - rank;
+        if (seg < 0 || seg > N - 1) return std::nullopt;
+        return make(rank, rank + 1, chunk_lo(seg), chunk_hi(seg),
+                    /*combine=*/false);
+      }
+      // Reduce-scatter phase (combine) then allgather phase (copy).
+      // The -1 shift in the RS chunk index makes rank r end the RS
+      // phase owning fully reduced chunk r, which the AG phase then
+      // circulates starting from each owner.
+      const bool rs_phase =
+          op_ == CollOp::reduce_scatter ||
+          (op_ == CollOp::allreduce && round < N - 1);
+      const int k = rs_phase ? round : (op_ == CollOp::allreduce
+                                            ? round - (N - 1)
+                                            : round);
+      const int chunk = rs_phase ? (((rank - k - 1) % N) + N) % N
+                                 : (((rank - k) % N) + N) % N;
+      return make(rank, (rank + 1) % N, chunk_lo(chunk), chunk_hi(chunk),
+                  /*combine=*/rs_phase);
+    }
+
+    case CollAlgo::rdouble: {
+      switch (op_) {
+        case CollOp::allreduce: {
+          // Butterfly: exchange the full vector with the round's partner.
+          const int partner = rank ^ (1 << round);
+          return make(rank, partner, 0, elems_, /*combine=*/true);
+        }
+        case CollOp::allgather: {
+          // This rank owns chunks [base, base + 2^t); send them all.
+          const int mask = 1 << round;
+          const int partner = rank ^ mask;
+          const int base = rank & ~(mask - 1);
+          return make(rank, partner, chunk_lo(base), chunk_lo(base + mask),
+                      /*combine=*/false);
+        }
+        case CollOp::reduce_scatter: {
+          // Halving: send the half of the active range containing the
+          // partner, keep (and next round halve) the half containing us.
+          const int dist = N >> (round + 1);
+          const int partner = rank ^ dist;
+          const int base = rank & ~(2 * dist - 1);
+          const bool low = (rank & dist) == 0;
+          const int lo_chunk = low ? base + dist : base;
+          return make(rank, partner, chunk_lo(lo_chunk),
+                      chunk_lo(lo_chunk + dist), /*combine=*/true);
+        }
+        case CollOp::bcast: break;  // rewritten to tree in the ctor
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CollTransfer> CollectiveSchedule::recv_of(int rank,
+                                                        int round) const {
+  if (rank < 0 || rank >= nranks_ || round < 0 || round >= rounds_)
+    return std::nullopt;
+  const int N = nranks_;
+  const int K = log2n_;
+  const auto make = [&](int src, int dst, std::size_t lo, std::size_t hi,
+                        bool combine) -> std::optional<CollTransfer> {
+    if (hi <= lo) return std::nullopt;
+    return CollTransfer{src, dst, hi - lo, lo, lo, combine};
+  };
+
+  switch (algo_) {
+    case CollAlgo::tree: {
+      const bool down_phase = op_ != CollOp::bcast && round < K;
+      if (down_phase) {
+        const int mask = 1 << round;
+        if ((rank & (2 * mask - 1)) != 0 || rank + mask >= N)
+          return std::nullopt;
+        const int src = rank + mask;
+        if (op_ == CollOp::allgather)
+          return make(src, rank, chunk_lo(src),
+                      chunk_lo(std::min(src + mask, N)), /*combine=*/false);
+        return make(src, rank, 0, elems_, /*combine=*/true);
+      }
+      const int t = op_ == CollOp::bcast ? round : round - K;
+      const int mask = 1 << (K - 1 - t);
+      if ((rank & (2 * mask - 1)) != mask) return std::nullopt;
+      const int src = rank - mask;
+      if (op_ == CollOp::reduce_scatter)
+        return make(src, rank, chunk_lo(rank),
+                    chunk_lo(std::min(rank + mask, N)), /*combine=*/false);
+      return make(src, rank, 0, elems_, /*combine=*/false);
+    }
+
+    case CollAlgo::ring: {
+      if (op_ == CollOp::bcast) {
+        if (rank < 1) return std::nullopt;
+        const int seg = round - (rank - 1);
+        if (seg < 0 || seg > N - 1) return std::nullopt;
+        return make(rank - 1, rank, chunk_lo(seg), chunk_hi(seg),
+                    /*combine=*/false);
+      }
+      const bool rs_phase =
+          op_ == CollOp::reduce_scatter ||
+          (op_ == CollOp::allreduce && round < N - 1);
+      const int k = rs_phase ? round : (op_ == CollOp::allreduce
+                                            ? round - (N - 1)
+                                            : round);
+      const int src = (rank + N - 1) % N;
+      const int chunk = rs_phase ? (((src - k - 1) % N) + N) % N
+                                 : (((src - k) % N) + N) % N;
+      return make(src, rank, chunk_lo(chunk), chunk_hi(chunk),
+                  /*combine=*/rs_phase);
+    }
+
+    case CollAlgo::rdouble: {
+      switch (op_) {
+        case CollOp::allreduce: {
+          const int partner = rank ^ (1 << round);
+          return make(partner, rank, 0, elems_, /*combine=*/true);
+        }
+        case CollOp::allgather: {
+          const int mask = 1 << round;
+          const int partner = rank ^ mask;
+          const int pbase = partner & ~(mask - 1);
+          return make(partner, rank, chunk_lo(pbase), chunk_lo(pbase + mask),
+                      /*combine=*/false);
+        }
+        case CollOp::reduce_scatter: {
+          const int dist = N >> (round + 1);
+          const int partner = rank ^ dist;
+          const int base = rank & ~(2 * dist - 1);
+          // We receive the half containing *us* (the partner sent the
+          // half containing its partner — which is this rank's half).
+          const bool low = (rank & dist) == 0;
+          const int lo_chunk = low ? base : base + dist;
+          return make(partner, rank, chunk_lo(lo_chunk),
+                      chunk_lo(lo_chunk + dist), /*combine=*/true);
+        }
+        case CollOp::bcast: break;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<CollTransfer> CollectiveSchedule::round_transfers(
+    int round) const {
+  std::vector<CollTransfer> out;
+  for (int r = 0; r < nranks_; ++r)
+    if (auto t = send_of(r, round)) out.push_back(*t);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CollectivePattern
+// ---------------------------------------------------------------------------
+
+CollectivePattern::CollectivePattern(CollOp op, CollAlgo algo, int nranks)
+    : CommPattern(std::string("collective(") + std::string(op_name(op)) +
+                  ":" + std::string(algo_name(algo)) + ":" +
+                  std::to_string(nranks) + ")"),
+      op_(op), algo_(algo), nranks_(nranks) {}
+
+std::vector<Transfer> CollectivePattern::sends(int rank,
+                                               const Layout& base) const {
+  // Informational flattening (advisor bytes, tests): one contiguous
+  // transfer per scheduled hop, across all rounds.
+  const CollectiveSchedule sched = schedule(base.element_count());
+  std::vector<Transfer> out;
+  for (int t = 0; t < sched.round_count(); ++t)
+    if (auto tr = sched.send_of(rank, t))
+      out.push_back({tr->dst, Layout::contiguous(tr->elems)});
+  return out;
+}
+
+std::string CollectivePattern::cell_layout_name(const Layout& base) const {
+  return "coll(n=" + std::to_string(base.element_count()) + ")";
+}
+
+RunResult CollectivePattern::run(const minimpi::UniverseOptions& opts,
+                                 std::string_view scheme_name,
+                                 const Layout& base,
+                                 const HarnessConfig& cfg) const {
+  RunResult result;
+  minimpi::Universe::run(opts, [&](minimpi::Comm& comm) {
+    run_collective_rank(comm, *this, scheme_name, base, cfg, &result);
+  });
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing & scheme legend
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CommPattern> make_collective_pattern(std::string_view args) {
+  // "op:algo:N" — e.g. "allreduce:ring:64".
+  const std::size_t c1 = args.find(':');
+  if (c1 == std::string_view::npos) return nullptr;
+  const std::size_t c2 = args.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return nullptr;
+  const auto op = op_by_name(args.substr(0, c1));
+  const auto algo = algo_by_name(args.substr(c1 + 1, c2 - c1 - 1));
+  if (!op || !algo) return nullptr;
+  const std::string_view ntext = args.substr(c2 + 1);
+  int n = 0;
+  const auto [ptr, ec] =
+      std::from_chars(ntext.data(), ntext.data() + ntext.size(), n);
+  if (ec != std::errc{} || ptr != ntext.data() + ntext.size()) return nullptr;
+  if (n < 2 || n > 4096) return nullptr;
+  // rd demands a power of two *as spelled*; only bcast (which has no
+  // doubling form and always means the tree) is exempt.
+  if (*algo == CollAlgo::rdouble && *op != CollOp::bcast && !is_pow2(n))
+    return nullptr;
+  return std::make_unique<CollectivePattern>(*op, *algo, n);
+}
+
+bool is_collective_pattern_name(std::string_view pattern_name) {
+  return pattern_name == "collective" ||
+         pattern_name.substr(0, 11) == "collective(";
+}
+
+const std::vector<std::string>& collective_scheme_names() {
+  // Message-mode schemes whose start() restages the live user buffer.
+  // Out: "reference" (one-shot setup snapshot goes stale across
+  // pipelined rounds), "buffered" (unbounded per-round bsend-pool
+  // demand), "rsend(v)" (receives are posted round-by-round, so the
+  // ready-mode guarantee cannot be given), and the RMA epochs.
+  static const std::vector<std::string> names = {
+      "copying",    "vector type", "subarray",      "packing(e)",
+      "packing(v)", "isend(v)",    "ssend(v)",      "persistent(v)",
+      "packing(p)",
+  };
+  return names;
+}
+
+bool collective_scheme_supported(std::string_view scheme) {
+  const auto& names = collective_scheme_names();
+  return std::find(names.begin(), names.end(), scheme) != names.end();
+}
+
+std::vector<std::string> schemes_for_patterns(
+    const std::vector<std::string>& patterns) {
+  for (const std::string& p : patterns)
+    if (is_collective_pattern_name(p)) return collective_scheme_names();
+  return pattern_scheme_names();
+}
+
+}  // namespace coll
+}  // namespace ncsend

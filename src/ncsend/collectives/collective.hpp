@@ -1,0 +1,198 @@
+#pragma once
+/// \file collective.hpp
+/// \brief Collective algorithms as schedules of peer-addressed
+/// transfers on the N-rank pattern engine.
+///
+/// The runtime's built-in collectives (comm.hpp: bcast / reduce /
+/// allreduce / gather) charge one closed-form `ceil(log2 N)` tree cost
+/// and sit entirely outside the scheme/pattern/timeline machinery.
+/// This subsystem rebuilds the four workhorse collectives — allreduce,
+/// bcast, allgather, reduce-scatter — as *schedules*: per-round lists
+/// of peer-addressed transfers, each executed through a real
+/// `TransferScheme` on the pattern engine's per-rank CPU/NIC
+/// timelines.  The algorithm's cost is not asserted, it *emerges* from
+/// resource occupancy, exactly as §4.7 contention does — so the
+/// textbook small-message-tree vs large-message-ring crossover shows
+/// up per machine profile in `BENCH_collective_sweep.json`.
+///
+/// Three pluggable topologies:
+///   * `tree` — binomial tree: ceil(log2 N) rounds of full-vector
+///     hops (reduce to rank 0 + scatter/bcast back).  Latency-optimal,
+///     bandwidth-wasteful: K * B bytes cross the wire.
+///   * `ring` — chunked ring pipeline: 2(N-1) rounds of B/N-byte
+///     chunks for allreduce (reduce-scatter phase + allgather phase).
+///     Bandwidth-optimal (2B(N-1)/N total), latency-heavy.
+///   * `rd`   — recursive doubling: log2 N rounds of pairwise
+///     exchange (power-of-two rank counts only; the spec parser
+///     rejects anything else).  Rooted bcast has no doubling form and
+///     degenerates to the binomial tree schedule.
+///
+/// The pattern axis spells it `collective(op:algo:N)` — e.g.
+/// `collective(allreduce:ring:64)` — registered in
+/// `CommPattern::by_name` like every other family.  A collective cell
+/// runs, compiles, and replays through the same experiment-engine path
+/// as halo or transpose cells (DESIGN.md §2.11).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ncsend/patterns/pattern.hpp"
+
+namespace ncsend {
+namespace coll {
+
+enum class CollOp { allreduce, bcast, allgather, reduce_scatter };
+enum class CollAlgo { tree, ring, rdouble };
+
+std::string_view op_name(CollOp op);
+std::string_view algo_name(CollAlgo algo);
+std::optional<CollOp> op_by_name(std::string_view name);
+std::optional<CollAlgo> algo_by_name(std::string_view name);
+
+/// One directed hop of a collective schedule: `elems` doubles from
+/// `src`'s working vector at `src_offset` to `dst`'s at `dst_offset`.
+/// `combine` makes the receiver reduce (sum) into place instead of
+/// copying — the difference between a reduction tree and a scatter.
+struct CollTransfer {
+  int src = 0;
+  int dst = 0;
+  std::size_t elems = 0;
+  std::size_t src_offset = 0;
+  std::size_t dst_offset = 0;
+  bool combine = false;
+};
+
+/// \brief A collective algorithm as a round-indexed transfer schedule.
+///
+/// The schedule is *closed-form*: `send_of` / `recv_of` answer "what
+/// does rank r do in round t" in O(1), so a 1024-rank ring never
+/// materializes its ~2 million global transfers — each rank derives
+/// only its own row, the same scalability trick the sparse `graph`
+/// patterns use.  `round_transfers` (tests, `sends` flattening)
+/// iterates ranks on demand.
+///
+/// Data model: every rank holds a working vector of `elems` doubles.
+/// The vector is split into `nranks` chunks at `chunk_lo/chunk_hi`
+/// boundaries (chunk c owns elements [c*elems/N, (c+1)*elems/N); empty
+/// chunks are legal and simply produce no transfer).  Initial contents
+/// and final expectations per op are defined by the engine
+/// (collective_harness.cpp).
+class CollectiveSchedule {
+ public:
+  CollectiveSchedule(CollOp op, CollAlgo algo, int nranks,
+                     std::size_t elems);
+
+  [[nodiscard]] CollOp op() const noexcept { return op_; }
+  [[nodiscard]] CollAlgo algo() const noexcept { return algo_; }
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+  [[nodiscard]] std::size_t elems() const noexcept { return elems_; }
+  [[nodiscard]] int round_count() const noexcept { return rounds_; }
+
+  /// Chunk boundaries in elements (chunk index in [0, nranks]).
+  [[nodiscard]] std::size_t chunk_lo(int c) const noexcept {
+    return static_cast<std::size_t>(c) * elems_ /
+           static_cast<std::size_t>(nranks_);
+  }
+  [[nodiscard]] std::size_t chunk_hi(int c) const noexcept {
+    return chunk_lo(c + 1);
+  }
+
+  /// Rank `rank`'s outgoing transfer in round `round`, if any.  Every
+  /// schedule has at most one send and one receive per rank per round.
+  [[nodiscard]] std::optional<CollTransfer> send_of(int rank,
+                                                    int round) const;
+  /// Rank `rank`'s incoming transfer in round `round`, if any —
+  /// exactly `send_of(src, round)` of the peer that targets `rank`,
+  /// derived independently (the mirror the digest verification pins).
+  [[nodiscard]] std::optional<CollTransfer> recv_of(int rank,
+                                                    int round) const;
+
+  /// All transfers of one round (iterates ranks; tests and the
+  /// pattern-layer `sends` flattening).
+  [[nodiscard]] std::vector<CollTransfer> round_transfers(int round) const;
+
+ private:
+  CollOp op_;
+  CollAlgo algo_;
+  int nranks_;
+  std::size_t elems_;
+  int rounds_ = 0;
+  int log2n_ = 0;  ///< ceil(log2 nranks)
+};
+
+/// \brief The `collective(op:algo:N)` pattern: one measurement cell is
+/// a full N-rank collective whose step executes the whole schedule —
+/// every round's transfers through real per-transfer `TransferScheme`s
+/// — with its own engine (`run_collective_rank`) replacing the generic
+/// exchange loop.
+class CollectivePattern final : public CommPattern {
+ public:
+  CollectivePattern(CollOp op, CollAlgo algo, int nranks);
+
+  [[nodiscard]] int nranks() const override { return nranks_; }
+  [[nodiscard]] int concurrent_senders() const override { return 1; }
+  [[nodiscard]] std::vector<Transfer> sends(int rank,
+                                            const Layout& base) const override;
+  [[nodiscard]] std::string cell_layout_name(
+      const Layout& base) const override;
+  [[nodiscard]] RunResult run(const minimpi::UniverseOptions& opts,
+                              std::string_view scheme_name,
+                              const Layout& base,
+                              const HarnessConfig& cfg) const override;
+
+  [[nodiscard]] CollOp op() const noexcept { return op_; }
+  [[nodiscard]] CollAlgo algo() const noexcept { return algo_; }
+  [[nodiscard]] CollectiveSchedule schedule(std::size_t elems) const {
+    return CollectiveSchedule(op_, algo_, nranks_, elems);
+  }
+
+ private:
+  CollOp op_;
+  CollAlgo algo_;
+  int nranks_;
+};
+
+/// \brief Spec parser + factory for the `collective(...)` registry
+/// family: accepts `op:algo:N` (and bare defaults handled by the
+/// caller).  Ops: allreduce, bcast, allgather, reduce-scatter.  Algos:
+/// tree, ring, rd (rd requires N a power of two).  N in [2, 4096].
+/// Returns null on malformed input (`CommPattern::by_name` raises
+/// MM_ERR_ARG, so CLIs exit 2).
+std::unique_ptr<CommPattern> make_collective_pattern(std::string_view args);
+
+/// True for canonical `collective(...)` pattern ids.
+bool is_collective_pattern_name(std::string_view pattern_name);
+
+/// \brief The scheme legend the collective engine drives: the
+/// message-mode schemes whose `start()` reads the live user buffer
+/// (pipelined rounds re-stage data every hop).  Excluded: `reference`
+/// (snapshots its payload once in `setup`), `rsend(v)` (receives are
+/// posted per round, not pre-posted), `buffered` (the rank-wide bsend
+/// pool cannot be sized for a round count that varies per cell), and
+/// the RMA schemes (the engine's choreography is two-sided).
+const std::vector<std::string>& collective_scheme_names();
+bool collective_scheme_supported(std::string_view scheme);
+
+/// \brief Schemes valid for every pattern in `patterns`: the full
+/// pattern legend, intersected down to `collective_scheme_names()`
+/// when any collective pattern is present (benches compose mixed
+/// `--pattern` lists).
+std::vector<std::string> schemes_for_patterns(
+    const std::vector<std::string>& patterns);
+
+/// \brief Per-rank body of one collective measurement, run inside
+/// `Universe::run` on every rank: executes the schedule once per timed
+/// step, verifies delivered values in functional runs and mirrored
+/// schedule digests (via the typed int64 allreduce) in modeled runs.
+/// Rank 0 writes the fused result to `*out`.
+void run_collective_rank(minimpi::Comm& comm,
+                         const CollectivePattern& pattern,
+                         std::string_view scheme_name, const Layout& base,
+                         const HarnessConfig& cfg, RunResult* out);
+
+}  // namespace coll
+}  // namespace ncsend

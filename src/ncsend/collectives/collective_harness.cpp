@@ -1,0 +1,376 @@
+/// \file collective_harness.cpp
+/// \brief The per-round collective engine behind `CollectivePattern::run`.
+///
+/// One timed step executes the whole schedule: for each round, this
+/// rank posts the round's receive (through the scheme's
+/// `post_receives`, so chunked schemes land correctly), stages its
+/// outgoing range into the transfer's host array, starts the real
+/// `TransferScheme` in posted mode, drains the receive, applies the
+/// delivered bytes to the working vector (summing for `combine`
+/// transfers, with the reduction arithmetic charged as a copy loop),
+/// and completes the send.  Receives are posted per round — never
+/// pre-posted globally — so a `ring:1024` schedule keeps O(1) request
+/// state per rank instead of materializing ~2M outstanding receives.
+///
+/// Charging policy: the staging copy into the scheme's host array and
+/// the receive-side placement copy are *not* charged — a real
+/// implementation sends from and receives into the working vector
+/// directly; both copies are artifacts of the scheme owning its own
+/// endpoint buffers.  The `combine` summation *is* charged
+/// (`charge_copy` over the received bytes): reduction arithmetic is
+/// genuine per-element work every allreduce algorithm pays.  Everything
+/// else — pack loops, eager/rendezvous protocol, NIC serialization —
+/// is charged by the schemes and the runtime exactly as in every other
+/// pattern, which is the point: algorithm cost *emerges* from the same
+/// timeline machinery.
+///
+/// Matching safety: all transfers use `ping_tag`.  Rounds may skew
+/// between ranks (there is no per-round barrier), but each rank posts
+/// receives and injects sends in round order, and mailbox matching is
+/// FIFO per (src, tag) — so the k-th send from a given neighbor always
+/// meets the k-th posted receive from it, and sizes line up because
+/// both endpoints derive the same closed-form schedule.  Receives are
+/// drained before send-waits, the same host-level deadlock-freedom
+/// argument as the generic engine.
+
+#include "ncsend/collectives/collective.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "memsim/flusher.hpp"
+#include "ncsend/schemes/schemes.hpp"
+
+namespace ncsend {
+namespace coll {
+namespace {
+
+using minimpi::Buffer;
+using minimpi::Comm;
+using minimpi::Rank;
+using minimpi::Request;
+
+/// One reusable scheme endpoint: collective schedules revisit the same
+/// (peer, size) pair many times (every ring round, say), and scheme
+/// state — staging buffers, committed datatypes, persistent requests —
+/// is per (peer, layout), so one instance serves all of them.  Reuse is
+/// safe because the engine completes each round's requests (and calls
+/// `finish`) before the slot's next use, and because envelopes snapshot
+/// the payload at injection time.
+struct SchemeSlot {
+  Rank peer = 0;
+  Layout layout = Layout::contiguous(0);
+  Buffer user;  ///< host array the scheme sends from
+  std::unique_ptr<TransferScheme> scheme;
+};
+
+std::int64_t ipow_mix(std::int64_t h, std::int64_t v) {
+  return h * 1'000'003 + v;
+}
+
+/// Structural + sampled digest of one scheduled transfer: both
+/// endpoints compute it from their *own* closed-form derivation
+/// (`send_of` on the sender, `recv_of` on the receiver), so equal fused
+/// totals certify the two derivations describe the same transfers.
+/// Terms are integers and totals can exceed 2^53 at large rank counts,
+/// which is exactly what the typed int64 allreduce is for.
+std::int64_t transfer_digest(const CollTransfer& t, int round,
+                             int verify_samples) {
+  std::int64_t h = 0;
+  h = ipow_mix(h, round);
+  h = ipow_mix(h, t.src);
+  h = ipow_mix(h, t.dst);
+  h = ipow_mix(h, static_cast<std::int64_t>(t.elems));
+  h = ipow_mix(h, static_cast<std::int64_t>(t.src_offset));
+  h = ipow_mix(h, static_cast<std::int64_t>(t.dst_offset));
+  h = ipow_mix(h, t.combine ? 1 : 0);
+  const auto samples = std::min<std::size_t>(
+      static_cast<std::size_t>(verify_samples), t.elems);
+  if (samples > 0) {
+    const std::size_t step =
+        t.elems / samples + (t.elems % samples != 0 ? 1 : 0);
+    for (std::size_t k = 0; k < t.elems; k += step)
+      h += static_cast<std::int64_t>(
+          ((t.src_offset + k) * 2654435761ULL) % 100003);
+  }
+  return h;
+}
+
+}  // namespace
+
+void run_collective_rank(Comm& comm, const CollectivePattern& pattern,
+                         std::string_view scheme_name, const Layout& base,
+                         const HarnessConfig& cfg, RunResult* out) {
+  minimpi::require(comm.size() == pattern.nranks(),
+                   minimpi::ErrorClass::invalid_arg,
+                   "collective universe has the wrong rank count");
+  // Resolves the name first (junk throws on every rank alike), then
+  // narrows to the collective legend.
+  const std::unique_ptr<TransferScheme> proto =
+      make_transfer_scheme(scheme_name);
+  minimpi::require(collective_scheme_supported(scheme_name),
+                   minimpi::ErrorClass::invalid_arg,
+                   "scheme not supported by the collective engine");
+
+  const int me = comm.rank();
+  const int N = comm.size();
+  const std::size_t elems = base.element_count();
+  const CollectiveSchedule sched = pattern.schedule(elems);
+  const int rounds = sched.round_count();
+
+  // --- this rank's row of the schedule, derived once -----------------------
+  std::vector<std::optional<CollTransfer>> my_sends;
+  std::vector<std::optional<CollTransfer>> my_recvs;
+  my_sends.reserve(static_cast<std::size_t>(rounds));
+  my_recvs.reserve(static_cast<std::size_t>(rounds));
+  for (int t = 0; t < rounds; ++t) {
+    my_sends.push_back(sched.send_of(me, t));
+    my_recvs.push_back(sched.recv_of(me, t));
+  }
+
+  // --- buffers and scheme state, outside the timing loop -------------------
+  memsim::CacheModel cache(comm.profile().cache_bytes);
+  const std::size_t vec_bytes = elems * sizeof(double);
+  Buffer working = Buffer::allocate(vec_bytes, comm.moves_payload(vec_bytes));
+
+  // One scheme instance per distinct (peer, size); `slot_of[t]` maps
+  // each sending round to its slot.
+  std::vector<SchemeSlot> slots;
+  std::vector<int> slot_of(static_cast<std::size_t>(rounds), -1);
+  {
+    std::map<std::pair<Rank, std::size_t>, int> index;
+    for (int t = 0; t < rounds; ++t) {
+      if (!my_sends[t]) continue;
+      const auto key = std::make_pair(static_cast<Rank>(my_sends[t]->dst),
+                                      my_sends[t]->elems);
+      auto [it, inserted] =
+          index.emplace(key, static_cast<int>(index.size()));
+      slot_of[static_cast<std::size_t>(t)] = it->second;
+      if (!inserted) continue;
+      SchemeSlot slot;
+      slot.peer = key.first;
+      slot.layout = Layout::contiguous(key.second);
+      slots.push_back(std::move(slot));
+    }
+  }
+  std::vector<TransferContext> contexts;
+  contexts.reserve(slots.size());
+  for (std::size_t si = 0; si < slots.size(); ++si) {
+    SchemeSlot& slot = slots[si];
+    const std::size_t bytes = slot.layout.payload_bytes();
+    slot.user = Buffer::allocate(bytes, comm.moves_payload(bytes));
+    slot.scheme = make_transfer_scheme(scheme_name);
+    contexts.push_back(TransferContext{comm, slot.layout, cache, slot.user,
+                                       slot.peer,
+                                       /*user_region=*/1 + 2 * si,
+                                       /*staging_region=*/2 + 2 * si,
+                                       ping_tag,
+                                       /*blocking=*/false});
+  }
+  // One reusable ghost buffer sized for the largest incoming round.
+  std::size_t max_recv_bytes = 0;
+  for (const auto& r : my_recvs)
+    if (r) max_recv_bytes =
+        std::max(max_recv_bytes, r->elems * sizeof(double));
+  Buffer ghost = Buffer::allocate(max_recv_bytes,
+                                  comm.moves_payload(max_recv_bytes));
+
+  for (std::size_t si = 0; si < slots.size(); ++si)
+    slots[si].scheme->setup(contexts[si]);
+
+  // --- initial working-vector contents (functional runs) -------------------
+  // Recognizable per-rank values: rank r's element i starts as
+  // fill_value(salt_r + i) wherever the op gives r initial data.  All
+  // fills are exact multiples of 1/8 below 100003, so every reduced sum
+  // this engine can produce (<= 4096 terms) is exact in double and the
+  // end-state comparison below is an equality, not a tolerance.
+  const bool data = !working.is_phantom() && comm.moves_payload(vec_bytes);
+  const auto rank_salt = [](int r) { return pattern_fill_salt(r, 0); };
+  const auto initialize = [&] {
+    if (!data) return;
+    auto w = working.as<double>();
+    switch (sched.op()) {
+      case CollOp::bcast:
+        for (std::size_t i = 0; i < elems; ++i)
+          w[i] = me == 0 ? fill_value(rank_salt(0) + i) : 0.0;
+        break;
+      case CollOp::allreduce:
+      case CollOp::reduce_scatter:
+        for (std::size_t i = 0; i < elems; ++i)
+          w[i] = fill_value(rank_salt(me) + i);
+        break;
+      case CollOp::allgather:
+        for (std::size_t i = 0; i < elems; ++i) w[i] = 0.0;
+        for (std::size_t i = sched.chunk_lo(me); i < sched.chunk_hi(me); ++i)
+          w[i] = fill_value(rank_salt(me) + i);
+        break;
+    }
+  };
+
+  memsim::CacheFlusher flusher(cache, cfg.flush, cfg.flush_bytes);
+  comm.barrier();
+
+  // --- timed steps ---------------------------------------------------------
+  // Same capture choreography as the generic engine: everything above
+  // is compile-phase state a `CommPlan` pins; the loop is the replay
+  // phase.  The working-vector reset is host-only (no charges, no plan
+  // actions), so reps stay identical — the compile self-check depends
+  // on that.
+  std::vector<double> local;
+  local.reserve(static_cast<std::size_t>(cfg.reps));
+  std::vector<Request> rreqs;
+  std::vector<Request> sreqs;
+  const auto execute_step = [&] {
+    for (int t = 0; t < rounds; ++t) {
+      const auto& rv = my_recvs[t];
+      const auto& sv = my_sends[t];
+      rreqs.clear();
+      if (rv) {
+        const Layout rlayout = Layout::contiguous(rv->elems);
+        proto->post_receives(comm, rv->src, rlayout, ghost.data(), ping_tag,
+                             rreqs);
+      }
+      sreqs.clear();
+      SchemeSlot* sslot = nullptr;
+      TransferContext* sctx = nullptr;
+      if (sv) {
+        const int si = slot_of[static_cast<std::size_t>(t)];
+        SchemeSlot& slot = slots[static_cast<std::size_t>(si)];
+        sslot = &slot;
+        sctx = &contexts[static_cast<std::size_t>(si)];
+        if (data && !slot.user.is_phantom()) {
+          const auto w = working.as<const double>();
+          auto u = slot.user.as<double>();
+          std::copy(w.begin() + static_cast<std::ptrdiff_t>(sv->src_offset),
+                    w.begin() + static_cast<std::ptrdiff_t>(sv->src_offset +
+                                                            sv->elems),
+                    u.begin());
+        }
+        slot.scheme->start(*sctx, sreqs);
+      }
+      waitall(rreqs);
+      if (rv) {
+        const std::size_t bytes = rv->elems * sizeof(double);
+        if (rv->combine) {
+          // The reduction arithmetic is genuine per-element work; cold
+          // (the flusher evicted both operands between steps).
+          comm.charge_copy(bytes, minimpi::BlockStats{1, bytes, bytes, bytes},
+                           /*warm_fraction=*/0.0);
+          if (data && !ghost.is_phantom()) {
+            const auto g = ghost.as<const double>();
+            auto w = working.as<double>();
+            for (std::size_t i = 0; i < rv->elems; ++i)
+              w[rv->dst_offset + i] += g[i];
+          }
+        } else if (data && !ghost.is_phantom()) {
+          const auto g = ghost.as<const double>();
+          auto w = working.as<double>();
+          for (std::size_t i = 0; i < rv->elems; ++i)
+            w[rv->dst_offset + i] = g[i];
+        }
+      }
+      waitall(sreqs);
+      if (sslot != nullptr) sslot->scheme->finish(*sctx);
+    }
+  };
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    comm.plan_begin_rep();
+    initialize();
+    comm.plan_sample_begin();
+    const double t0 = comm.wtime();
+    execute_step();
+    const double dt = comm.wtime() - t0;
+    comm.plan_sample_end(/*contributes=*/true);
+    local.push_back(dt);
+    flusher.flush(comm);
+    comm.barrier();
+    comm.plan_end_rep();
+  }
+
+  // --- end-state verification (functional runs) ----------------------------
+  bool checked = false;
+  bool ok = true;
+  if (cfg.verify && data) {
+    checked = true;
+    const auto w = working.as<const double>();
+    const auto reduced = [&](std::size_t i) {
+      double sum = 0.0;
+      for (int r = 0; r < N; ++r) sum += fill_value(rank_salt(r) + i);
+      return sum;
+    };
+    switch (sched.op()) {
+      case CollOp::bcast:
+        for (std::size_t i = 0; i < elems; ++i)
+          if (w[i] != fill_value(rank_salt(0) + i)) ok = false;
+        break;
+      case CollOp::allreduce:
+        for (std::size_t i = 0; i < elems; ++i)
+          if (w[i] != reduced(i)) ok = false;
+        break;
+      case CollOp::reduce_scatter:
+        for (std::size_t i = sched.chunk_lo(me); i < sched.chunk_hi(me); ++i)
+          if (w[i] != reduced(i)) ok = false;
+        break;
+      case CollOp::allgather:
+        for (int c = 0; c < N; ++c)
+          for (std::size_t i = sched.chunk_lo(c); i < sched.chunk_hi(c); ++i)
+            if (w[i] != fill_value(rank_salt(c) + i)) ok = false;
+        break;
+    }
+  }
+
+  // --- sampled digest verification (modeled runs) --------------------------
+  // Send-side and receive-side digests are fused separately over the
+  // typed int64 allreduce and compared: a mismatch means `recv_of`
+  // drifted from `send_of` — the schedule-mirror invariant byte
+  // verification would have caught, checkable at any rank count.
+  if (cfg.verify_samples > 0) {
+    std::int64_t send_digest = 0;
+    std::int64_t recv_digest = 0;
+    for (int t = 0; t < rounds; ++t) {
+      if (my_sends[t])
+        send_digest += transfer_digest(*my_sends[t], t, cfg.verify_samples);
+      if (my_recvs[t])
+        recv_digest += transfer_digest(*my_recvs[t], t, cfg.verify_samples);
+    }
+    const std::int64_t send_total =
+        comm.allreduce(send_digest, minimpi::ReduceOp::sum);
+    const std::int64_t recv_total =
+        comm.allreduce(recv_digest, minimpi::ReduceOp::sum);
+    checked = true;
+    if (send_total != recv_total) ok = false;
+  }
+
+  // --- fuse the per-step times and the verdict -----------------------------
+  std::vector<double> samples;
+  samples.reserve(local.size());
+  for (const double dt : local)
+    samples.push_back(comm.allreduce(dt, minimpi::ReduceOp::max));
+  std::size_t my_bytes = 0;
+  for (const auto& sv : my_sends)
+    if (sv) my_bytes += sv->elems * sizeof(double);
+  const double busiest =
+      comm.allreduce(static_cast<double>(my_bytes), minimpi::ReduceOp::max);
+  const double all_ok =
+      comm.allreduce(checked && !ok ? 0.0 : 1.0, minimpi::ReduceOp::min);
+  const double any_checked =
+      comm.allreduce(checked ? 1.0 : 0.0, minimpi::ReduceOp::max);
+
+  for (std::size_t si = 0; si < slots.size(); ++si)
+    slots[si].scheme->teardown(contexts[si]);
+  comm.barrier();
+
+  if (me == 0 && out != nullptr) {
+    out->scheme = std::string(scheme_name);
+    out->layout = pattern.cell_layout_name(base);
+    out->payload_bytes = static_cast<std::size_t>(busiest);
+    out->timing = summarize(samples);
+    out->data_checked = any_checked > 0.5;
+    out->verified = all_ok > 0.5;
+  }
+}
+
+}  // namespace coll
+}  // namespace ncsend

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "minimpi/base/error.hpp"
+#include "ncsend/collectives/collective.hpp"
 #include "ncsend/patterns/pattern.hpp"
 
 namespace ncsend {
@@ -30,8 +31,8 @@ std::string basename_of(const char* argv0) {
 std::string BenchCli::usage(const std::string& program) {
   return "usage: " + program +
          " [--quick] [--per-decade N] [--reps N] [--jobs N]"
-         " [--pattern NAME] [--replay] [--iters N] [--out-dir DIR]"
-         " [--no-csv] [--help]\n"
+         " [--pattern NAME] [--collective SPEC] [--replay] [--iters N]"
+         " [--out-dir DIR] [--no-csv] [--help]\n"
          "  --quick        CI-friendly grids (2 points/decade, 5 reps)\n"
          "  --per-decade N size-grid density (default 4)\n"
          "  --reps N       ping-pongs per measurement (default 20)\n"
@@ -42,6 +43,11 @@ std::string BenchCli::usage(const std::string& program) {
          "                 multi-pair(P), halo2d(RxC), halo3d(XxYxZ),\n"
          "                 transpose(N), graph(ring:N|star:N|hyper:N),\n"
          "                 graph(N:a>b.c>d...)\n"
+         "  --collective SPEC\n"
+         "                 collective cell (repeatable): op:algo:N or\n"
+         "                 collective(op:algo:N); op = allreduce, bcast,\n"
+         "                 allgather, reduce-scatter; algo = tree, ring,\n"
+         "                 rd (rd needs power-of-two N)\n"
          "  --replay       route cells through compiled-plan replay\n"
          "                 (capture once, interpret; byte-identical "
          "output)\n"
@@ -91,6 +97,26 @@ std::optional<BenchCli> BenchCli::try_parse(int argc, char** argv,
         if (error)
           *error = "--pattern: unknown communication pattern: " +
                    std::string(v);
+        return std::nullopt;
+      }
+    } else if (arg == "--collective") {
+      const char* v = value_of(i);
+      if (v == nullptr) {
+        if (error) *error = "--collective needs an op:algo:N argument";
+        return std::nullopt;
+      }
+      // Accept a bare "op:algo:N" spec or the full pattern name; either
+      // way validate through the registry and store the canonical form.
+      std::string spec = v;
+      if (!coll::is_collective_pattern_name(spec))
+        spec = "collective(" + spec + ")";
+      try {
+        cli.collectives.push_back(CommPattern::by_name(spec)->name());
+      } catch (const minimpi::Error&) {
+        if (error)
+          *error = "--collective: malformed collective spec: " +
+                   std::string(v) +
+                   " (want op:algo:N, e.g. allreduce:ring:32)";
         return std::nullopt;
       }
     } else if (arg == "--out-dir") {

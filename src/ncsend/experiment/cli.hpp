@@ -20,6 +20,11 @@
 ///                     "graph(ring:N|star:N|hyper:N|N:a>b.c>d...)");
 ///                     default: each bench's own set.  Malformed specs
 ///                     exit 2; output labels use the canonical form
+///   --collective SPEC collective cell to sweep (repeatable;
+///                     "op:algo:N" or "collective(op:algo:N)" with
+///                     op = allreduce|bcast|allgather|reduce-scatter
+///                     and algo = tree|ring|rd); default: each bench's
+///                     own set.  Malformed specs exit 2
 ///   --replay          route cells through compiled-plan replay
 ///                     (capture once, interpret; byte-identical output)
 ///   --iters N         replay iteration count (implies --replay;
@@ -43,6 +48,10 @@ struct BenchCli {
   /// `--pattern` values, validated against the pattern registry; empty
   /// means "the bench's default patterns".
   std::vector<std::string> patterns;
+  /// `--collective` values, stored as canonical
+  /// `collective(op:algo:N)` pattern names; empty means "the bench's
+  /// default collective cells".
+  std::vector<std::string> collectives;
   /// `--replay`: run every sweep through compiled-plan replay
   /// (`ExperimentPlan::compiled_replay`).
   bool replay = false;

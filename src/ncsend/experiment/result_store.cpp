@@ -276,6 +276,64 @@ void ResultStore::write_bench_universe_scale_json(
   os.precision(old_precision);
 }
 
+void ResultStore::write_bench_collective_sweep_json(
+    std::ostream& os, const std::vector<CollectiveSweepRecord>& records) {
+  const auto old_flags = os.flags();
+  const auto old_precision = os.precision();
+  os << std::defaultfloat << std::setprecision(6);
+  os << "{\n  \"benchmark\": \"collective_sweep\",\n"
+     << "  \"unit\": \"s\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const CollectiveSweepRecord& r = records[i];
+    os << "    {\"profile\": \"" << json_escape(r.profile)
+       << "\", \"op\": \"" << json_escape(r.op) << "\", \"algo\": \""
+       << json_escape(r.algo) << "\", \"nranks\": " << r.nranks
+       << ", \"scheme\": \"" << json_escape(r.scheme)
+       << "\",\n     \"sizes_bytes\": [";
+    for (std::size_t si = 0; si < r.sizes_bytes.size(); ++si)
+      os << (si ? ", " : "") << r.sizes_bytes[si];
+    os << "], \"times_s\": [";
+    for (std::size_t si = 0; si < r.times_s.size(); ++si)
+      os << (si ? ", " : "") << r.times_s[si];
+    os << "], \"verified\": " << (r.verified ? "true" : "false") << "}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"crossovers\": [\n";
+  // One summary entry per (profile, op, nranks) cell: which algorithm
+  // is fastest at the smallest and at the largest swept size.  The
+  // tree-vs-ring story is readable straight from this section.
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const CollectiveSweepRecord& r = records[i];
+    bool lead = true;  // first record of its (profile, op, nranks) group
+    for (std::size_t j = 0; j < i; ++j)
+      if (records[j].profile == r.profile && records[j].op == r.op &&
+          records[j].nranks == r.nranks)
+        lead = false;
+    if (!lead || r.times_s.empty()) continue;
+    const CollectiveSweepRecord* small = &r;
+    const CollectiveSweepRecord* large = &r;
+    for (const CollectiveSweepRecord& c : records) {
+      if (c.profile != r.profile || c.op != r.op || c.nranks != r.nranks ||
+          c.times_s.empty())
+        continue;
+      if (c.times_s.front() < small->times_s.front()) small = &c;
+      if (c.times_s.back() < large->times_s.back()) large = &c;
+    }
+    lines.push_back("    {\"profile\": \"" + json_escape(r.profile) +
+                    "\", \"op\": \"" + json_escape(r.op) +
+                    "\", \"nranks\": " + std::to_string(r.nranks) +
+                    ", \"small_winner\": \"" + json_escape(small->algo) +
+                    "\", \"large_winner\": \"" + json_escape(large->algo) +
+                    "\"}");
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    os << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+  os << "  ]\n}\n";
+  os.flags(old_flags);
+  os.precision(old_precision);
+}
+
 void ResultStore::write_bench_ablation_json(
     std::ostream& os, std::string_view name,
     const std::vector<AblationVariant>& variants) {

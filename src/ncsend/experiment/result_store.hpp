@@ -77,6 +77,24 @@ struct UniverseScaleRecord {
   }
 };
 
+/// One collective-algorithm measurement series (the
+/// `BENCH_collective_sweep` family): virtual seconds for one
+/// (profile, op, algo, nranks, scheme) cell across a message-size
+/// grid.  The writer groups records by (profile, op, nranks) and
+/// reports which algorithm wins at the smallest and largest size —
+/// the small-message-tree vs large-message-ring crossover the sweep
+/// exists to expose.
+struct CollectiveSweepRecord {
+  std::string profile;
+  std::string op;     ///< "allreduce", "bcast", "allgather", "reduce-scatter"
+  std::string algo;   ///< "tree", "ring", "rd"
+  int nranks = 0;
+  std::string scheme;
+  std::vector<std::size_t> sizes_bytes;
+  std::vector<double> times_s;  ///< virtual seconds, one per size
+  bool verified = false;        ///< sampled digest verification passed
+};
+
 /// \brief JSON string escaping for every writer below.
 std::string json_escape(std::string_view s);
 
@@ -148,6 +166,13 @@ class ResultStore {
   /// compiled replay.
   static void write_bench_universe_scale_json(
       std::ostream& os, const std::vector<UniverseScaleRecord>& records);
+
+  /// The `BENCH_collective_sweep.json` schema: per-algorithm virtual
+  /// time series for each (profile, op, nranks) cell, plus a
+  /// `crossovers` section naming the fastest algorithm at the smallest
+  /// and largest swept size of every such cell.
+  static void write_bench_collective_sweep_json(
+      std::ostream& os, const std::vector<CollectiveSweepRecord>& records);
 
  private:
   std::vector<SweepResult> sweeps_;

@@ -15,6 +15,10 @@
 ///   * `CommPattern` + `run_pattern_experiment` (patterns/) — N-rank
 ///     communication patterns (multi-pair, 2-D/3-D halo, transpose) on
 ///     the same deterministic measurement machinery;
+///   * collectives (`collectives/`) — allreduce/bcast/allgather/
+///     reduce-scatter as schedules of peer-addressed transfers over
+///     binomial-tree, ring, and recursive-doubling topologies,
+///     registered as `collective(op:algo:N)` pattern cells;
 ///   * the experiment engine (`experiment/`) — declarative
 ///     `ExperimentPlan` grids, parallel deterministic execution via
 ///     `run_plan`, and the unified `ResultStore` writers;
@@ -22,6 +26,7 @@
 ///   * `advise` — the §5 conclusion as a queryable recommendation.
 
 #include "ncsend/advisor.hpp"
+#include "ncsend/collectives/collective.hpp"
 #include "ncsend/experiment/experiment.hpp"
 #include "ncsend/harness.hpp"
 #include "ncsend/layout.hpp"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "minimpi/base/error.hpp"
+#include "ncsend/collectives/collective.hpp"
 #include "ncsend/schemes/schemes.hpp"
 
 namespace ncsend {
@@ -391,6 +392,11 @@ std::unique_ptr<CommPattern> CommPattern::by_name(std::string_view name) {
     auto g = args.empty() ? make_graph("ring:8") : make_graph(args);
     if (g) return g;
   }
+  if (family == "collective") {
+    auto c = args.empty() ? coll::make_collective_pattern("allreduce:tree:8")
+                          : coll::make_collective_pattern(args);
+    if (c) return c;
+  }
   minimpi::require(false, ErrorClass::invalid_arg,
                    "unknown communication pattern: " + std::string(name));
   return nullptr;
@@ -398,7 +404,8 @@ std::unique_ptr<CommPattern> CommPattern::by_name(std::string_view name) {
 
 const std::vector<std::string>& CommPattern::names() {
   static const std::vector<std::string> v = {
-      "pingpong", "multi-pair", "halo2d", "halo3d", "transpose", "graph"};
+      "pingpong", "multi-pair", "halo2d",    "halo3d",
+      "transpose", "graph",     "collective"};
   return v;
 }
 

@@ -299,37 +299,43 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
   // With no payload in flight there are no bytes to compare, but both
   // endpoints of every transfer can still digest sampled cells of the
   // layout map they believe in: each side sums `8 * fill_value` (an
-  // exact integer < 800024) over the same sampled source elements, and
-  // the fused send-side and receive-side totals must agree.  Integer
-  // terms keep the sums exact and order-independent, so a mismatch
-  // means the mirrored incoming map drifted from the sender's view
-  // (wrong peer, transfer index, or layout) — precisely the invariant
-  // byte verification would have caught.
+  // exact integer < 800024, computed directly as an integer) over the
+  // same sampled source elements, and the fused send-side and
+  // receive-side totals must agree.  The terms accumulate and fuse as
+  // int64 through the typed allreduce, so the sums stay exact and
+  // order-independent at *any* rank count — fused totals above 2^53
+  // would round in a double and could mask (or fake) a mismatch.  A
+  // mismatch means the mirrored incoming map drifted from the sender's
+  // view (wrong peer, transfer index, or layout) — precisely the
+  // invariant byte verification would have caught.
   if (cfg.verify_samples > 0) {
     const auto digest = [&](int sender, std::size_t transfer_index,
-                            const Layout& layout) {
+                            const Layout& layout) -> std::int64_t {
       const std::size_t elems = layout.element_count();
-      if (elems == 0) return 0.0;
+      if (elems == 0) return 0;
       const auto samples =
           std::min<std::size_t>(static_cast<std::size_t>(cfg.verify_samples),
                                 elems);
       const std::size_t step = elems / samples + (elems % samples != 0);
       const std::size_t salt = pattern_fill_salt(sender, transfer_index);
-      double sum = 0.0;
+      std::int64_t sum = 0;
       layout.for_each_element([&](std::size_t k, std::size_t src) {
-        if (k % step == 0) sum += 8.0 * fill_value(salt + src);
+        // == 8 * fill_value(salt + src), exactly, with no double detour.
+        if (k % step == 0)
+          sum += static_cast<std::int64_t>(((salt + src) * 2654435761ULL) %
+                                           100003);
       });
       return sum;
     };
-    double send_digest = 0.0;
+    std::int64_t send_digest = 0;
     for (std::size_t ti = 0; ti < sends.size(); ++ti)
       send_digest += digest(me, ti, sends[ti].layout);
-    double recv_digest = 0.0;
+    std::int64_t recv_digest = 0;
     for (const IncomingTransfer& in : incoming)
       recv_digest += digest(in.peer, in.sender_index, in.layout);
-    const double send_total =
+    const std::int64_t send_total =
         comm.allreduce(send_digest, minimpi::ReduceOp::sum);
-    const double recv_total =
+    const std::int64_t recv_total =
         comm.allreduce(recv_digest, minimpi::ReduceOp::sum);
     checked = true;
     if (send_total != recv_total) ok = false;

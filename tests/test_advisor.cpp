@@ -133,4 +133,72 @@ TEST(PatternAdvisor, ContiguousStillNeedsNothing) {
   EXPECT_TRUE(rec.avoid.empty());
 }
 
+TEST(CollectiveAdvisor, SmallMessagesTreeLargeMessagesRing) {
+  // Well below the crossover: latency-bound, logarithmic rounds win
+  // (rd at a power-of-two rank count, tree otherwise).
+  const auto small =
+      advise_collective(MachineProfile::skx_impi(), "allreduce", 1024, 32);
+  EXPECT_EQ(small.algorithm, "rd");
+  const auto small_odd =
+      advise_collective(MachineProfile::skx_impi(), "allreduce", 1024, 24);
+  EXPECT_EQ(small_odd.algorithm, "tree");
+  // Well past it: bandwidth-bound, the chunked ring wins.
+  const auto large = advise_collective(MachineProfile::skx_impi(),
+                                       "allreduce", 64 << 20, 32);
+  EXPECT_EQ(large.algorithm, "ring");
+  EXPECT_GT(small.crossover_bytes, 0u);
+  EXPECT_EQ(small.crossover_bytes, large.crossover_bytes);
+  // The payload verdict flips exactly at the published crossover.
+  EXPECT_EQ(advise_collective(MachineProfile::skx_impi(), "allreduce",
+                              large.crossover_bytes, 32)
+                .algorithm,
+            "ring");
+}
+
+TEST(CollectiveAdvisor, CrossoverOrderingSkxVsKnl) {
+  // Shape test for the per-profile ordering the sweep exposes: knl's
+  // protocol core makes each round's fixed cost (alpha) ~2x skx's while
+  // the Omni-Path wire (beta) is identical, so knl must hold on to the
+  // latency-optimal tree up to a proportionally *larger* message size
+  // than skx — for every op with a genuine crossover.
+  for (const char* op : {"allreduce", "bcast", "allgather",
+                         "reduce-scatter"}) {
+    const auto skx =
+        advise_collective(MachineProfile::skx_impi(), op, 1 << 20, 64);
+    const auto knl =
+        advise_collective(MachineProfile::knl_impi(), op, 1 << 20, 64);
+    ASSERT_GT(skx.crossover_bytes, 0u) << op;
+    EXPECT_GT(knl.crossover_bytes, skx.crossover_bytes) << op;
+  }
+  // Same fabric => the ratio is exactly alpha_knl / alpha_skx.
+  const auto& skxp = MachineProfile::skx_impi();
+  const auto& knlp = MachineProfile::knl_impi();
+  const double ratio = (knlp.send_overhead_s + knlp.net_latency_s) /
+                       (skxp.send_overhead_s + skxp.net_latency_s);
+  const auto s = advise_collective(skxp, "allreduce", 0, 64);
+  const auto k = advise_collective(knlp, "allreduce", 0, 64);
+  EXPECT_NEAR(static_cast<double>(k.crossover_bytes),
+              ratio * static_cast<double>(s.crossover_bytes),
+              4.0);  // integer truncation only
+}
+
+TEST(CollectiveAdvisor, DegenerateShapesAndJunk) {
+  // N=2 allreduce: ring and tree both take 2 rounds but the ring moves
+  // half the bytes per round — no crossover to wait for.
+  const auto tiny =
+      advise_collective(MachineProfile::skx_impi(), "allreduce", 8, 2);
+  EXPECT_EQ(tiny.algorithm, "ring");
+  EXPECT_EQ(tiny.crossover_bytes, 0u);
+  // bcast never maps to rd (the schedule aliases rd bcast to the tree).
+  const auto b =
+      advise_collective(MachineProfile::skx_impi(), "bcast", 1024, 32);
+  EXPECT_EQ(b.algorithm, "tree");
+  EXPECT_THROW(
+      advise_collective(MachineProfile::skx_impi(), "scan", 1024, 8),
+      minimpi::Error);
+  EXPECT_THROW(
+      advise_collective(MachineProfile::skx_impi(), "allreduce", 1024, 1),
+      minimpi::Error);
+}
+
 }  // namespace

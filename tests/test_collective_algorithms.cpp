@@ -1,0 +1,476 @@
+// The collective-algorithm subsystem (src/ncsend/collectives/):
+// closed-form schedule correctness for every (op, algo) pair by host
+// simulation, the send_of/recv_of mirror invariant, equivalence with
+// the legacy runtime collectives, end-to-end functional cells on the
+// pattern engine, sampled-digest verification at 256+ ranks, the typed
+// int64 allreduce regression (fused totals above 2^53), plan
+// compile/replay bit-exactness for collective cells, and spec-parser
+// rejection of malformed `collective(...)` names.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "ncsend/collectives/collective.hpp"
+#include "ncsend/ncsend.hpp"
+#include "ncsend/plan/comm_plan.hpp"
+
+using namespace ncsend;
+using coll::CollAlgo;
+using coll::CollectiveSchedule;
+using coll::CollOp;
+using coll::CollTransfer;
+using minimpi::MachineProfile;
+
+namespace {
+
+Layout stride2(std::size_t elems) { return Layout::strided(elems, 1, 2); }
+
+/// Host-level schedule execution: per-rank working vectors, two-phase
+/// rounds (stage every send from pre-round state, then apply), exactly
+/// the concurrency semantics the engine implements.
+std::vector<std::vector<double>> simulate(const CollectiveSchedule& s,
+                                          std::vector<std::vector<double>> w) {
+  for (int t = 0; t < s.round_count(); ++t) {
+    struct Staged {
+      CollTransfer tr;
+      std::vector<double> data;
+    };
+    std::vector<Staged> staged;
+    for (const CollTransfer& tr : s.round_transfers(t)) {
+      std::vector<double> data(tr.elems);
+      for (std::size_t i = 0; i < tr.elems; ++i)
+        data[i] = w[static_cast<std::size_t>(tr.src)][tr.src_offset + i];
+      staged.push_back({tr, std::move(data)});
+    }
+    for (const Staged& st : staged) {
+      auto& dst = w[static_cast<std::size_t>(st.tr.dst)];
+      for (std::size_t i = 0; i < st.tr.elems; ++i) {
+        if (st.tr.combine)
+          dst[st.tr.dst_offset + i] += st.data[i];
+        else
+          dst[st.tr.dst_offset + i] = st.data[i];
+      }
+    }
+  }
+  return w;
+}
+
+/// Initial per-rank vectors for an op: rank r element i holds
+/// fill_value(salt_r + i) wherever the op gives r data (the same
+/// convention the engine uses).
+std::vector<std::vector<double>> initial_state(const CollectiveSchedule& s) {
+  const int n = s.nranks();
+  std::vector<std::vector<double>> w(
+      static_cast<std::size_t>(n), std::vector<double>(s.elems(), 0.0));
+  for (int r = 0; r < n; ++r) {
+    const std::size_t salt = pattern_fill_salt(r, 0);
+    switch (s.op()) {
+      case CollOp::bcast:
+        if (r == 0)
+          for (std::size_t i = 0; i < s.elems(); ++i)
+            w[0][i] = fill_value(salt + i);
+        break;
+      case CollOp::allreduce:
+      case CollOp::reduce_scatter:
+        for (std::size_t i = 0; i < s.elems(); ++i)
+          w[static_cast<std::size_t>(r)][i] = fill_value(salt + i);
+        break;
+      case CollOp::allgather:
+        for (std::size_t i = s.chunk_lo(r); i < s.chunk_hi(r); ++i)
+          w[static_cast<std::size_t>(r)][i] = fill_value(salt + i);
+        break;
+    }
+  }
+  return w;
+}
+
+double reduced_value(int nranks, std::size_t i) {
+  double sum = 0.0;
+  for (int r = 0; r < nranks; ++r)
+    sum += fill_value(pattern_fill_salt(r, 0) + i);
+  return sum;
+}
+
+/// Assert the simulated end state satisfies the op's contract.
+void expect_op_contract(const CollectiveSchedule& s,
+                        const std::vector<std::vector<double>>& w) {
+  const int n = s.nranks();
+  const auto tag = [&](int r, std::size_t i) {
+    return std::string(coll::op_name(s.op())) + ":" +
+           std::string(coll::algo_name(s.algo())) + ":" + std::to_string(n) +
+           " rank " + std::to_string(r) + " elem " + std::to_string(i);
+  };
+  for (int r = 0; r < n; ++r) {
+    const auto& v = w[static_cast<std::size_t>(r)];
+    switch (s.op()) {
+      case CollOp::bcast:
+        for (std::size_t i = 0; i < s.elems(); ++i)
+          ASSERT_EQ(v[i], fill_value(pattern_fill_salt(0, 0) + i))
+              << tag(r, i);
+        break;
+      case CollOp::allreduce:
+        for (std::size_t i = 0; i < s.elems(); ++i)
+          ASSERT_EQ(v[i], reduced_value(n, i)) << tag(r, i);
+        break;
+      case CollOp::reduce_scatter:
+        for (std::size_t i = s.chunk_lo(r); i < s.chunk_hi(r); ++i)
+          ASSERT_EQ(v[i], reduced_value(n, i)) << tag(r, i);
+        break;
+      case CollOp::allgather:
+        for (int c = 0; c < n; ++c)
+          for (std::size_t i = s.chunk_lo(c); i < s.chunk_hi(c); ++i)
+            ASSERT_EQ(v[i], fill_value(pattern_fill_salt(c, 0) + i))
+                << tag(r, i);
+        break;
+    }
+  }
+}
+
+minimpi::UniverseOptions functional_opts() {
+  minimpi::UniverseOptions opts;
+  opts.profile = &MachineProfile::skx_impi();
+  opts.functional = true;
+  opts.functional_payload_limit = 1 << 16;
+  return opts;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Schedule math, host-simulated
+// ---------------------------------------------------------------------------
+
+TEST(CollectiveSchedule, EveryAlgorithmReachesTheOpContract) {
+  const std::vector<CollOp> ops = {CollOp::allreduce, CollOp::bcast,
+                                   CollOp::allgather, CollOp::reduce_scatter};
+  for (const CollOp op : ops) {
+    // tree and ring cover non-powers-of-two; rd only powers of two.
+    for (const int n : {2, 3, 5, 8, 13, 16, 31}) {
+      for (const std::size_t elems :
+           {std::size_t{1}, std::size_t{7}, static_cast<std::size_t>(n),
+            static_cast<std::size_t>(4 * n + 3)}) {
+        for (const CollAlgo algo : {CollAlgo::tree, CollAlgo::ring}) {
+          const CollectiveSchedule s(op, algo, n, elems);
+          expect_op_contract(s, simulate(s, initial_state(s)));
+        }
+        if ((n & (n - 1)) == 0) {
+          const CollectiveSchedule s(op, CollAlgo::rdouble, n, elems);
+          expect_op_contract(s, simulate(s, initial_state(s)));
+        }
+      }
+    }
+  }
+}
+
+TEST(CollectiveSchedule, SendAndRecvDerivationsMirror) {
+  const std::vector<CollOp> ops = {CollOp::allreduce, CollOp::bcast,
+                                   CollOp::allgather, CollOp::reduce_scatter};
+  const auto key = [](const CollTransfer& t) {
+    return std::make_tuple(t.src, t.dst, t.elems, t.src_offset, t.dst_offset,
+                           t.combine);
+  };
+  for (const CollOp op : ops) {
+    for (const int n : {2, 3, 8, 16, 21}) {
+      for (const CollAlgo algo : {CollAlgo::tree, CollAlgo::ring,
+                                  CollAlgo::rdouble}) {
+        if (algo == CollAlgo::rdouble && (n & (n - 1)) != 0) continue;
+        const CollectiveSchedule s(op, algo, n, 4 * static_cast<std::size_t>(n) + 1);
+        for (int t = 0; t < s.round_count(); ++t) {
+          std::vector<std::tuple<int, int, std::size_t, std::size_t,
+                                 std::size_t, bool>>
+              from_sends, from_recvs;
+          for (int r = 0; r < n; ++r) {
+            if (const auto sv = s.send_of(r, t)) from_sends.push_back(key(*sv));
+            if (const auto rv = s.recv_of(r, t)) from_recvs.push_back(key(*rv));
+          }
+          std::sort(from_sends.begin(), from_sends.end());
+          std::sort(from_recvs.begin(), from_recvs.end());
+          ASSERT_EQ(from_sends, from_recvs)
+              << coll::op_name(op) << ":" << coll::algo_name(algo) << ":" << n
+              << " round " << t;
+          // At most one send and one receive per rank per round, and
+          // never a self-send.
+          for (const auto& k : from_sends)
+            ASSERT_NE(std::get<0>(k), std::get<1>(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(CollectiveSchedule, RoundCountsMatchTheTextbook) {
+  // K = ceil(log2 N); the crossover math in the advisor depends on
+  // exactly these counts.
+  EXPECT_EQ(CollectiveSchedule(CollOp::bcast, CollAlgo::tree, 8, 8)
+                .round_count(), 3);
+  EXPECT_EQ(CollectiveSchedule(CollOp::allreduce, CollAlgo::tree, 8, 8)
+                .round_count(), 6);
+  EXPECT_EQ(CollectiveSchedule(CollOp::allreduce, CollAlgo::tree, 9, 8)
+                .round_count(), 8);  // ceil(log2 9) = 4
+  EXPECT_EQ(CollectiveSchedule(CollOp::allreduce, CollAlgo::ring, 8, 8)
+                .round_count(), 14);  // 2(N-1)
+  EXPECT_EQ(CollectiveSchedule(CollOp::allgather, CollAlgo::ring, 8, 8)
+                .round_count(), 7);
+  EXPECT_EQ(CollectiveSchedule(CollOp::reduce_scatter, CollAlgo::ring, 8, 8)
+                .round_count(), 7);
+  EXPECT_EQ(CollectiveSchedule(CollOp::bcast, CollAlgo::ring, 8, 8)
+                .round_count(), 14);  // pipelined line: 2N-2
+  EXPECT_EQ(CollectiveSchedule(CollOp::allreduce, CollAlgo::rdouble, 8, 8)
+                .round_count(), 3);
+  // rd bcast degenerates to the binomial tree.
+  const CollectiveSchedule rdb(CollOp::bcast, CollAlgo::rdouble, 8, 8);
+  EXPECT_EQ(rdb.algo(), CollAlgo::tree);
+  EXPECT_EQ(rdb.round_count(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with the legacy runtime collectives
+// ---------------------------------------------------------------------------
+
+TEST(CollectiveLegacyEquivalence, ScheduleSumsMatchRuntimeAllreduce) {
+  // The schedule's reduced values must equal what the runtime's slot
+  // collectives compute from the same per-rank contributions — for
+  // every algorithm, at a non-power-of-two rank count.
+  const int n = 6;
+  const std::size_t elems = 16;
+  std::vector<std::vector<double>> legacy(
+      elems, std::vector<double>(static_cast<std::size_t>(n)));
+  minimpi::UniverseOptions o;
+  o.nranks = n;
+  std::vector<double> runtime_sums(elems, 0.0);
+  minimpi::Universe::run(o, [&](minimpi::Comm& c) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      const double mine =
+          fill_value(pattern_fill_salt(c.rank(), 0) + i);
+      const double sum = c.allreduce(mine, minimpi::ReduceOp::sum);
+      if (c.rank() == 0) runtime_sums[i] = sum;
+    }
+  });
+  for (const CollAlgo algo : {CollAlgo::tree, CollAlgo::ring}) {
+    const CollectiveSchedule s(CollOp::allreduce, algo, n, elems);
+    const auto w = simulate(s, initial_state(s));
+    for (int r = 0; r < n; ++r)
+      for (std::size_t i = 0; i < elems; ++i)
+        ASSERT_EQ(w[static_cast<std::size_t>(r)][i], runtime_sums[i])
+            << coll::algo_name(algo) << " rank " << r << " elem " << i;
+  }
+}
+
+TEST(CollectiveLegacyEquivalence, ScheduleBcastMatchesRuntimeBcast) {
+  const int n = 5;
+  const std::size_t elems = 12;
+  std::vector<double> runtime_out(elems, 0.0);
+  minimpi::UniverseOptions o;
+  o.nranks = n;
+  minimpi::Universe::run(o, [&](minimpi::Comm& c) {
+    std::vector<double> data(elems, 0.0);
+    if (c.rank() == 0)
+      for (std::size_t i = 0; i < elems; ++i)
+        data[i] = fill_value(pattern_fill_salt(0, 0) + i);
+    c.bcast(data.data(), elems, minimpi::Datatype::float64(), 0);
+    if (c.rank() == n - 1)
+      for (std::size_t i = 0; i < elems; ++i) runtime_out[i] = data[i];
+  });
+  for (const CollAlgo algo : {CollAlgo::tree, CollAlgo::ring}) {
+    const CollectiveSchedule s(CollOp::bcast, algo, n, elems);
+    const auto w = simulate(s, initial_state(s));
+    for (std::size_t i = 0; i < elems; ++i)
+      ASSERT_EQ(w[static_cast<std::size_t>(n - 1)][i], runtime_out[i])
+          << coll::algo_name(algo) << " elem " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end cells on the pattern engine
+// ---------------------------------------------------------------------------
+
+TEST(CollectivePatternCells, FunctionalRunsVerifyDeliveredValues) {
+  minimpi::UniverseOptions opts;  // default: everything functional
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  for (const char* spec :
+       {"collective(allreduce:tree:6)", "collective(allreduce:ring:6)",
+        "collective(allreduce:rd:8)", "collective(bcast:tree:5)",
+        "collective(bcast:ring:5)", "collective(allgather:ring:7)",
+        "collective(allgather:rd:4)", "collective(reduce-scatter:tree:6)",
+        "collective(reduce-scatter:rd:8)"}) {
+    const auto pattern = CommPattern::by_name(spec);
+    for (const char* scheme : {"copying", "vector type", "persistent(v)"}) {
+      const RunResult r = run_pattern_experiment(opts, *pattern, scheme,
+                                                 stride2(96), cfg);
+      EXPECT_TRUE(r.data_checked) << spec << " / " << scheme;
+      EXPECT_TRUE(r.verified) << spec << " / " << scheme;
+    }
+  }
+}
+
+TEST(CollectivePatternCells, ChunkedAndSyncSchemesAlsoVerify) {
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  const auto pattern = CommPattern::by_name("collective(allreduce:ring:5)");
+  for (const char* scheme :
+       {"packing(e)", "packing(v)", "packing(p)", "isend(v)", "ssend(v)",
+        "subarray"}) {
+    const RunResult r =
+        run_pattern_experiment(opts, *pattern, scheme, stride2(96), cfg);
+    EXPECT_TRUE(r.data_checked) << scheme;
+    EXPECT_TRUE(r.verified) << scheme;
+  }
+}
+
+TEST(CollectivePatternCells, UnsupportedSchemesAreRejected) {
+  minimpi::UniverseOptions opts;
+  HarnessConfig cfg;
+  cfg.reps = 1;
+  const auto pattern = CommPattern::by_name("collective(allreduce:tree:4)");
+  for (const char* scheme :
+       {"reference", "buffered", "rsend(v)", "onesided", "onesided-pscw"}) {
+    EXPECT_THROW(
+        run_pattern_experiment(opts, *pattern, scheme, stride2(64), cfg),
+        minimpi::Error)
+        << scheme;
+    EXPECT_FALSE(coll::collective_scheme_supported(scheme)) << scheme;
+  }
+  for (const auto& scheme : coll::collective_scheme_names())
+    EXPECT_TRUE(pattern_scheme_supported(scheme)) << scheme;
+}
+
+TEST(CollectivePatternCells, ModeledDigestVerifiesAt256Ranks) {
+  // 256-rank modeled cells: no payload moves, but the sampled schedule
+  // digests (fused through the typed int64 allreduce) still certify
+  // the send/recv mirror at scale.
+  minimpi::UniverseOptions opts;
+  opts.profile = &MachineProfile::skx_impi();
+  opts.functional = true;
+  opts.functional_payload_limit = 64;  // everything beyond 64 B is modeled
+  HarnessConfig cfg;
+  cfg.reps = 2;
+  cfg.verify_samples = 4;
+  for (const char* spec :
+       {"collective(allreduce:ring:256)", "collective(allreduce:tree:256)",
+        "collective(allgather:rd:256)"}) {
+    const auto pattern = CommPattern::by_name(spec);
+    const RunResult r = run_pattern_experiment(opts, *pattern, "vector type",
+                                               stride2(8192), cfg);
+    EXPECT_TRUE(r.data_checked) << spec;
+    EXPECT_TRUE(r.verified) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The typed int64 allreduce (verify_samples digest carrier)
+// ---------------------------------------------------------------------------
+
+TEST(TypedAllreduce, Int64SumsStayExactAbove2To53) {
+  // Four contributions of 2^52 + r: the exact sum 2^54 + 6 is NOT
+  // representable in double (spacing 4 at that magnitude), so the old
+  // double round-trip would have rounded it.  The typed entry point
+  // must return it exactly.
+  minimpi::UniverseOptions o;
+  o.nranks = 4;
+  minimpi::Universe::run(o, [](minimpi::Comm& c) {
+    const std::int64_t mine = (std::int64_t{1} << 52) + c.rank();
+    const std::int64_t sum = c.allreduce(mine, minimpi::ReduceOp::sum);
+    EXPECT_EQ(sum, (std::int64_t{1} << 54) + 6);
+    const double approx = static_cast<double>((std::int64_t{1} << 54) + 6);
+    EXPECT_NE(static_cast<std::int64_t>(approx), sum)
+        << "the regression guard itself lost its teeth";
+    EXPECT_EQ(c.allreduce(mine, minimpi::ReduceOp::min),
+              std::int64_t{1} << 52);
+    EXPECT_EQ(c.allreduce(mine, minimpi::ReduceOp::max),
+              (std::int64_t{1} << 52) + 3);
+  });
+}
+
+TEST(TypedAllreduce, ChargesLikeTheDoubleOverload) {
+  minimpi::UniverseOptions o;
+  o.nranks = 3;
+  o.wtime_resolution = 0.0;
+  minimpi::Universe::run(o, [](minimpi::Comm& c) {
+    const double t0 = c.clock();
+    (void)c.allreduce(1.0, minimpi::ReduceOp::sum);
+    const double d_cost = c.clock() - t0;
+    const double t1 = c.clock();
+    (void)c.allreduce(std::int64_t{1}, minimpi::ReduceOp::sum);
+    EXPECT_EQ(c.clock() - t1, d_cost);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Plan compile / replay
+// ---------------------------------------------------------------------------
+
+TEST(CollectivePlan, CompilesAndReplaysBitExactly) {
+  const auto pattern = CommPattern::by_name("collective(allreduce:ring:6)");
+  HarnessConfig cfg;
+  cfg.reps = 5;
+  const Layout layout = stride2(1024);
+  const auto opts = functional_opts();
+  const plan::CommPlan cp =
+      plan::compile_cell(opts, *pattern, "vector type", layout, cfg);
+  ASSERT_TRUE(cp.valid) << cp.invalid_reason;
+  const RunResult direct =
+      run_pattern_experiment(opts, *pattern, "vector type", layout, cfg);
+  const RunResult replayed = cp.replay(cfg.reps);
+  EXPECT_EQ(direct.timing.mean, replayed.timing.mean);
+  EXPECT_EQ(direct.timing.stddev, replayed.timing.stddev);
+  EXPECT_EQ(direct.timing.min, replayed.timing.min);
+  EXPECT_EQ(direct.timing.max, replayed.timing.max);
+  EXPECT_EQ(direct.timing.samples, replayed.timing.samples);
+}
+
+TEST(CollectivePlan, TreeCellsCompileToo) {
+  const auto pattern = CommPattern::by_name("collective(bcast:tree:8)");
+  HarnessConfig cfg;
+  cfg.reps = 4;
+  const auto opts = functional_opts();
+  const plan::CommPlan cp =
+      plan::compile_cell(opts, *pattern, "packing(v)", stride2(512), cfg);
+  ASSERT_TRUE(cp.valid) << cp.invalid_reason;
+  const RunResult direct =
+      run_pattern_experiment(opts, *pattern, "packing(v)", stride2(512), cfg);
+  EXPECT_EQ(direct.timing.mean, cp.replay(cfg.reps).timing.mean);
+}
+
+// ---------------------------------------------------------------------------
+// Registry & spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(CollectiveRegistry, CanonicalNamesAndDefaults) {
+  EXPECT_EQ(CommPattern::by_name("collective")->name(),
+            "collective(allreduce:tree:8)");
+  const auto p = CommPattern::by_name("collective(allreduce:ring:64)");
+  EXPECT_EQ(p->nranks(), 64);
+  EXPECT_EQ(p->concurrent_senders(), 1);
+  const auto& fams = CommPattern::names();
+  EXPECT_NE(std::find(fams.begin(), fams.end(), "collective"), fams.end());
+  EXPECT_TRUE(coll::is_collective_pattern_name("collective(bcast:tree:4)"));
+  EXPECT_FALSE(coll::is_collective_pattern_name("graph(ring:4)"));
+}
+
+TEST(CollectiveRegistry, MalformedSpecsThrow) {
+  for (const char* bad :
+       {"collective(allreduce)", "collective(allreduce:ring)",
+        "collective(allreduce:ring:1)", "collective(allreduce:ring:4097)",
+        "collective(allreduce:ring:x)", "collective(allreduce:ring:8y)",
+        "collective(frobnicate:ring:8)", "collective(allreduce:blimp:8)",
+        "collective(allreduce:rd:6)", "collective(reduce-scatter:rd:12)",
+        "collective(allreduce:ring:-4)"}) {
+    EXPECT_THROW(CommPattern::by_name(bad), minimpi::Error) << bad;
+  }
+  // rd at a power of two is fine; rd bcast is the documented tree alias.
+  EXPECT_NO_THROW(CommPattern::by_name("collective(allreduce:rd:16)"));
+  EXPECT_NO_THROW(CommPattern::by_name("collective(bcast:rd:16)"));
+}
+
+TEST(CollectiveRegistry, SchemesForPatternsNarrowsOnCollectives) {
+  const std::vector<std::string> plain = {"halo2d(3x3)", "transpose(4)"};
+  EXPECT_EQ(coll::schemes_for_patterns(plain), pattern_scheme_names());
+  const std::vector<std::string> mixed = {"halo2d(3x3)",
+                                          "collective(allreduce:ring:8)"};
+  EXPECT_EQ(coll::schemes_for_patterns(mixed), coll::collective_scheme_names());
+}
