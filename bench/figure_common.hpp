@@ -87,11 +87,14 @@ inline std::vector<ncsend::EngineScaleRecord> measure_engine_scale(
     nc::HarnessConfig cfg;
     cfg.reps = iters;
 
+    minimpi::PerfCounters pc;
+    opts.perf = &pc;
     nc::RunResult direct;
     const double direct_s = wall_seconds([&] {
       direct =
           nc::run_pattern_experiment(opts, *pattern, scheme, layout, cfg);
     });
+    opts.perf = nullptr;
 
     nc::RunResult replayed;
     bool valid = true;
@@ -116,6 +119,8 @@ inline std::vector<ncsend::EngineScaleRecord> measure_engine_scale(
     rec.direct_seconds = direct_s;
     rec.compiled_seconds = compiled_s;
     rec.identical = same_timing(direct.timing, replayed.timing);
+    rec.perf = {pc.messages, pc.envelope_allocs + pc.request_allocs,
+                pc.fiber_switches, pc.match_probes};
     records.push_back(rec);
   }
   return records;
@@ -169,11 +174,14 @@ inline std::vector<ncsend::UniverseScaleRecord> measure_universe_scale(
     cfg.reps = reps;
     cfg.verify_samples = 4;
 
+    minimpi::PerfCounters pc;
+    opts.perf = &pc;
     nc::RunResult direct;
     const double direct_s = wall_seconds([&] {
       direct =
           nc::run_pattern_experiment(opts, *pattern, scheme, layout, cfg);
     });
+    opts.perf = nullptr;
 
     bool compiled = false;
     const double compiled_s = wall_seconds([&] {
@@ -193,6 +201,8 @@ inline std::vector<ncsend::UniverseScaleRecord> measure_universe_scale(
     rec.direct_seconds = direct_s;
     rec.replay_seconds = replay_s;
     rec.verified = direct.data_checked && direct.verified;
+    rec.perf = {pc.messages, pc.envelope_allocs + pc.request_allocs,
+                pc.fiber_switches, pc.match_probes};
     records.push_back(rec);
   }
   return records;

@@ -13,7 +13,11 @@
 // the engine's shared set; --pattern substitutes the measured pattern
 // set, --reps the per-cell step count (default 3 under --quick, 8
 // otherwise).  Exit status asserts every cell self-verified and — for
-// the default set — that the curve reaches at least 1024 ranks.
+// the default set — that the curve reaches at least 1024 ranks, that
+// graph(ring:1024) sustains at least half the rank-steps/sec of
+// graph(ring:16) (the flattened-decay gate the hot-path allocation
+// overhaul is judged by), and that the hot path stayed pooled
+// (allocations per message below 1).
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -37,7 +41,8 @@ int main(int argc, char** argv) {
               << " ranks, " << r.reps << " reps): direct "
               << r.direct_seconds << "s ("
               << r.direct_rank_steps_per_sec() << " rank-steps/s), replay "
-              << r.replay_seconds << "s, verified "
+              << r.replay_seconds << "s, allocs/msg "
+              << r.perf.allocs_per_message() << ", verified "
               << (r.verified ? "yes" : "NO") << "\n";
 
   if (cli.csv) {
@@ -53,6 +58,36 @@ int main(int argc, char** argv) {
     ok = ok && r.verified;
     max_ranks = std::max(max_ranks, r.nranks);
   }
-  if (cli.patterns.empty()) ok = ok && max_ranks >= 1024;
+  if (cli.patterns.empty()) {
+    ok = ok && max_ranks >= 1024;
+    // The throughput-decay gate: before the hot-path allocation
+    // overhaul the 1k-rank ring ran ~4x slower than the 16-rank ring
+    // per rank-step; pooled envelopes/requests plus the O(E) pattern
+    // map must hold the decay within 2x.  The pooling gate rides
+    // along: with warm pools, per-message heap allocations sit near
+    // zero even at the default low rep counts — 1.0 is the
+    // unmistakably-broken threshold, not the target.
+    const UniverseScaleRecord* ring16 = nullptr;
+    const UniverseScaleRecord* ring1024 = nullptr;
+    for (const UniverseScaleRecord& r : records) {
+      if (r.pattern == "graph(ring:16)") ring16 = &r;
+      if (r.pattern == "graph(ring:1024)") ring1024 = &r;
+    }
+    if (ring16 != nullptr && ring1024 != nullptr) {
+      const double decay = ring1024->direct_rank_steps_per_sec() /
+                           std::max(ring16->direct_rank_steps_per_sec(), 1.0);
+      if (decay < 0.5) {
+        std::cerr << "universe_scale: ring:1024 sustains only " << decay
+                  << "x of ring:16 rank-steps/sec (gate: >= 0.5)\n";
+        ok = false;
+      }
+      if (ring1024->perf.allocs_per_message() > 1.0) {
+        std::cerr << "universe_scale: ring:1024 hot path allocated "
+                  << ring1024->perf.allocs_per_message()
+                  << " per message (gate: <= 1.0)\n";
+        ok = false;
+      }
+    }
+  }
   return ok ? 0 : 1;
 }

@@ -86,7 +86,7 @@ void Scheduler::spawn(std::function<void()> body) {
   f->ctx.uc_link = &main_ctx_;  // returning from the trampoline resumes run()
   makecontext(&f->ctx, &Scheduler::trampoline_entry, 0);
 
-  ready_.push_back(f.get());
+  ready_.push(f.get());
   ++live_;
   fibers_.push_back(std::move(f));
 }
@@ -108,6 +108,7 @@ void Scheduler::trampoline_entry() {
 void Scheduler::resume(Fiber* f) {
   f->state = Fiber::State::running;
   running_ = f;
+  ++switches_;
   swapcontext(&main_ctx_, &f->ctx);
   running_ = nullptr;
 }
@@ -115,20 +116,31 @@ void Scheduler::resume(Fiber* f) {
 void Scheduler::switch_out(Fiber* f) { swapcontext(&f->ctx, &main_ctx_); }
 
 void Scheduler::make_ready(Fiber* f) {
+  if (f->state == Fiber::State::blocked) {
+    // O(1) swap-remove from the blocked set; the caller has already
+    // detached the fiber from its wait queue (or is about to clear it).
+    Fiber* last = blocked_.back();
+    blocked_[f->blocked_pos] = last;
+    last->blocked_pos = f->blocked_pos;
+    blocked_.pop_back();
+  }
   f->waiting_on = nullptr;
   f->state = Fiber::State::ready;
-  ready_.push_back(f);
+  ready_.push(f);
 }
 
 int Scheduler::wake_all_blocked() {
   int woken = 0;
-  for (const auto& f : fibers_) {
-    if (f->state != Fiber::State::blocked) continue;
+  while (!blocked_.empty()) {
+    Fiber* f = blocked_.back();
     if (f->waiting_on != nullptr) {
       auto& parked = f->waiting_on->fibers_;
-      parked.erase(std::find(parked.begin(), parked.end(), f.get()));
+      Fiber* last = parked.back();
+      parked[f->wq_pos] = last;
+      last->wq_pos = f->wq_pos;
+      parked.pop_back();
     }
-    make_ready(f.get());
+    make_ready(f);
     ++woken;
   }
   return woken;
@@ -157,8 +169,7 @@ void Scheduler::run() {
       wake_all_blocked();
       continue;
     }
-    Fiber* f = ready_.front();
-    ready_.pop_front();
+    Fiber* f = ready_.pop();
     resume(f);
     if (f->state == Fiber::State::done) {
       --live_;
@@ -176,7 +187,7 @@ void Scheduler::yield() {
   Fiber* f = running_;
   require(f != nullptr, ErrorClass::internal, "coop yield outside a fiber");
   f->state = Fiber::State::ready;
-  ready_.push_back(f);
+  ready_.push(f);
   switch_out(f);
   if (cancelling_) throw Cancelled{};
 }
@@ -186,7 +197,10 @@ void Scheduler::block_on(WaitQueue& wq) {
   require(f != nullptr, ErrorClass::internal,
           "coop blocking wait outside a fiber");
   if (cancelling_) throw Cancelled{};
+  f->wq_pos = wq.fibers_.size();
   wq.fibers_.push_back(f);
+  f->blocked_pos = blocked_.size();
+  blocked_.push_back(f);
   f->waiting_on = &wq;
   f->state = Fiber::State::blocked;
   switch_out(f);

@@ -42,7 +42,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -72,6 +71,51 @@ struct Fiber {
   bool cancelled = false;             ///< unwound by deadlock cancellation
   State state = State::ready;
   class WaitQueue* waiting_on = nullptr;
+  /// Index of this fiber in `waiting_on->fibers_` / the scheduler's
+  /// blocked list — O(1) swap-remove bookkeeping, so waking one fiber
+  /// (or sweeping all blocked ones) never rescans either vector.
+  std::size_t wq_pos = 0;
+  std::size_t blocked_pos = 0;
+};
+
+/// \brief Power-of-two ring buffer of ready fibers.  The ready queue
+/// is the single hottest scheduler structure (two touches per fiber
+/// resume); a `std::deque` pays chunk-map indirection and, worse,
+/// allocates/frees chunks as the queue breathes at 1k ranks.  The
+/// ring reuses one flat allocation forever and grows (rarely —
+/// capacity is bounded by the fiber count) by re-linearizing.
+class ReadyRing {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void push(Fiber* f) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = f;
+    ++size_;
+  }
+
+  Fiber* pop() noexcept {
+    Fiber* f = buf_[head_];
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return f;
+  }
+
+ private:
+  void grow() {
+    std::vector<Fiber*> next(buf_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = buf_[(head_ + i) & mask_];
+    buf_ = std::move(next);
+    mask_ = buf_.size() - 1;
+    head_ = 0;
+  }
+
+  std::vector<Fiber*> buf_ = std::vector<Fiber*>(64);
+  std::size_t mask_ = 63;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// \brief The event queue every runtime blocking site waits on.
@@ -155,6 +199,10 @@ class Scheduler {
     return blocked_at_deadlock_;
   }
 
+  /// Fiber resumes performed so far (each is one carrier→fiber context
+  /// switch pair) — the perf-counter layer's switches figure.
+  [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
+
   /// Reschedule the running fiber at the ready-queue tail (cooperative
   /// poll loops: test / iprobe / waitany).
   void yield();
@@ -175,10 +223,16 @@ class Scheduler {
 
   std::size_t stack_bytes_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
-  std::deque<Fiber*> ready_;
+  ReadyRing ready_;
+  /// Currently-blocked fibers (order immaterial; positions tracked in
+  /// `Fiber::blocked_pos`).  The deadlock detector's forced re-poll
+  /// rounds walk exactly this set instead of rescanning every fiber —
+  /// O(blocked) per round instead of O(nranks).
+  std::vector<Fiber*> blocked_;
   ucontext_t main_ctx_{};
   Fiber* running_ = nullptr;
   int live_ = 0;
+  std::uint64_t switches_ = 0;
   /// Bumped by every `notify_all` that actually woke a fiber: the
   /// progress signal the deadlock detector compares across a forced
   /// re-poll round.

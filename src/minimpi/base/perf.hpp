@@ -1,0 +1,65 @@
+#pragma once
+/// \file perf.hpp
+/// \brief Host-side performance counters for one universe run.
+///
+/// The hot-path overhaul (pooled envelopes, inline charge sequences,
+/// recycled request states) is a claim about *host* work per simulated
+/// message — so the engine counts it instead of asserting it.  A
+/// `PerfCounters` snapshot is filled by `Universe::run` on exit (pool
+/// hit/miss statistics, fiber context switches, mailbox match probes)
+/// and surfaced as extra columns of the two engine-throughput
+/// artifacts (`BENCH_engine_scale.json`, `BENCH_universe_scale.json`).
+/// None of these numbers feed back into the model: virtual clocks are
+/// computed the same whether anyone is counting or not.
+///
+/// Attach a sink via `UniverseOptions::perf`; successive runs
+/// *accumulate* into it (`operator+=` semantics), so a multi-rep bench
+/// leg reports totals over the leg.
+
+#include <cstdint>
+
+namespace minimpi {
+
+struct PerfCounters {
+  /// Envelopes acquired — one per point-to-point message the universe
+  /// carried (collectives ride clock barriers, not envelopes).
+  std::uint64_t messages = 0;
+  /// Envelope-pool acquires that had to heap-allocate a node (pool
+  /// growth).  Steady state: bounded by peak in-flight messages.
+  std::uint64_t envelope_allocs = 0;
+  /// Request states acquired (one per nonblocking operation).
+  std::uint64_t requests = 0;
+  /// Request-state-pool acquires that had to heap-allocate a node.
+  std::uint64_t request_allocs = 0;
+  /// Fiber resumes on the cooperative scheduler (each is one
+  /// carrier->fiber context-switch pair).
+  std::uint64_t fiber_switches = 0;
+  /// Mailbox bucket probes: 1 per addressed lookup, plus one per
+  /// bucket scanned by a wildcard receive.
+  std::uint64_t match_probes = 0;
+
+  void add(const PerfCounters& o) noexcept {
+    messages += o.messages;
+    envelope_allocs += o.envelope_allocs;
+    requests += o.requests;
+    request_allocs += o.request_allocs;
+    fiber_switches += o.fiber_switches;
+    match_probes += o.match_probes;
+  }
+
+  /// Hot-path heap allocations per message: the figure the pools are
+  /// judged by (→ 0 as pools warm; was ≥ 3 before them).
+  [[nodiscard]] double allocs_per_message() const noexcept {
+    return messages == 0
+               ? 0.0
+               : static_cast<double>(envelope_allocs + request_allocs) /
+                     static_cast<double>(messages);
+  }
+  [[nodiscard]] double probes_per_message() const noexcept {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(match_probes) /
+                               static_cast<double>(messages);
+  }
+};
+
+}  // namespace minimpi

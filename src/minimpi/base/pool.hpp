@@ -1,0 +1,205 @@
+#pragma once
+/// \file pool.hpp
+/// \brief Per-universe object pools: intrusive-refcount handles with
+/// free-list recycling for the per-message runtime objects.
+///
+/// The messaging hot path used to pay one heap round-trip per object
+/// per message: `make_shared<Envelope>` on every send, a fresh
+/// `Request::State` on every nonblocking call.  At 1k ranks those
+/// allocations (and the frees racing them on the same carrier thread)
+/// dominate the simulator's wall clock — the virtual clocks themselves
+/// are free.  An `ObjectPool<T>` keeps every node it ever constructed
+/// and hands them out through `PoolRef<T>` handles; when the last
+/// handle drops, the node is `reset()` (fields cleared, buffer
+/// *capacities kept*) and pushed on the free list.  Steady-state
+/// messaging therefore does zero heap allocation: the pool grows to
+/// the peak number of simultaneously-live objects during warm-up and
+/// then recycles forever.
+///
+/// Why this is invisible to the model (DESIGN.md §2.12): a recycled
+/// node is observationally identical to a fresh one — `reset()`
+/// restores every field `T` declares to its default-constructed value
+/// — and handing out *which* node is a host-memory identity the
+/// simulation never observes (no virtual-time decision reads an
+/// object's address).  The substitution is purely mechanical, so all
+/// golden artifacts stay byte-identical.
+///
+/// Threading: a pool and all handles into it belong to one universe's
+/// carrier thread (rank bodies are fibers on that thread; the
+/// `--jobs N` executor gives every universe its own world and pools).
+/// The refcount is a plain integer — cross-thread handle sharing is
+/// not supported and not needed.
+///
+/// `T` must derive from `Poolable<T>` and provide `void reset()`
+/// restoring all fields to their default-constructed values (keeping
+/// container capacities is encouraged — that is the point).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace minimpi {
+
+template <class T>
+class ObjectPool;
+
+template <class T>
+class PoolRef;
+
+/// \brief CRTP base giving `T` its intrusive refcount and home-pool
+/// backpointer.  The two fields are pool bookkeeping, not object
+/// state: `reset()` implementations must leave them alone (they are
+/// private, so they cannot touch them anyway).
+template <class T>
+class Poolable {
+ private:
+  friend class ObjectPool<T>;
+  friend class PoolRef<T>;
+  std::uint32_t pool_refs_ = 0;
+  ObjectPool<T>* pool_home_ = nullptr;  ///< null: standalone, delete on drop
+};
+
+/// \brief Single-pointer smart handle to a pooled `T`.  Copying bumps
+/// the intrusive refcount; dropping the last handle returns the node
+/// to its home pool (or deletes it when the node was made standalone,
+/// e.g. by a unit test constructing envelopes without a pool).
+template <class T>
+class PoolRef {
+ public:
+  PoolRef() noexcept = default;
+  PoolRef(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  /// Take shared ownership of `p` (which may be standalone or from a
+  /// pool).  The pool's `acquire()` is the usual way to get a first
+  /// handle; this constructor also lets tests wrap a `new T`.
+  explicit PoolRef(T* p) noexcept : p_(p) {
+    if (p_ != nullptr) ++hook(p_).pool_refs_;
+  }
+
+  PoolRef(const PoolRef& o) noexcept : p_(o.p_) {
+    if (p_ != nullptr) ++hook(p_).pool_refs_;
+  }
+  PoolRef(PoolRef&& o) noexcept : p_(std::exchange(o.p_, nullptr)) {}
+
+  PoolRef& operator=(const PoolRef& o) noexcept {
+    PoolRef(o).swap(*this);
+    return *this;
+  }
+  PoolRef& operator=(PoolRef&& o) noexcept {
+    PoolRef(std::move(o)).swap(*this);
+    return *this;
+  }
+  PoolRef& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~PoolRef() { reset(); }
+
+  void reset() noexcept {
+    T* p = std::exchange(p_, nullptr);
+    if (p != nullptr && --hook(p).pool_refs_ == 0) release(p);
+  }
+
+  void swap(PoolRef& o) noexcept { std::swap(p_, o.p_); }
+
+  [[nodiscard]] T* get() const noexcept { return p_; }
+  T& operator*() const noexcept { return *p_; }
+  T* operator->() const noexcept { return p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  friend bool operator==(const PoolRef& a, const PoolRef& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const PoolRef& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  static Poolable<T>& hook(T* p) noexcept {
+    return *static_cast<Poolable<T>*>(p);
+  }
+  static void release(T* p) noexcept;
+
+  T* p_ = nullptr;
+};
+
+/// \brief Free-list pool owning every node it ever constructed.
+/// `acquire()` pops a recycled node (a *hit*) or constructs a new one
+/// (a *miss* — the growth path); nodes come back automatically when
+/// their last `PoolRef` drops.  The hit/miss counters are the raw
+/// material of the perf-counter layer's allocs-per-message figure.
+template <class T>
+class ObjectPool {
+ public:
+  explicit ObjectPool(std::size_t reserve_nodes = 0) {
+    nodes_.reserve(reserve_nodes);
+    free_.reserve(reserve_nodes);
+    for (std::size_t i = 0; i < reserve_nodes; ++i) {
+      nodes_.push_back(std::make_unique<T>());
+      hook(nodes_.back().get()).pool_home_ = this;
+      free_.push_back(nodes_.back().get());
+    }
+  }
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// A fresh handle to a clean node.  Recycled nodes were `reset()` on
+  /// their way into the free list, so hits and misses are
+  /// indistinguishable to the caller.
+  [[nodiscard]] PoolRef<T> acquire() {
+    ++acquires_;
+    T* p;
+    if (!free_.empty()) {
+      p = free_.back();
+      free_.pop_back();
+    } else {
+      ++misses_;
+      nodes_.push_back(std::make_unique<T>());
+      p = nodes_.back().get();
+      hook(p).pool_home_ = this;
+    }
+    return PoolRef<T>(p);
+  }
+
+  /// Total `acquire()` calls (for envelopes: the message count).
+  [[nodiscard]] std::uint64_t acquires() const noexcept { return acquires_; }
+  /// Acquires that had to construct a node — the heap allocations the
+  /// pool did *not* avoid.  Steady state: stays flat at the warm-up
+  /// peak while `acquires()` keeps climbing.
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  /// Nodes owned (live + free): the high-water mark of simultaneously
+  /// live objects.
+  [[nodiscard]] std::size_t capacity() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_.size();
+  }
+
+ private:
+  friend class PoolRef<T>;
+  static Poolable<T>& hook(T* p) noexcept {
+    return *static_cast<Poolable<T>*>(p);
+  }
+  void recycle(T* p) {
+    p->reset();
+    free_.push_back(p);
+  }
+
+  std::vector<std::unique_ptr<T>> nodes_;
+  std::vector<T*> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+template <class T>
+void PoolRef<T>::release(T* p) noexcept {
+  ObjectPool<T>* home = hook(p).pool_home_;
+  if (home != nullptr)
+    home->recycle(p);
+  else
+    delete p;
+}
+
+}  // namespace minimpi

@@ -56,6 +56,16 @@ class TypeSignature {
   void append(BasicType t, std::size_t n);
   void append(const TypeSignature& other, std::size_t repeat);
 
+  /// Restore the default-constructed state, keeping `runs_` capacity —
+  /// pooled envelopes clear and refill their signature per message
+  /// without reallocating.
+  void clear() noexcept {
+    runs_.clear();
+    for (auto& n : per_basic_) n = 0;
+    bytes_ = 0;
+    exact_ = true;
+  }
+
   /// \brief True if `recv_sig` can legally receive a message with this
   /// (send) signature: recv must start with send's sequence.
   [[nodiscard]] bool accepts(const TypeSignature& send_sig) const;

@@ -196,11 +196,10 @@ TransferCharges CostModel::bsend_charges(std::size_t bytes,
   return c;
 }
 
-std::vector<Charge> CostModel::recv_charges(std::size_t bytes,
-                                            const BlockStats& recv_stats,
-                                            bool eager,
-                                            bool unexpected) const {
-  std::vector<Charge> seq;
+ChargeSeq CostModel::recv_charges(std::size_t bytes,
+                                  const BlockStats& recv_stats, bool eager,
+                                  bool unexpected) const {
+  ChargeSeq seq;
   seq.push_back({ChargeAtom::match, p_.recv_overhead_s, 0});
   // Eager copy-out happens only for *unexpected* messages (those that
   // landed in MPI's buffer before the receive was posted); an expected

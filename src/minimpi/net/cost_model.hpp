@@ -149,10 +149,9 @@ class CostModel {
   /// Receiver-side completion atoms for a message that has arrived:
   /// match overhead, copy-out for *unexpected* eager messages, scatter
   /// for non-contiguous receive types.
-  [[nodiscard]] std::vector<Charge> recv_charges(std::size_t bytes,
-                                                 const BlockStats& recv_stats,
-                                                 bool eager,
-                                                 bool unexpected) const;
+  [[nodiscard]] ChargeSeq recv_charges(std::size_t bytes,
+                                       const BlockStats& recv_stats,
+                                       bool eager, bool unexpected) const;
 
   /// One-sided put: origin-side staging through the same internal
   /// engine, injection at the RMA-specific rate, plus any

@@ -84,13 +84,68 @@ struct Charge {
   std::size_t bytes = 0;
 };
 
+/// \brief Small-inline-capacity charge sequence.
+///
+/// Every protocol composition the cost model emits is a handful of
+/// atoms — the largest (`bsend_charges`) is 8 across both halves — yet
+/// each used to materialize a fresh `std::vector<Charge>`, two heap
+/// round-trips per message on the engine's hottest path.  `ChargeSeq`
+/// keeps up to `inline_capacity` atoms in the object itself and only
+/// spills to a vector beyond that (custom models may compose longer
+/// sequences), staying contiguous either way so `schedule_sequence`
+/// consumes it through the same `std::span<const Charge>`.
+class ChargeSeq {
+ public:
+  static constexpr std::size_t inline_capacity = 8;
+
+  ChargeSeq() = default;
+
+  void push_back(const Charge& c) {
+    if (size_ < inline_capacity) {
+      inline_[size_] = c;
+    } else {
+      if (size_ == inline_capacity && spill_.empty())
+        spill_.assign(inline_, inline_ + inline_capacity);
+      spill_.push_back(c);
+    }
+    ++size_;
+  }
+  void emplace_back(ChargeAtom atom, double seconds, std::size_t bytes = 0) {
+    push_back(Charge{atom, seconds, bytes});
+  }
+
+  void clear() noexcept {
+    size_ = 0;
+    spill_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const Charge* data() const noexcept {
+    return size_ > inline_capacity ? spill_.data() : inline_;
+  }
+  const Charge& operator[](std::size_t i) const noexcept { return data()[i]; }
+  [[nodiscard]] const Charge* begin() const noexcept { return data(); }
+  [[nodiscard]] const Charge* end() const noexcept { return data() + size_; }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): the whole point
+  operator std::span<const Charge>() const noexcept {
+    return {data(), size_};
+  }
+
+ private:
+  Charge inline_[inline_capacity];
+  std::size_t size_ = 0;
+  std::vector<Charge> spill_;  ///< holds *all* charges once spilled
+};
+
 /// A protocol composition's atom sequence, split at the instant the
 /// sending call returns: `local` runs on the sender's timeline up to
 /// `sender_done`; `transit` continues (background injection, fabric
 /// latency) up to the arrival instant.
 struct TransferCharges {
-  std::vector<Charge> local;
-  std::vector<Charge> transit;
+  ChargeSeq local;
+  ChargeSeq transit;
   bool eager = true;
 };
 

@@ -1,6 +1,7 @@
 #include "minimpi/runtime/comm.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "minimpi/base/coop.hpp"
 #include "minimpi/runtime/plan_record.hpp"
@@ -32,38 +33,64 @@ plan::Action plan_send_action(plan::SendArm arm, Rank peer, Tag tag,
   return a;
 }
 
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ChargeCapture
+// ---------------------------------------------------------------------------
+
 /// Captures the scheduler's atom placements for the trace: hand
 /// `sink()` to a `CostModel` scheduling call; the placements land in
-/// the trace log on destruction.  A null sink (no trace attached)
-/// keeps the hot path allocation-free.
-struct ChargeCapture {
-  detail::World& world;
-  Rank rank;
-  std::vector<PlacedCharge> placed;
-
-  [[nodiscard]] std::vector<PlacedCharge>* sink() {
-    return world.tracing() ? &placed : nullptr;
+/// the trace log on destruction.  With no trace attached, construction
+/// is one flag test and `sink()` is null — the hot path does no work
+/// at all.  When tracing, the placement buffer is *borrowed* from the
+/// owning rank's scratch stack (capacity retained across ops), so even
+/// traced runs stop allocating once the stack is warm.  A stack rather
+/// than a single buffer because `finish_recv` holds two captures at
+/// once (sender and receiver timelines).
+struct Comm::ChargeCapture {
+  ChargeCapture(Comm& c, Rank timeline_rank)
+      : comm_(c), rank_(timeline_rank) {
+    if (c.world_->tracing()) {
+      if (c.trace_depth_ == c.trace_scratch_.size())
+        c.trace_scratch_.emplace_back();
+      buf_ = &c.trace_scratch_[c.trace_depth_++];
+      buf_->clear();
+    }
   }
+  ChargeCapture(const ChargeCapture&) = delete;
+  ChargeCapture& operator=(const ChargeCapture&) = delete;
   ~ChargeCapture() {
-    if (!placed.empty()) world.trace_charges(rank, placed);
+    if (buf_ != nullptr) {
+      if (!buf_->empty()) comm_.world_->trace_charges(rank_, *buf_);
+      --comm_.trace_depth_;
+    }
   }
-};
 
-}  // namespace
+  [[nodiscard]] std::vector<PlacedCharge>* sink() const noexcept {
+    return buf_;
+  }
+
+ private:
+  Comm& comm_;
+  Rank rank_;
+  std::vector<PlacedCharge>* buf_ = nullptr;
+};
 
 // ---------------------------------------------------------------------------
 // Request
 // ---------------------------------------------------------------------------
 
-struct Request::State {
-  enum class Kind { send_eager, send_rdv, recv } kind;
+struct Request::State : Poolable<Request::State> {
+  enum class Kind { send_eager, send_rdv, recv };
+  Kind kind = Kind::send_eager;
   Comm* comm = nullptr;
   bool done = false;
   Status status;
 
   // sends
-  double completion = 0.0;              // eager: known at post time
-  std::shared_ptr<Envelope> env;        // rendezvous: receiver posts the ack
+  double completion = 0.0;   // eager: known at post time
+  detail::EnvRef env;        // rendezvous: receiver posts the ack
 
   // receives
   void* buf = nullptr;
@@ -76,7 +103,35 @@ struct Request::State {
   // compiled-plan capture: the send event this request refers to
   bool plan_tracked = false;
   std::uint32_t plan_event = 0;
+
+  /// Restore every field to its default-constructed value on the way
+  /// back into the pool (pool contract, base/pool.hpp).
+  void reset() {
+    kind = Kind::send_eager;
+    comm = nullptr;
+    done = false;
+    status = Status{};
+    completion = 0.0;
+    env.reset();
+    buf = nullptr;
+    count = 0;
+    type = Datatype{};
+    src = any_source;
+    tag = any_tag;
+    post_clock = 0.0;
+    plan_tracked = false;
+    plan_event = 0;
+  }
 };
+
+// Out of line (cf. comm.hpp): State is complete only here.
+Request::Request() noexcept = default;
+Request::Request(const Request&) noexcept = default;
+Request::Request(Request&&) noexcept = default;
+Request& Request::operator=(const Request&) noexcept = default;
+Request& Request::operator=(Request&&) noexcept = default;
+Request::~Request() = default;
+Request::Request(PoolRef<State> s) noexcept : state_(std::move(s)) {}
 
 Status Request::wait() {
   require(state_ != nullptr, ErrorClass::invalid_arg,
@@ -157,6 +212,21 @@ bool Request::test(Status* status) {
 }
 
 // ---------------------------------------------------------------------------
+// Comm: lifetime
+// ---------------------------------------------------------------------------
+
+Comm::Comm(detail::World& world, Rank rank)
+    : world_(&world), rank_(rank), bsend_pool_(world.bsend_pool(rank)) {}
+
+Comm::~Comm() {
+  // Fold this rank's request-pool statistics into the run-wide
+  // counters before the pool disappears with the fiber.
+  PerfCounters& c = world_->counters();
+  c.requests += req_pool_.acquires();
+  c.request_allocs += req_pool_.misses();
+}
+
+// ---------------------------------------------------------------------------
 // Comm: time
 // ---------------------------------------------------------------------------
 
@@ -216,11 +286,9 @@ void Comm::validate_p2p(std::size_t count, const Datatype& t, Rank peer,
   }
 }
 
-std::shared_ptr<Envelope> Comm::make_envelope(const void* buf,
-                                              std::size_t count,
-                                              const Datatype& t, Rank dst,
-                                              Tag tag) {
-  auto env = std::make_shared<Envelope>();
+detail::EnvRef Comm::make_envelope(const void* buf, std::size_t count,
+                                   const Datatype& t, Rank dst, Tag tag) {
+  auto env = world_->acquire_envelope();
   env->src = rank_;
   env->dst = dst;
   env->tag = tag;
@@ -248,7 +316,7 @@ void Comm::send(const void* buf, std::size_t count, const Datatype& t,
                                         rec->next_send_event(rank_)));
   }
   if (world_->model.is_eager(env->bytes)) {
-    ChargeCapture cc{*world_, rank_};
+    ChargeCapture cc{*this, rank_};
     const auto timing =
         world_->model.eager_timing(clock_, env->bytes, env->send_stats,
                                    world_->nic_gate(rank_), cc.sink());
@@ -305,7 +373,7 @@ void Comm::rsend(const void* buf, std::size_t count, const Datatype& t,
     rec->record(rank_, plan_send_action(plan::SendArm::ready, dst, tag, *env,
                                         rec->next_send_event(rank_)));
   }
-  ChargeCapture cc{*world_, rank_};
+  ChargeCapture cc{*this, rank_};
   const auto timing =
       world_->model.rsend_timing(clock_, env->bytes, env->send_stats,
                                  world_->nic_gate(rank_), cc.sink());
@@ -335,7 +403,7 @@ void Comm::bsend(const void* buf, std::size_t count, const Datatype& t,
                 plan_send_action(plan::SendArm::buffered, dst, tag, *env,
                                  rec->next_send_event(rank_)));
   }
-  ChargeCapture cc{*world_, rank_};
+  ChargeCapture cc{*this, rank_};
   const auto timing =
       world_->model.bsend_timing(clock_, env->bytes, env->send_stats,
                                  world_->nic_gate(rank_), cc.sink());
@@ -379,7 +447,7 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
     // The transfer's atoms (pack, wire) occupy the *sender's*
     // resources; under emergent contention the wire atom resolves the
     // sender's FIFO NIC slot carried in the envelope.
-    ChargeCapture sc{*world_, env.src};
+    ChargeCapture sc{*this, env.src};
     const auto timing = world_->model.rendezvous_timing(
         env.sender_ready, recv_ready, env.bytes, env.send_stats,
         env.nic_gate, sc.sink());
@@ -392,7 +460,7 @@ Status Comm::finish_recv(void* buf, std::size_t count, const Datatype& t,
     arrival = env.arrival;
     eager = env.eager;
   }
-  ChargeCapture rc{*world_, rank_};
+  ChargeCapture rc{*this, rank_};
   clock_ = world_->model.recv_completion(recv_ready, arrival, env.bytes,
                                          message_stats(t, count), eager,
                                          rc.sink());
@@ -426,7 +494,7 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
                     Rank dst, Tag tag) {
   validate_p2p(count, t, dst, tag, false);
   auto env = make_envelope(buf, count, t, dst, tag);
-  auto state = std::make_shared<Request::State>();
+  auto state = req_pool_.acquire();
   state->comm = this;
   if (auto* rec = plan_rec(*world_, rank_)) {
     const auto arm = world_->model.is_eager(env->bytes)
@@ -438,7 +506,7 @@ Request Comm::isend(const void* buf, std::size_t count, const Datatype& t,
                 plan_send_action(arm, dst, tag, *env, state->plan_event));
   }
   if (world_->model.is_eager(env->bytes)) {
-    ChargeCapture cc{*world_, rank_};
+    ChargeCapture cc{*this, rank_};
     const auto timing =
         world_->model.eager_timing(clock_, env->bytes, env->send_stats,
                                    world_->nic_gate(rank_), cc.sink());
@@ -469,7 +537,7 @@ Request Comm::issend(const void* buf, std::size_t count, const Datatype& t,
   // handshakes regardless of message size (cf. ssend).
   validate_p2p(count, t, dst, tag, false);
   auto env = make_envelope(buf, count, t, dst, tag);
-  auto state = std::make_shared<Request::State>();
+  auto state = req_pool_.acquire();
   state->comm = this;
   if (auto* rec = plan_rec(*world_, rank_)) {
     state->plan_tracked = true;
@@ -496,7 +564,7 @@ Request Comm::irecv(void* buf, std::size_t count, const Datatype& t, Rank src,
     if (src == any_source || tag == any_tag)
       rec->mark_uncompilable("wildcard receive during a recorded rep");
   }
-  auto state = std::make_shared<Request::State>();
+  auto state = req_pool_.acquire();
   state->comm = this;
   state->kind = Request::State::Kind::recv;
   state->buf = buf;
@@ -719,10 +787,19 @@ T Comm::allreduce_impl(T value, ReduceOp op) {
     rec->mark_uncompilable("payload collective during a recorded rep");
   auto& slot = world_->collective();
   const double fused = slot.deposit(rank_, &value, clock_);
-  T result = *static_cast<const T*>(slot.contribution(0));
-  for (Rank r = 1; r < size(); ++r)
-    result = apply_op(op, result,
-                      *static_cast<const T*>(slot.contribution(r)));
+  // First rank past the barrier folds for everyone (same 0..N-1 order
+  // every rank used to apply itself, so the cached bits are identical);
+  // the rest copy.  Cuts the collective from O(N²) total to O(N).
+  T result;
+  if (slot.fold_cached()) {
+    std::memcpy(&result, slot.fold(), sizeof(T));
+  } else {
+    result = *static_cast<const T*>(slot.contribution(0));
+    for (Rank r = 1; r < size(); ++r)
+      result = apply_op(op, result,
+                        *static_cast<const T*>(slot.contribution(r)));
+    slot.store_fold(&result, sizeof(T));
+  }
   // Reduce + broadcast: twice the tree cost.
   clock_ = fused + 2.0 * collective_cost(sizeof(T));
   slot.release();
@@ -825,7 +902,7 @@ void Window::fence() {
   state_->barrier.arrive(0.0);  // make the reset visible before new ops
   {
     // The fence charge is a typed join atom on this rank's timeline.
-    ChargeCapture cc{*comm_->world_, comm_->rank()};
+    Comm::ChargeCapture cc{*comm_, comm_->rank()};
     const Charge f{ChargeAtom::fence, comm_->model().fence_time(), 0};
     comm_->clock_ =
         schedule_sequence(fused, {&f, 1}, comm_->model().capabilities(), {},
@@ -1006,7 +1083,7 @@ void Window::put(const void* buf, std::size_t count, const Datatype& t,
     a.win = rec->window_id(state_.get());
     rec->record(comm_->rank(), std::move(a));
   }
-  ChargeCapture cc{*comm_->world_, comm_->rank()};
+  Comm::ChargeCapture cc{*comm_, comm_->rank()};
   const auto timing = comm_->model().put_timing(
       comm_->clock_, bytes, message_stats(t, count),
       comm_->world_->nic_gate(comm_->rank()), cc.sink());
@@ -1043,7 +1120,7 @@ void Window::get(void* buf, std::size_t count, const Datatype& t, Rank target,
     a.win = rec->window_id(state_.get());
     rec->record(comm_->rank(), std::move(a));
   }
-  ChargeCapture cc{*comm_->world_, comm_->rank()};
+  Comm::ChargeCapture cc{*comm_, comm_->rank()};
   // The response wire serializes on the *target's* NIC, which the
   // per-rank ledgers deliberately do not track: no gate.
   const auto timing = comm_->model().get_timing(
@@ -1076,7 +1153,7 @@ void Window::accumulate_sum_f64(const double* buf, std::size_t count,
     a.win = rec->window_id(state_.get());
     rec->record(comm_->rank(), std::move(a));
   }
-  ChargeCapture cc{*comm_->world_, comm_->rank()};
+  Comm::ChargeCapture cc{*comm_, comm_->rank()};
   const auto timing = comm_->model().put_timing(
       comm_->clock_, bytes, BlockStats{1, bytes, bytes, bytes},
       comm_->world_->nic_gate(comm_->rank()), cc.sink());
@@ -1160,6 +1237,10 @@ void Universe::run(const UniverseOptions& opts,
     });
   }
   sched.run();
+  // Rank bodies (and their Comm destructors) have finished: fold the
+  // run's counters into the options sink.  Before the error checks so
+  // the observational layer reports even for failed runs.
+  world.publish_counters(sched.switches());
   if (auto err = sched.first_error()) std::rethrow_exception(err);
   require(!sched.deadlocked(), ErrorClass::deadlock,
           "all " + std::to_string(sched.blocked_at_deadlock()) +

@@ -45,9 +45,20 @@ inline BlockStats message_stats(const Datatype& t, std::size_t count) {
 }
 
 /// \brief Handle for a nonblocking operation (MPI_Request).
+///
+/// The backing `State` comes from the owning `Comm`'s object pool and
+/// recycles when the last handle drops (request states never leave
+/// their rank, so the pool needs no cross-rank story).  Special
+/// members are out of line: `State` is incomplete here, and the pool
+/// handle needs the complete type to release it.
 class Request {
  public:
-  Request() = default;
+  Request() noexcept;
+  Request(const Request&) noexcept;
+  Request(Request&&) noexcept;
+  Request& operator=(const Request&) noexcept;
+  Request& operator=(Request&&) noexcept;
+  ~Request();
 
   /// \brief Block until the operation completes; advances the owning
   /// rank's clock.  Returns the receive status (empty Status for sends).
@@ -59,8 +70,8 @@ class Request {
  private:
   friend class Comm;
   struct State;
-  explicit Request(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  explicit Request(PoolRef<State> s) noexcept;
+  PoolRef<State> state_;
 };
 
 /// \brief Reusable communication operation (MPI_Send_init / Recv_init).
@@ -181,9 +192,12 @@ enum class ReduceOp { sum, min, max };
 
 class Comm {
  public:
-  Comm(detail::World& world, Rank rank)
-      : world_(&world), rank_(rank),
-        bsend_pool_(world.bsend_pool(rank)) {}
+  /// Out of line: constructing the per-rank request-state pool (and
+  /// destroying it — the destructor also folds this rank's pool
+  /// statistics into the world's perf counters) needs the complete
+  /// `Request::State`, which lives in comm.cpp.
+  Comm(detail::World& world, Rank rank);
+  ~Comm();
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -309,12 +323,11 @@ class Comm {
   friend class PersistentRequest;
 
   struct PendingRecv;
+  struct ChargeCapture;
   void validate_p2p(std::size_t count, const Datatype& t, Rank peer, Tag tag,
                     bool is_recv) const;
-  std::shared_ptr<detail::Envelope> make_envelope(const void* buf,
-                                                  std::size_t count,
-                                                  const Datatype& t, Rank dst,
-                                                  Tag tag);
+  detail::EnvRef make_envelope(const void* buf, std::size_t count,
+                               const Datatype& t, Rank dst, Tag tag);
   Status finish_recv(void* buf, std::size_t count, const Datatype& t,
                      detail::Envelope& env, double post_clock);
   double collective_cost(std::size_t bytes) const;
@@ -327,6 +340,14 @@ class Comm {
   Rank rank_;
   double clock_ = 0.0;
   std::shared_ptr<detail::BsendPool> bsend_pool_;
+  /// Per-rank pool of request states (complete type in comm.cpp).
+  ObjectPool<Request::State> req_pool_;
+  /// Borrow-stack of placement scratch buffers for tracing-enabled
+  /// runs: each live `ChargeCapture` borrows one level (capacity
+  /// retained across ops), so even tracing allocates only until the
+  /// buffers warm up.  `finish_recv` holds two levels at once.
+  std::vector<std::vector<PlacedCharge>> trace_scratch_;
+  std::size_t trace_depth_ = 0;
 };
 
 /// \brief Entry point: run `body` on `opts.nranks` simulated ranks.

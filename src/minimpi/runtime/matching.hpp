@@ -28,13 +28,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "minimpi/base/coop.hpp"
+#include "minimpi/base/pool.hpp"
 #include "minimpi/base/types.hpp"
 #include "minimpi/datatype/datatype.hpp"
 #include "minimpi/net/timeline.hpp"
@@ -43,7 +43,11 @@ namespace minimpi::detail {
 
 class BsendPool;
 
-struct Envelope {
+/// Pooled (pool.hpp): the world hands envelopes out of a per-universe
+/// free list; `reset()` returns a node to its default-constructed
+/// state while keeping the `signature` and `payload` capacities, so
+/// steady-state messaging allocates nothing.
+struct Envelope : Poolable<Envelope> {
   Rank src = 0;
   Rank dst = 0;
   Tag tag = 0;
@@ -72,17 +76,55 @@ struct Envelope {
   /// consumed; null for non-buffered sends.
   std::shared_ptr<BsendPool> bsend_pool;
   std::size_t bsend_reserved = 0;
+
+  /// Scrub every field back to the values above (the recycling
+  /// contract; test_pool_recycling's tripwire enumerates them).
+  /// `ack_wq` needs no touch: a released envelope has no parked
+  /// sender, and an empty `WaitQueue` carries no state.
+  void reset() {
+    src = 0;
+    dst = 0;
+    tag = 0;
+    bytes = 0;
+    signature.clear();
+    send_stats = BlockStats{};
+    payload.clear();
+    has_payload = false;
+    eager = true;
+    sender_done = 0.0;
+    arrival = 0.0;
+    needs_rdv_ack = false;
+    sender_ready = 0.0;
+    ack_ready = false;
+    ack_value = 0.0;
+    nic_gate = NicGate{};
+    bsend_pool.reset();
+    bsend_reserved = 0;
+  }
 };
+
+/// Pooled envelope handle: single pointer, intrusive refcount.
+using EnvRef = PoolRef<Envelope>;
 
 /// \brief Per-destination mailbox: `(src, tag)`-indexed buckets with a
 /// wildcard earliest-arrival fallback, blocking via the coop scheduler.
 class Mailbox {
  public:
-  void push(std::shared_ptr<Envelope> env) {
+  Mailbox() {
+    // Reserve bucket headroom up front and keep the table sparse: a
+    // pattern rank talks to a handful of `(src, tag)` pairs, and
+    // rehashing mid-run would churn every bucket node the moment the
+    // working set stabilizes.  Buckets are never erased, so after the
+    // first rep the pair set — and the table — is fixed.
+    buckets_.max_load_factor(0.5F);
+    buckets_.reserve(16);
+  }
+
+  void push(EnvRef env) {
     {
       std::lock_guard lk(m_);
-      buckets_[key(env->src, env->tag)].push_back(
-          Item{next_seq_++, std::move(env)});
+      bucket_at(key(env->src, env->tag))
+          .items.push_back(Item{next_seq_++, std::move(env)});
       ++size_;
     }
     wq_.notify_all();
@@ -90,30 +132,30 @@ class Mailbox {
 
   /// \brief Remove and return the first envelope matching (src, tag),
   /// blocking until one exists.
-  std::shared_ptr<Envelope> match(Rank src, Tag tag) {
+  EnvRef match(Rank src, Tag tag) {
     std::unique_lock lk(m_);
-    std::shared_ptr<Envelope> env;
+    EnvRef env;
     wq_.wait(lk, [&] { return (env = take_locked(src, tag)) != nullptr; });
     return env;
   }
 
   /// \brief Non-blocking variant; null if nothing matches.
-  std::shared_ptr<Envelope> try_match(Rank src, Tag tag) {
+  EnvRef try_match(Rank src, Tag tag) {
     std::lock_guard lk(m_);
     return take_locked(src, tag);
   }
 
   /// \brief Blocking peek (MPI_Probe): the envelope stays queued, and
   /// it is exactly the one the next matching `match` will take.
-  std::shared_ptr<Envelope> peek(Rank src, Tag tag) {
+  EnvRef peek(Rank src, Tag tag) {
     std::unique_lock lk(m_);
-    std::shared_ptr<Envelope> env;
+    EnvRef env;
     wq_.wait(lk, [&] { return (env = peek_locked(src, tag)) != nullptr; });
     return env;
   }
 
   /// \brief Non-blocking peek (MPI_Iprobe); null if nothing matches.
-  std::shared_ptr<Envelope> try_peek(Rank src, Tag tag) {
+  EnvRef try_peek(Rank src, Tag tag) {
     std::lock_guard lk(m_);
     return peek_locked(src, tag);
   }
@@ -140,12 +182,43 @@ class Mailbox {
     return n;
   }
 
+  /// Bucket probes performed so far: 1 per addressed lookup, plus one
+  /// per bucket a wildcard had to scan — the perf-counter layer's
+  /// match-probe figure.
+  [[nodiscard]] std::uint64_t probes() {
+    std::lock_guard lk(m_);
+    return probes_;
+  }
+
  private:
   struct Item {
     std::uint64_t seq = 0;  ///< global arrival order within this mailbox
-    std::shared_ptr<Envelope> env;
+    EnvRef env;
   };
-  using Bucket = std::deque<Item>;
+
+  /// FIFO over a capacity-retaining vector: pop-front advances `head`,
+  /// and draining resets both — so a bucket that breathes (one message
+  /// in, one out, every rep) reuses the same slot forever instead of
+  /// cycling deque chunks through the allocator.
+  struct Bucket {
+    std::vector<Item> items;
+    std::size_t head = 0;
+
+    [[nodiscard]] bool empty() const noexcept {
+      return head == items.size();
+    }
+    [[nodiscard]] std::size_t size() const noexcept {
+      return items.size() - head;
+    }
+    [[nodiscard]] Item& front() noexcept { return items[head]; }
+    [[nodiscard]] const Item& front() const noexcept { return items[head]; }
+    void pop_front() noexcept {
+      if (++head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+    }
+  };
 
   static std::uint64_t key(Rank src, Tag tag) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
@@ -160,33 +233,37 @@ class Mailbox {
            (tag == any_tag || ktag == tag);
   }
 
+  Bucket& bucket_at(std::uint64_t k) { return buckets_[k]; }
+
   /// The bucket whose head is the earliest-arrived envelope a
   /// `(src, tag)` receive may take — O(1) on the fully-addressed hot
   /// path, O(#non-empty buckets) under a wildcard.  Null if none match.
   Bucket* find_bucket(Rank src, Tag tag) {
     if (src != any_source && tag != any_tag) {
+      ++probes_;
       const auto it = buckets_.find(key(src, tag));
       return (it != buckets_.end() && !it->second.empty()) ? &it->second
                                                            : nullptr;
     }
     Bucket* best = nullptr;
     for (auto& [k, q] : buckets_) {
+      ++probes_;
       if (q.empty() || !key_matches(k, src, tag)) continue;
       if (best == nullptr || q.front().seq < best->front().seq) best = &q;
     }
     return best;
   }
 
-  std::shared_ptr<Envelope> take_locked(Rank src, Tag tag) {
+  EnvRef take_locked(Rank src, Tag tag) {
     Bucket* b = find_bucket(src, tag);
     if (b == nullptr) return nullptr;
-    auto env = std::move(b->front().env);
+    EnvRef env = std::move(b->front().env);
     b->pop_front();
     --size_;
     return env;
   }
 
-  std::shared_ptr<Envelope> peek_locked(Rank src, Tag tag) {
+  EnvRef peek_locked(Rank src, Tag tag) {
     Bucket* b = find_bucket(src, tag);
     return b == nullptr ? nullptr : b->front().env;
   }
@@ -196,6 +273,7 @@ class Mailbox {
   std::unordered_map<std::uint64_t, Bucket> buckets_;
   std::uint64_t next_seq_ = 0;
   std::size_t size_ = 0;
+  std::uint64_t probes_ = 0;
 };
 
 /// \brief Accounting for the user buffer attached via buffer_attach.

@@ -11,6 +11,9 @@
 /// time is computed from the cost model so results are independent of
 /// host scheduling (DESIGN.md §2.5/§2.10).
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <limits>
@@ -19,6 +22,8 @@
 #include <optional>
 #include <vector>
 
+#include "minimpi/base/perf.hpp"
+#include "minimpi/base/pool.hpp"
 #include "minimpi/net/cost_model.hpp"
 #include "minimpi/runtime/matching.hpp"
 #include "minimpi/runtime/trace.hpp"
@@ -64,6 +69,12 @@ struct UniverseOptions {
   /// recording rank's program; the harness brackets reps via the
   /// `Comm::plan_*` marks.  Not owned; must outlive `Universe::run`.
   plan::Recorder* plan_recorder = nullptr;
+  /// Optional host-side performance-counter sink (base/perf.hpp).
+  /// `Universe::run` *accumulates* the run's counters into it on exit
+  /// (pool hits/misses, fiber switches, match probes).  Not owned;
+  /// purely observational — attaching it cannot change any virtual
+  /// clock.
+  PerfCounters* perf = nullptr;
 };
 
 namespace detail {
@@ -126,14 +137,45 @@ class CollectiveSlot {
     return contribs_[static_cast<std::size_t>(r)];
   }
 
+  /// \name Per-round fold cache
+  /// Every rank of an allreduce folds the *same* contributions in the
+  /// same 0..N-1 order, so the first rank past the deposit barrier may
+  /// compute the fold once and the rest copy it — N-1 redundant O(N)
+  /// walks (the O(N²) term that dominated 1k-rank universe setup)
+  /// collapse to one, and the cached bits are exactly what every rank
+  /// would have produced itself.  Fibers share one carrier thread, so
+  /// the check-then-store pair needs no lock as long as the fold loop
+  /// itself never blocks (contribution reads and scalar ops do not).
+  /// @{
+  [[nodiscard]] bool fold_cached() const noexcept {
+    return fold_round_ == round_;
+  }
+  void store_fold(const void* bits, std::size_t n) noexcept {
+    std::memcpy(fold_.data(), bits, n);
+    fold_round_ = round_;
+  }
+  [[nodiscard]] const void* fold() const noexcept { return fold_.data(); }
+  /// @}
+
   /// Release the slot; every rank must call this once per collective.
-  void release() { barrier_b_.arrive(0.0); }
+  /// The last release closes the round, invalidating the fold cache.
+  void release() {
+    if (++released_ == parties_) {
+      released_ = 0;
+      ++round_;
+    }
+    barrier_b_.arrive(0.0);
+  }
 
  private:
   const int parties_;
   std::vector<const void*> contribs_;
   ClockBarrier barrier_a_;
   ClockBarrier barrier_b_;
+  int released_ = 0;
+  std::uint64_t round_ = 1;       ///< current collective round
+  std::uint64_t fold_round_ = 0;  ///< round whose fold is cached (0 = none)
+  std::array<std::byte, 16> fold_{};
 };
 
 /// \brief Shared state of one RMA window (MPI_Win).
@@ -191,6 +233,27 @@ class World {
 
   UniverseOptions options;
   CostModel model;
+
+  /// A clean envelope from the per-universe pool — the only way the
+  /// runtime creates envelopes, so the pool's acquire count *is* the
+  /// message count.
+  EnvRef acquire_envelope() { return env_pool_.acquire(); }
+  ObjectPool<Envelope>& envelope_pool() noexcept { return env_pool_; }
+
+  /// Run-wide counter accumulator (Comm destructors fold their
+  /// request-pool statistics in here as rank bodies finish).
+  PerfCounters& counters() noexcept { return counters_; }
+
+  /// Fold the pool / mailbox statistics into `counters_` and
+  /// accumulate the total into the options sink, if one is attached.
+  /// Called once by `Universe::run` after the scheduler drains.
+  void publish_counters(std::uint64_t fiber_switches) {
+    counters_.messages = env_pool_.acquires();
+    counters_.envelope_allocs = env_pool_.misses();
+    counters_.fiber_switches = fiber_switches;
+    for (auto& mb : mailboxes_) counters_.match_probes += mb->probes();
+    if (options.perf != nullptr) options.perf->add(counters_);
+  }
 
   Mailbox& mailbox(Rank r) { return *mailboxes_[static_cast<std::size_t>(r)]; }
   std::shared_ptr<BsendPool> bsend_pool(Rank r) {
@@ -259,6 +322,11 @@ class World {
   }
 
  private:
+  /// Declared before the mailboxes on purpose: members destroy in
+  /// reverse order, so queued envelopes a mailbox still holds at world
+  /// teardown recycle into a live pool.
+  ObjectPool<Envelope> env_pool_;
+  PerfCounters counters_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::shared_ptr<BsendPool>> bsend_pools_;
   std::vector<std::unique_ptr<NicLedger>> staged_ledgers_;

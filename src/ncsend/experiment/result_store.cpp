@@ -242,7 +242,13 @@ void ResultStore::write_bench_engine_scale_json(
        << ", \"rank_steps_per_sec_compiled\": "
        << r.compiled_rank_steps_per_sec()
        << ", \"speedup\": " << r.speedup()
-       << ", \"identical\": " << (r.identical ? "true" : "false") << "}"
+       << ", \"identical\": " << (r.identical ? "true" : "false")
+       << ",\n     \"messages\": " << r.perf.messages
+       << ", \"hot_allocs\": " << r.perf.hot_allocs
+       << ", \"allocs_per_message\": " << r.perf.allocs_per_message()
+       << ", \"probes_per_message\": " << r.perf.probes_per_message()
+       << ", \"fiber_switches_per_rank_step\": "
+       << r.perf.switches_per_rank_step(r.rank_steps()) << "}"
        << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -268,7 +274,13 @@ void ResultStore::write_bench_universe_scale_json(
        << ", \"rank_steps_per_sec_direct\": "
        << r.direct_rank_steps_per_sec()
        << ", \"rank_steps_per_sec_replay\": " << r.replay_rank_steps_per_sec()
-       << ", \"verified\": " << (r.verified ? "true" : "false") << "}"
+       << ", \"verified\": " << (r.verified ? "true" : "false")
+       << ",\n     \"messages\": " << r.perf.messages
+       << ", \"hot_allocs\": " << r.perf.hot_allocs
+       << ", \"allocs_per_message\": " << r.perf.allocs_per_message()
+       << ", \"probes_per_message\": " << r.perf.probes_per_message()
+       << ", \"fiber_switches_per_rank_step\": "
+       << r.perf.switches_per_rank_step(r.rank_steps()) << "}"
        << (i + 1 < records.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -8,6 +8,7 @@
 /// one place.  Benches fill a store (sweeps from the executor, kernel
 /// records from wall-clock micro-benchmarks) and pick a writer.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -29,6 +30,33 @@ struct KernelRecord {
 /// wall-clock cost of simulating one cell directly vs compiling its
 /// charge program once and replaying it.  `rank_steps` is the work
 /// unit the ISSUE's speedup target counts: nranks x iterations.
+/// Host-side perf counters of one benchmark leg (base/perf.hpp totals,
+/// shared by the two engine-throughput record types below).  The
+/// derived ratios are what the JSON surfaces: per-message heap
+/// allocations (the pooled hot path's figure of merit), mailbox probes
+/// per message, and fiber switches per rank-step.
+struct PerfCounterColumns {
+  std::uint64_t messages = 0;
+  std::uint64_t hot_allocs = 0;      ///< envelope + request pool misses
+  std::uint64_t fiber_switches = 0;
+  std::uint64_t match_probes = 0;
+  [[nodiscard]] double allocs_per_message() const {
+    return messages > 0 ? static_cast<double>(hot_allocs) /
+                              static_cast<double>(messages)
+                        : 0.0;
+  }
+  [[nodiscard]] double probes_per_message() const {
+    return messages > 0 ? static_cast<double>(match_probes) /
+                              static_cast<double>(messages)
+                        : 0.0;
+  }
+  [[nodiscard]] double switches_per_rank_step(double rank_steps) const {
+    return rank_steps > 0.0 ? static_cast<double>(fiber_switches) /
+                                  rank_steps
+                            : 0.0;
+  }
+};
+
 struct EngineScaleRecord {
   std::string pattern;
   std::string scheme;
@@ -38,6 +66,7 @@ struct EngineScaleRecord {
   double direct_seconds = 0.0;    ///< wall clock, direct execution
   double compiled_seconds = 0.0;  ///< wall clock, compile + replay
   bool identical = false;         ///< replayed timing == direct timing
+  PerfCounterColumns perf;        ///< direct leg's host-side counters
   [[nodiscard]] double rank_steps() const {
     return static_cast<double>(nranks) * static_cast<double>(iters);
   }
@@ -66,6 +95,7 @@ struct UniverseScaleRecord {
   double direct_seconds = 0.0;  ///< wall clock, direct execution
   double replay_seconds = 0.0;  ///< wall clock, compile + replay (0 = n/a)
   bool verified = false;        ///< sampled digest verification passed
+  PerfCounterColumns perf;      ///< direct leg's host-side counters
   [[nodiscard]] double rank_steps() const {
     return static_cast<double>(nranks) * static_cast<double>(reps);
   }

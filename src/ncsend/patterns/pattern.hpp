@@ -132,13 +132,52 @@ RunResult run_pattern_experiment(minimpi::UniverseOptions opts,
                                  const Layout& base,
                                  const HarnessConfig& cfg = {});
 
+/// \brief The pattern's full layout map, resolved once per universe on
+/// the host before any fiber runs.
+///
+/// Each rank used to *mirror* the map itself — call `sends(q, base)`
+/// for every other rank q to learn what it receives and where its RMA
+/// transfers land — which made universe setup O(nranks²) calls into
+/// the pattern and the dominant cost of a 1k-rank measurement.  The
+/// map is rank-agnostic, so building it once and letting every fiber
+/// read its slice is pure host-side mechanics: the per-receiver
+/// enumeration order (senders ascending, transfer index ascending)
+/// and the arena prefix sums are exactly those of the old mirror loop,
+/// so matching order, arena addressing — and therefore every virtual
+/// clock — are unchanged.
+struct PatternMap {
+  /// One expected incoming transfer of some rank: who sends it, and
+  /// where it lands in the receiving rank's RMA ghost arena.  The
+  /// layout lives in the sender's outgoing list (`incoming_layout`).
+  struct Incoming {
+    minimpi::Rank peer = 0;        ///< sending rank
+    std::size_t sender_index = 0;  ///< index in the sender's outgoing list
+    std::size_t arena_offset = 0;  ///< RMA mode: offset in the arena
+  };
+
+  std::vector<std::vector<Transfer>> outgoing;   ///< per rank: its sends
+  std::vector<std::vector<Incoming>> incoming;   ///< per rank: its receives
+  /// Per (rank, outgoing index): the transfer's offset in *its
+  /// receiver's* arena — the sender side of the RMA addressing that
+  /// both endpoints must agree on without a coordination message.
+  std::vector<std::vector<std::size_t>> arena_offset_out;
+
+  [[nodiscard]] const Layout& incoming_layout(const Incoming& in) const {
+    return outgoing[static_cast<std::size_t>(in.peer)][in.sender_index]
+        .layout;
+  }
+
+  static PatternMap build(const CommPattern& pattern, const Layout& base);
+};
+
 /// \brief Per-rank body of the generic N-rank exchange: run inside
-/// `Universe::run` on every rank.  Rank 0 writes the fused result to
-/// `*out` (if non-null); the timing is the per-step maximum over all
-/// sending ranks and `payload_bytes` the busiest rank's per-step send
-/// volume.
+/// `Universe::run` on every rank, against a `PatternMap` built once
+/// for the universe.  Rank 0 writes the fused result to `*out` (if
+/// non-null); the timing is the per-step maximum over all sending
+/// ranks and `payload_bytes` the busiest rank's per-step send volume.
 void run_pattern_rank(minimpi::Comm& comm, const CommPattern& pattern,
-                      std::string_view scheme_name, const Layout& base,
-                      const HarnessConfig& cfg, RunResult* out);
+                      const PatternMap& map, std::string_view scheme_name,
+                      const Layout& base, const HarnessConfig& cfg,
+                      RunResult* out);
 
 }  // namespace ncsend

@@ -65,32 +65,48 @@ struct IncomingTransfer {
   std::size_t arena_offset = 0;  ///< RMA mode only
 };
 
-/// \brief Byte offset of sender `(from, sender_index)`'s transfer in
-/// rank `to`'s ghost arena.  Mirrors the deterministic enumeration the
-/// receiving rank uses to lay out its arena, so the sender can address
-/// its put without any coordination message.
-std::size_t arena_offset_at(const CommPattern& pattern, const Layout& base,
-                            int nranks, Rank to, Rank from,
-                            std::size_t sender_index) {
-  std::size_t offset = 0;
-  for (int q = 0; q < nranks; ++q) {
-    if (q == to) continue;
-    const std::vector<Transfer> qs = pattern.sends(q, base);
-    for (std::size_t tj = 0; tj < qs.size(); ++tj) {
-      if (qs[tj].peer != to) continue;
-      if (q == from && tj == sender_index) return offset;
-      offset += qs[tj].layout.payload_bytes();
-    }
-  }
-  throw minimpi::Error(minimpi::ErrorClass::internal,
-                       "transfer not present in the mirrored layout map");
-}
-
 }  // namespace
 
+PatternMap PatternMap::build(const CommPattern& pattern, const Layout& base) {
+  const int n = pattern.nranks();
+  PatternMap m;
+  m.outgoing.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) m.outgoing.push_back(pattern.sends(r, base));
+  m.incoming.resize(static_cast<std::size_t>(n));
+  m.arena_offset_out.resize(static_cast<std::size_t>(n));
+  // One pass over all transfers, bucketed by receiver.  Outer loop
+  // sender-ascending, inner loop transfer-index-ascending: for any
+  // fixed receiver the bucket fills in exactly the order the old
+  // per-rank mirror enumerated (self-sends excluded, as before).
+  for (int q = 0; q < n; ++q) {
+    const auto& qs = m.outgoing[static_cast<std::size_t>(q)];
+    m.arena_offset_out[static_cast<std::size_t>(q)].assign(qs.size(), 0);
+    for (std::size_t ti = 0; ti < qs.size(); ++ti) {
+      if (qs[ti].peer == q) continue;
+      m.incoming[static_cast<std::size_t>(qs[ti].peer)].push_back(
+          {q, ti, 0});
+    }
+  }
+  // Arena prefix sums per receiver, recorded on both endpoints: the
+  // incoming entry (the receiver's view) and the sender's outgoing
+  // slot (where its put lands) — the same offsets the old
+  // `arena_offset_at` re-derived per query.
+  for (auto& ins : m.incoming) {
+    std::size_t offset = 0;
+    for (Incoming& in : ins) {
+      in.arena_offset = offset;
+      m.arena_offset_out[static_cast<std::size_t>(in.peer)]
+                        [in.sender_index] = offset;
+      offset += m.incoming_layout(in).payload_bytes();
+    }
+  }
+  return m;
+}
+
 void run_pattern_rank(Comm& comm, const CommPattern& pattern,
-                      std::string_view scheme_name, const Layout& base,
-                      const HarnessConfig& cfg, RunResult* out) {
+                      const PatternMap& map, std::string_view scheme_name,
+                      const Layout& base, const HarnessConfig& cfg,
+                      RunResult* out) {
   minimpi::require(comm.size() == pattern.nranks(),
                    minimpi::ErrorClass::invalid_arg,
                    "pattern universe has the wrong rank count");
@@ -101,16 +117,15 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
       make_transfer_scheme(scheme_name);
   const SyncMode mode = proto->sync_mode();
 
-  // --- the layout map, outgoing and mirrored incoming --------------------
-  const std::vector<Transfer> outgoing_map = pattern.sends(me, base);
+  // --- this rank's slice of the precomputed layout map --------------------
+  const std::vector<Transfer>& outgoing_map =
+      map.outgoing[static_cast<std::size_t>(me)];
   std::vector<IncomingTransfer> incoming;
-  for (int q = 0; q < comm.size(); ++q) {
-    if (q == me) continue;
-    const std::vector<Transfer> qs = pattern.sends(q, base);
-    for (std::size_t ti = 0; ti < qs.size(); ++ti)
-      if (qs[ti].peer == me)
-        incoming.push_back({q, ti, qs[ti].layout, Buffer{}, 0});
-  }
+  incoming.reserve(map.incoming[static_cast<std::size_t>(me)].size());
+  for (const PatternMap::Incoming& in :
+       map.incoming[static_cast<std::size_t>(me)])
+    incoming.push_back({in.peer, in.sender_index, map.incoming_layout(in),
+                        Buffer{}, in.arena_offset});
 
   // --- buffers and scheme state, outside the timing loop (§3.2) ----------
   memsim::CacheModel cache(comm.profile().cache_bytes);
@@ -153,20 +168,17 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
     std::size_t total = 0;
     for (const IncomingTransfer& in : incoming)
       total += in.layout.payload_bytes();
-    // Receiver and sender address the arena through the same
-    // enumeration (arena_offset_at), so the layout cannot drift
+    // Receiver and sender address the arena through the same map
+    // prefix sums (PatternMap::build), so the layout cannot drift
     // between the two endpoints.
-    for (IncomingTransfer& in : incoming)
-      in.arena_offset = arena_offset_at(pattern, base, comm.size(), me,
-                                        in.peer, in.sender_index);
     arena = Buffer::allocate(total, comm.moves_payload(total));
     // Collective: every rank participates, exposing its arena (null
     // base is fine for phantom arenas — the model still charges).
     win.emplace(comm.win_create(arena.data(), arena.size()));
     for (std::size_t ti = 0; ti < sends.size(); ++ti) {
       contexts[ti].window = &*win;
-      contexts[ti].window_offset = arena_offset_at(
-          pattern, base, comm.size(), sends[ti].peer, me, ti);
+      contexts[ti].window_offset =
+          map.arena_offset_out[static_cast<std::size_t>(me)][ti];
     }
   }
 
@@ -375,9 +387,12 @@ void run_pattern_rank(Comm& comm, const CommPattern& pattern,
 RunResult CommPattern::run(const minimpi::UniverseOptions& opts,
                            std::string_view scheme_name, const Layout& base,
                            const HarnessConfig& cfg) const {
+  // Resolve the layout map once on the host; every rank fiber reads
+  // its slice (O(total transfers) setup instead of O(nranks²)).
+  const PatternMap map = PatternMap::build(*this, base);
   RunResult result;
   minimpi::Universe::run(opts, [&](Comm& comm) {
-    run_pattern_rank(comm, *this, scheme_name, base, cfg, &result);
+    run_pattern_rank(comm, *this, map, scheme_name, base, cfg, &result);
   });
   return result;
 }

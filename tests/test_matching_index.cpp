@@ -17,8 +17,10 @@ using namespace minimpi;
 
 namespace {
 
-std::shared_ptr<detail::Envelope> make_env(Rank src, Tag tag) {
-  auto e = std::make_shared<detail::Envelope>();
+detail::EnvRef make_env(Rank src, Tag tag) {
+  // Standalone (pool-less) envelopes: the handle deletes the node when
+  // the last reference drops (pool.hpp).
+  detail::EnvRef e{new detail::Envelope};
   e->src = src;
   e->tag = tag;
   return e;

@@ -1,0 +1,212 @@
+// The pooled hot path's load-bearing invariants (DESIGN.md §2.12):
+//
+//   1. Recycling is invisible: a node handed back out of the free list
+//      is field-for-field identical to a default-constructed one.  The
+//      tripwire dirties *every* field `Envelope::reset()` scrubs, so a
+//      field added to Envelope but forgotten in reset() fails here
+//      before it can leak one message's state into the next.
+//   2. The growth path works: acquiring past the reserve constructs
+//      nodes (counted as misses), recycling refills the free list, and
+//      a warm pool stops allocating.
+//   3. The substitution argument holds end to end: a full pooled
+//      `graph(ring:256)` measurement reproduces, byte for byte, the
+//      golden captured from the pre-pool build.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "minimpi/base/pool.hpp"
+#include "minimpi/net/machine_profile.hpp"
+#include "minimpi/runtime/comm.hpp"
+#include "minimpi/runtime/matching.hpp"
+#include "ncsend/patterns/pattern.hpp"
+
+using namespace ncsend;
+using minimpi::ObjectPool;
+using minimpi::PoolRef;
+using minimpi::detail::Envelope;
+
+namespace {
+
+std::string read_golden(const std::string& name) {
+  const std::string path = std::string(NCSEND_GOLDEN_DIR) + "/" + name;
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing golden file: " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Write garbage into every field `Envelope::reset()` must scrub.
+void dirty(Envelope& e) {
+  e.src = 7;
+  e.dst = 11;
+  e.tag = 42;
+  e.bytes = 4096;
+  e.signature.append(minimpi::BasicType::double_, 512);
+  e.send_stats.block_count = 3;
+  e.send_stats.total_bytes = 4096;
+  e.send_stats.min_block = 8;
+  e.send_stats.max_block = 4080;
+  e.payload.assign(64, std::byte{0xAB});
+  e.has_payload = true;
+  e.eager = false;
+  e.sender_done = 1.5;
+  e.arrival = 2.5;
+  e.needs_rdv_ack = true;
+  e.sender_ready = 3.5;
+  e.ack_ready = true;
+  e.ack_value = 4.5;
+  e.nic_gate.ticket = 99;
+  e.bsend_reserved = 128;
+}
+
+/// Field-for-field comparison against a default-constructed envelope.
+/// Enumerates the reset() contract: a new Envelope field that is not
+/// checked here (and scrubbed there) is a stale-state bug waiting.
+void expect_pristine(const Envelope& e) {
+  EXPECT_EQ(e.src, 0);
+  EXPECT_EQ(e.dst, 0);
+  EXPECT_EQ(e.tag, 0);
+  EXPECT_EQ(e.bytes, 0U);
+  EXPECT_EQ(e.signature.total_bytes(), 0U);
+  EXPECT_TRUE(e.signature.exact());
+  EXPECT_EQ(e.send_stats.block_count, 0U);
+  EXPECT_EQ(e.send_stats.total_bytes, 0U);
+  EXPECT_EQ(e.send_stats.min_block, 0U);
+  EXPECT_EQ(e.send_stats.max_block, 0U);
+  EXPECT_TRUE(e.payload.empty());
+  EXPECT_FALSE(e.has_payload);
+  EXPECT_TRUE(e.eager);
+  EXPECT_EQ(e.sender_done, 0.0);
+  EXPECT_EQ(e.arrival, 0.0);
+  EXPECT_FALSE(e.needs_rdv_ack);
+  EXPECT_EQ(e.sender_ready, 0.0);
+  EXPECT_FALSE(e.ack_ready);
+  EXPECT_EQ(e.ack_value, 0.0);
+  EXPECT_EQ(e.nic_gate.ledger, nullptr);
+  EXPECT_EQ(e.nic_gate.ticket, 0U);
+  EXPECT_EQ(e.bsend_pool, nullptr);
+  EXPECT_EQ(e.bsend_reserved, 0U);
+}
+
+// --- 1. stale-state tripwire --------------------------------------------
+
+TEST(PoolRecycling, RecycledEnvelopeIsPristine) {
+  ObjectPool<Envelope> pool(1);
+  Envelope* node = nullptr;
+  {
+    PoolRef<Envelope> ref = pool.acquire();
+    node = ref.get();
+    dirty(*ref);
+  }  // last handle drops: node is reset() and recycled
+  ASSERT_EQ(pool.free_count(), 1U);
+  PoolRef<Envelope> again = pool.acquire();
+  ASSERT_EQ(again.get(), node) << "expected the recycled node back";
+  expect_pristine(*again);
+}
+
+TEST(PoolRecycling, PayloadAndSignatureCapacitySurvivesRecycling) {
+  ObjectPool<Envelope> pool(1);
+  {
+    PoolRef<Envelope> ref = pool.acquire();
+    ref->payload.assign(4096, std::byte{0x5C});
+  }
+  PoolRef<Envelope> again = pool.acquire();
+  EXPECT_TRUE(again->payload.empty());
+  EXPECT_GE(again->payload.capacity(), 4096U)
+      << "reset() must clear contents but keep buffer capacity";
+}
+
+TEST(PoolRecycling, StandaloneEnvelopeDeletesCleanly) {
+  // Tests construct pool-less envelopes; the handle must fall back to
+  // plain delete instead of recycling into a nonexistent home.
+  PoolRef<Envelope> ref{new Envelope};
+  dirty(*ref);
+  PoolRef<Envelope> second = ref;
+  ref.reset();
+  EXPECT_TRUE(second);  // still alive through the copy
+}
+
+// --- 2. pool-exhaustion growth path -------------------------------------
+
+TEST(PoolRecycling, GrowthPastReserveCountsMisses) {
+  ObjectPool<Envelope> pool(2);
+  EXPECT_EQ(pool.capacity(), 2U);
+  EXPECT_EQ(pool.free_count(), 2U);
+
+  std::vector<PoolRef<Envelope>> live;
+  live.reserve(4);
+  for (int i = 0; i < 4; ++i) live.push_back(pool.acquire());
+
+  EXPECT_EQ(pool.acquires(), 4U);
+  EXPECT_EQ(pool.misses(), 2U) << "two acquires past the reserve";
+  EXPECT_EQ(pool.capacity(), 4U);
+  EXPECT_EQ(pool.free_count(), 0U);
+
+  live.clear();
+  EXPECT_EQ(pool.free_count(), 4U);
+
+  // Warm pool: re-acquiring the peak working set allocates nothing.
+  for (int i = 0; i < 4; ++i) live.push_back(pool.acquire());
+  EXPECT_EQ(pool.misses(), 2U);
+  EXPECT_EQ(pool.capacity(), 4U);
+}
+
+TEST(PoolRecycling, HandleCopiesShareOneRefcount) {
+  ObjectPool<Envelope> pool(1);
+  PoolRef<Envelope> a = pool.acquire();
+  PoolRef<Envelope> b = a;
+  PoolRef<Envelope> c = std::move(a);
+  EXPECT_EQ(pool.free_count(), 0U);
+  b.reset();
+  EXPECT_EQ(pool.free_count(), 0U) << "c still holds the node";
+  c.reset();
+  EXPECT_EQ(pool.free_count(), 1U);
+}
+
+// --- 3. pooled run == pre-pool golden, byte for byte ---------------------
+
+// Canonical golden text; must stay verbatim-identical to the generator
+// that captured tests/golden/GOLDEN_pool_ring256.txt from the pre-pool
+// build (hexfloat round-trips every bit of the virtual clocks).
+std::string golden_ring256_text(const RunResult& r) {
+  std::ostringstream os;
+  os << "pattern graph(ring:256)\n"
+     << "scheme " << r.scheme << "\n"
+     << "layout " << r.layout << "\n"
+     << "payload_bytes " << r.payload_bytes << "\n"
+     << "samples " << r.timing.samples << "\n"
+     << "rejected " << r.timing.rejected << "\n"
+     << std::hexfloat << "mean " << r.timing.mean << "\n"
+     << "stddev " << r.timing.stddev << "\n"
+     << "min " << r.timing.min << "\n"
+     << "max " << r.timing.max << "\n"
+     << std::defaultfloat << "data_checked " << (r.data_checked ? 1 : 0)
+     << "\n"
+     << "verified " << (r.verified ? 1 : 0) << "\n";
+  return os.str();
+}
+
+TEST(PoolRecycling, PooledRing256MatchesPrePoolGolden) {
+  minimpi::UniverseOptions opts;
+  opts.profile = &minimpi::MachineProfile::skx_impi();
+  opts.functional = false;
+
+  const auto pattern = CommPattern::by_name("graph(ring:256)");
+  HarnessConfig cfg;
+  cfg.reps = 6;
+  cfg.verify_samples = 4;
+  const Layout layout = Layout::strided(8192 / sizeof(double), 1, 2);
+  const RunResult r = run_pattern_experiment(opts, *pattern, "vector type",
+                                             layout, cfg);
+  EXPECT_EQ(golden_ring256_text(r), read_golden("GOLDEN_pool_ring256.txt"));
+}
+
+}  // namespace
