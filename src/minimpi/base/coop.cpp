@@ -8,12 +8,36 @@
 #include <thread>
 
 #include "minimpi/base/error.hpp"
+#include "minimpi/base/sanitize.hpp"
 
 namespace minimpi::coop {
 
 namespace {
 
 thread_local Scheduler* tl_current = nullptr;
+
+// --- ASan fiber-switch protocol -------------------------------------------
+// Every swapcontext must be bracketed: `start_switch` before leaving a
+// context (saving the departing context's fake-stack handle and naming
+// the destination stack), `finish_switch` first thing on arrival
+// (restoring the arriving context's fake stack).  A context that will
+// never run again passes a null save slot so its fake stack is freed.
+// Without these, ASan interprets the stack-pointer jump as corruption
+// and false-positives (or crashes) on the first fiber resume.
+
+#if defined(MINIMPI_ASAN)
+inline void asan_start_switch(void** save, const void* target_bottom,
+                              std::size_t target_size) {
+  __sanitizer_start_switch_fiber(save, target_bottom, target_size);
+}
+inline void asan_finish_switch(void* restore, const void** from_bottom,
+                               std::size_t* from_size) {
+  __sanitizer_finish_switch_fiber(restore, from_bottom, from_size);
+}
+#else
+inline void asan_start_switch(void**, const void*, std::size_t) {}
+inline void asan_finish_switch(void*, const void**, std::size_t*) {}
+#endif
 
 std::size_t page_size() {
   static const std::size_t p = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
@@ -46,8 +70,12 @@ Scheduler::Scheduler(std::size_t stack_bytes)
     : stack_bytes_(round_up(std::max(stack_bytes, page_size()), page_size())) {}
 
 Scheduler::~Scheduler() {
-  for (const auto& f : fibers_)
-    if (f->stack_base != nullptr) munmap(f->stack_base, f->stack_span);
+  for (const auto& f : fibers_) {
+    if (f->stack_base != nullptr) {
+      MINIMPI_ASAN_UNPOISON(f->stack_base, f->stack_span);
+      munmap(f->stack_base, f->stack_span);
+    }
+  }
 }
 
 void Scheduler::spawn(std::function<void()> body) {
@@ -94,6 +122,11 @@ void Scheduler::spawn(std::function<void()> body) {
 void Scheduler::trampoline_entry() {
   Scheduler* s = tl_current;
   Fiber* f = s->running_;
+  // First arrival on this stack: no fake stack to restore yet (null
+  // handle), but the out-params tell us where we came *from* — the
+  // carrier's stack, whose bounds every departing fiber must name.
+  asan_finish_switch(f->asan_fake, &s->asan_carrier_bottom_,
+                     &s->asan_carrier_size_);
   try {
     f->body();
   } catch (const Cancelled&) {
@@ -102,18 +135,28 @@ void Scheduler::trampoline_entry() {
     f->error = std::current_exception();
   }
   f->state = Fiber::State::done;
-  // Falling off the trampoline switches to uc_link == main_ctx_.
+  // Falling off the trampoline switches to uc_link == main_ctx_.  This
+  // context never runs again: a null save slot tells ASan to free its
+  // fake stack.
+  asan_start_switch(nullptr, s->asan_carrier_bottom_, s->asan_carrier_size_);
 }
 
 void Scheduler::resume(Fiber* f) {
   f->state = Fiber::State::running;
   running_ = f;
   ++switches_;
+  asan_start_switch(&asan_main_fake_, f->ctx.uc_stack.ss_sp,
+                    f->ctx.uc_stack.ss_size);
   swapcontext(&main_ctx_, &f->ctx);
+  asan_finish_switch(asan_main_fake_, nullptr, nullptr);
   running_ = nullptr;
 }
 
-void Scheduler::switch_out(Fiber* f) { swapcontext(&f->ctx, &main_ctx_); }
+void Scheduler::switch_out(Fiber* f) {
+  asan_start_switch(&f->asan_fake, asan_carrier_bottom_, asan_carrier_size_);
+  swapcontext(&f->ctx, &main_ctx_);
+  asan_finish_switch(f->asan_fake, nullptr, nullptr);
+}
 
 void Scheduler::make_ready(Fiber* f) {
   if (f->state == Fiber::State::blocked) {
@@ -176,6 +219,9 @@ void Scheduler::run() {
       if (f->error != nullptr) errors_.push_back(f->error);
       // The stack is dead; release the mapping eagerly so long-lived
       // schedulers at high rank counts do not hold 1k stacks resident.
+      // ASan shadow for the span must be cleared first — the pages may
+      // be re-mmap'd by anyone, who would inherit stale poison.
+      MINIMPI_ASAN_UNPOISON(f->stack_base, f->stack_span);
       munmap(f->stack_base, f->stack_span);
       f->stack_base = nullptr;
     }

@@ -76,6 +76,9 @@ struct Fiber {
   /// (or sweeping all blocked ones) never rescans either vector.
   std::size_t wq_pos = 0;
   std::size_t blocked_pos = 0;
+  /// ASan fake-stack handle saved while this fiber is switched out
+  /// (null when not running under ASan, or before the first switch).
+  void* asan_fake = nullptr;
 };
 
 /// \brief Power-of-two ring buffer of ready fibers.  The ready queue
@@ -231,6 +234,13 @@ class Scheduler {
   std::vector<Fiber*> blocked_;
   ucontext_t main_ctx_{};
   Fiber* running_ = nullptr;
+  /// ASan bookkeeping for the carrier side of every context switch:
+  /// the carrier's fake-stack handle while a fiber runs, and the
+  /// carrier stack's bounds (learned on the first fiber entry) that
+  /// departing fibers must name as their switch target.
+  void* asan_main_fake_ = nullptr;
+  const void* asan_carrier_bottom_ = nullptr;
+  std::size_t asan_carrier_size_ = 0;
   int live_ = 0;
   std::uint64_t switches_ = 0;
   /// Bumped by every `notify_all` that actually woke a fiber: the

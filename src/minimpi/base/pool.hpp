@@ -40,6 +40,8 @@
 #include <utility>
 #include <vector>
 
+#include "minimpi/base/sanitize.hpp"
+
 namespace minimpi {
 
 template <class T>
@@ -141,10 +143,17 @@ class ObjectPool {
       nodes_.push_back(std::make_unique<T>());
       hook(nodes_.back().get()).pool_home_ = this;
       free_.push_back(nodes_.back().get());
+      MINIMPI_ASAN_POISON(nodes_.back().get(), sizeof(T));
     }
   }
   ObjectPool(const ObjectPool&) = delete;
   ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// Parked nodes are poisoned (see `recycle`); their destructors must
+  /// be able to read their own fields, so clear the shadow first.
+  ~ObjectPool() {
+    for (const auto& n : nodes_) MINIMPI_ASAN_UNPOISON(n.get(), sizeof(T));
+  }
 
   /// A fresh handle to a clean node.  Recycled nodes were `reset()` on
   /// their way into the free list, so hits and misses are
@@ -155,6 +164,7 @@ class ObjectPool {
     if (!free_.empty()) {
       p = free_.back();
       free_.pop_back();
+      MINIMPI_ASAN_UNPOISON(p, sizeof(T));
     } else {
       ++misses_;
       nodes_.push_back(std::make_unique<T>());
@@ -182,9 +192,13 @@ class ObjectPool {
   static Poolable<T>& hook(T* p) noexcept {
     return *static_cast<Poolable<T>*>(p);
   }
+  /// Under ASan the parked node's whole footprint is poisoned: any
+  /// touch through a stale handle between here and the next `acquire`
+  /// is a hard use-after-poison report instead of silent revival.
   void recycle(T* p) {
     p->reset();
     free_.push_back(p);
+    MINIMPI_ASAN_POISON(p, sizeof(T));
   }
 
   std::vector<std::unique_ptr<T>> nodes_;

@@ -1,0 +1,32 @@
+#pragma once
+/// \file sanitize.hpp
+/// \brief AddressSanitizer feature gate + poison/unpoison macros.
+///
+/// The fiber scheduler (coop.cpp) and the object pools (pool.hpp) need
+/// explicit ASan cooperation: ucontext stack switches look like wild
+/// stack-pointer jumps without `__sanitizer_*_switch_fiber`
+/// annotations, and free-list recycling silently revives stale
+/// references unless the parked object's memory is poisoned.  Both
+/// compile to nothing in ordinary builds; `-DNCSEND_SANITIZE=address`
+/// (see the top-level CMakeLists) turns them on everywhere.
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MINIMPI_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MINIMPI_ASAN 1
+#endif
+#endif
+
+#if defined(MINIMPI_ASAN)
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+/// Mark [addr, addr+size) unreadable: any touch is a hard ASan report
+/// ("use-after-poison") until the region is unpoisoned.
+#define MINIMPI_ASAN_POISON(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define MINIMPI_ASAN_UNPOISON(addr, size) \
+  ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define MINIMPI_ASAN_POISON(addr, size) ((void)(addr), (void)(size))
+#define MINIMPI_ASAN_UNPOISON(addr, size) ((void)(addr), (void)(size))
+#endif

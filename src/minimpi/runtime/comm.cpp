@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "minimpi/base/coop.hpp"
 #include "minimpi/runtime/plan_record.hpp"
@@ -753,7 +754,16 @@ namespace {
 template <class T>
 T apply_op(ReduceOp op, T a, T b) {
   switch (op) {
-    case ReduceOp::sum: return a + b;
+    case ReduceOp::sum:
+      // Integer sums wrap by contract (digest fusion feeds full-range
+      // int64 terms through this); do the add on the unsigned type so
+      // the wraparound is defined, with the same two's-complement bits.
+      if constexpr (std::is_integral_v<T>) {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+      } else {
+        return a + b;
+      }
     case ReduceOp::min: return std::min(a, b);
     case ReduceOp::max: return std::max(a, b);
   }
@@ -885,7 +895,7 @@ void Window::fence() {
   if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
     plan::Action a;
     a.op = plan::Op::fence;
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
     rec->record(comm_->rank(), std::move(a));
   }
   double pending;
@@ -920,7 +930,7 @@ void Window::post(std::span<const Rank> origins) {
   if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
     plan::Action a;
     a.op = plan::Op::pscw_post;
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
     rec->record(comm_->rank(), std::move(a));
   }
   comm_->clock_ += comm_->profile().send_overhead_s;
@@ -943,7 +953,7 @@ void Window::start(std::span<const Rank> targets) {
   if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
     plan::Action a;
     a.op = plan::Op::pscw_start;
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
     a.group.assign(targets.begin(), targets.end());
     rec->record(comm_->rank(), std::move(a));
   }
@@ -977,7 +987,7 @@ void Window::complete() {
   if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
     plan::Action a;
     a.op = plan::Op::pscw_complete;
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
     a.group = pscw_targets_;
     rec->record(comm_->rank(), std::move(a));
   }
@@ -1009,7 +1019,7 @@ void Window::wait_post() {
   if (auto* rec = plan_rec(*comm_->world_, comm_->rank())) {
     plan::Action a;
     a.op = plan::Op::pscw_wait;
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
     a.event = static_cast<std::uint32_t>(expected);
     rec->record(comm_->rank(), std::move(a));
   }
@@ -1080,7 +1090,8 @@ void Window::put(const void* buf, std::size_t count, const Datatype& t,
     a.peer = target;
     a.bytes = bytes;
     a.stats = message_stats(t, count);
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
+    a.offset = target_offset;
     rec->record(comm_->rank(), std::move(a));
   }
   Comm::ChargeCapture cc{*comm_, comm_->rank()};
@@ -1117,7 +1128,8 @@ void Window::get(void* buf, std::size_t count, const Datatype& t, Rank target,
     a.peer = target;
     a.bytes = bytes;
     a.stats = message_stats(t, count);
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
+    a.offset = target_offset;
     rec->record(comm_->rank(), std::move(a));
   }
   Comm::ChargeCapture cc{*comm_, comm_->rank()};
@@ -1150,7 +1162,9 @@ void Window::accumulate_sum_f64(const double* buf, std::size_t count,
     a.peer = target;
     a.bytes = bytes;
     a.stats = BlockStats{1, bytes, bytes, bytes};
-    a.win = rec->window_id(state_.get());
+    a.win = rec->window_id(state_.get(), state_->sizes);
+    a.offset = target_offset;
+    a.event = 1;  // accumulate: exempt from the verifier's overlap check
     rec->record(comm_->rank(), std::move(a));
   }
   Comm::ChargeCapture cc{*comm_, comm_->rank()};

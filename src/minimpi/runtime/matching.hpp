@@ -177,7 +177,8 @@ class Mailbox {
       return it == buckets_.end() ? 0 : it->second.size();
     }
     std::size_t n = 0;
-    for (const auto& [k, q] : buckets_)
+    // Commutative sum: bucket order cannot reach the result.
+    for (const auto& [k, q] : buckets_)  // determinism: ok
       if (key_matches(k, src, tag)) n += q.size();
     return n;
   }
@@ -246,7 +247,9 @@ class Mailbox {
                                                            : nullptr;
     }
     Bucket* best = nullptr;
-    for (auto& [k, q] : buckets_) {
+    // `seq` is unique within the mailbox, so the strict `<` selects the
+    // same bucket whatever order the hash table yields them in.
+    for (auto& [k, q] : buckets_) {  // determinism: ok
       ++probes_;
       if (q.empty() || !key_matches(k, src, tag)) continue;
       if (best == nullptr || q.front().seq < best->front().seq) best = &q;

@@ -81,6 +81,7 @@ struct Action {
   std::uint32_t event = 0;  ///< send/wait_send event id; pscw_wait expected;
                             ///< sample_end contributes flag
   int win = -1;             ///< window id for RMA / pscw ops
+  std::size_t offset = 0;   ///< RMA put/get target offset (verifier input)
   std::vector<Rank> group;  ///< pscw_start / pscw_complete target group
   bool inserted = false;    ///< added by an optimization pass (visible
                             ///< plan-level charge, not captured)
@@ -150,11 +151,16 @@ class Recorder {
   /// Stable small id for a window, shared across ranks (windows are
   /// created collectively, so every rank registers the same state
   /// object set; the id is the registration order of the shared state).
-  [[nodiscard]] int window_id(const void* state) {
+  /// `sizes` is the window's per-rank exposed byte counts — immutable
+  /// after the collective create, captured once on first registration
+  /// so the static verifier can bound-check put/get offsets.
+  [[nodiscard]] int window_id(const void* state,
+                              const std::vector<std::size_t>& sizes) {
     std::lock_guard<std::mutex> lock(m_);
     for (std::size_t i = 0; i < windows_.size(); ++i)
       if (windows_[i] == state) return static_cast<int>(i);
     windows_.push_back(state);
+    window_sizes_.push_back(sizes);
     return static_cast<int>(windows_.size() - 1);
   }
 
@@ -188,6 +194,12 @@ class Recorder {
     std::lock_guard<std::mutex> lock(m_);
     return windows_.size();
   }
+  /// Captured per-rank byte sizes of every registered window, in
+  /// window-id order.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> window_sizes() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return window_sizes_;
+  }
 
  private:
   struct RankState {
@@ -201,6 +213,7 @@ class Recorder {
   std::vector<RankState> per_rank_;
   mutable std::mutex m_;
   std::vector<const void*> windows_;
+  std::vector<std::vector<std::size_t>> window_sizes_;
   std::string uncompilable_reason_;
 };
 

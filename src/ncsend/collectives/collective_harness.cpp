@@ -67,7 +67,12 @@ struct SchemeSlot {
 };
 
 std::int64_t ipow_mix(std::int64_t h, std::int64_t v) {
-  return h * 1'000'003 + v;
+  // Mix on the unsigned type: the digest deliberately wraps at large
+  // rank counts, and two's-complement wraparound gives the same bits
+  // as the old signed multiply without the UB.
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(h) *
+                                       1'000'003u +
+                                   static_cast<std::uint64_t>(v));
 }
 
 /// Structural + sampled digest of one scheduled transfer: both
@@ -92,7 +97,8 @@ std::int64_t transfer_digest(const CollTransfer& t, int round,
     const std::size_t step =
         t.elems / samples + (t.elems % samples != 0 ? 1 : 0);
     for (std::size_t k = 0; k < t.elems; k += step)
-      h += static_cast<std::int64_t>(
+      h = static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(h) +
           ((t.src_offset + k) * 2654435761ULL) % 100003);
   }
   return h;
@@ -327,13 +333,21 @@ void run_collective_rank(Comm& comm, const CollectivePattern& pattern,
   // drifted from `send_of` — the schedule-mirror invariant byte
   // verification would have caught, checkable at any rank count.
   if (cfg.verify_samples > 0) {
+    // Digest terms span the whole int64 range (ipow_mix wraps), so the
+    // fusion sum must wrap too — accumulate on the unsigned type.
+    const auto wrap_add = [](std::int64_t a, std::int64_t b) {
+      return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                       static_cast<std::uint64_t>(b));
+    };
     std::int64_t send_digest = 0;
     std::int64_t recv_digest = 0;
     for (int t = 0; t < rounds; ++t) {
       if (my_sends[t])
-        send_digest += transfer_digest(*my_sends[t], t, cfg.verify_samples);
+        send_digest = wrap_add(
+            send_digest, transfer_digest(*my_sends[t], t, cfg.verify_samples));
       if (my_recvs[t])
-        recv_digest += transfer_digest(*my_recvs[t], t, cfg.verify_samples);
+        recv_digest = wrap_add(
+            recv_digest, transfer_digest(*my_recvs[t], t, cfg.verify_samples));
     }
     const std::int64_t send_total =
         comm.allreduce(send_digest, minimpi::ReduceOp::sum);

@@ -76,6 +76,9 @@ struct CommPlan {
   double wtime_resolution = 1e-6;
   int captured_reps = 0;      ///< programs per rank (>=2; last = steady)
   std::size_t window_count = 0;
+  /// Per-window, per-rank exposed byte extents captured at window
+  /// creation (verifier input for RMA bound checks).
+  std::vector<std::vector<std::size_t>> window_sizes;
 
   /// programs[rank][k]: rep-k program; k >= captured_reps replays the
   /// last (steady-state) program with clocks carried forward.
@@ -110,8 +113,11 @@ struct CommPlan {
 
 /// \brief Compile one experiment cell: capture `min(cfg.reps, flush ?
 /// 2 : 3)` reps through the recorder, validate (uncompilable ops,
-/// steady-state convergence, interpreter self-check against the
-/// captured timer marks), then apply the requested passes.
+/// steady-state convergence, the static verifier of verify.hpp, then
+/// the interpreter self-check against the captured timer marks), then
+/// apply the requested passes — and statically re-verify the rewritten
+/// program, since pass safety is proved on the output, never trusted
+/// from the pass.
 ///
 /// On any validation failure the returned plan has `valid == false`
 /// and `invalid_reason` set; `base` still holds the capture-run result.

@@ -22,6 +22,7 @@
 #include <sstream>
 
 #include "ncsend/plan/comm_plan.hpp"
+#include "ncsend/plan/verify.hpp"
 
 namespace ncsend::plan {
 
@@ -41,7 +42,7 @@ using mplan::Op;
     const Action& y = b[i];
     if (x.op != y.op || x.arm != y.arm || x.peer != y.peer ||
         x.tag != y.tag || x.bytes != y.bytes || x.event != y.event ||
-        x.win != y.win || x.group != y.group)
+        x.win != y.win || x.offset != y.offset || x.group != y.group)
       return false;
     if (x.stats.block_count != y.stats.block_count ||
         x.stats.total_bytes != y.stats.total_bytes ||
@@ -101,6 +102,7 @@ CommPlan compile_cell(const minimpi::UniverseOptions& opts,
 
   // --- harvest -------------------------------------------------------------
   plan.window_count = rec.window_count();
+  plan.window_sizes = rec.window_sizes();
   plan.programs.resize(static_cast<std::size_t>(plan.nranks));
   plan.start.resize(static_cast<std::size_t>(plan.nranks));
   plan.end_clocks.resize(static_cast<std::size_t>(plan.nranks));
@@ -128,6 +130,19 @@ CommPlan compile_cell(const minimpi::UniverseOptions& opts,
             "no steady state: last two captured reps differ structurally";
         return plan;
       }
+    }
+  }
+
+  // --- static verification ------------------------------------------------
+  // Mandatory stage *before* the interpreter self-check: a plan that
+  // fails the structural proofs (match completeness, deadlock freedom,
+  // RMA bounds) is rejected without interpreting a single clock.
+  {
+    const VerifyReport vr = verify_plan(plan);
+    if (!vr.ok()) {
+      plan.invalid_reason =
+          "static verify: " + vr.diagnostics.front().to_string();
+      return plan;
     }
   }
 
@@ -172,6 +187,18 @@ CommPlan compile_cell(const minimpi::UniverseOptions& opts,
             changed = true;
     }
     if (changed) plan.verify_marks = false;
+    // Pass safety is proved on the rewritten program, never trusted
+    // from the pass: re-run the verifier so a FIFO inversion or an
+    // over-merged eager send invalidates the plan.
+    if (changed) {
+      const VerifyReport vr = verify_plan(plan);
+      if (!vr.ok()) {
+        plan.valid = false;
+        plan.invalid_reason =
+            "static verify (post-pass): " + vr.diagnostics.front().to_string();
+        return plan;
+      }
+    }
   }
 
   return plan;

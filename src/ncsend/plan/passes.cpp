@@ -79,7 +79,8 @@ struct MergeGroup {
 /// key, all of them eager_posted, and the receiver's recv count for the
 /// key matches the send count exactly.
 [[nodiscard]] std::optional<MergeGroup> find_group(
-    const std::vector<mplan::RankProgram>& progs) {
+    const std::vector<mplan::RankProgram>& progs,
+    const minimpi::CostModel& model) {
   for (std::size_t r = 0; r < progs.size(); ++r) {
     std::map<std::tuple<Rank, int>, std::vector<std::size_t>> sends;
     std::map<std::tuple<Rank, int>, bool> all_eager_posted;
@@ -93,6 +94,13 @@ struct MergeGroup {
     }
     for (const auto& [key, idxs] : sends) {
       if (idxs.size() < 2 || !all_eager_posted[key]) continue;
+      // The merged message keeps the eager arm, so its total must stay
+      // under the model's eager limit — otherwise the rewrite would
+      // claim an eager wire for a rendezvous-sized message (and the
+      // post-pass static verifier would reject the plan).
+      std::size_t total = 0;
+      for (const std::size_t i : idxs) total += progs[r][i].bytes;
+      if (total > model.eager_limit()) continue;
       const auto [peer, tag] = key;
       if (peer < 0 || static_cast<std::size_t>(peer) >= progs.size())
         continue;
@@ -222,7 +230,7 @@ bool aggregate_small_rep(std::vector<mplan::RankProgram>& rep_programs,
   bool changed = false;
   // Apply one group at a time and rescan: positions shift after each
   // rewrite, and groups touch two ranks' programs.
-  while (auto g = find_group(rep_programs)) {
+  while (auto g = find_group(rep_programs, model)) {
     apply_group(rep_programs, *g, model, charges);
     changed = true;
   }

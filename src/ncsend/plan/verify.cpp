@@ -1,0 +1,652 @@
+/// \file verify.cpp
+/// \brief Static plan verifier implementation.
+///
+/// All four check families work on a flattened view of the plan: each
+/// rank's captured reps concatenated in execution order, every action
+/// tagged with its (rank, rep, index) provenance so diagnostics point
+/// at real program positions.  Concatenation matches the interpreter's
+/// semantics — mailbox FIFOs, barrier generations, and fence epochs all
+/// persist across rep boundaries (ranks drift; replay.cpp) — so a
+/// cross-rep pairing here is exactly the pairing replay would perform.
+///
+/// The deadlock check builds an explicit wait-for graph with two nodes
+/// per blocking-relevant action (begin = the action starts executing /
+/// deposits its envelope or arrival, end = the action completes and the
+/// rank may proceed) plus one virtual node per barrier/fence
+/// generation.  Acyclicity (Kahn) proves a topological execution order
+/// exists; a leftover strongly-connected remainder is walked to print
+/// the concrete cycle.
+
+#include "ncsend/plan/verify.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "ncsend/plan/comm_plan.hpp"
+
+namespace ncsend::plan {
+
+namespace {
+
+using minimpi::Rank;
+using mplan::Action;
+using mplan::Op;
+using mplan::SendArm;
+
+[[nodiscard]] bool is_rdv(SendArm arm) noexcept {
+  return arm == SendArm::rdv_blocking || arm == SendArm::rdv_posted;
+}
+
+[[nodiscard]] bool is_eager_arm(SendArm arm) noexcept {
+  return arm == SendArm::eager_blocking || arm == SendArm::eager_posted;
+}
+
+/// One action in the flattened cross-rep view.
+struct Ref {
+  int rank = -1;
+  int rep = -1;
+  std::size_t idx = 0;  ///< index within programs[rank][rep]
+  const Action* a = nullptr;
+};
+
+/// "send rdv-posted peer=3 tag=7 bytes=4096" — for diagnostic text.
+[[nodiscard]] std::string describe(const Ref& ref) {
+  std::ostringstream os;
+  const Action& a = *ref.a;
+  os << mplan::op_name(a.op);
+  if (a.op == Op::send) os << " " << mplan::arm_name(a.arm);
+  if (a.peer >= 0) os << " peer=" << a.peer;
+  if (a.op == Op::send || a.op == Op::recv) os << " tag=" << a.tag;
+  if (a.bytes > 0) os << " bytes=" << a.bytes;
+  if (a.win >= 0) os << " win=" << a.win;
+  return os.str();
+}
+
+void set_flag(VerifyReport& report, DiagKind kind) {
+  switch (kind) {
+    case DiagKind::unmatched_send:
+    case DiagKind::unmatched_recv:
+    case DiagKind::size_mismatch:
+      report.match_complete = false;
+      break;
+    case DiagKind::deadlock_cycle:
+    case DiagKind::collective_arity:
+    case DiagKind::malformed:
+      report.deadlock_free = false;
+      break;
+    case DiagKind::fifo_violation:
+    case DiagKind::eager_overflow:
+      report.pass_safe = false;
+      break;
+    case DiagKind::rma_out_of_bounds:
+    case DiagKind::rma_overlap:
+      report.rma_safe = false;
+      break;
+  }
+}
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// Shared state of one verification run.
+struct Verifier {
+  const CommPlan& plan;
+  VerifyReport report;
+
+  std::vector<Ref> acts;                      ///< flattened actions
+  std::vector<std::vector<std::size_t>> by_rank;  ///< flat ids, exec order
+  /// send flat id <-> FIFO-paired recv flat id (npos: unmatched).
+  std::vector<std::size_t> match;
+
+  explicit Verifier(const CommPlan& p) : plan(p) {}
+
+  void emit(DiagKind kind, const Ref& ref, std::string msg) {
+    set_flag(report, kind);
+    report.diagnostics.push_back({kind, ref.rank, ref.rep, ref.idx,
+                                  std::move(msg)});
+  }
+
+  void flatten() {
+    by_rank.resize(static_cast<std::size_t>(plan.nranks));
+    for (int r = 0; r < plan.nranks; ++r) {
+      const auto& reps = plan.programs[static_cast<std::size_t>(r)];
+      for (std::size_t k = 0; k < reps.size(); ++k)
+        for (std::size_t i = 0; i < reps[k].size(); ++i) {
+          by_rank[static_cast<std::size_t>(r)].push_back(acts.size());
+          acts.push_back({r, static_cast<int>(k), i, &reps[k][i]});
+        }
+    }
+    match.assign(acts.size(), npos);
+  }
+
+  [[nodiscard]] bool rank_ok(Rank r) const {
+    return r >= 0 && r < plan.nranks;
+  }
+  [[nodiscard]] bool win_ok(int w) const {
+    return w >= 0 && static_cast<std::size_t>(w) < plan.window_count;
+  }
+
+  // --- structural well-formedness ----------------------------------------
+
+  void check_malformed() {
+    // event id -> send flat id, per (rank, rep) — event ids reset per rep.
+    std::map<std::tuple<int, int, std::uint32_t>, std::size_t> send_events;
+    for (std::size_t f = 0; f < acts.size(); ++f) {
+      const Ref& ref = acts[f];
+      const Action& a = *ref.a;
+      switch (a.op) {
+        case Op::send:
+          if (!rank_ok(a.peer))
+            emit(DiagKind::malformed, ref,
+                 "send targets out-of-range rank " + std::to_string(a.peer));
+          send_events[{ref.rank, ref.rep, a.event}] = f;
+          break;
+        case Op::recv:
+          if (!rank_ok(a.peer))
+            emit(DiagKind::malformed, ref,
+                 "recv sources out-of-range rank " + std::to_string(a.peer));
+          break;
+        case Op::wait_send:
+          if (send_events.find({ref.rank, ref.rep, a.event}) ==
+              send_events.end())
+            emit(DiagKind::malformed, ref,
+                 "wait on send event " + std::to_string(a.event) +
+                     " with no prior send in this rep");
+          break;
+        case Op::put:
+        case Op::get:
+          if (!rank_ok(a.peer))
+            emit(DiagKind::malformed, ref,
+                 "RMA op targets out-of-range rank " +
+                     std::to_string(a.peer));
+          [[fallthrough]];
+        case Op::fence:
+        case Op::pscw_post:
+        case Op::pscw_wait:
+          if (!win_ok(a.win))
+            emit(DiagKind::malformed, ref,
+                 "window id " + std::to_string(a.win) +
+                     " out of range (plan has " +
+                     std::to_string(plan.window_count) + ")");
+          break;
+        case Op::pscw_start:
+        case Op::pscw_complete:
+          if (!win_ok(a.win))
+            emit(DiagKind::malformed, ref,
+                 "window id " + std::to_string(a.win) + " out of range");
+          for (const Rank g : a.group)
+            if (!rank_ok(g))
+              emit(DiagKind::malformed, ref,
+                   "PSCW group names out-of-range rank " +
+                       std::to_string(g));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // --- match completeness + FIFO order (pass safety part 1) ---------------
+
+  void check_matching() {
+    // (src, dst, tag) -> flat ids in program order: exactly the
+    // interpreter's per-key mailbox FIFO.
+    std::map<std::tuple<int, int, int>, std::vector<std::size_t>> sends;
+    std::map<std::tuple<int, int, int>, std::vector<std::size_t>> recvs;
+    for (std::size_t f = 0; f < acts.size(); ++f) {
+      const Action& a = *acts[f].a;
+      if (a.op == Op::send && rank_ok(a.peer))
+        sends[{acts[f].rank, a.peer, a.tag}].push_back(f);
+      else if (a.op == Op::recv && rank_ok(a.peer))
+        recvs[{a.peer, acts[f].rank, a.tag}].push_back(f);
+    }
+    // Walk the union of keys.
+    auto keys = sends;
+    for (const auto& [k, v] : recvs) keys.try_emplace(k);
+    for (const auto& [key, _] : keys) {
+      const auto& s = sends[key];
+      const auto& r = recvs[key];
+      const auto [src, dst, tag] = key;
+      const std::size_t paired = std::min(s.size(), r.size());
+      // FIFO prefix pairing — what replay's mailbox queues would do.
+      for (std::size_t i = 0; i < paired; ++i) {
+        match[s[i]] = r[i];
+        match[r[i]] = s[i];
+      }
+      for (std::size_t i = paired; i < s.size(); ++i)
+        emit(DiagKind::unmatched_send, acts[s[i]],
+             describe(acts[s[i]]) + ": no recv on rank " +
+                 std::to_string(dst) + " consumes this message");
+      for (std::size_t i = paired; i < r.size(); ++i)
+        emit(DiagKind::unmatched_recv, acts[r[i]],
+             describe(acts[r[i]]) + ": no send from rank " +
+                 std::to_string(src) + " satisfies this receive");
+      if (s.size() != r.size()) continue;  // sizes are noise after that
+      // Equal counts: distinguish a pure reorder (multiset of byte
+      // sizes equal — a pass broke MPI's non-overtaking rule) from a
+      // genuine payload disagreement.
+      bool seq_equal = true;
+      for (std::size_t i = 0; i < paired; ++i)
+        if (acts[s[i]].a->bytes != acts[r[i]].a->bytes) {
+          seq_equal = false;
+          break;
+        }
+      if (seq_equal) continue;
+      std::vector<std::size_t> sb, rb;
+      for (const std::size_t f : s) sb.push_back(acts[f].a->bytes);
+      for (const std::size_t f : r) rb.push_back(acts[f].a->bytes);
+      std::sort(sb.begin(), sb.end());
+      std::sort(rb.begin(), rb.end());
+      const bool reorder = sb == rb;
+      for (std::size_t i = 0; i < paired; ++i) {
+        if (acts[s[i]].a->bytes == acts[r[i]].a->bytes) continue;
+        std::ostringstream os;
+        os << describe(acts[r[i]]) << ": FIFO-paired with send #" << i
+           << " to (" << dst << ", tag " << tag << ") of "
+           << acts[s[i]].a->bytes << " bytes";
+        if (reorder)
+          os << "; byte multisets agree, so a same-(peer,tag) pair was "
+                "delivered out of order";
+        emit(reorder ? DiagKind::fifo_violation : DiagKind::size_mismatch,
+             acts[r[i]], os.str());
+        break;  // one diagnostic per key: the first inversion
+      }
+    }
+  }
+
+  // --- pass safety part 2: eager arms honor the model's limit ------------
+
+  void check_eager() {
+    if (!plan.model.has_value()) return;
+    const std::size_t limit = plan.model->eager_limit();
+    for (const Ref& ref : acts) {
+      const Action& a = *ref.a;
+      if (a.op != Op::send || !is_eager_arm(a.arm) || a.bytes <= limit)
+        continue;
+      emit(DiagKind::eager_overflow, ref,
+           describe(ref) + ": eager-armed send exceeds the model's eager "
+                           "limit (" +
+               std::to_string(limit) +
+               " bytes); an aggregation pass merged past the threshold");
+    }
+  }
+
+  // --- RMA window safety ---------------------------------------------------
+
+  void check_rma() {
+    struct PutSpan {
+      std::size_t lo = 0, hi = 0;  ///< [lo, hi) target bytes
+      std::size_t flat = 0;
+    };
+    // (win, target, fence epoch, pscw epoch) -> put spans.  Epoch
+    // ordinals are per-origin counters; fences are collective and PSCW
+    // rounds pair one-to-one, so equal ordinals mean "same epoch".
+    std::map<std::tuple<int, int, std::size_t, std::size_t>,
+             std::vector<PutSpan>>
+        puts;
+    for (int r = 0; r < plan.nranks; ++r) {
+      std::vector<std::size_t> fence_cnt(plan.window_count, 0);
+      std::vector<std::size_t> start_cnt(plan.window_count, 0);
+      for (const std::size_t f : by_rank[static_cast<std::size_t>(r)]) {
+        const Ref& ref = acts[f];
+        const Action& a = *ref.a;
+        if (!win_ok(a.win)) continue;  // malformed already reported
+        const auto w = static_cast<std::size_t>(a.win);
+        if (a.op == Op::fence) {
+          ++fence_cnt[w];
+        } else if (a.op == Op::pscw_start) {
+          ++start_cnt[w];
+        } else if (a.op == Op::put || a.op == Op::get) {
+          if (!rank_ok(a.peer)) continue;
+          // Bounds: offset + bytes within the target's exposed extent.
+          if (w < plan.window_sizes.size() &&
+              static_cast<std::size_t>(a.peer) <
+                  plan.window_sizes[w].size()) {
+            const std::size_t extent =
+                plan.window_sizes[w][static_cast<std::size_t>(a.peer)];
+            if (a.offset + a.bytes > extent) {
+              std::ostringstream os;
+              os << describe(ref) << ": offset " << a.offset << " + "
+                 << a.bytes << " bytes overruns the " << extent
+                 << "-byte window exposed by rank " << a.peer;
+              emit(DiagKind::rma_out_of_bounds, ref, os.str());
+            }
+          }
+          // Overlap: puts only; accumulate (event == 1) may legally
+          // land on the same location within an epoch.
+          if (a.op == Op::put && a.event == 0 && a.bytes > 0)
+            puts[{a.win, a.peer, fence_cnt[w], start_cnt[w]}].push_back(
+                {a.offset, a.offset + a.bytes, f});
+        }
+      }
+    }
+    for (auto& [key, spans] : puts) {
+      if (spans.size() < 2) continue;
+      std::sort(spans.begin(), spans.end(),
+                [](const PutSpan& x, const PutSpan& y) {
+                  return std::tie(x.lo, x.hi) < std::tie(y.lo, y.hi);
+                });
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (spans[i].lo >= spans[i - 1].hi) continue;
+        const Ref& cur = acts[spans[i].flat];
+        const Ref& prev = acts[spans[i - 1].flat];
+        std::ostringstream os;
+        os << describe(cur) << ": bytes [" << spans[i].lo << ", "
+           << spans[i].hi << ") overlap a put from rank " << prev.rank
+           << " covering [" << spans[i - 1].lo << ", " << spans[i - 1].hi
+           << ") in the same epoch";
+        emit(DiagKind::rma_overlap, cur, os.str());
+        break;  // one per (win, target, epoch)
+      }
+    }
+  }
+
+  // --- deadlock freedom ----------------------------------------------------
+
+  void check_deadlock() {
+    // Two graph nodes per blocking-relevant action: begin (the action
+    // starts executing — its envelope / arrival / barrier count is
+    // deposited) and end (it completes; the rank proceeds).
+    std::vector<std::size_t> node_of(acts.size(), npos);
+    std::vector<std::size_t> graph_acts;  ///< flat ids with nodes
+    for (std::size_t f = 0; f < acts.size(); ++f) {
+      switch (acts[f].a->op) {
+        case Op::send:
+        case Op::wait_send:
+        case Op::recv:
+        case Op::barrier:
+        case Op::fence:
+        case Op::pscw_post:
+        case Op::pscw_start:
+        case Op::pscw_complete:
+        case Op::pscw_wait:
+          node_of[f] = graph_acts.size();
+          graph_acts.push_back(f);
+          break;
+        default:
+          break;  // advance / put / get / marks never block
+      }
+    }
+    const std::size_t n_act_nodes = 2 * graph_acts.size();
+    std::vector<std::vector<std::size_t>> adj(n_act_nodes);
+    const auto B = [&](std::size_t f) { return 2 * node_of[f]; };
+    const auto E = [&](std::size_t f) { return 2 * node_of[f] + 1; };
+    const auto add = [&](std::size_t from, std::size_t to) {
+      adj[from].push_back(to);
+    };
+    const auto gen_node = [&]() {
+      adj.emplace_back();
+      return adj.size() - 1;
+    };
+
+    // Intra-action and program order.
+    for (const std::size_t f : graph_acts) add(B(f), E(f));
+    for (const auto& order : by_rank) {
+      std::size_t prev = npos;
+      for (const std::size_t f : order) {
+        if (node_of[f] == npos) continue;
+        if (prev != npos) add(E(prev), B(f));
+        prev = f;
+      }
+    }
+
+    // Point-to-point: a recv completes only once the send posted; a
+    // rendezvous send (or its wait) completes only once the matching
+    // recv resolved the handshake.
+    std::map<std::tuple<int, int, std::uint32_t>, std::size_t> waits;
+    for (const std::size_t f : graph_acts)
+      if (acts[f].a->op == Op::wait_send)
+        waits[{acts[f].rank, acts[f].rep, acts[f].a->event}] = f;
+    for (const std::size_t f : graph_acts) {
+      const Action& a = *acts[f].a;
+      if (a.op != Op::send || match[f] == npos) continue;
+      const std::size_t rv = match[f];
+      add(B(f), E(rv));
+      if (a.arm == SendArm::rdv_blocking) {
+        add(E(rv), E(f));
+      } else if (a.arm == SendArm::rdv_posted) {
+        const auto it = waits.find({acts[f].rank, acts[f].rep, a.event});
+        if (it != waits.end()) add(E(rv), E(it->second));
+      }
+    }
+
+    // Under emergent NIC contention each sender's rendezvous handshakes
+    // resolve in strict ticket (= post) order: chain the resolving
+    // recvs (replay.cpp's `led.resolved() != ev->ticket` spin).
+    if (plan.contention) {
+      for (const auto& order : by_rank) {
+        std::size_t prev_recv = npos;
+        for (const std::size_t f : order) {
+          const Action& a = *acts[f].a;
+          if (a.op != Op::send || !is_rdv(a.arm)) continue;
+          if (match[f] == npos) continue;
+          if (prev_recv != npos) add(E(prev_recv), E(match[f]));
+          prev_recv = match[f];
+        }
+      }
+    }
+
+    // Barriers: generation g = each rank's g-th barrier (the global
+    // counter never resets across reps).  One virtual node per
+    // generation: all begins feed it, it feeds all ends.
+    {
+      std::vector<std::vector<std::size_t>> gens;
+      std::vector<std::size_t> cnt(static_cast<std::size_t>(plan.nranks),
+                                   0);
+      for (const auto& order : by_rank)
+        for (const std::size_t f : order)
+          if (acts[f].a->op == Op::barrier) {
+            const auto g = cnt[static_cast<std::size_t>(acts[f].rank)]++;
+            if (g >= gens.size()) gens.resize(g + 1);
+            gens[g].push_back(f);
+          }
+      link_generations(gens, "barrier", adj, B, E, gen_node);
+    }
+
+    // Fences: same shape, one generation sequence per window.
+    for (std::size_t w = 0; w < plan.window_count; ++w) {
+      std::vector<std::vector<std::size_t>> gens;
+      std::vector<std::size_t> cnt(static_cast<std::size_t>(plan.nranks),
+                                   0);
+      for (const auto& order : by_rank)
+        for (const std::size_t f : order)
+          if (acts[f].a->op == Op::fence &&
+              acts[f].a->win == static_cast<int>(w)) {
+            const auto g = cnt[static_cast<std::size_t>(acts[f].rank)]++;
+            if (g >= gens.size()) gens.resize(g + 1);
+            gens[g].push_back(f);
+          }
+      link_generations(gens, "fence", adj, B, E, gen_node);
+    }
+
+    // PSCW: an origin's n-th start involving target t waits for t's
+    // n-th post on that window; a target's n-th wait collects each
+    // origin's n-th complete.  Ordinal pairing mirrors the replica's
+    // post_seq/consumed bookkeeping for the captured one-epoch-per-
+    // round patterns.
+    {
+      // (target, win) -> post flat ids in order.
+      std::map<std::tuple<int, int>, std::vector<std::size_t>> posts;
+      // (origin, target, win) -> complete flat ids in order.
+      std::map<std::tuple<int, int, int>, std::vector<std::size_t>> comps;
+      for (const auto& order : by_rank)
+        for (const std::size_t f : order) {
+          const Action& a = *acts[f].a;
+          if (a.op == Op::pscw_post && win_ok(a.win))
+            posts[{acts[f].rank, a.win}].push_back(f);
+          else if (a.op == Op::pscw_complete && win_ok(a.win))
+            for (const Rank t : a.group)
+              if (rank_ok(t)) comps[{acts[f].rank, t, a.win}].push_back(f);
+        }
+      for (int r = 0; r < plan.nranks; ++r) {
+        // ordinal of this rank's starts per (target, win), waits per win
+        std::map<std::tuple<int, int>, std::size_t> start_ord;
+        std::map<int, std::size_t> wait_ord;
+        for (const std::size_t f : by_rank[static_cast<std::size_t>(r)]) {
+          const Action& a = *acts[f].a;
+          if (a.op == Op::pscw_start && win_ok(a.win)) {
+            for (const Rank t : a.group) {
+              if (!rank_ok(t)) continue;
+              const std::size_t n = start_ord[{t, a.win}]++;
+              const auto& plist = posts[{t, a.win}];
+              if (n < plist.size()) {
+                add(E(plist[n]), E(f));
+              } else {
+                emit(DiagKind::collective_arity, acts[f],
+                     describe(acts[f]) + ": waits for post #" +
+                         std::to_string(n + 1) + " by rank " +
+                         std::to_string(t) + " which never happens");
+              }
+            }
+          } else if (a.op == Op::pscw_wait && win_ok(a.win)) {
+            const std::size_t n = wait_ord[a.win]++;
+            std::size_t feeders = 0;
+            for (auto& [key, clist] : comps) {
+              if (std::get<1>(key) != r || std::get<2>(key) != a.win)
+                continue;
+              if (n < clist.size()) {
+                add(E(clist[n]), E(f));
+                ++feeders;
+              }
+            }
+            if (feeders < a.event)
+              emit(DiagKind::collective_arity, acts[f],
+                   describe(acts[f]) + ": expects " +
+                       std::to_string(a.event) +
+                       " completes but only " + std::to_string(feeders) +
+                       " origins ever complete round " +
+                       std::to_string(n + 1));
+          }
+        }
+      }
+    }
+
+    // Kahn's toposort.  All nodes drain <=> a valid execution order
+    // exists; a remainder contains at least one cycle — walk it out.
+    std::vector<std::size_t> indeg(adj.size(), 0);
+    for (const auto& out : adj)
+      for (const std::size_t v : out) ++indeg[v];
+    std::vector<std::size_t> queue;
+    for (std::size_t v = 0; v < adj.size(); ++v)
+      if (indeg[v] == 0) queue.push_back(v);
+    std::size_t drained = 0;
+    while (!queue.empty()) {
+      const std::size_t v = queue.back();
+      queue.pop_back();
+      ++drained;
+      for (const std::size_t w : adj[v])
+        if (--indeg[w] == 0) queue.push_back(w);
+    }
+    if (drained == adj.size()) return;
+
+    // Find a concrete cycle among the undrained nodes.  Every undrained
+    // node has at least one undrained *predecessor* (otherwise its
+    // in-degree would have reached zero), so walking predecessors must
+    // revisit a node; the revisited suffix is a cycle.
+    std::vector<std::vector<std::size_t>> radj(adj.size());
+    for (std::size_t u = 0; u < adj.size(); ++u) {
+      if (indeg[u] == 0) continue;
+      for (const std::size_t w : adj[u])
+        if (indeg[w] != 0) radj[w].push_back(u);
+    }
+    std::size_t start = 0;
+    while (indeg[start] == 0) ++start;
+    std::vector<std::size_t> path;
+    std::vector<std::size_t> pos(adj.size(), npos);
+    std::size_t v = start;
+    while (pos[v] == npos) {
+      pos[v] = path.size();
+      path.push_back(v);
+      v = radj[v].front();
+    }
+    // path[pos[v]..] is the cycle in reverse wait-for order.
+    std::vector<std::size_t> cycle(path.begin() +
+                                       static_cast<std::ptrdiff_t>(pos[v]),
+                                   path.end());
+    std::reverse(cycle.begin(), cycle.end());
+    std::ostringstream os;
+    os << "cyclic wait-for dependency:";
+    const Ref* anchor = nullptr;
+    std::size_t named = 0;
+    for (std::size_t i = 0; i < cycle.size() && named < 6; ++i) {
+      const std::size_t node = cycle[i];
+      if (node >= n_act_nodes) continue;  // virtual generation node
+      const Ref& ref = acts[graph_acts[node / 2]];
+      if (anchor == nullptr) anchor = &ref;
+      os << " [rank " << ref.rank << " rep " << ref.rep << " #" << ref.idx
+         << " " << describe(ref) << "]";
+      ++named;
+    }
+    if (anchor == nullptr) anchor = &acts[graph_acts[0]];
+    emit(DiagKind::deadlock_cycle, *anchor, os.str());
+  }
+
+  /// Wire one collective's generations: every participating rank's
+  /// begin feeds the generation node, which feeds every end; a
+  /// generation that not every rank reaches can never release.
+  template <typename BFn, typename EFn, typename GenFn>
+  void link_generations(const std::vector<std::vector<std::size_t>>& gens,
+                        const char* what,
+                        std::vector<std::vector<std::size_t>>& adj, BFn B,
+                        EFn E, GenFn gen_node) {
+    for (std::size_t g = 0; g < gens.size(); ++g) {
+      if (static_cast<int>(gens[g].size()) != plan.nranks) {
+        emit(DiagKind::collective_arity, acts[gens[g].front()],
+             std::string(what) + " generation " + std::to_string(g) +
+                 " has " + std::to_string(gens[g].size()) + " of " +
+                 std::to_string(plan.nranks) + " arrivals");
+        continue;
+      }
+      const std::size_t node = gen_node();
+      for (const std::size_t f : gens[g]) {
+        adj[B(f)].push_back(node);
+        adj[node].push_back(E(f));
+      }
+    }
+  }
+
+  VerifyReport run() {
+    flatten();
+    check_malformed();
+    check_matching();
+    check_eager();
+    check_rma();
+    check_deadlock();
+    return std::move(report);
+  }
+};
+
+}  // namespace
+
+const char* diag_kind_name(DiagKind kind) noexcept {
+  switch (kind) {
+    case DiagKind::unmatched_send: return "unmatched_send";
+    case DiagKind::unmatched_recv: return "unmatched_recv";
+    case DiagKind::size_mismatch: return "size_mismatch";
+    case DiagKind::deadlock_cycle: return "deadlock_cycle";
+    case DiagKind::collective_arity: return "collective_arity";
+    case DiagKind::malformed: return "malformed";
+    case DiagKind::fifo_violation: return "fifo_violation";
+    case DiagKind::eager_overflow: return "eager_overflow";
+    case DiagKind::rma_out_of_bounds: return "rma_out_of_bounds";
+    case DiagKind::rma_overlap: return "rma_overlap";
+  }
+  return "?";
+}
+
+std::string PlanDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << "rank " << rank << " rep " << rep << " action " << action << ": "
+     << diag_kind_name(kind) << ": " << message;
+  return os.str();
+}
+
+VerifyReport verify_plan(const CommPlan& plan) {
+  Verifier v(plan);
+  return v.run();
+}
+
+}  // namespace ncsend::plan

@@ -1,0 +1,98 @@
+#pragma once
+/// \file verify.hpp
+/// \brief Static plan verifier: pure dataflow/graph analysis over the
+/// compiled `CommPlan` IR.
+///
+/// The interpreter self-check (compile.cpp) can prove "this capture
+/// replays bit-exactly" but not *why* a plan is safe.  This layer
+/// proves safety properties without interpreting a single clock, by
+/// analysing the flat per-rank action arrays directly:
+///
+///  * **match completeness** — per captured rep, every posted send
+///    pairs with exactly one recv of compatible (peer, tag, bytes) in
+///    mailbox FIFO order, and vice versa;
+///  * **deadlock freedom** — the cross-rank wait-for graph (rendezvous
+///    handshakes, ssend acks, send waits, barriers, fences, PSCW
+///    post/start/complete/wait groups, and — under emergent contention
+///    — per-sender rendezvous NIC-ticket resolution order) is acyclic,
+///    so a valid topological execution order exists;
+///  * **pass safety** — re-derived on the *rewritten* program, never
+///    trusted from the pass: `sort_injections` must not have reordered
+///    a same-(peer, tag) pair (detected as a FIFO inversion against the
+///    receiver's recv sequence), and `aggregate_small` must only have
+///    merged eager-armed sends (an eager-armed send whose merged bytes
+///    exceed the model's eager limit claims an eager wire for a
+///    rendezvous-sized message);
+///  * **RMA window safety** — every put/get offset stays within the
+///    captured per-rank window bounds, and no two puts into one target
+///    rank overlap byte ranges within a single epoch.
+///
+/// Each violation yields a typed `PlanDiagnostic`; `compile_cell` runs
+/// `verify_plan` as a mandatory stage before the interpreter self-check
+/// (and again after any optimization pass rewrote the program), so a
+/// statically-rejected plan is `valid == false` before a clock is ever
+/// interpreted.  `tools/plan_lint` exposes the same analysis as a CLI.
+/// DESIGN.md §2.13 spells out what this proves vs. what the
+/// interpreter self-check proves — complementary, neither subsumes the
+/// other.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ncsend::plan {
+
+struct CommPlan;
+
+/// What a diagnostic is about.  Grouped per check so the lint report
+/// can show one PASS/FAIL line per proved property.
+enum class DiagKind {
+  // match completeness
+  unmatched_send,   ///< a posted send no recv ever consumes
+  unmatched_recv,   ///< a recv with no send to satisfy it
+  size_mismatch,    ///< FIFO-paired send/recv disagree on bytes
+  // deadlock freedom
+  deadlock_cycle,   ///< cyclic cross-rank wait-for dependency
+  collective_arity, ///< barrier/fence generations differ across ranks
+  malformed,        ///< dangling event id / out-of-range rank or window
+  // pass safety
+  fifo_violation,   ///< same-(peer,tag) pair delivered out of order
+  eager_overflow,   ///< eager-armed send above the model's eager limit
+  // RMA window safety
+  rma_out_of_bounds, ///< put/get outside the captured window extent
+  rma_overlap,       ///< two puts overlap in one target epoch
+};
+
+[[nodiscard]] const char* diag_kind_name(DiagKind kind) noexcept;
+
+/// One typed verifier finding, anchored to an action in the plan.
+struct PlanDiagnostic {
+  DiagKind kind = DiagKind::malformed;
+  int rank = -1;          ///< rank whose program the finding anchors to
+  int rep = -1;           ///< captured rep index (-1: spans reps)
+  std::size_t action = 0; ///< index into programs[rank][rep]
+  std::string message;    ///< human-readable explanation
+
+  /// "rank 2 rep 1 action 7: unmatched_send: ..." (lint/dump format).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of one verification run: the findings plus a per-check
+/// verdict (a check passes iff it produced no diagnostic).
+struct VerifyReport {
+  std::vector<PlanDiagnostic> diagnostics;
+  bool match_complete = true;
+  bool deadlock_free = true;
+  bool pass_safe = true;
+  bool rma_safe = true;
+
+  [[nodiscard]] bool ok() const noexcept { return diagnostics.empty(); }
+};
+
+/// \brief Verify `plan` statically.  Pure analysis: interprets no
+/// clocks, mutates nothing; callable on hand-mutated programs (tests)
+/// as well as fresh captures.  Requires `plan.model` and
+/// `plan.programs` to be populated; `valid` is not consulted.
+[[nodiscard]] VerifyReport verify_plan(const CommPlan& plan);
+
+}  // namespace ncsend::plan

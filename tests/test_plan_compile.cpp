@@ -150,9 +150,12 @@ TEST(PlanCompile, UnflushedCaptureNeedsThreeReps) {
 TEST(PlanPasses, AggregationChargesVisiblyAndChangesTime) {
   // packing(p) posts several same-(peer, tag) chunk isends per step;
   // with the eager limit raised past the chunk size they are all
-  // eager-posted and eligible for aggregation.
+  // eager-posted and eligible for aggregation.  The limit must also
+  // cover the *merged* total (2 MiB): the pass keeps the eager arm, so
+  // it refuses any merge that would overshoot the limit (and the static
+  // verifier would reject the plan as eager_overflow if it did).
   minimpi::UniverseOptions opts = base_opts();
-  opts.eager_limit_override = std::size_t{1} << 20;
+  opts.eager_limit_override = std::size_t{1} << 22;
   const auto pattern = CommPattern::by_name("transpose(2)");
   HarnessConfig cfg;
   cfg.reps = 4;

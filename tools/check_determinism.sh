@@ -1,0 +1,63 @@
+#!/bin/sh
+# Determinism lint: grep the simulator sources for constructs that leak
+# host state into results.  The whole repo's contract is that every
+# artifact (BENCH JSONs, digests, compiled plans) is a pure function of
+# the inputs — see DESIGN.md §2.5 — so wall-clock reads, hardware
+# randomness, and hash-order iteration feeding outputs are bugs by
+# definition, not style.
+#
+# Checks:
+#   1. Banned sources of nondeterminism anywhere under src/:
+#      std::chrono::system_clock / high_resolution_clock (wall clock in
+#      model code; bench wall-timing uses steady_clock, which is allowed
+#      because it never feeds a result value), std::random_device,
+#      rand()/srand() (seeded global state; deterministic LCGs or
+#      seeded engines are fine).
+#   2. Hash-order iteration: a range-for over a variable declared as an
+#      unordered_{map,set} in the same file.  Keyed lookups are fine;
+#      iterating one into an output or digest is not.  A true negative
+#      (iteration whose order provably cannot escape, e.g. drained into
+#      a sort) can be annotated with `// determinism: ok` on the line.
+#
+# Exit status: 0 clean, 1 findings, 2 usage.
+
+set -u
+
+root=${1:-$(dirname "$0")/..}
+srcdir="$root/src"
+[ -d "$srcdir" ] || { echo "check_determinism: no src/ under $root" >&2; exit 2; }
+
+status=0
+
+# --- 1: banned constructs ---------------------------------------------------
+banned='std::chrono::system_clock|std::chrono::high_resolution_clock|std::random_device|[^a-zA-Z0-9_]srand[ ]*\(|[^a-zA-Z0-9_.>]rand[ ]*\('
+hits=$(grep -rnE "$banned" "$srcdir" --include='*.cpp' --include='*.hpp' \
+       | grep -v 'determinism: ok' || true)
+if [ -n "$hits" ]; then
+  echo "check_determinism: banned nondeterminism sources in src/:"
+  echo "$hits" | sed 's/^/  /'
+  status=1
+fi
+
+# --- 2: hash-order iteration ------------------------------------------------
+# For every file declaring an unordered container variable, flag a
+# range-for over that variable's name.
+for f in $(grep -rlE 'unordered_(map|set)<' "$srcdir" \
+           --include='*.cpp' --include='*.hpp'); do
+  names=$(grep -oE 'unordered_(map|set)<[^;]*> +[a-zA-Z_][a-zA-Z0-9_]*' "$f" \
+          | grep -oE '[a-zA-Z_][a-zA-Z0-9_]*$' | sort -u)
+  for n in $names; do
+    hits=$(grep -nE "for *\(.*: *${n}[^a-zA-Z0-9_]" "$f" \
+           | grep -v 'determinism: ok' || true)
+    if [ -n "$hits" ]; then
+      echo "check_determinism: hash-order iteration over '$n' in $f:"
+      echo "$hits" | sed 's/^/  /'
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_determinism: clean"
+fi
+exit $status

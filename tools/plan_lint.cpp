@@ -1,0 +1,199 @@
+/// \file plan_lint.cpp
+/// \brief Standalone front-end for the static plan verifier.
+///
+/// Compiles one (pattern, scheme, layout) experiment cell — or sweeps
+/// the whole default legend — and reports what the verifier proved:
+/// a per-check PASS table when the plan is clean, the typed
+/// diagnostics when it is not.  CI runs `plan_lint --sweep` and fails
+/// on any diagnostic, so every cell the benches can compile is known
+/// statically well-formed before a result table is ever produced.
+///
+/// Exit status: 0 = every linted plan clean (cells the compiler cannot
+/// capture fall back to direct execution and are reported but not
+/// failed), 1 = at least one verifier diagnostic, 2 = usage error.
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/net/machine_profile.hpp"
+#include "ncsend/ncsend.hpp"
+#include "ncsend/plan/comm_plan.hpp"
+#include "ncsend/plan/verify.hpp"
+
+namespace {
+
+using namespace ncsend;
+
+struct LintOptions {
+  std::string pattern = "pingpong";
+  std::string scheme;  ///< empty: every scheme the pattern engine knows
+  std::string layout = "strided";
+  std::size_t elems = 1024;
+  std::string profile = "skx-impi";
+  bool contention = false;
+  int reps = 5;
+  plan::PassOptions passes;
+  bool dump = false;
+  bool sweep = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: plan_lint [options]\n"
+        "  --pattern NAME   pattern cell (default pingpong; any\n"
+        "                   CommPattern::by_name form)\n"
+        "  --scheme NAME    scheme to compile (default: every scheme)\n"
+        "  --layout KIND    strided | contiguous (default strided)\n"
+        "  --elems N        layout element count (default 1024)\n"
+        "  --profile NAME   machine profile (default skx-impi)\n"
+        "  --contention     enable emergent NIC contention\n"
+        "  --reps N         capture repetitions (default 5)\n"
+        "  --passes LIST    comma list of aggregate,sort to apply\n"
+        "  --dump           dump the compiled action arrays\n"
+        "  --sweep          lint every default pattern x scheme cell;\n"
+        "                   exit 1 on any diagnostic\n"
+        "  --help           this text\n";
+}
+
+[[nodiscard]] Layout make_layout(const LintOptions& o) {
+  if (o.layout == "contiguous") return Layout::contiguous(o.elems);
+  if (o.layout == "strided") return Layout::strided(o.elems, 1, 2);
+  std::cerr << "plan_lint: unknown layout kind '" << o.layout << "'\n";
+  std::exit(2);
+}
+
+[[nodiscard]] minimpi::UniverseOptions make_opts(const LintOptions& o) {
+  minimpi::UniverseOptions opts;
+  opts.profile = &minimpi::MachineProfile::by_name(o.profile);
+  opts.functional = true;
+  opts.functional_payload_limit = 1 << 16;
+  opts.nic_occupancy_contention = o.contention;
+  return opts;
+}
+
+/// Lint one cell.  Returns the number of verifier diagnostics (0 for a
+/// clean or un-capturable cell); prints per-check verdicts.
+std::size_t lint_cell(const LintOptions& o, const CommPattern& pattern,
+                      const std::string& scheme, bool verbose) {
+  HarnessConfig cfg;
+  cfg.reps = o.reps;
+  const Layout layout = make_layout(o);
+  const std::string cell = pattern.name() + " / " + scheme + " / " +
+                           layout.name();
+  plan::CommPlan cp;
+  try {
+    cp = plan::compile_cell(make_opts(o), pattern, scheme, layout, cfg,
+                            o.passes);
+  } catch (const std::exception& e) {
+    // A pattern that rejects the scheme outright (e.g. the collective
+    // engine given a point-to-point scheme) is not a lintable cell.
+    std::cout << cell << ": not applicable (" << e.what() << ")\n";
+    return 0;
+  }
+  if (cp.programs.empty()) {
+    // Capture never produced a program (wildcards, pinned state, ...):
+    // the experiment layer falls back to direct execution, so there is
+    // nothing to lint — report, don't fail.
+    std::cout << cell << ": not compilable (" << cp.invalid_reason
+              << "); falls back to direct execution\n";
+    return 0;
+  }
+
+  const plan::VerifyReport report = plan::verify_plan(cp);
+  const auto verdict = [](bool ok) { return ok ? "PASS" : "FAIL"; };
+  if (report.ok() && !verbose) {
+    std::cout << cell << ": PASS ("
+              << (cp.valid ? "plan valid" : cp.invalid_reason) << ")\n";
+  } else {
+    std::cout << cell << ":\n"
+              << "  match completeness  " << verdict(report.match_complete)
+              << "\n"
+              << "  deadlock freedom    " << verdict(report.deadlock_free)
+              << "\n"
+              << "  pass safety         " << verdict(report.pass_safe)
+              << "\n"
+              << "  RMA window safety   " << verdict(report.rma_safe)
+              << "\n";
+    for (const plan::PlanDiagnostic& d : report.diagnostics)
+      std::cout << "  " << d.to_string() << "\n";
+  }
+  if (o.dump) cp.dump(std::cout);
+  return report.diagnostics.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "plan_lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pattern") {
+      o.pattern = value();
+    } else if (arg == "--scheme") {
+      o.scheme = value();
+    } else if (arg == "--layout") {
+      o.layout = value();
+    } else if (arg == "--elems") {
+      o.elems = static_cast<std::size_t>(std::stoull(value()));
+    } else if (arg == "--profile") {
+      o.profile = value();
+    } else if (arg == "--contention") {
+      o.contention = true;
+    } else if (arg == "--reps") {
+      o.reps = std::stoi(value());
+    } else if (arg == "--passes") {
+      const std::string list = value();
+      o.passes.aggregate_small = list.find("aggregate") != std::string::npos;
+      o.passes.sort_injections = list.find("sort") != std::string::npos;
+    } else if (arg == "--dump") {
+      o.dump = true;
+    } else if (arg == "--sweep") {
+      o.sweep = true;
+    } else if (arg == "--help") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "plan_lint: unknown flag '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  try {
+    std::size_t total = 0;
+    if (o.sweep) {
+      std::size_t cells = 0;
+      for (const std::string& pname : CommPattern::names()) {
+        const auto pattern = CommPattern::by_name(pname);
+        for (const std::string& sname : pattern_scheme_names()) {
+          total += lint_cell(o, *pattern, sname, /*verbose=*/false);
+          ++cells;
+        }
+      }
+      std::cout << "plan_lint: " << cells << " cells, " << total
+                << " diagnostics\n";
+    } else {
+      const auto pattern = CommPattern::by_name(o.pattern);
+      std::vector<std::string> schemes;
+      if (!o.scheme.empty())
+        schemes.push_back(o.scheme);
+      else
+        schemes = pattern_scheme_names();
+      for (const std::string& sname : schemes)
+        total += lint_cell(o, *pattern, sname, /*verbose=*/true);
+    }
+    return total == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "plan_lint: " << e.what() << "\n";
+    return 2;
+  }
+}
